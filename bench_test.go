@@ -1,0 +1,491 @@
+// Benchmarks regenerating the paper's Table 1 and the experiment series
+// E1–E13 of DESIGN.md. Every cell of the table and every worked example has
+// a bench target; EXPERIMENTS.md records the paper-vs-measured comparison.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/certain"
+	"repro/internal/chase"
+	"repro/internal/circuit"
+	"repro/internal/cwa"
+	"repro/internal/genwl"
+	"repro/internal/hom"
+	"repro/internal/instance"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/sat"
+	"repro/internal/score"
+	"repro/internal/semigroup"
+	"repro/internal/turing"
+)
+
+func mustUCQb(b *testing.B, text string) query.UCQ {
+	b.Helper()
+	u, err := parser.ParseUCQ(text)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return u
+}
+
+// --- Table 1, column 1: union of CQ (PTIME for every row) — E1 ---
+
+func BenchmarkTable1_UCQ_WeaklyAcyclic(b *testing.B) {
+	s, err := parser.ParseSetting(`
+source S/2.
+target E/2.
+st:
+  s1: S(x,y) -> E(x,y).
+target-deps:
+  t1: E(x,y) -> exists z : E(x,z).
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := mustUCQb(b, "q(x,y) :- E(x,y).")
+	for _, n := range []int{16, 64, 256} {
+		src := genwl.RandomEdges("S", n, int64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := certain.CertainUCQ(s, u, src, certain.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable1_UCQ_RichlyAcyclic(b *testing.B) {
+	s := genwl.WeaklyAcyclicChain(4)
+	u := mustUCQb(b, "q(x,y) :- T1(x,y).\nq(x,y) :- T2(x,y).")
+	for _, n := range []int{16, 64, 256} {
+		src := genwl.RandomEdges("R0", n, int64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := certain.CertainUCQ(s, u, src, certain.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable1_UCQ_EgdOnly(b *testing.B) {
+	s := genwl.EgdOnly()
+	u := mustUCQb(b, "q(x,y) :- F(x,y).")
+	for _, n := range []int{16, 64, 256} {
+		src := genwl.EgdOnlySource(n, true, int64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := certain.CertainUCQ(s, u, src, certain.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable1_UCQ_FullTgds(b *testing.B) {
+	s := genwl.FullTgds()
+	u := mustUCQb(b, "q(x,y) :- T(x,y).")
+	for _, n := range []int{16, 64, 128} {
+		src := genwl.RandomEdges("R", n, int64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := certain.CertainUCQ(s, u, src, certain.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Table 1, column 2, rows 1–2: co-NP via the Theorem 7.5 reduction — E2 ---
+
+func BenchmarkTable1_CQNeq_CoNP(b *testing.B) {
+	for _, vars := range []int{3, 4, 5} {
+		f := sat.Random3CNF(vars, vars+2, int64(vars))
+		b.Run(fmt.Sprintf("vars=%d", vars), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sat.CertainUnsat(f, chase.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDPLL_Baseline(b *testing.B) {
+	for _, vars := range []int{3, 4, 5} {
+		f := sat.Random3CNF(vars, vars+2, int64(vars))
+		b.Run(fmt.Sprintf("vars=%d", vars), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sat.Solve(f)
+			}
+		})
+	}
+}
+
+// --- Table 1, column 2, rows 3–4: PTIME fixpoint — E3 ---
+
+func BenchmarkTable1_CQNeq_PTIME(b *testing.B) {
+	s := genwl.EgdOnly()
+	u := mustUCQb(b, "q(x) :- F(x,y), y != x.")
+	for _, n := range []int{16, 64, 256} {
+		src := genwl.EgdOnlySource(n, true, int64(n))
+		can, err := cwa.CanSol(s, src, chase.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := certain.BoxUCQIneqPTime(s, u, can); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Table 1, column 3: FO queries (co-NP upper bound) — E4 ---
+
+func BenchmarkFO_Certain(b *testing.B) {
+	s := genwl.EgdOnly()
+	q, err := parser.ParseFOQuery(`(x) . exists y (F(x,y) & !(exists z (F(z,x))))`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{2, 3, 4} {
+		src := genwl.EgdOnlySource(n, true, 7)
+		core, err := cwa.Minimal(s, src, chase.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d/nulls=%d", n, len(core.Nulls())), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := certain.Box(s, q, core, certain.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Example 5.3: exhaustive CWA-solution enumeration — E5 ---
+
+func BenchmarkExample53_Enumeration(b *testing.B) {
+	s := genwl.Example53()
+	for _, n := range []int{1, 2} {
+		src := genwl.Example53Source(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cwa.Enumerate(s, src, cwa.EnumOptions{MaxStates: 500000}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Proposition 6.6: computing CWA-solutions + PTIME-hardness — E6 ---
+
+func BenchmarkCWASolution_WeaklyAcyclic(b *testing.B) {
+	s := genwl.WeaklyAcyclicChain(5)
+	for _, n := range []int{16, 64, 256} {
+		src := genwl.RandomEdges("R0", n, int64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cwa.Minimal(s, src, chase.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMCVP_Reduction(b *testing.B) {
+	s := circuit.ExistenceSetting()
+	for _, gates := range []int{8, 32, 128} {
+		c := circuit.Random(4, gates, int64(gates))
+		src, err := circuit.SourceInstance(c, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("gates=%d", gates), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cwa.Exists(s, src, chase.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMCVP_Baseline(b *testing.B) {
+	for _, gates := range []int{8, 32, 128} {
+		c := circuit.Random(4, gates, int64(gates))
+		b.Run(fmt.Sprintf("gates=%d", gates), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.Eval()
+			}
+		})
+	}
+}
+
+// --- Theorem 6.2: the chase simulating Turing machines — E7 ---
+
+func BenchmarkTuring_ChaseSimulation(b *testing.B) {
+	s := turing.DHaltSetting()
+	for _, steps := range []int{2, 4, 8} {
+		m := turing.WriterMachine(steps)
+		src, err := turing.SourceInstance(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("steps=%d", steps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := chase.Standard(s, src, chase.Options{MaxSteps: 500000}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTuring_InterpreterBaseline(b *testing.B) {
+	for _, steps := range []int{2, 4, 8} {
+		m := turing.WriterMachine(steps)
+		b.Run(fmt.Sprintf("steps=%d", steps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.Run(1000)
+			}
+		})
+	}
+}
+
+// --- Example 6.1: the never-terminating D_emb chase — E8 ---
+
+func BenchmarkSemigroup_DembChase(b *testing.B) {
+	s := semigroup.DembSetting()
+	src, err := semigroup.SourceInstance(semigroup.Example61Partial())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, budget := range []int{100, 400} {
+		b.Run(fmt.Sprintf("budget=%d", budget), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				chase.Standard(s, src, chase.Options{MaxSteps: budget}) //nolint:errcheck // budget exceeded by design
+			}
+		})
+	}
+}
+
+// --- Theorem 5.1: core computation ablation — E9 ---
+
+func coreWorkload(b *testing.B, n int) *instance.Instance {
+	b.Helper()
+	s := genwl.Example21()
+	src := instance.New()
+	for i := 0; i < n; i++ {
+		a := instance.Const(fmt.Sprintf("a%d", i))
+		c := instance.Const(fmt.Sprintf("b%d", i))
+		src.Add(instance.NewAtom("M", a, c))
+		src.Add(instance.NewAtom("N", a, c))
+	}
+	u, err := chase.UniversalSolution(s, src, chase.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return u
+}
+
+func BenchmarkCore_Blocks(b *testing.B) {
+	for _, n := range []int{10, 40} {
+		u := coreWorkload(b, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				score.Core(u)
+			}
+		})
+	}
+}
+
+func BenchmarkCore_Naive(b *testing.B) {
+	for _, n := range []int{10, 40} {
+		u := coreWorkload(b, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				score.CoreNaive(u)
+			}
+		})
+	}
+}
+
+// --- Section 3 anomaly — E10 ---
+
+func BenchmarkAnomaly_Copying(b *testing.B) {
+	s := genwl.Copying()
+	src := genwl.TwoNineCycles()
+	q, err := parser.ParseFOQuery(`(x) . Pp(x) | exists y,z (Pp(y) & Ep(y,z) & !(Pp(z)))`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := certain.Answers(s, q, src, certain.CertainCap, certain.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Theorem 7.1 / Corollary 7.2 cross-check — E11 ---
+
+func BenchmarkSemantics_CrossCheck(b *testing.B) {
+	s := genwl.Example21()
+	src, err := parser.ParseInstance(`M(a,b). N(a,b).`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := mustUCQb(b, "q(x) :- E(x,y).")
+	for i := 0; i < b.N; i++ {
+		for _, sem := range []certain.Semantics{certain.CertainCap, certain.CertainCup, certain.MaybeCap, certain.MaybeCup} {
+			if _, err := certain.ByDefinition(s, u, src, sem, certain.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Proposition 5.4: CanSol maximality — E12 ---
+
+func BenchmarkCanSol_Maximality(b *testing.B) {
+	s := genwl.EgdOnly()
+	src, err := parser.ParseInstance(`N(a,b). N(c,d). W(a,e).`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		can, err := cwa.CanSol(s, src, chase.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sols, err := cwa.Enumerate(s, src, cwa.EnumOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, sol := range sols {
+			if _, onto := hom.FindOnto(can, sol, 0); !onto {
+				b.Fatal("maximality violated")
+			}
+		}
+	}
+}
+
+// --- Engine micro-benchmarks ---
+
+func BenchmarkChase_Standard(b *testing.B) {
+	s := genwl.Example21()
+	for _, n := range []int{10, 40, 160} {
+		src := instance.New()
+		for i := 0; i < n; i++ {
+			a := instance.Const(fmt.Sprintf("a%d", i))
+			c := instance.Const(fmt.Sprintf("b%d", i))
+			src.Add(instance.NewAtom("M", a, c))
+			src.Add(instance.NewAtom("N", a, c))
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := chase.Standard(s, src, chase.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHomomorphism_Find(b *testing.B) {
+	mkCycle := func(n int64, off int64) *instance.Instance {
+		ins := instance.New()
+		for i := int64(0); i < n; i++ {
+			ins.Add(instance.NewAtom("E", instance.Null(off+i), instance.Null(off+(i+1)%n)))
+		}
+		return ins
+	}
+	from := mkCycle(15, 0)
+	to := mkCycle(3, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !hom.Exists(from, to) {
+			b.Fatal("hom must exist")
+		}
+	}
+}
+
+func BenchmarkAlphaChase_Canonical(b *testing.B) {
+	s := genwl.Example21()
+	src := genwl.Example21Source()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := chase.Canonical(s, src, chase.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Possibility checking ablation (Libkin's case) ---
+
+func BenchmarkPossibleUCQ_Unification(b *testing.B) {
+	s, err := parser.ParseSetting(`
+source M/2.
+target E/2, F/2.
+st:
+  d1: M(x,y) -> exists z1,z2 : E(x,z1) & F(z1,z2).
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := genwl.RandomEdges("M", 12, 9)
+	tgt, err := chase.UniversalSolution(s, src, chase.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := parser.ParseUCQ("q() :- E(x,y), F(y,x).")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := certain.PossibleUCQ(s, u, tgt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPossibleUCQ_DiamondBaseline(b *testing.B) {
+	s, err := parser.ParseSetting(`
+source M/2.
+target E/2, F/2.
+st:
+  d1: M(x,y) -> exists z1,z2 : E(x,z1) & F(z1,z2).
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := genwl.RandomEdges("M", 4, 9) // tiny: the baseline is |base|^nulls
+	tgt, err := chase.UniversalSolution(s, src, chase.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := parser.ParseUCQ("q() :- E(x,y), F(y,x).")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := certain.Diamond(s, u, tgt, certain.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Command dxcli is a small command-line front end to the library: it loads
+// a data exchange setting and a source instance from files and chases,
+// computes CWA-solutions, or answers queries.
+//
+// Usage:
+//
+//	dxcli chase   -setting FILE -source FILE
+//	dxcli alpha   -setting FILE -source FILE -target FILE   (justification witnesses)
+//	dxcli core    -setting FILE -source FILE
+//	dxcli cansol  -setting FILE -source FILE
+//	dxcli exists  -setting FILE -source FILE
+//	dxcli check   -setting FILE -source FILE -target FILE
+//	dxcli certain -setting FILE -source FILE -query 'q(x) :- E(x,y).' [-sem certain-cap|certain-cup|maybe-cap|maybe-cup]
+//	dxcli enum    -setting FILE -source FILE [-max N]
+//	dxcli info    -setting FILE
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro"
+	"repro/internal/cwa"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	settingPath := fs.String("setting", "", "path to the setting file")
+	sourcePath := fs.String("source", "", "path to the source instance file")
+	targetPath := fs.String("target", "", "path to a target instance file (for check)")
+	queryText := fs.String("query", "", "query text (for certain)")
+	semName := fs.String("sem", "certain-cap", "semantics: certain-cap, certain-cup, maybe-cap, maybe-cup")
+	maxSteps := fs.Int("max-steps", 0, "chase step budget (0 = default)")
+	maxSols := fs.Int("max", 0, "maximum solutions to enumerate (0 = unbounded)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		fatal(err)
+	}
+
+	s := loadSetting(*settingPath)
+	opt := repro.ChaseOptions{MaxSteps: *maxSteps}
+
+	switch cmd {
+	case "info":
+		fmt.Print(s)
+		fmt.Println("weakly acyclic: ", repro.WeaklyAcyclic(s))
+		fmt.Println("richly acyclic: ", repro.RichlyAcyclic(s))
+		fmt.Println("egds only:      ", s.EgdsOnly())
+		fmt.Println("full tgds+egds: ", s.FullAndEgds())
+	case "chase":
+		src := loadInstance(*sourcePath)
+		res, err := repro.Chase(s, src, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("steps: %d\nuniversal solution: %v\n", res.Steps, res.Target)
+	case "core":
+		src := loadInstance(*sourcePath)
+		core, err := repro.CWASolution(s, src, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("minimal CWA-solution (core): %v\n", core)
+	case "cansol":
+		src := loadInstance(*sourcePath)
+		can, err := repro.CanSol(s, src, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("canonical solution: %v\n", can)
+	case "exists":
+		src := loadInstance(*sourcePath)
+		ok, err := repro.ExistsCWASolution(s, src, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("CWA-solution exists:", ok)
+	case "check":
+		src := loadInstance(*sourcePath)
+		tgt := loadInstance(*targetPath)
+		fmt.Println("solution:         ", repro.IsSolution(s, src, tgt))
+		fmt.Println("CWA-presolution:  ", repro.IsCWAPresolution(s, src, tgt))
+		ok, err := repro.IsCWASolution(s, src, tgt, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("CWA-solution:     ", ok)
+	case "alpha":
+		src := loadInstance(*sourcePath)
+		tgt := loadInstance(*targetPath)
+		alpha, ok := cwa.FindPresolutionAlpha(s, src, tgt)
+		if !ok {
+			fmt.Println("not a CWA-presolution: no justification assignment produces it")
+			os.Exit(1)
+		}
+		fmt.Println("justification witnesses (α restricted to the used justifications):")
+		keys := make([]string, 0, len(alpha))
+		for k := range alpha {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			w := alpha[k]
+			if len(w) == 0 {
+				fmt.Printf("  %s  (full tgd, no existential values)\n", k)
+				continue
+			}
+			vars := make([]string, 0, len(w))
+			for z := range w {
+				vars = append(vars, z)
+			}
+			sort.Strings(vars)
+			fmt.Printf("  %s  ↦ ", k)
+			for i, z := range vars {
+				if i > 0 {
+					fmt.Print(", ")
+				}
+				fmt.Printf("%s=%v", z, w[z])
+			}
+			fmt.Println()
+		}
+	case "certain":
+		src := loadInstance(*sourcePath)
+		u, err := repro.ParseUCQ(*queryText)
+		if err != nil {
+			fatal(fmt.Errorf("parsing query: %w", err))
+		}
+		sem, ok := map[string]repro.Semantics{
+			"certain-cap": repro.CertainCap,
+			"certain-cup": repro.CertainCup,
+			"maybe-cap":   repro.MaybeCap,
+			"maybe-cup":   repro.MaybeCup,
+		}[*semName]
+		if !ok {
+			fatal(fmt.Errorf("unknown semantics %q", *semName))
+		}
+		ans, err := repro.Answers(s, u, src, sem, repro.CertainOptions{Chase: opt})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s answers: %v\n", *semName, ans)
+	case "enum":
+		src := loadInstance(*sourcePath)
+		sols, err := repro.EnumerateCWASolutions(s, src, repro.EnumOptions{MaxSolutions: *maxSols})
+		if err != nil {
+			fatal(err)
+		}
+		cwa.SortBySize(sols)
+		fmt.Print(cwa.DescribeSpace(sols))
+	default:
+		usage()
+	}
+}
+
+func loadSetting(path string) *repro.Setting {
+	if path == "" {
+		fatal(fmt.Errorf("-setting is required"))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := repro.ParseSetting(string(data))
+	if err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", path, err))
+	}
+	return s
+}
+
+func loadInstance(path string) *repro.Instance {
+	if path == "" {
+		fatal(fmt.Errorf("-source/-target file is required"))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	ins, err := repro.ParseInstance(string(data))
+	if err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", path, err))
+	}
+	return ins
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dxcli:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: dxcli <chase|alpha|core|cansol|exists|check|certain|enum|info> [flags]
+run "dxcli <cmd> -h" for flags`)
+	os.Exit(2)
+}

@@ -1,0 +1,29 @@
+// Command experiments runs the full reproduction suite E1–E12 (see
+// DESIGN.md) and prints a paper-vs-measured report, as an aligned text
+// table by default or as markdown with -md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	md := flag.Bool("md", false, "emit a markdown table")
+	flag.Parse()
+	results := harness.RunAll()
+	if *md {
+		fmt.Print(harness.MarkdownReport(results))
+	} else {
+		fmt.Print(harness.Report(results))
+	}
+	for _, r := range results {
+		if !r.OK {
+			fmt.Fprintf(os.Stderr, "experiment %s failed\n", r.ID)
+			os.Exit(1)
+		}
+	}
+}

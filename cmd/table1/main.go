@@ -1,0 +1,22 @@
+// Command table1 regenerates the paper's Table 1: the complexity of
+// certain⊓ and certain⊔ across setting classes and query classes, with
+// each entry backed by a measured scaling series or a validated reduction.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	cells := harness.Table1()
+	fmt.Print(harness.Table1Report(cells))
+	for _, c := range cells {
+		if !c.OK {
+			fmt.Fprintf(os.Stderr, "cell (%s, %s) failed\n", c.Row, c.Col)
+			os.Exit(1)
+		}
+	}
+}

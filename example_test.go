@@ -1,0 +1,89 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// The paper's running example end to end: chase, core, certain answers.
+func Example() {
+	s, err := repro.ParseSetting(`
+source M/2, N/2.
+target E/2, F/2, G/2.
+st:
+  d1: M(x1,x2) -> E(x1,x2).
+  d2: N(x,y) -> exists z1,z2 : E(x,z1) & F(x,z2).
+target-deps:
+  d3: F(y,x) -> exists z : G(x,z).
+  d4: F(x,y) & F(x,z) -> y = z.
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := repro.ParseInstance(`M(a,b). N(a,b). N(a,c).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	core, err := repro.CWASolution(s, src, repro.ChaseOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(core)
+	// Output: {E(a,b), F(a,_1), G(_1,_2)}
+}
+
+func ExampleCertainAnswersUCQ() {
+	s, _ := repro.ParseSetting(`
+source M/2, N/2.
+target E/2, F/2, G/2.
+st:
+  d1: M(x1,x2) -> E(x1,x2).
+  d2: N(x,y) -> exists z1,z2 : E(x,z1) & F(x,z2).
+target-deps:
+  d3: F(y,x) -> exists z : G(x,z).
+  d4: F(x,y) & F(x,z) -> y = z.
+`)
+	src, _ := repro.ParseInstance(`M(a,b). N(a,b). N(a,c).`)
+	q, _ := repro.ParseUCQ(`q(x,y) :- E(x,y).`)
+	ans, _ := repro.CertainAnswersUCQ(s, q, src, repro.ChaseOptions{})
+	fmt.Println(ans)
+	// Output: {(a,b)}
+}
+
+func ExampleIsCWASolution() {
+	s, _ := repro.ParseSetting(`
+source M/2, N/2.
+target E/2, F/2, G/2.
+st:
+  d1: M(x1,x2) -> E(x1,x2).
+  d2: N(x,y) -> exists z1,z2 : E(x,z1) & F(x,z2).
+target-deps:
+  d3: F(y,x) -> exists z : G(x,z).
+  d4: F(x,y) & F(x,z) -> y = z.
+`)
+	src, _ := repro.ParseInstance(`M(a,b). N(a,b). N(a,c).`)
+	// The paper's T2 is a CWA-solution; T1 (which invents constants) is not.
+	t2, _ := repro.ParseInstance(`E(a,b). E(a,_1). E(a,_2). F(a,_3). G(_3,_4).`)
+	t1, _ := repro.ParseInstance(`E(a,b). E(a,_1). E(c,_2). F(a,d). G(d,_3).`)
+	ok2, _ := repro.IsCWASolution(s, src, t2, repro.ChaseOptions{})
+	ok1, _ := repro.IsCWASolution(s, src, t1, repro.ChaseOptions{})
+	fmt.Println(ok2, ok1)
+	// Output: true false
+}
+
+func ExampleEnumerateCWASolutions() {
+	s, _ := repro.ParseSetting(`
+source P/1.
+target E/3, F/3.
+st:
+  d1: P(x) -> exists z1,z2,z3,z4 : E(x,z1,z3) & E(x,z2,z4).
+target-deps:
+  d2: E(x,x1,y) & E(x,x2,y) -> F(x,x1,x2).
+`)
+	src, _ := repro.ParseInstance(`P(1).`)
+	sols, _ := repro.EnumerateCWASolutions(s, src, repro.EnumOptions{})
+	fmt.Println(len(sols), "CWA-solutions up to isomorphism")
+	// Output: 4 CWA-solutions up to isomorphism
+}

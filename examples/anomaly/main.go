@@ -1,0 +1,62 @@
+// Command anomaly reproduces the Section 3 anomaly of the certain answers
+// semantics: under a copying data exchange setting, the open-world certain
+// answers of Libkin's query lose the entire b-cycle, while the CWA
+// semantics return exactly Q evaluated on the copied instance — the answer
+// one intuitively expects.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/genwl"
+	"repro/internal/query"
+)
+
+func main() {
+	s := genwl.Copying()
+	src := genwl.TwoNineCycles()
+	fmt.Println("copying setting:")
+	fmt.Println(s)
+	fmt.Printf("source: two disjoint 9-cycles (a0..a8, b0..b8) with P(a4), %d atoms\n\n", src.Len())
+
+	q, err := repro.ParseFOQuery(`(x) . Pp(x) | exists y,z (Pp(y) & Ep(y,z) & !(Pp(z)))`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("query Q(x) = Pp(x) ∨ ∃y∃z (Pp(y) ∧ Ep(y,z) ∧ ¬Pp(z))")
+
+	// The copied instance S' — the intuitively-right target.
+	copied := repro.NewInstance()
+	for _, a := range src.Atoms() {
+		rel := map[string]string{"E": "Ep", "P": "Pp"}[a.Rel]
+		copied.Add(repro.Atom{Rel: rel, Args: a.Args})
+	}
+	onCopy := query.NewTupleSet(q.Answers(copied)...)
+	fmt.Printf("\nQ(S′) — evaluated on the plain copy: %d answers (all 18 nodes)\n", onCopy.Len())
+
+	// The spoiler solution S'': add Pp(a_i) for every i. It is a valid OWA
+	// solution, and Q on it returns only the a-nodes — so the OWA certain
+	// answers can never contain a b-node.
+	spoiler := copied.Clone()
+	for i := 0; i < 9; i++ {
+		spoiler.Add(repro.NewAtom("Pp", repro.Const(fmt.Sprintf("a%d", i))))
+	}
+	if !repro.IsSolution(s, src, spoiler) {
+		log.Fatal("spoiler must be a solution")
+	}
+	onSpoiler := query.NewTupleSet(q.Answers(spoiler)...)
+	fmt.Printf("Q(S″) — on the spoiler solution (all a-nodes labelled P): %d answers\n", onSpoiler.Len())
+	fmt.Printf("⇒ OWA certain answers ⊆ Q(S″): at most %d answers — the b-cycle is lost\n\n", onSpoiler.Len())
+
+	// The CWA semantics: the unique CWA-solution of a copying setting is the
+	// copy itself, and all four semantics return Q(S′).
+	for _, sem := range []repro.Semantics{repro.CertainCap, repro.CertainCup, repro.MaybeCap, repro.MaybeCup} {
+		ans, err := repro.Answers(s, q, src, sem, repro.CertainOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("CWA %v: %d answers (= Q(S′): %v)\n", sem, ans.Len(), ans.Equal(onCopy))
+	}
+}

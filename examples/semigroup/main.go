@@ -1,0 +1,55 @@
+// Command semigroup demonstrates Example 6.1: under the
+// Kolaitis–Panttaja–Tan setting D_emb, the source S = {R(0,1,1)} has
+// solutions — addition modulo k+2 is a finite total associative extension —
+// but no CWA-solution: every α-chase keeps inventing new elements forever.
+// The undecidability reduction for Existence-of-Solutions therefore does
+// not carry over to CWA-solutions (which need Theorem 6.2's D_halt instead).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/chase"
+	"repro/internal/semigroup"
+)
+
+func main() {
+	s := semigroup.DembSetting()
+	fmt.Println("D_emb (Example 6.1); weakly acyclic:", s.WeaklyAcyclic())
+
+	p := semigroup.Example61Partial()
+	src, err := semigroup.SourceInstance(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("partial operation p(0,1) = 1, source:", src)
+
+	// Solutions exist: Z_{k+2} with addition.
+	for _, k := range []int{0, 2} {
+		sol := semigroup.ZkSolution(k)
+		fmt.Printf("Z_%d (addition mod %d, %d products) is a solution: %v\n",
+			k+2, k+2, sol.Len(), chase.IsSolution(s, src, sol))
+	}
+
+	// The brute-force baseline finds the smallest associative extension.
+	found, size := semigroup.EmbeddingBrute(p, 4)
+	fmt.Printf("brute-force embedding search: found=%v, smallest size=%d\n\n", found, size)
+
+	// But the chase — standard or canonical α — never terminates, so no
+	// CWA-solution (and no universal solution) exists.
+	fmt.Println("chasing S with D_emb under growing budgets:")
+	for _, budget := range []int{100, 400, 1600} {
+		res, err := chase.Standard(s, src, chase.Options{MaxSteps: budget})
+		if errors.Is(err, chase.ErrBudgetExceeded) {
+			fmt.Printf("  budget %5d: still growing — %d Rp atoms, %d nulls\n",
+				budget, res.Target.Len(), len(res.Target.Nulls()))
+		} else {
+			fmt.Printf("  budget %5d: unexpected outcome %v\n", budget, err)
+		}
+	}
+	_, _, err = chase.Canonical(s, src, chase.Options{MaxSteps: 1000})
+	fmt.Println("canonical α-chase:", err)
+	fmt.Println("\n⇒ solutions exist, CWA-solutions do not (Example 6.1)")
+}

@@ -1,0 +1,64 @@
+// Command turing demonstrates Theorem 6.2: the fixed data exchange setting
+// D_halt simulates Turing machines, so Existence-of-CWA-Solutions is
+// undecidable. For a halting machine the chase terminates and its decoded
+// run matches the interpreter step for step; for a looping machine the
+// chase exhausts every budget.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/chase"
+	"repro/internal/cwa"
+	"repro/internal/turing"
+)
+
+func main() {
+	s := turing.DHaltSetting()
+	fmt.Println("D_halt (Theorem 6.2); weakly acyclic:", s.WeaklyAcyclic())
+
+	m := turing.ZigzagMachine(3)
+	fmt.Printf("\nmachine %q: walk right 3 cells writing 1, walk back, halt\n", m.Name)
+	src, err := turing.SourceInstance(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := chase.Standard(s, src, chase.Options{MaxSteps: 200000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	configs, err := turing.DecodeRun(res.Target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want, _ := m.Run(1000)
+	fmt.Printf("chase: %d steps encode %d machine configurations\n", res.Steps, len(configs))
+	for i, c := range configs {
+		match := "✓"
+		if i >= len(want) || !c.Equal(want[i]) {
+			match = "✗"
+		}
+		fmt.Printf("  step %d: %v  interpreter-match %s\n", i, c, match)
+	}
+
+	exists, err := cwa.Exists(s, src, chase.Options{MaxSteps: 200000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("halting machine ⇒ CWA-solution exists:", exists)
+
+	loop := turing.LoopMachine()
+	loopSrc, _ := turing.SourceInstance(loop)
+	fmt.Printf("\nmachine %q: move right forever\n", loop.Name)
+	for _, budget := range []int{500, 2000, 8000} {
+		res, err := chase.Standard(s, loopSrc, chase.Options{MaxSteps: budget})
+		if errors.Is(err, chase.ErrBudgetExceeded) {
+			fmt.Printf("  budget %5d: chase still running, %d target atoms so far\n", budget, res.Target.Len())
+		} else {
+			fmt.Printf("  budget %5d: unexpected outcome %v\n", budget, err)
+		}
+	}
+	fmt.Println("non-halting machine ⇒ the chase never succeeds: no CWA-solution")
+}

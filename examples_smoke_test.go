@@ -1,0 +1,38 @@
+package repro_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// Smoke test: every example main must build, run, and print its headline
+// result. Skipped in -short mode (each run compiles a binary).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke tests skipped in -short mode")
+	}
+	cases := map[string][]string{
+		"./examples/quickstart":  {"minimal CWA-solution", "T2 is a CWA-solution: true", "T1 is a CWA-solution: false"},
+		"./examples/anomaly":     {"18 answers", "9 answers", "true"},
+		"./examples/exponential": {"paper: ≥ 2^1 = 2", "paper: ≥ 2^2 = 4", "is a CWA-solution: true"},
+		"./examples/turing":      {"interpreter-match ✓", "CWA-solution exists: true", "chase still running"},
+		"./examples/semigroup":   {"is a solution: true", "still growing", "budget exceeded"},
+		"./examples/hr":          {"certainly in ada's department", "CWA-solution exists: false"},
+	}
+	for pkg, wants := range cases {
+		pkg, wants := pkg, wants
+		t.Run(strings.TrimPrefix(pkg, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", pkg).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", pkg, err, out)
+			}
+			for _, want := range wants {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("%s output missing %q\n%s", pkg, want, out)
+				}
+			}
+		})
+	}
+}

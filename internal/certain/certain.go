@@ -1,0 +1,339 @@
+// Package certain implements the query-answering semantics of Section 7:
+// the sets Rep_D(T) of possible worlds of a CWA-solution, the certain (□)
+// and maybe (◇) answers over one solution, and the four semantics
+//
+//	certain⊓(Q,S) = ∩_T □Q(T)    certain⊔(Q,S) = ∪_T □Q(T)
+//	maybe⊓(Q,S)  = ∩_T ◇Q(T)    maybe⊔(Q,S)  = ∪_T ◇Q(T)
+//
+// with T ranging over the CWA-solutions for S. Each semantics is available
+// both by definition (enumerating CWA-solutions — exponential, used for
+// cross-checks) and through the Theorem 7.1 characterisations via the core
+// and the canonical solution. Lemma 7.7's polynomial fast path for unions
+// of conjunctive queries and the Fagin-et-al.-style fixpoint algorithm for
+// UCQs with at most one inequality per disjunct (Table 1, egd-only row) are
+// implemented as well.
+package certain
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/chase"
+	"repro/internal/cwa"
+	"repro/internal/dependency"
+	"repro/internal/instance"
+	"repro/internal/query"
+)
+
+// Options configures certain-answer computation.
+type Options struct {
+	// Chase bounds the chases used to build solutions.
+	Chase chase.Options
+	// Enum bounds CWA-solution enumeration for the by-definition semantics.
+	Enum cwa.EnumOptions
+	// MaxNulls bounds the nulls of an instance whose valuations are
+	// enumerated (the enumeration is |C|^nulls); default 12.
+	MaxNulls int
+}
+
+func (o Options) maxNulls() int {
+	if o.MaxNulls > 0 {
+		return o.MaxNulls
+	}
+	return 12
+}
+
+// ErrTooManyNulls reports that valuation enumeration was refused because the
+// instance has more nulls than Options.MaxNulls.
+var ErrTooManyNulls = errors.New("certain: too many nulls for valuation enumeration")
+
+// freshConst returns the i-th reserved fresh constant. The pool is shared
+// across all instances so answer sets from different solutions compare
+// consistently.
+func freshConst(i int) instance.Value {
+	return instance.Const(fmt.Sprintf("~%d", i))
+}
+
+// valuationBase is the set of named constants a generic valuation may use:
+// the constants of the instance, of the query, and of the target
+// dependencies. Fresh constants are handled separately (canonically) by Rep.
+func valuationBase(s *dependency.Setting, t *instance.Instance, q query.Evaluable) []instance.Value {
+	seen := make(map[instance.Value]bool)
+	var out []instance.Value
+	add := func(v instance.Value) {
+		if !v.IsNull() && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, v := range t.Consts() {
+		add(v)
+	}
+	for _, v := range query.Constants(q) {
+		add(v)
+	}
+	for _, d := range s.TGDs {
+		for _, a := range append(append([]query.Atom{}, d.BodyAtoms...), d.Head...) {
+			for _, tm := range a.Terms {
+				if !tm.IsVar() {
+					add(tm.Val)
+				}
+			}
+		}
+	}
+	for _, d := range s.EGDs {
+		for _, a := range d.Body {
+			for _, tm := range a.Terms {
+				if !tm.IsVar() {
+					add(tm.Val)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SatisfiesTargetDeps reports whether the instance satisfies Σt — the
+// membership test of Rep_D(T) (Section 7.1).
+func SatisfiesTargetDeps(s *dependency.Setting, ins *instance.Instance) bool {
+	return satisfiesTargetDeps(s, ins)
+}
+
+// satisfiesTargetDeps reports whether the (null-free) instance satisfies Σt.
+func satisfiesTargetDeps(s *dependency.Setting, ins *instance.Instance) bool {
+	for _, d := range s.TGDs {
+		if !chase.SatisfiesTGD(s, d, ins) {
+			return false
+		}
+	}
+	for _, d := range s.EGDs {
+		if !chase.SatisfiesEGD(d, ins) {
+			return false
+		}
+	}
+	return true
+}
+
+// Rep enumerates Rep_D(T) up to renaming of unmentioned constants: the
+// instances v(T) for valuations v of T's nulls into the named constant base
+// plus canonically-introduced fresh constants, keeping those that satisfy Σt
+// (Section 7.1). Fresh constants are generic — neither the query nor the
+// dependencies mention them — so enumerating them canonically (the i-th
+// fresh constant may appear only after the (i−1)-st) is a pure symmetry
+// reduction: every valuation is equivalent to a canonical one.
+func Rep(s *dependency.Setting, t *instance.Instance, q query.Evaluable, opt Options) ([]*instance.Instance, error) {
+	var out []*instance.Instance
+	err := ForEachRep(s, t, q, opt, func(img *instance.Instance) bool {
+		out = append(out, img)
+		return true
+	})
+	return out, err
+}
+
+// ForEachRep streams Rep_D(T) (see Rep) to f without materialising the
+// whole set; f returning false stops the enumeration.
+func ForEachRep(s *dependency.Setting, t *instance.Instance, q query.Evaluable, opt Options, f func(*instance.Instance) bool) error {
+	nulls := t.Nulls()
+	if len(nulls) > opt.maxNulls() {
+		return fmt.Errorf("%w: %d nulls", ErrTooManyNulls, len(nulls))
+	}
+	base := valuationBase(s, t, q)
+	v := make(map[instance.Value]instance.Value, len(nulls))
+	stopped := false
+	var rec func(i, freshUsed int)
+	rec = func(i, freshUsed int) {
+		if stopped {
+			return
+		}
+		if i == len(nulls) {
+			img := t.Map(v)
+			if satisfiesTargetDeps(s, img) {
+				if !f(img) {
+					stopped = true
+				}
+			}
+			return
+		}
+		for _, c := range base {
+			v[nulls[i]] = c
+			rec(i+1, freshUsed)
+		}
+		for j := 0; j <= freshUsed && !stopped; j++ {
+			v[nulls[i]] = freshConst(j)
+			next := freshUsed
+			if j == freshUsed {
+				next++
+			}
+			rec(i+1, next)
+		}
+		delete(v, nulls[i])
+	}
+	rec(0, 0)
+	return nil
+}
+
+// Box computes □Q(T) = ∩_{R ∈ Rep_D(T)} Q(R), the certain answers of Q on
+// the single CWA-solution T.
+func Box(s *dependency.Setting, q query.Evaluable, t *instance.Instance, opt Options) (*query.TupleSet, error) {
+	var out *query.TupleSet
+	err := ForEachRep(s, t, q, opt, func(r *instance.Instance) bool {
+		ans := q.AnswerSet(r)
+		if out == nil {
+			out = ans
+		} else {
+			out = out.Intersect(ans)
+		}
+		return out.Len() > 0 // an empty intersection can only stay empty
+	})
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		// Rep empty: the intersection over nothing is all tuples; a
+		// CWA-solution always has a nonempty Rep (the injective valuation),
+		// so report this as an error rather than inventing a universal set.
+		return nil, fmt.Errorf("certain: Rep_D(T) is empty")
+	}
+	return out, nil
+}
+
+// Diamond computes ◇Q(T) = ∪_{R ∈ Rep_D(T)} Q(R), the maybe answers of Q on
+// the single CWA-solution T.
+func Diamond(s *dependency.Setting, q query.Evaluable, t *instance.Instance, opt Options) (*query.TupleSet, error) {
+	out := query.NewTupleSet()
+	err := ForEachRep(s, t, q, opt, func(r *instance.Instance) bool {
+		out.UnionWith(q.AnswerSet(r))
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Semantics selects one of the four query-answering semantics.
+type Semantics int
+
+const (
+	// CertainCap is certain⊓: tuples certain in every CWA-solution.
+	CertainCap Semantics = iota
+	// CertainCup is certain⊔ (potential certain answers).
+	CertainCup
+	// MaybeCap is maybe⊓ (persistent maybe answers).
+	MaybeCap
+	// MaybeCup is maybe⊔ (maybe answers).
+	MaybeCup
+)
+
+func (sem Semantics) String() string {
+	switch sem {
+	case CertainCap:
+		return "certain⊓"
+	case CertainCup:
+		return "certain⊔"
+	case MaybeCap:
+		return "maybe⊓"
+	case MaybeCup:
+		return "maybe⊔"
+	}
+	return "?"
+}
+
+// ByDefinition computes the chosen semantics directly from its definition,
+// enumerating all CWA-solutions. Exponential; intended for cross-checking
+// the characterisations on small inputs (experiment E11).
+func ByDefinition(s *dependency.Setting, q query.Evaluable, src *instance.Instance, sem Semantics, opt Options) (*query.TupleSet, error) {
+	sols, err := cwa.Enumerate(s, src, opt.Enum)
+	if err != nil {
+		return nil, err
+	}
+	if len(sols) == 0 {
+		return nil, fmt.Errorf("certain: no CWA-solutions for the source instance")
+	}
+	var out *query.TupleSet
+	for _, t := range sols {
+		var one *query.TupleSet
+		switch sem {
+		case CertainCap, CertainCup:
+			one, err = Box(s, q, t, opt)
+		default:
+			one, err = Diamond(s, q, t, opt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = one
+			continue
+		}
+		switch sem {
+		case CertainCap, MaybeCap:
+			out = out.Intersect(one)
+		default:
+			out.UnionWith(one)
+		}
+	}
+	return out, nil
+}
+
+// Answers computes the chosen semantics using the Theorem 7.1
+// characterisations where they apply:
+//
+//   - certain⊔(Q,S) = □Q(Core_D(S)) and maybe⊓(Q,S) = ◇Q(Core_D(S)), always
+//     (the core is the minimal CWA-solution and Rep is monotone under
+//     homomorphic images);
+//   - certain⊓(Q,S) = □Q(CanSol_D(S)) and maybe⊔(Q,S) = ◇Q(CanSol_D(S))
+//     when the setting's dependencies fall into Proposition 5.4's classes
+//     (egd-only target dependencies, or full tgds with egds), where CanSol
+//     is the maximal CWA-solution.
+//
+// Outside those classes, certain⊓ and maybe⊔ fall back to ByDefinition.
+func Answers(s *dependency.Setting, q query.Evaluable, src *instance.Instance, sem Semantics, opt Options) (*query.TupleSet, error) {
+	switch sem {
+	case CertainCup:
+		core, err := cwa.Minimal(s, src, opt.Chase)
+		if err != nil {
+			return nil, err
+		}
+		return Box(s, q, core, opt)
+	case MaybeCap:
+		core, err := cwa.Minimal(s, src, opt.Chase)
+		if err != nil {
+			return nil, err
+		}
+		return Diamond(s, q, core, opt)
+	case CertainCap, MaybeCup:
+		if s.EgdsOnly() || s.FullAndEgds() {
+			can, err := cwa.CanSol(s, src, opt.Chase)
+			if err != nil {
+				return nil, err
+			}
+			if sem == CertainCap {
+				return Box(s, q, can, opt)
+			}
+			return Diamond(s, q, can, opt)
+		}
+		return ByDefinition(s, q, src, sem, opt)
+	}
+	return nil, fmt.Errorf("certain: unknown semantics %v", sem)
+}
+
+// CertainUCQ computes certain⊓(Q,S) = certain⊔(Q,S) for a union of
+// conjunctive queries without inequalities via Lemma 7.7: evaluate Q
+// naively on a CWA-solution and keep the null-free tuples, giving the
+// polynomial data complexity of Theorem 7.6.
+//
+// It evaluates on the standard-chase universal solution rather than its
+// core: the core is hom-equivalent to it, UCQs are preserved by
+// homomorphisms, and constants are fixed, so the null-free answer sets
+// coincide — skipping the core computation entirely.
+func CertainUCQ(s *dependency.Setting, u query.UCQ, src *instance.Instance, opt Options) (*query.TupleSet, error) {
+	if !u.Pure() {
+		return nil, fmt.Errorf("certain: CertainUCQ requires a UCQ without inequalities")
+	}
+	t, err := chase.UniversalSolution(s, src, opt.Chase)
+	if err != nil {
+		return nil, err
+	}
+	return query.NullFree(u.Answers(t)), nil
+}

@@ -1,0 +1,389 @@
+package certain
+
+import (
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/cwa"
+	"repro/internal/dependency"
+	"repro/internal/instance"
+	"repro/internal/parser"
+	"repro/internal/query"
+)
+
+func mustSetting(t testing.TB, src string) *dependency.Setting {
+	t.Helper()
+	s, err := parser.ParseSetting(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustInstance(t testing.TB, src string) *instance.Instance {
+	t.Helper()
+	ins, err := parser.ParseInstance(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+func mustUCQ(t testing.TB, src string) query.UCQ {
+	t.Helper()
+	u, err := parser.ParseUCQ(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+const example21 = `
+source M/2, N/2.
+target E/2, F/2, G/2.
+st:
+  d1: M(x1,x2) -> E(x1,x2).
+  d2: N(x,y) -> exists z1,z2 : E(x,z1) & F(x,z2).
+target-deps:
+  d3: F(y,x) -> exists z : G(x,z).
+  d4: F(x,y) & F(x,z) -> y = z.
+`
+
+// A small source so that by-definition semantics stay cheap.
+const smallSource = `M(a,b). N(a,b).`
+
+func TestRepNoNulls(t *testing.T) {
+	s := mustSetting(t, example21)
+	tgt := mustInstance(t, `E(a,b).`)
+	reps, err := Rep(s, tgt, mustUCQ(t, "q(x) :- E(x,y)."), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 || !reps[0].Equal(tgt) {
+		t.Fatalf("Rep of null-free instance must be itself: %v", reps)
+	}
+}
+
+func TestRepFiltersEgdViolations(t *testing.T) {
+	s := mustSetting(t, example21)
+	// F(a,_0), F(a,b): valuations must send _0 to b, else d4 is violated.
+	tgt := mustInstance(t, `F(a,_0). F(a,b). G(_0,_1). G(b,_1).`)
+	reps, err := Rep(s, tgt, mustUCQ(t, "q() :- F(x,y)."), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reps {
+		if r.RelLen("F") != 1 {
+			t.Fatalf("rep violates functional F: %v", r)
+		}
+	}
+	if len(reps) == 0 {
+		t.Fatal("some valuation must survive")
+	}
+}
+
+func TestBoxAndDiamondSingleSolution(t *testing.T) {
+	s := mustSetting(t, example21)
+	tgt := mustInstance(t, `E(a,b). E(a,_1). F(a,_2). G(_2,_3).`)
+	q := mustUCQ(t, "q(x,y) :- E(x,y).")
+	box, err := Box(s, q, tgt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Certain E-facts: only E(a,b) — _1 can be valued anywhere.
+	want := query.NewTupleSet(query.Tuple{instance.Const("a"), instance.Const("b")})
+	if !box.Equal(want) {
+		t.Fatalf("Box = %v, want %v", box, want)
+	}
+	dia, err := Diamond(s, q, tgt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !box.SubsetOf(dia) || dia.Len() <= box.Len() {
+		t.Fatalf("Diamond %v must strictly contain Box %v here", dia, box)
+	}
+}
+
+// Section 7.1: on a copying setting all four semantics equal Q evaluated on
+// the copied instance.
+func TestCopyingSettingAllSemanticsAgree(t *testing.T) {
+	s := mustSetting(t, `
+source E/2, P/1.
+target Ep/2, Pp/1.
+st:
+  E(x,y) -> Ep(x,y).
+  P(x) -> Pp(x).
+`)
+	src := mustInstance(t, `E(a,b). E(b,c). P(a).`)
+	copied := mustInstance(t, `Ep(a,b). Ep(b,c). Pp(a).`)
+	q := mustUCQ(t, "q(x) :- Ep(x,y), Pp(x).")
+	want := q.Answers(copied)
+	for _, sem := range []Semantics{CertainCap, CertainCup, MaybeCap, MaybeCup} {
+		got, err := ByDefinition(s, q, src, sem, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", sem, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("%v = %v, want %v", sem, got, want)
+		}
+		fast, err := Answers(s, q, src, sem, Options{})
+		if err != nil {
+			t.Fatalf("%v fast: %v", sem, err)
+		}
+		if !fast.Equal(want) {
+			t.Errorf("%v (characterised) = %v, want %v", sem, fast, want)
+		}
+	}
+}
+
+// Lemma 7.7: for pure UCQs, certain⊓ = certain⊔ = □Q(T) = Q(T)↓ for every
+// CWA-solution T.
+func TestLemma77(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, smallSource)
+	u := mustUCQ(t, `
+q(x,y) :- E(x,y).
+q(x,y) :- F(x,y).
+`)
+	fast, err := CertainUCQ(s, u, src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := query.NewTupleSet(query.Tuple{instance.Const("a"), instance.Const("b")})
+	if !fast.Equal(want) {
+		t.Fatalf("CertainUCQ = %v, want %v", fast, want)
+	}
+	for _, sem := range []Semantics{CertainCap, CertainCup} {
+		byDef, err := ByDefinition(s, u, src, sem, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", sem, err)
+		}
+		if !byDef.Equal(fast) {
+			t.Errorf("%v by definition = %v, want %v", sem, byDef, fast)
+		}
+	}
+	// Q(T)↓ is the same for every CWA-solution.
+	sols, err := cwa.Enumerate(s, src, cwa.EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sol := range sols {
+		if got := query.NullFree(u.Answers(sol)); !got.Equal(fast) {
+			t.Errorf("Q(T)↓ on %v = %v, want %v", sol, got, fast)
+		}
+	}
+}
+
+// Theorem 7.1: certain⊔ = □Q(Core) and maybe⊓ = ◇Q(Core); and on egd-only
+// settings certain⊓ = □Q(CanSol), maybe⊔ = ◇Q(CanSol).
+func TestTheorem71CoreCharacterisation(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, smallSource)
+	q := mustUCQ(t, "q(x) :- E(x,y), F(x,z), y != z.")
+	opt := Options{}
+
+	core, err := cwa.Minimal(s, src, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxCore, err := Box(s, q, core, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cup, err := ByDefinition(s, q, src, CertainCup, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cup.Equal(boxCore) {
+		t.Errorf("certain⊔ by def = %v, □Q(Core) = %v", cup, boxCore)
+	}
+	diaCore, err := Diamond(s, q, core, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcap, err := ByDefinition(s, q, src, MaybeCap, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mcap.Equal(diaCore) {
+		t.Errorf("maybe⊓ by def = %v, ◇Q(Core) = %v", mcap, diaCore)
+	}
+}
+
+func TestTheorem71CanSolCharacterisation(t *testing.T) {
+	s := mustSetting(t, `
+source N/2, W/2.
+target F/2.
+st:
+  N(x,y) -> exists z : F(x,z).
+  W(x,y) -> F(x,y).
+target-deps:
+  F(x,y) & F(x,z) -> y = z.
+`)
+	src := mustInstance(t, `N(a,b). N(c,d). W(a,e).`)
+	q := mustUCQ(t, "q(x,y) :- F(x,y).")
+	opt := Options{}
+	can, err := cwa.CanSol(s, src, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxCan, err := Box(s, q, can, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capDef, err := ByDefinition(s, q, src, CertainCap, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !capDef.Equal(boxCan) {
+		t.Errorf("certain⊓ by def = %v, □Q(CanSol) = %v", capDef, boxCan)
+	}
+	diaCan, err := Diamond(s, q, can, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcupDef, err := ByDefinition(s, q, src, MaybeCup, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mcupDef.Equal(diaCan) {
+		t.Errorf("maybe⊔ by def = %v, ◇Q(CanSol) = %v", mcupDef, diaCan)
+	}
+}
+
+// Corollary 7.2: certain⊓ ⊆ certain⊔ ⊆ maybe⊓ ⊆ maybe⊔.
+func TestCorollary72Chain(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, smallSource)
+	queries := []string{
+		"q(x) :- E(x,y).",
+		"q(x,y) :- E(x,y).",
+		"q(x) :- F(x,y), G(y,z).",
+		"q(x) :- E(x,y), y != x.",
+	}
+	for _, qs := range queries {
+		q := mustUCQ(t, qs)
+		var sets []*query.TupleSet
+		for _, sem := range []Semantics{CertainCap, CertainCup, MaybeCap, MaybeCup} {
+			got, err := ByDefinition(s, q, src, sem, Options{})
+			if err != nil {
+				t.Fatalf("%s %v: %v", qs, sem, err)
+			}
+			sets = append(sets, got)
+		}
+		for i := 0; i+1 < len(sets); i++ {
+			if !sets[i].SubsetOf(sets[i+1]) {
+				t.Errorf("%s: chain broken at %d: %v ⊄ %v", qs, i, sets[i], sets[i+1])
+			}
+		}
+	}
+}
+
+// The PTIME fixpoint algorithm agrees with the exponential valuation
+// enumeration on egd-only settings.
+func TestBoxUCQIneqPTimeAgreesWithBox(t *testing.T) {
+	s := mustSetting(t, `
+source N/2, W/2.
+target F/2.
+st:
+  N(x,y) -> exists z : F(x,z).
+  W(x,y) -> F(x,y).
+target-deps:
+  F(x,y) & F(x,z) -> y = z.
+`)
+	sources := []string{
+		`N(a,b). W(a,e). N(c,d).`,
+		`N(a,b). N(c,d).`,
+		`W(a,b). W(c,d). N(c,x).`,
+	}
+	queries := []string{
+		"q(x,y) :- F(x,y).",
+		"q(x) :- F(x,y), y != x.",
+		"q(x) :- F(x,y).\nq(y) :- F(y,z), z != y.",
+	}
+	for _, srcText := range sources {
+		src := mustInstance(t, srcText)
+		can, err := cwa.CanSol(s, src, chase.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, qs := range queries {
+			u := mustUCQ(t, qs)
+			fast, err := BoxUCQIneqPTime(s, u, can)
+			if err != nil {
+				t.Fatalf("%s / %s: %v", srcText, qs, err)
+			}
+			slow, err := Box(s, u, can, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !fast.Equal(slow) {
+				t.Errorf("src %s query %s: PTIME %v != enumeration %v", srcText, qs, fast, slow)
+			}
+		}
+	}
+}
+
+func TestBoxUCQIneqPTimeRejectsWrongInputs(t *testing.T) {
+	s := mustSetting(t, example21) // has a target tgd
+	u := mustUCQ(t, "q(x) :- E(x,y).")
+	if _, err := BoxUCQIneqPTime(s, u, mustInstance(t, "E(a,b).")); err == nil {
+		t.Fatal("must reject settings with target tgds")
+	}
+	s2 := mustSetting(t, `
+source N/2.
+target F/2.
+st:
+  N(x,y) -> F(x,y).
+`)
+	u2 := mustUCQ(t, "q(x) :- F(x,y), x != y, F(y,x), y != x.")
+	if _, err := BoxUCQIneqPTime(s2, u2, mustInstance(t, "F(a,b).")); err == nil {
+		t.Fatal("must reject two inequalities per disjunct")
+	}
+}
+
+// A certain answer forced by an inequality interacting with the egd: with
+// F functional and F(a,_0), F(a,b), any valuation sends _0 to b.
+func TestInequalityCertainViaEgd(t *testing.T) {
+	s := mustSetting(t, `
+source N/2.
+target F/2.
+st:
+  N(x,y) -> F(x,y).
+target-deps:
+  F(x,y) & F(x,z) -> y = z.
+`)
+	tgt := mustInstance(t, `F(a,b). F(c,_0).`)
+	// q(x): F(x,y) with y != b — certain for c only if _0 can never be b;
+	// _0 is free, so not certain. For a it is false (b = b).
+	u := mustUCQ(t, "q(x) :- F(x,y), y != 'b'.")
+	fast, err := BoxUCQIneqPTime(s, u, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Len() != 0 {
+		t.Fatalf("nothing is certain: %v", fast)
+	}
+	slow, err := Box(s, u, tgt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slow.Equal(fast) {
+		t.Fatalf("PTIME %v != enumeration %v", fast, slow)
+	}
+	// But q2(x) :- F(x,y) with y != c' is certain for a (b ≠ c' always).
+	u2 := mustUCQ(t, "q(x) :- F(x,y), y != 'zz'.")
+	fast2, err := BoxUCQIneqPTime(s, u2, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast2.Has(query.Tuple{instance.Const("a")}) {
+		t.Fatalf("a is certain for q2: %v", fast2)
+	}
+}
+
+func TestSemanticsString(t *testing.T) {
+	if CertainCap.String() != "certain⊓" || MaybeCup.String() != "maybe⊔" {
+		t.Fatal("Semantics labels")
+	}
+}

@@ -1,0 +1,186 @@
+package certain
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/instance"
+	"repro/internal/parser"
+	"repro/internal/query"
+)
+
+func TestRepTooManyNulls(t *testing.T) {
+	s := mustSetting(t, example21)
+	big := instance.New()
+	for i := int64(0); i < 20; i++ {
+		big.Add(instance.NewAtom("E", instance.Const("a"), instance.Null(i)))
+	}
+	_, err := Rep(s, big, mustUCQ(t, "q() :- E(x,y)."), Options{MaxNulls: 8})
+	if !errors.Is(err, ErrTooManyNulls) {
+		t.Fatalf("want ErrTooManyNulls, got %v", err)
+	}
+	if _, err := Box(s, mustUCQ(t, "q() :- E(x,y)."), big, Options{MaxNulls: 8}); !errors.Is(err, ErrTooManyNulls) {
+		t.Fatalf("Box must propagate: %v", err)
+	}
+}
+
+func TestForEachRepEarlyStop(t *testing.T) {
+	s := mustSetting(t, example21)
+	tgt := mustInstance(t, `E(a,_0). E(a,_1).`)
+	n := 0
+	err := ForEachRep(s, tgt, mustUCQ(t, "q() :- E(x,y)."), Options{}, func(*instance.Instance) bool {
+		n++
+		return n < 3
+	})
+	if err != nil || n != 3 {
+		t.Fatalf("early stop: n=%d err=%v", n, err)
+	}
+}
+
+func TestRepCanonicalFreshSymmetry(t *testing.T) {
+	// Two nulls with no constants: canonical valuations are
+	// (c,c), (c,fresh0), (fresh0,c)…, and fresh pairs only in the canonical
+	// order — (fresh0, fresh1) but never (fresh1, fresh0).
+	s := mustSetting(t, `
+source S/2.
+target E/2.
+st:
+  S(x,y) -> E(x,y).
+`)
+	tgt := mustInstance(t, `E(_0,_1).`)
+	reps, err := Rep(s, tgt, mustUCQ(t, "q() :- E(x,y)."), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base is empty (no constants anywhere): valuations are the fresh
+	// patterns (f0,f0) and (f0,f1) only.
+	if len(reps) != 2 {
+		t.Fatalf("canonical fresh valuations = %d, want 2: %v", len(reps), reps)
+	}
+}
+
+func TestAnswersErrorOnNoSolution(t *testing.T) {
+	s := mustSetting(t, `
+source N/2.
+target F/2.
+st:
+  N(x,y) -> F(x,y).
+target-deps:
+  F(x,y) & F(x,z) -> y = z.
+`)
+	src := mustInstance(t, `N(a,b). N(a,c).`)
+	u := mustUCQ(t, "q(x) :- F(x,y).")
+	for _, sem := range []Semantics{CertainCap, CertainCup, MaybeCap, MaybeCup} {
+		if _, err := Answers(s, u, src, sem, Options{}); err == nil {
+			t.Errorf("%v: expected error when no solution exists", sem)
+		}
+	}
+	if _, err := CertainUCQ(s, u, src, Options{}); err == nil {
+		t.Error("CertainUCQ must fail when no solution exists")
+	}
+}
+
+func TestCertainUCQRejectsInequalities(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, smallSource)
+	u := mustUCQ(t, "q(x) :- E(x,y), x != y.")
+	if _, err := CertainUCQ(s, u, src, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "inequalit") {
+		t.Fatalf("CertainUCQ must reject inequalities: %v", err)
+	}
+}
+
+func TestDiamondContainsFreshWitnessedTuples(t *testing.T) {
+	s := mustSetting(t, example21)
+	tgt := mustInstance(t, `E(a,_0).`)
+	u := mustUCQ(t, "q(y) :- E(x,y).")
+	dia, err := Diamond(s, u, tgt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Maybe answers include the null valued as a (the only instance
+	// constant) and as a fresh constant.
+	if !dia.Has(query.Tuple{instance.Const("a")}) {
+		t.Fatalf("maybe answers must include a: %v", dia)
+	}
+	if dia.Len() < 2 {
+		t.Fatalf("maybe answers must include a fresh valuation: %v", dia)
+	}
+}
+
+func TestByDefinitionNoSolutions(t *testing.T) {
+	s := mustSetting(t, `
+source N/2.
+target F/2.
+st:
+  N(x,y) -> F(x,y).
+target-deps:
+  F(x,y) & F(x,z) -> y = z.
+`)
+	src := mustInstance(t, `N(a,b). N(a,c).`)
+	if _, err := ByDefinition(s, mustUCQ(t, "q(x) :- F(x,y)."), src, CertainCap, Options{}); err == nil {
+		t.Fatal("ByDefinition must fail when there are no CWA-solutions")
+	}
+}
+
+func TestBoxBooleanEarlyExit(t *testing.T) {
+	// A Boolean query false in the generic world: Box must report empty.
+	s := mustSetting(t, example21)
+	tgt := mustInstance(t, `E(a,_0).`)
+	u := mustUCQ(t, "q() :- F(x,y).")
+	box, err := Box(s, u, tgt, Options{})
+	if err != nil || box.Len() != 0 {
+		t.Fatalf("Box = %v, %v", box, err)
+	}
+}
+
+func TestSemanticsChainOnFOQuery(t *testing.T) {
+	// The chain of Corollary 7.2 holds for an FO query too (via the
+	// copying setting, where everything is null-free).
+	s := mustSetting(t, `
+source E/2, P/1.
+target Ep/2, Pp/1.
+st:
+  cE: E(x,y) -> Ep(x,y).
+  cP: P(x) -> Pp(x).
+`)
+	src := mustInstance(t, `E(a,b). P(a).`)
+	q, err := parseFO(`(x) . Pp(x) & exists y (Ep(x,y))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev *query.TupleSet
+	for _, sem := range []Semantics{CertainCap, CertainCup, MaybeCap, MaybeCup} {
+		got, err := Answers(s, q, src, sem, Options{Chase: chase.Options{}})
+		if err != nil {
+			t.Fatalf("%v: %v", sem, err)
+		}
+		if prev != nil && !prev.SubsetOf(got) {
+			t.Fatalf("chain broken at %v", sem)
+		}
+		prev = got
+	}
+}
+
+func parseFO(text string) (query.FOQuery, error) {
+	return parser.ParseFOQuery(text)
+}
+
+// genwlEgdOnlySource builds a small random source for the egd-only setting
+// without importing genwl (avoiding an import cycle in tests is not a
+// concern here, but keeping the fixture local documents its shape).
+func genwlEgdOnlySource(n int, seed int64) *instance.Instance {
+	src := instance.New()
+	name := func(p string, i int64) instance.Value {
+		return instance.Const(p + string(rune('0'+i%8)))
+	}
+	for i := int64(0); i < int64(n); i++ {
+		src.Add(instance.NewAtom("N", name("k", i+seed), name("v", i*3+seed)))
+		if i%2 == 0 {
+			src.Add(instance.NewAtom("W", name("k", i+seed), name("w", i+seed)))
+		}
+	}
+	return src
+}

@@ -1,0 +1,92 @@
+package certain
+
+import (
+	"fmt"
+
+	"repro/internal/dependency"
+	"repro/internal/instance"
+	"repro/internal/query"
+)
+
+// PossibleUCQ decides in polynomial time whether a Boolean pure UCQ holds
+// in SOME possible world of T — the Boolean maybe answer ◇Q(T) ≠ ∅ — for
+// settings WITHOUT target dependencies (Libkin's case, where Rep(T) is all
+// valuations). A disjunct can be made true by some valuation iff its body
+// atoms match T with unification: nulls may be identified with each other
+// or with constants, consistently per match, because any such partial
+// identification extends to a full valuation (there is no Σt to violate).
+func PossibleUCQ(s *dependency.Setting, u query.UCQ, t *instance.Instance) (bool, error) {
+	if s.HasTargetDependencies() {
+		return false, fmt.Errorf("certain: PossibleUCQ requires a setting without target dependencies")
+	}
+	if !u.Pure() {
+		return false, fmt.Errorf("certain: PossibleUCQ requires a UCQ without inequalities")
+	}
+	for _, d := range u.Disjuncts {
+		if len(d.Head) != 0 {
+			return false, fmt.Errorf("certain: PossibleUCQ requires Boolean disjuncts")
+		}
+		if matchWithUnification(d.Atoms, t) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// matchWithUnification searches a mapping of the query atoms onto atoms of
+// t where query variables bind to t-values and t-nulls may be identified
+// with each other or with constants through a union-find; identifying two
+// distinct constants fails.
+func matchWithUnification(atoms []query.Atom, t *instance.Instance) bool {
+	uf := newUnionFind(t.Dom())
+	binding := map[string]instance.Value{}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(atoms) {
+			return true
+		}
+		a := atoms[i]
+		found := false
+		t.Tuples(a.Rel, func(args []instance.Value) bool {
+			if len(args) != len(a.Terms) {
+				return true
+			}
+			// Snapshot union-find and binding for backtracking.
+			savedParent := make(map[instance.Value]instance.Value, len(uf.parent))
+			for k, v := range uf.parent {
+				savedParent[k] = v
+			}
+			savedBinding := make(map[string]instance.Value, len(binding))
+			for k, v := range binding {
+				savedBinding[k] = v
+			}
+			ok := true
+			for j, term := range a.Terms {
+				if !term.IsVar() {
+					if !uf.union(term.Val, args[j]) {
+						ok = false
+						break
+					}
+					continue
+				}
+				if prev, bound := binding[term.Var]; bound {
+					if !uf.union(prev, args[j]) {
+						ok = false
+						break
+					}
+					continue
+				}
+				binding[term.Var] = args[j]
+			}
+			if ok && rec(i+1) {
+				found = true
+				return false
+			}
+			uf.parent = savedParent
+			binding = savedBinding
+			return true
+		})
+		return found
+	}
+	return rec(0)
+}

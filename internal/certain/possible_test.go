@@ -1,0 +1,122 @@
+package certain
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/instance"
+	"repro/internal/query"
+)
+
+const noDepsSetting = `
+source M/2, N/2.
+target E/2, F/2, G/2.
+st:
+  d1: M(x1,x2) -> E(x1,x2).
+  d2: N(x,y) -> exists z1,z2 : E(x,z1) & F(x,z2).
+`
+
+func TestPossibleUCQBasics(t *testing.T) {
+	s := mustSetting(t, noDepsSetting)
+	tgt := mustInstance(t, `E(a,_0). F(_0,b).`)
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{"q() :- E('a','b').", true},          // value _0 as b
+		{"q() :- E('a','a').", true},          // value _0 as a
+		{"q() :- E('b','a').", false},         // constants fixed
+		{"q() :- E('a',x), F(x,'b').", true},  // join through the null
+		{"q() :- E('a',x), F(x,'a').", false}, // F's second arg is the constant b
+		{"q() :- G(x,y).", false},             // no G atoms at all
+	}
+	for _, c := range cases {
+		u := mustUCQ(t, c.q)
+		got, err := PossibleUCQ(s, u, tgt)
+		if err != nil {
+			t.Fatalf("%s: %v", c.q, err)
+		}
+		if got != c.want {
+			t.Errorf("PossibleUCQ(%s) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestPossibleUCQNullIdentification(t *testing.T) {
+	s := mustSetting(t, noDepsSetting)
+	// E(_0,_1), E(_1,_2): a 2-path of nulls can collapse into a self-loop.
+	tgt := mustInstance(t, `E(_0,_1). E(_1,_2).`)
+	u := mustUCQ(t, "q() :- E(x,x).")
+	got, err := PossibleUCQ(s, u, tgt)
+	if err != nil || !got {
+		t.Fatalf("self-loop possible by collapsing: %v %v", got, err)
+	}
+	// But E(a,_0) with a constant head cannot become E(b,·).
+	tgt2 := mustInstance(t, `E(a,_0).`)
+	u2 := mustUCQ(t, "q() :- E('b',x).")
+	got2, err := PossibleUCQ(s, u2, tgt2)
+	if err != nil || got2 {
+		t.Fatalf("constants cannot move: %v %v", got2, err)
+	}
+}
+
+// Cross-check against the exponential Diamond enumeration on random small
+// targets: PossibleUCQ(q) ⟺ ◇q(T) nonempty.
+func TestQuickPossibleAgreesWithDiamond(t *testing.T) {
+	s := mustSetting(t, noDepsSetting)
+	queries := []query.UCQ{
+		mustUCQ(t, "q() :- E(x,x)."),
+		mustUCQ(t, "q() :- E(x,y), F(y,z)."),
+		mustUCQ(t, "q() :- E('a',x), E(x,y)."),
+		mustUCQ(t, "q() :- E(x,y), E(y,x)."),
+	}
+	f := func(seed uint32) bool {
+		tgt := instance.New()
+		for i := 0; i < 3; i++ {
+			bits := (seed >> uint(i*5)) & 31
+			mkVal := func(b uint32) instance.Value {
+				if b&1 == 0 {
+					return instance.Const(string(rune('a' + b>>1&1)))
+				}
+				return instance.Null(int64(b >> 1 & 3))
+			}
+			rel := "E"
+			if bits&16 != 0 {
+				rel = "F"
+			}
+			tgt.Add(instance.NewAtom(rel, mkVal(bits), mkVal(bits>>2)))
+		}
+		for _, u := range queries {
+			fast, err := PossibleUCQ(s, u, tgt)
+			if err != nil {
+				return false
+			}
+			dia, err := Diamond(s, u, tgt, Options{})
+			if err != nil {
+				return false
+			}
+			if fast != (dia.Len() > 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPossibleUCQRejections(t *testing.T) {
+	withDeps := mustSetting(t, example21)
+	u := mustUCQ(t, "q() :- E(x,y).")
+	if _, err := PossibleUCQ(withDeps, u, mustInstance(t, `E(a,b).`)); err == nil {
+		t.Fatal("must reject settings with target dependencies")
+	}
+	s := mustSetting(t, noDepsSetting)
+	if _, err := PossibleUCQ(s, mustUCQ(t, "q(x) :- E(x,y)."), mustInstance(t, `E(a,b).`)); err == nil {
+		t.Fatal("must reject non-Boolean queries")
+	}
+	if _, err := PossibleUCQ(s, mustUCQ(t, "q() :- E(x,y), x != y."), mustInstance(t, `E(a,b).`)); err == nil {
+		t.Fatal("must reject inequalities")
+	}
+}

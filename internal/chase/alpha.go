@@ -1,0 +1,297 @@
+package chase
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dependency"
+	"repro/internal/instance"
+	"repro/internal/query"
+)
+
+// Justification identifies a potential justification (d, ū, v̄, z) ∈ J_D
+// for producing a value through the existentially quantified variable z of
+// tgd d under the body assignment x̄ ↦ ū, ȳ ↦ v̄ (Section 4).
+type Justification struct {
+	Dep string
+	U   []instance.Value // assignment to d.X, in order
+	V   []instance.Value // assignment to d.Y, in order
+	Z   string
+}
+
+// Key returns a canonical map key for the justification.
+func (j Justification) Key() string {
+	var b strings.Builder
+	b.WriteString(j.Dep)
+	b.WriteByte('(')
+	for i, v := range j.U {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(';')
+	for i, v := range j.V {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteString(").")
+	b.WriteString(j.Z)
+	return b.String()
+}
+
+func (j Justification) String() string { return j.Key() }
+
+// Alpha is a mapping α: J_D → Dom. Implementations must be functions: the
+// same justification always receives the same value (requirement CWA2 — no
+// justification generates multiple values).
+type Alpha interface {
+	Value(j Justification) instance.Value
+}
+
+// FreshAlpha assigns a globally fresh null to every justification, memoized
+// so repeated queries agree. It is the canonical α: the chase it drives
+// produces the canonical CWA-presolution used for CanSol.
+type FreshAlpha struct {
+	Nulls *instance.NullSource
+	Memo  map[string]instance.Value
+}
+
+// NewFreshAlpha builds a FreshAlpha drawing from the given null source.
+func NewFreshAlpha(src *instance.NullSource) *FreshAlpha {
+	return &FreshAlpha{Nulls: src, Memo: make(map[string]instance.Value)}
+}
+
+// Value returns the memoized fresh null for the justification.
+func (a *FreshAlpha) Value(j Justification) instance.Value {
+	k := j.Key()
+	if v, ok := a.Memo[k]; ok {
+		return v
+	}
+	v := a.Nulls.Fresh()
+	a.Memo[k] = v
+	return v
+}
+
+// MapAlpha reads explicitly tabulated justification values and delegates
+// everything else to Base (or panics if Base is nil), mirroring the paper's
+// tables where "∗ indicates that the value can be arbitrary".
+type MapAlpha struct {
+	M    map[string]instance.Value
+	Base Alpha
+}
+
+// Value looks the justification up in the table, falling back to Base.
+func (a MapAlpha) Value(j Justification) instance.Value {
+	if v, ok := a.M[j.Key()]; ok {
+		return v
+	}
+	if a.Base == nil {
+		panic("chase: MapAlpha has no value for justification " + j.Key())
+	}
+	return a.Base.Value(j)
+}
+
+// alphaTuple computes ᾱ(d, ū, v̄): the tuple of α-values for d's
+// existential variables in order.
+func alphaTuple(a Alpha, d *dependency.TGD, env query.Binding) map[string]instance.Value {
+	u := make([]instance.Value, len(d.X))
+	for i, x := range d.X {
+		u[i] = env[x]
+	}
+	v := make([]instance.Value, len(d.Y))
+	for i, y := range d.Y {
+		v[i] = env[y]
+	}
+	out := make(map[string]instance.Value, len(d.Exists))
+	for _, z := range d.Exists {
+		out[z] = a.Value(Justification{Dep: d.Name, U: u, V: v, Z: z})
+	}
+	return out
+}
+
+// AlphaResult extends Result with the α-chase verdict.
+type AlphaResult struct {
+	Result
+	// Successful reports Definition 4.2(1): the chase reached a state where
+	// the result satisfies Σ and no tgd is α-applicable.
+	Successful bool
+}
+
+// Alpha runs an α-chase of the source instance with the setting's
+// dependencies (Definition 4.1): a tgd d is α-applied with (ū, v̄) when its
+// body holds and the head instantiated with the specific values ᾱ(d, ū, v̄)
+// is not yet present — not when no witness exists at all (Remark 4.3
+// explains why). Egd violations are resolved as in the standard chase.
+//
+// The outcome is one of
+//   - a successful chase (nil error): finite, result satisfies Σ, no tgd
+//     α-applicable (Definition 4.2(1)),
+//   - a failing chase (*EgdFailureError): an egd equated two constants
+//     (Definition 4.2(2)),
+//   - ErrBudgetExceeded: no fixpoint within the budget; by Lemma 4.5 a
+//     genuinely infinite α-chase admits no successful sibling, so a generous
+//     budget makes this a reliable non-termination signal.
+func AlphaChase(s *dependency.Setting, src *instance.Instance, a Alpha, opt Options) (*AlphaResult, error) {
+	if src.HasNulls() {
+		return nil, fmt.Errorf("chase: source instance must be null-free")
+	}
+	cur := src.Clone()
+	res := &AlphaResult{}
+	budget := opt.maxSteps()
+
+	for {
+		if res.Steps >= budget {
+			return nil, ErrBudgetExceeded
+		}
+		if applied, err := standardEgdPass(s, cur, &res.Result, opt); err != nil {
+			return nil, err
+		} else if applied {
+			continue
+		}
+		if applied := alphaTgdPass(s, cur, a, &res.Result, opt); applied {
+			continue
+		}
+		break
+	}
+	res.Instance = cur
+	res.Target = cur.Reduct(s.Target)
+	res.Successful = true
+	return res, nil
+}
+
+// alphaApplicable reports whether d can be α-applied with the binding:
+// the head under ᾱ(d, ū, v̄) is not fully present.
+func alphaApplicable(d *dependency.TGD, cur *instance.Instance, a Alpha, env query.Binding) ([]instance.Atom, bool) {
+	full := env.Clone()
+	for z, v := range alphaTuple(a, d, env) {
+		full[z] = v
+	}
+	atoms := headAtomsUnder(d, full)
+	missing := false
+	for _, at := range atoms {
+		if !cur.Has(at) {
+			missing = true
+			break
+		}
+	}
+	return atoms, missing
+}
+
+func alphaTgdPass(s *dependency.Setting, cur *instance.Instance, a Alpha, res *Result, opt Options) bool {
+	budget := opt.maxSteps()
+	fired := false
+	for _, d := range s.AllTGDs() {
+		bodyInst := tgdBodyInstance(s, d, cur)
+		var pending []query.Binding
+		bodyBindings(d, bodyInst, func(env query.Binding) bool {
+			if _, applicable := alphaApplicable(d, cur, a, env); applicable {
+				pending = append(pending, env.Clone())
+			}
+			return true
+		})
+		for _, env := range pending {
+			if res.Steps >= budget {
+				return true
+			}
+			atoms, applicable := alphaApplicable(d, cur, a, env)
+			if !applicable {
+				continue
+			}
+			for _, at := range atoms {
+				cur.Add(at)
+			}
+			res.Steps++
+			fired = true
+			if opt.Trace {
+				res.Trace = append(res.Trace, Step{Dep: d.Name, Kind: "tgd", Added: atoms})
+			}
+		}
+	}
+	return fired
+}
+
+// Canonical computes a canonical successful α-chase of the source instance,
+// returning its result and the α it settled on.
+//
+// A fresh-null α alone does not work in the presence of egds: after an egd
+// merges two α-values, the heads instantiated with the original values are
+// "missing" again and the tgds refire forever — exactly the α3 phenomenon of
+// Example 4.4. Canonical therefore iterates fixed-α chases: it runs the
+// chase, records which nulls the egds merged, rewrites the memoized α-values
+// through those merges, and restarts from the source, until a run completes
+// without any egd application. That final run is a genuine successful
+// α-chase (Lemma 4.5's observation that successful chases apply only tgds
+// holds by construction), and its result is a CWA-presolution for the
+// settled α.
+//
+// For settings whose target dependencies are egds only, or egds plus full
+// tgds, the settled result is CanSol_D(S), the canonical maximal
+// CWA-solution of Proposition 5.4.
+func Canonical(s *dependency.Setting, src *instance.Instance, opt Options) (*AlphaResult, *FreshAlpha, error) {
+	if src.HasNulls() {
+		return nil, nil, fmt.Errorf("chase: source instance must be null-free")
+	}
+	alpha := NewFreshAlpha(instance.NewNullSource(0))
+	budget := opt.maxSteps()
+	totalSteps := 0
+
+	for {
+		cur := src.Clone()
+		res := &AlphaResult{}
+		merged := false
+	run:
+		for {
+			if totalSteps+res.Steps >= budget {
+				return nil, nil, ErrBudgetExceeded
+			}
+			// Egd pass with α rewriting.
+			for _, d := range s.EGDs {
+				a, b, ok := findEgdViolation(d, cur)
+				if !ok {
+					continue
+				}
+				winner, loser, err := applyEgd(d.Name, cur, a, b)
+				if err != nil {
+					return nil, nil, err
+				}
+				for k, v := range alpha.Memo {
+					if v == loser {
+						alpha.Memo[k] = winner
+					}
+				}
+				res.Steps++
+				merged = true
+				if opt.Trace {
+					res.Trace = append(res.Trace, Step{Dep: d.Name, Kind: "egd", Equated: [2]instance.Value{a, b}})
+				}
+				continue run
+			}
+			if alphaTgdPass(s, cur, alpha, &res.Result, opt) {
+				continue
+			}
+			break
+		}
+		totalSteps += res.Steps
+		if merged {
+			continue // α changed; replay from the source with the settled α
+		}
+		res.Instance = cur
+		res.Target = cur.Reduct(s.Target)
+		res.Successful = true
+		res.Steps = totalSteps
+		return res, alpha, nil
+	}
+}
+
+// CWAPresolution computes the canonical CWA-presolution: the target reduct
+// of Canonical's successful α-chase, together with the settled α.
+func CWAPresolution(s *dependency.Setting, src *instance.Instance, opt Options) (*instance.Instance, *FreshAlpha, error) {
+	res, alpha, err := Canonical(s, src, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Target, alpha, nil
+}

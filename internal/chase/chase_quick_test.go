@@ -1,0 +1,107 @@
+package chase
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hom"
+	"repro/internal/instance"
+)
+
+// randomSource21 builds a random source instance for Example 2.1 from a
+// compact seed: each bit pair adds an M or N fact over a small constant
+// pool.
+func randomSource21(seed uint32) *instance.Instance {
+	names := []string{"a", "b", "c"}
+	src := instance.New()
+	for i := 0; i < 8; i++ {
+		bits := (seed >> uint(i*3)) & 7
+		rel := "M"
+		if bits&4 != 0 {
+			rel = "N"
+		}
+		u := instance.Const(names[bits&1])
+		v := instance.Const(names[(bits>>1)&1+1])
+		src.Add(instance.NewAtom(rel, u, v))
+	}
+	return src
+}
+
+// Property: on random sources, the standard chase of Example 2.1 either
+// fails on the egd or produces a solution that is universal for the
+// canonical α-chase result (both are solutions, so homomorphisms must
+// exist in both directions between chase result and canonical result).
+func TestQuickChaseProducesUniversalSolution(t *testing.T) {
+	s := mustSetting(t, example21)
+	f := func(seed uint32) bool {
+		src := randomSource21(seed)
+		res, err := Standard(s, src, Options{MaxSteps: 50000})
+		if err != nil {
+			return IsEgdFailure(err)
+		}
+		if !IsSolution(s, src, res.Target) {
+			return false
+		}
+		cres, _, err := Canonical(s, src, Options{MaxSteps: 50000})
+		if err != nil {
+			// The standard chase succeeded, so the canonical chase must too
+			// (same egd-consistency of the source data).
+			return false
+		}
+		if !IsSolution(s, src, cres.Target) {
+			return false
+		}
+		// Both are universal solutions: homomorphically equivalent.
+		return hom.Exists(res.Target, cres.Target) && hom.Exists(cres.Target, res.Target)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: chase results are deterministic for a fixed input.
+func TestQuickChaseDeterministic(t *testing.T) {
+	s := mustSetting(t, example21)
+	f := func(seed uint32) bool {
+		src := randomSource21(seed)
+		r1, err1 := Standard(s, src, Options{MaxSteps: 50000})
+		r2, err2 := Standard(s, src, Options{MaxSteps: 50000})
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		return r1.Target.Equal(r2.Target)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the chase never invents constants — the constants of the result
+// are the constants of the source plus those mentioned by the dependencies
+// (none, in Example 2.1).
+func TestQuickChaseConstantsFromSource(t *testing.T) {
+	s := mustSetting(t, example21)
+	f := func(seed uint32) bool {
+		src := randomSource21(seed)
+		res, err := Standard(s, src, Options{MaxSteps: 50000})
+		if err != nil {
+			return true
+		}
+		srcConsts := make(map[instance.Value]bool)
+		for _, c := range src.Consts() {
+			srcConsts[c] = true
+		}
+		for _, c := range res.Target.Consts() {
+			if !srcConsts[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

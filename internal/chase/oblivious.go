@@ -1,0 +1,94 @@
+package chase
+
+import (
+	"fmt"
+
+	"repro/internal/dependency"
+	"repro/internal/instance"
+	"repro/internal/query"
+)
+
+// Oblivious runs the oblivious chase: every trigger — a tgd d together
+// with a body assignment (ū, v̄) — fires exactly once, with fresh nulls for
+// the existential variables, regardless of whether the head is already
+// witnessed; egd violations are resolved as usual, and a fired trigger is
+// never re-fired even if an egd later merges its values.
+//
+// The oblivious chase is the practical engine variant (per-trigger
+// bookkeeping instead of head-satisfaction checks) and it isolates the gap
+// between the paper's two acyclicity notions: because a trigger exists per
+// ȳ-assignment, fresh values at ȳ-positions create new triggers, so the
+// oblivious chase terminates on all sources for RICHLY acyclic settings
+// (Definition 7.3 adds exactly the ȳ → z̄ edges) but may diverge for
+// settings that are only weakly acyclic — the phenomenon behind the
+// restriction in Proposition 7.4. The standard chase (Standard) terminates
+// for all weakly acyclic settings.
+func Oblivious(s *dependency.Setting, src *instance.Instance, opt Options) (*Result, error) {
+	if src.HasNulls() {
+		return nil, fmt.Errorf("chase: source instance must be null-free")
+	}
+	cur := src.Clone()
+	nulls := instance.NewNullSource(0)
+	res := &Result{}
+	budget := opt.maxSteps()
+	fired := make(map[string]bool)
+
+	for {
+		if res.Steps >= budget {
+			res.Instance = cur
+			res.Target = cur.Reduct(s.Target)
+			return res, ErrBudgetExceeded
+		}
+		if applied, err := standardEgdPass(s, cur, res, opt); err != nil {
+			return nil, err
+		} else if applied {
+			continue
+		}
+		applied := false
+		for _, d := range s.AllTGDs() {
+			bodyInst := tgdBodyInstance(s, d, cur)
+			var pending []query.Binding
+			bodyBindings(d, bodyInst, func(env query.Binding) bool {
+				if !fired[obliviousTriggerKey(d, env)] {
+					pending = append(pending, env.Clone())
+				}
+				return true
+			})
+			for _, env := range pending {
+				if res.Steps >= budget {
+					break
+				}
+				key := obliviousTriggerKey(d, env)
+				if fired[key] {
+					continue
+				}
+				fired[key] = true
+				for _, z := range d.Exists {
+					env[z] = nulls.Fresh()
+				}
+				added := headAtomsUnder(d, env)
+				for _, a := range added {
+					cur.Add(a)
+				}
+				res.Steps++
+				applied = true
+				if opt.Trace {
+					res.Trace = append(res.Trace, Step{Dep: d.Name, Kind: "tgd", Added: added})
+				}
+			}
+		}
+		if !applied {
+			break
+		}
+	}
+	res.Instance = cur
+	res.Target = cur.Reduct(s.Target)
+	return res, nil
+}
+
+// obliviousTriggerKey identifies a trigger by dependency and full frontier
+// assignment.
+func obliviousTriggerKey(d *dependency.TGD, env query.Binding) string {
+	j := JustificationOf(d, env, "")
+	return j.Key()
+}

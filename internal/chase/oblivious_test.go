@@ -1,0 +1,111 @@
+package chase
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/hom"
+)
+
+func TestObliviousExample21(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, source21)
+	res, err := Oblivious(s, src, Options{MaxSteps: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSolution(s, src, res.Target) {
+		t.Fatalf("oblivious result must be a solution: %v", res.Target)
+	}
+	// Hom-equivalent to the standard chase result (both universal).
+	std, err := Standard(s, src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hom.Exists(res.Target, std.Target) || !hom.Exists(std.Target, res.Target) {
+		t.Fatal("oblivious and standard results must be hom-equivalent")
+	}
+	// The oblivious chase fires per (ū, v̄), so it is at least as large:
+	// d2 fires for both N(a,b) and N(a,c).
+	if res.Target.RelLen("E") < std.Target.RelLen("E") {
+		t.Fatalf("oblivious should not be smaller: %v vs %v", res.Target, std.Target)
+	}
+}
+
+// The executable witness of weakly-vs-richly acyclic: on the setting
+// E(x,y) → ∃z E(x,z) (weakly but not richly acyclic), the standard chase
+// terminates while the oblivious chase diverges — each fresh z is a new
+// ȳ-value creating a new trigger.
+func TestObliviousDivergesWhereStandardTerminates(t *testing.T) {
+	s := mustSetting(t, `
+source S/2.
+target E/2.
+st:
+  s1: S(x,y) -> E(x,y).
+target-deps:
+  t1: E(x,y) -> exists z : E(x,z).
+`)
+	if !s.WeaklyAcyclic() || s.RichlyAcyclic() {
+		t.Fatal("the setting must be weakly but not richly acyclic")
+	}
+	src := mustInstance(t, `S(a,b).`)
+	if _, err := Standard(s, src, Options{MaxSteps: 1000}); err != nil {
+		t.Fatalf("standard chase must terminate: %v", err)
+	}
+	_, err := Oblivious(s, src, Options{MaxSteps: 1000})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("oblivious chase must diverge, got %v", err)
+	}
+}
+
+// On richly acyclic settings both chases terminate.
+func TestObliviousTerminatesOnRichlyAcyclic(t *testing.T) {
+	s := mustSetting(t, example21)
+	if !s.RichlyAcyclic() {
+		t.Fatal("Example 2.1 is richly acyclic")
+	}
+	src := mustInstance(t, source21)
+	if _, err := Oblivious(s, src, Options{MaxSteps: 10000}); err != nil {
+		t.Fatalf("oblivious chase must terminate on richly acyclic settings: %v", err)
+	}
+}
+
+func TestObliviousEgdFailure(t *testing.T) {
+	s := mustSetting(t, `
+source N/2.
+target F/2.
+st:
+  N(x,y) -> F(x,y).
+target-deps:
+  F(x,y) & F(x,z) -> y = z.
+`)
+	src := mustInstance(t, `N(a,b). N(a,c).`)
+	_, err := Oblivious(s, src, Options{})
+	if !IsEgdFailure(err) {
+		t.Fatalf("want egd failure, got %v", err)
+	}
+}
+
+func TestObliviousFiresPerYBinding(t *testing.T) {
+	// d: N(x,y) → ∃z F(x,z): oblivious fires once per (x,y) — two F atoms
+	// for N(a,b), N(a,c) — while the standard chase fires once.
+	s := mustSetting(t, `
+source N/2.
+target F/2.
+st:
+  d: N(x,y) -> exists z : F(x,z).
+`)
+	src := mustInstance(t, `N(a,b). N(a,c).`)
+	obl, err := Oblivious(s, src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, err := Standard(s, src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obl.Target.RelLen("F") != 2 || std.Target.RelLen("F") != 1 {
+		t.Fatalf("oblivious F=%d (want 2), standard F=%d (want 1)",
+			obl.Target.RelLen("F"), std.Target.RelLen("F"))
+	}
+}

@@ -1,0 +1,206 @@
+package chase
+
+import (
+	"fmt"
+
+	"repro/internal/dependency"
+	"repro/internal/instance"
+	"repro/internal/query"
+)
+
+// Options configures a chase run.
+type Options struct {
+	// MaxSteps bounds the number of dependency applications; 0 means
+	// DefaultMaxSteps. A chase that exceeds the budget returns
+	// ErrBudgetExceeded, the observable proxy for non-termination.
+	MaxSteps int
+	// Trace, when true, records every step in Result.Trace.
+	Trace bool
+}
+
+// DefaultMaxSteps is the budget used when Options.MaxSteps is zero.
+const DefaultMaxSteps = 1_000_000
+
+func (o Options) maxSteps() int {
+	if o.MaxSteps > 0 {
+		return o.MaxSteps
+	}
+	return DefaultMaxSteps
+}
+
+// Step records one chase step for traces.
+type Step struct {
+	Dep string
+	// Kind is "tgd" or "egd".
+	Kind string
+	// Added holds the atoms added by a tgd step.
+	Added []instance.Atom
+	// Equated holds the two values identified by an egd step.
+	Equated [2]instance.Value
+}
+
+func (s Step) String() string {
+	if s.Kind == "egd" {
+		return fmt.Sprintf("egd %s: %v = %v", s.Dep, s.Equated[0], s.Equated[1])
+	}
+	return fmt.Sprintf("tgd %s: +%v", s.Dep, s.Added)
+}
+
+// Result is the outcome of a terminating chase.
+type Result struct {
+	// Instance is the final instance over σ ∪ τ (source atoms included).
+	Instance *instance.Instance
+	// Target is the τ-reduct of Instance: the computed target instance.
+	Target *instance.Instance
+	// Steps counts dependency applications.
+	Steps int
+	// Trace holds the steps if Options.Trace was set.
+	Trace []Step
+}
+
+// Standard runs the standard chase of Fagin et al. on the source instance:
+// starting from S, it repeatedly picks a tgd violation (a body match with no
+// witnessing head extension), fires it with fresh nulls, and resolves egd
+// violations, until a fixpoint. For weakly acyclic settings it terminates in
+// polynomially many steps and its target reduct is a universal solution
+// (when no egd fails).
+func Standard(s *dependency.Setting, src *instance.Instance, opt Options) (*Result, error) {
+	if src.HasNulls() {
+		return nil, fmt.Errorf("chase: source instance must be null-free")
+	}
+	cur := src.Clone()
+	nulls := instance.NewNullSource(0)
+	res := &Result{}
+	budget := opt.maxSteps()
+	tracker := &deltaTracker{full: true}
+
+	for {
+		if res.Steps >= budget {
+			// Expose the partial result so callers can observe how far a
+			// non-terminating chase got (experiment E8).
+			res.Instance = cur
+			res.Target = cur.Reduct(s.Target)
+			return res, ErrBudgetExceeded
+		}
+		// Egds first: keeping the instance egd-consistent before firing tgds
+		// avoids deriving atoms that an identification would merge anyway.
+		// An egd application rewrites values throughout the instance, so the
+		// semi-naive delta is invalidated.
+		if applied, err := standardEgdPass(s, cur, res, opt); err != nil {
+			return nil, err
+		} else if applied {
+			tracker.invalidate()
+			continue
+		}
+		if applied := standardTgdPass(s, cur, nulls, res, opt, tracker); applied {
+			continue
+		}
+		break
+	}
+	res.Instance = cur
+	res.Target = cur.Reduct(s.Target)
+	return res, nil
+}
+
+func standardEgdPass(s *dependency.Setting, cur *instance.Instance, res *Result, opt Options) (bool, error) {
+	for _, d := range s.EGDs {
+		a, b, ok := findEgdViolation(d, cur)
+		if !ok {
+			continue
+		}
+		if _, _, err := applyEgd(d.Name, cur, a, b); err != nil {
+			return false, err
+		}
+		res.Steps++
+		if opt.Trace {
+			res.Trace = append(res.Trace, Step{Dep: d.Name, Kind: "egd", Equated: [2]instance.Value{a, b}})
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// standardTgdPass fires all currently violating tgd bindings. Enumeration
+// is semi-naive: on delta passes, only target-tgd matches touching an atom
+// added by the previous pass are considered (s-t tgd bodies live on the
+// never-changing σ-reduct and cannot gain matches, and their matches are
+// all satisfied after the initial full pass). Every candidate binding is
+// re-checked before firing, so duplicate candidates are harmless.
+func standardTgdPass(s *dependency.Setting, cur *instance.Instance, nulls *instance.NullSource, res *Result, opt Options, tracker *deltaTracker) bool {
+	budget := opt.maxSteps()
+	fired := false
+	fullScan := tracker.needsFullScan()
+	delta := tracker.delta()
+	tracker.reset()
+
+	fire := func(d *dependency.TGD, pending []query.Binding) bool {
+		for _, env := range pending {
+			if res.Steps >= budget {
+				return true // budget check happens at loop top in Standard
+			}
+			if headSatisfied(d, cur, env) {
+				continue
+			}
+			for _, z := range d.Exists {
+				env[z] = nulls.Fresh()
+			}
+			added := headAtomsUnder(d, env)
+			for _, a := range added {
+				if cur.Add(a) {
+					tracker.add(a)
+				}
+			}
+			res.Steps++
+			fired = true
+			if opt.Trace {
+				res.Trace = append(res.Trace, Step{Dep: d.Name, Kind: "tgd", Added: added})
+			}
+		}
+		return false
+	}
+
+	for _, d := range s.AllTGDs() {
+		var pending []query.Binding
+		collect := func(env query.Binding) bool {
+			if !headSatisfied(d, cur, env) {
+				pending = append(pending, env.Clone())
+			}
+			return true
+		}
+		isST := isST(s, d)
+		switch {
+		case fullScan:
+			bodyBindings(d, tgdBodyInstance(s, d, cur), collect)
+		case isST:
+			continue // σ-reduct unchanged: no new s-t matches
+		default:
+			deltaBodyBindings(d, cur, delta, collect)
+		}
+		if fire(d, pending) {
+			return true
+		}
+	}
+	return fired
+}
+
+// isST reports whether the tgd belongs to Σst.
+func isST(s *dependency.Setting, d *dependency.TGD) bool {
+	for _, st := range s.ST {
+		if st == d {
+			return true
+		}
+	}
+	return false
+}
+
+// UniversalSolution chases the source instance and returns the target
+// reduct, which is a universal solution for weakly acyclic settings. The
+// error is an *EgdFailureError when no solution exists, or
+// ErrBudgetExceeded when the chase did not terminate within the budget.
+func UniversalSolution(s *dependency.Setting, src *instance.Instance, opt Options) (*instance.Instance, error) {
+	res, err := Standard(s, src, opt)
+	if err != nil {
+		return nil, err
+	}
+	return res.Target, nil
+}

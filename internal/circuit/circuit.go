@@ -1,0 +1,204 @@
+// Package circuit implements monotone boolean circuits, a direct evaluator
+// (the baseline), and the reduction from the Monotone Circuit Value Problem
+// to data exchange that witnesses the PTIME-hardness claims of
+// Proposition 6.6 (Existence-of-CWA-Solutions can be PTIME-hard) and
+// Proposition 7.8 (certain answers of a conjunctive query under a full-tgd
+// setting can be PTIME-hard).
+//
+// The reduction uses a fixed setting whose target dependencies are full
+// tgds computing the set of true gates as a least fixpoint:
+//
+//	True(g) for every true input gate,
+//	And(g,a,b) ∧ True(a) ∧ True(b) → True(g),
+//	Or(g,a,b)  ∧ True(a)           → True(g),
+//	Or(g,a,b)  ∧ True(b)           → True(g).
+//
+// The circuit evaluates to true iff the certain answer q() :- True(out)
+// holds — and, for Proposition 6.6, iff no CWA-solution exists for the
+// variant setting with an egd that clashes two constants when the output
+// gate is true.
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dependency"
+	"repro/internal/instance"
+	"repro/internal/parser"
+)
+
+// GateKind distinguishes the node types of a monotone circuit.
+type GateKind int
+
+// Gate kinds.
+const (
+	Input GateKind = iota
+	And
+	Or
+)
+
+// Gate is one node; And/Or gates reference two earlier gates.
+type Gate struct {
+	Kind  GateKind
+	Value bool // inputs only
+	A, B  int  // operand indexes for And/Or
+}
+
+// Circuit is a monotone boolean circuit in topological order; the last gate
+// is the output.
+type Circuit struct {
+	Gates []Gate
+}
+
+// Validate checks topological well-formedness.
+func (c *Circuit) Validate() error {
+	if len(c.Gates) == 0 {
+		return fmt.Errorf("circuit: empty circuit")
+	}
+	for i, g := range c.Gates {
+		if g.Kind == Input {
+			continue
+		}
+		if g.A < 0 || g.A >= i || g.B < 0 || g.B >= i {
+			return fmt.Errorf("circuit: gate %d references non-earlier operand", i)
+		}
+	}
+	return nil
+}
+
+// Eval computes the circuit value directly — the baseline evaluator.
+func (c *Circuit) Eval() bool {
+	vals := make([]bool, len(c.Gates))
+	for i, g := range c.Gates {
+		switch g.Kind {
+		case Input:
+			vals[i] = g.Value
+		case And:
+			vals[i] = vals[g.A] && vals[g.B]
+		case Or:
+			vals[i] = vals[g.A] || vals[g.B]
+		}
+	}
+	return vals[len(vals)-1]
+}
+
+// MCVPSetting returns the fixed full-tgd setting computing gate truth.
+// Its s-t tgds are full and its target dependencies are full tgds, so it
+// falls into Table 1's last row (everything PTIME).
+func MCVPSetting() *dependency.Setting {
+	s, err := parser.ParseSetting(`
+source STrue/1, SAnd/3, SOr/3, SOut/1.
+target True/1, AndG/3, OrG/3, Out/1.
+st:
+  st1: STrue(g) -> True(g).
+  st2: SAnd(g,a,b) -> AndG(g,a,b).
+  st3: SOr(g,a,b) -> OrG(g,a,b).
+  st4: SOut(g) -> Out(g).
+target-deps:
+  t1: AndG(g,a,b) & True(a) & True(b) -> True(g).
+  t2: OrG(g,a,b) & True(a) -> True(g).
+  t3: OrG(g,a,b) & True(b) -> True(g).
+`)
+	if err != nil {
+		panic("circuit: MCVP setting must parse: " + err.Error())
+	}
+	return s
+}
+
+// ExistenceSetting returns the Proposition 6.6 variant: it adds an egd that
+// clashes two distinct constants as soon as the output gate is true, so a
+// (CWA-)solution exists iff the circuit evaluates to false.
+func ExistenceSetting() *dependency.Setting {
+	s, err := parser.ParseSetting(`
+source STrue/1, SAnd/3, SOr/3, SOut/1, SClash/2.
+target True/1, AndG/3, OrG/3, Out/1, Clash/2.
+st:
+  st1: STrue(g) -> True(g).
+  st2: SAnd(g,a,b) -> AndG(g,a,b).
+  st3: SOr(g,a,b) -> OrG(g,a,b).
+  st4: SOut(g) -> Out(g).
+  st5: SClash(x,y) -> Clash(x,y).
+target-deps:
+  t1: AndG(g,a,b) & True(a) & True(b) -> True(g).
+  t2: OrG(g,a,b) & True(a) -> True(g).
+  t3: OrG(g,a,b) & True(b) -> True(g).
+  e1: Out(g) & True(g) & Clash(x,y) -> x = y.
+`)
+	if err != nil {
+		panic("circuit: existence setting must parse: " + err.Error())
+	}
+	return s
+}
+
+func gateName(i int) instance.Value { return instance.Const(fmt.Sprintf("g%d", i)) }
+
+// SourceInstance encodes the circuit for either setting; withClash adds the
+// SClash(0,1) fact used by ExistenceSetting.
+func SourceInstance(c *Circuit, withClash bool) (*instance.Instance, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	src := instance.New()
+	for i, g := range c.Gates {
+		switch g.Kind {
+		case Input:
+			if g.Value {
+				src.Add(instance.NewAtom("STrue", gateName(i)))
+			}
+		case And:
+			src.Add(instance.NewAtom("SAnd", gateName(i), gateName(g.A), gateName(g.B)))
+		case Or:
+			src.Add(instance.NewAtom("SOr", gateName(i), gateName(g.A), gateName(g.B)))
+		}
+	}
+	src.Add(instance.NewAtom("SOut", gateName(len(c.Gates)-1)))
+	if withClash {
+		src.Add(instance.NewAtom("SClash", instance.Const("0"), instance.Const("1")))
+	}
+	return src, nil
+}
+
+// OutputQuery returns the Boolean conjunctive query q() :- Out(g), True(g).
+func OutputQuery() (q struct{ Text string }) {
+	q.Text = "q() :- Out(g), True(g)."
+	return q
+}
+
+// Random generates a random monotone circuit with the given number of
+// inputs and internal gates, reproducibly from the seed.
+func Random(inputs, gates int, seed int64) *Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Circuit{}
+	for i := 0; i < inputs; i++ {
+		c.Gates = append(c.Gates, Gate{Kind: Input, Value: rng.Intn(2) == 0})
+	}
+	for i := 0; i < gates; i++ {
+		n := len(c.Gates)
+		kind := And
+		if rng.Intn(2) == 0 {
+			kind = Or
+		}
+		c.Gates = append(c.Gates, Gate{Kind: kind, A: rng.Intn(n), B: rng.Intn(n)})
+	}
+	return c
+}
+
+// Ladder builds a deterministic alternating And/Or ladder of the given
+// depth over two true inputs — a scaling family for benches whose value is
+// always true.
+func Ladder(depth int) *Circuit {
+	c := &Circuit{Gates: []Gate{
+		{Kind: Input, Value: true},
+		{Kind: Input, Value: true},
+	}}
+	for i := 0; i < depth; i++ {
+		n := len(c.Gates)
+		kind := And
+		if i%2 == 1 {
+			kind = Or
+		}
+		c.Gates = append(c.Gates, Gate{Kind: kind, A: n - 1, B: n - 2})
+	}
+	return c
+}

@@ -1,0 +1,127 @@
+package circuit
+
+import (
+	"testing"
+
+	"repro/internal/certain"
+	"repro/internal/chase"
+	"repro/internal/cwa"
+	"repro/internal/parser"
+)
+
+func TestEvalBasics(t *testing.T) {
+	c := &Circuit{Gates: []Gate{
+		{Kind: Input, Value: true},
+		{Kind: Input, Value: false},
+		{Kind: Or, A: 0, B: 1},  // true
+		{Kind: And, A: 1, B: 2}, // false
+		{Kind: Or, A: 3, B: 0},  // true
+	}}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Eval() {
+		t.Fatal("circuit evaluates to true")
+	}
+}
+
+func TestValidateRejectsForwardEdges(t *testing.T) {
+	c := &Circuit{Gates: []Gate{{Kind: And, A: 0, B: 0}}}
+	if err := c.Validate(); err == nil {
+		t.Fatal("self-reference must fail")
+	}
+}
+
+func TestLadder(t *testing.T) {
+	c := Ladder(5)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Eval() {
+		t.Fatal("ladder of true inputs is true")
+	}
+}
+
+// Proposition 7.8 shape: the certain answer of q() :- Out(g), True(g)
+// under the full-tgd setting equals the circuit value.
+func TestCertainAnswerEqualsCircuitValue(t *testing.T) {
+	s := MCVPSetting()
+	if !s.FullAndEgds() {
+		t.Fatal("MCVP setting must be in the full+egds class")
+	}
+	q, err := parser.ParseCQ(OutputQuery().Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		c := Random(3, 6, seed)
+		src, err := SourceInstance(c, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := certain.Answers(s, q, src, certain.CertainCap, certain.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if (got.Len() == 1) != c.Eval() {
+			t.Errorf("seed %d: certain=%v but Eval=%v", seed, got.Len() == 1, c.Eval())
+		}
+	}
+}
+
+// Proposition 6.6 shape: with the clash egd, a CWA-solution exists iff the
+// circuit evaluates to false.
+func TestExistenceEqualsCircuitValue(t *testing.T) {
+	s := ExistenceSetting()
+	if !s.WeaklyAcyclic() {
+		t.Fatal("existence setting must be weakly acyclic")
+	}
+	for seed := int64(20); seed < 40; seed++ {
+		c := Random(3, 6, seed)
+		src, err := SourceInstance(c, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exists, err := cwa.Exists(s, src, chase.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if exists == c.Eval() {
+			t.Errorf("seed %d: exists=%v but Eval=%v (must be complementary)", seed, exists, c.Eval())
+		}
+	}
+}
+
+// The full-tgd chase produces the exact least fixpoint of true gates.
+func TestChaseComputesFixpoint(t *testing.T) {
+	s := MCVPSetting()
+	c := &Circuit{Gates: []Gate{
+		{Kind: Input, Value: true},
+		{Kind: Input, Value: false},
+		{Kind: And, A: 0, B: 1}, // false
+		{Kind: Or, A: 0, B: 2},  // true
+	}}
+	src, err := SourceInstance(c, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := chase.Standard(s, src, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Target.RelLen("True"); got != 2 { // g0 and g3
+		t.Fatalf("true gates = %d, want 2 (%v)", got, res.Target)
+	}
+}
+
+func TestRandomReproducible(t *testing.T) {
+	a, b := Random(4, 8, 7), Random(4, 8, 7)
+	if len(a.Gates) != len(b.Gates) {
+		t.Fatal("shape mismatch")
+	}
+	for i := range a.Gates {
+		if a.Gates[i] != b.Gates[i] {
+			t.Fatal("same seed must give same circuit")
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package cwa
+
+import (
+	"testing"
+
+	"repro/internal/instance"
+)
+
+// FindPresolutionAlpha exposes the justification structure: for the paper's
+// T2 the two d2-justifications must share z2 (the egd-merged F-value) and
+// take distinct z1 values.
+func TestFindPresolutionAlphaT2(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, source21)
+	t2 := mustInstance(t, `E(a,b). E(a,_1). E(a,_2). F(a,_3). G(_3,_4).`)
+	alpha, ok := FindPresolutionAlpha(s, src, t2)
+	if !ok {
+		t.Fatal("T2 is a presolution: a witness α must exist")
+	}
+	wb, okB := alpha["d2(a;b)."]
+	wc, okC := alpha["d2(a;c)."]
+	if !okB || !okC {
+		t.Fatalf("missing d2 justifications in %v", alpha)
+	}
+	if wb["z2"] != wc["z2"] {
+		t.Fatalf("the two F-justifications must share z2: %v vs %v", wb, wc)
+	}
+	if wb["z2"] != instance.Null(3) {
+		t.Fatalf("z2 must be the F-null _3, got %v", wb["z2"])
+	}
+	if wb["z1"] == wc["z1"] {
+		t.Fatalf("T2 has three E-atoms: z1 values must differ: %v vs %v", wb, wc)
+	}
+	if _, ok := alpha["d3(_3;a)."]; !ok {
+		t.Fatalf("d3 justification missing in %v", alpha)
+	}
+}
+
+func TestFindPresolutionAlphaNegative(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, source21)
+	// E(_3,b) is unjustifiable.
+	tpp := mustInstance(t, `E(a,b). E(_3,b). F(a,_1). G(_1,_2).`)
+	if _, ok := FindPresolutionAlpha(s, src, tpp); ok {
+		t.Fatal("no α can justify E(_3,b)")
+	}
+}

@@ -1,0 +1,106 @@
+package cwa
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hom"
+	"repro/internal/instance"
+)
+
+// This file provides the Section 5 order-theoretic analysis of the
+// CWA-solution space: minimality ("contained, up to renaming of nulls, in
+// every CWA-solution") and maximality ("every CWA-solution is a
+// homomorphic image").
+
+// IsMinimalAmong reports whether t is contained, up to renaming of nulls,
+// in every instance of sols — the paper's minimality. Containment up to
+// renaming is an injective homomorphism (its image is the renamed copy).
+func IsMinimalAmong(t *instance.Instance, sols []*instance.Instance) bool {
+	for _, s := range sols {
+		if _, ok := hom.Find(t, s, hom.Injective()); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMaximalAmong reports whether every instance of sols is a homomorphic
+// image of t — the paper's maximality.
+func IsMaximalAmong(t *instance.Instance, sols []*instance.Instance) bool {
+	for _, s := range sols {
+		if _, ok := hom.FindOnto(t, s, 0); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// MinimalOf returns the indexes of the minimal elements of sols.
+func MinimalOf(sols []*instance.Instance) []int {
+	var out []int
+	for i, s := range sols {
+		if IsMinimalAmong(s, sols) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MaximalOf returns the indexes of the maximal elements of sols.
+func MaximalOf(sols []*instance.Instance) []int {
+	var out []int
+	for i, s := range sols {
+		if IsMaximalAmong(s, sols) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DescribeSpace renders a human-readable report on a set of CWA-solutions:
+// each solution with its size, which are minimal/maximal (Section 5), and
+// how many are pairwise incomparable. Used by dxcli enum.
+func DescribeSpace(sols []*instance.Instance) string {
+	if len(sols) == 0 {
+		return "no CWA-solutions\n"
+	}
+	mins := toSet(MinimalOf(sols))
+	maxs := toSet(MaximalOf(sols))
+	_, inc := Incomparable(sols)
+	incSet := toSet(inc)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d CWA-solutions (up to isomorphism):\n", len(sols))
+	for i, s := range sols {
+		var marks []string
+		if mins[i] {
+			marks = append(marks, "minimal")
+		}
+		if maxs[i] {
+			marks = append(marks, "maximal")
+		}
+		if incSet[i] {
+			marks = append(marks, "top")
+		}
+		suffix := ""
+		if len(marks) > 0 {
+			suffix = "  [" + strings.Join(marks, ", ") + "]"
+		}
+		fmt.Fprintf(&b, "  %2d: %d atoms  %v%s\n", i+1, s.Len(), s, suffix)
+	}
+	switch {
+	case len(maxs) == 1:
+		b.WriteString("a unique maximal CWA-solution exists (guaranteed for the Proposition 5.4 classes)\n")
+	case len(maxs) == 0:
+		fmt.Fprintf(&b, "no maximal CWA-solution; %d pairwise-incomparable tops (cf. Example 5.3)\n", len(inc))
+	}
+	return b.String()
+}
+
+func toSet(idx []int) map[int]bool {
+	out := make(map[int]bool, len(idx))
+	for _, i := range idx {
+		out[i] = true
+	}
+	return out
+}

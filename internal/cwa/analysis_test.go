@@ -1,0 +1,140 @@
+package cwa
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/hom"
+)
+
+// Theorem 5.1's minimality, order-theoretically: the core is minimal among
+// all enumerated CWA-solutions of Example 2.1, and it is the ONLY minimal
+// one ("unique minimal CWA-solution").
+func TestCoreIsUniqueMinimal(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, `M(a,b). N(a,b).`)
+	sols, err := Enumerate(s, src, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := Minimal(s, src, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mins := MinimalOf(sols)
+	if len(mins) != 1 {
+		t.Fatalf("exactly one minimal CWA-solution expected, got indexes %v of %v", mins, sols)
+	}
+	if !hom.Isomorphic(sols[mins[0]], core) {
+		t.Fatalf("the unique minimal solution %v must be the core %v", sols[mins[0]], core)
+	}
+	if !IsMinimalAmong(core, sols) {
+		t.Fatal("core must be minimal among all CWA-solutions")
+	}
+}
+
+// Example 5.3: no maximal CWA-solution exists for S_1 — the enumerated
+// space has at least two maximal-incomparable elements and MaximalOf is
+// empty.
+func TestExample53NoMaximal(t *testing.T) {
+	s := mustSetting(t, example53)
+	src := mustInstance(t, `P(1).`)
+	sols, err := Enumerate(s, src, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) < 2 {
+		t.Fatalf("need several CWA-solutions, got %v", sols)
+	}
+	if maxs := MaximalOf(sols); len(maxs) != 0 {
+		t.Fatalf("Example 5.3 has no maximal CWA-solution; MaximalOf = %v", maxs)
+	}
+}
+
+// Egd-only settings: CanSol is the unique maximal element (Prop 5.4).
+func TestEgdOnlyCanSolUniqueMaximal(t *testing.T) {
+	s := mustSetting(t, `
+source N/2, W/2.
+target F/2.
+st:
+  N(x,y) -> exists z : F(x,z).
+  W(x,y) -> F(x,y).
+target-deps:
+  F(x,y) & F(x,z) -> y = z.
+`)
+	src := mustInstance(t, `N(a,b). N(c,d). W(a,e).`)
+	sols, err := Enumerate(s, src, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	can, err := CanSol(s, src, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsMaximalAmong(can, sols) {
+		t.Fatal("CanSol must be maximal")
+	}
+	maxs := MaximalOf(sols)
+	if len(maxs) == 0 {
+		t.Fatal("a maximal element must exist for egd-only settings")
+	}
+	for _, i := range maxs {
+		if _, onto := hom.FindOnto(can, sols[i], 0); !onto {
+			t.Fatalf("maximal element %v must be an image of CanSol", sols[i])
+		}
+	}
+}
+
+func TestEnumerateStats(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, `M(a,b). N(a,b).`)
+	var stats EnumStats
+	sols, err := Enumerate(s, src, EnumOptions{Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Found != len(sols) || stats.States == 0 {
+		t.Fatalf("stats = %+v for %d solutions", stats, len(sols))
+	}
+	if stats.PrunedUniversality == 0 {
+		t.Fatal("constant-valued branches must have been pruned by universality")
+	}
+	if stats.Truncated {
+		t.Fatal("small instance must not truncate")
+	}
+	// Truncation is reported through stats and the error.
+	var tstats EnumStats
+	_, err = Enumerate(s, src, EnumOptions{MaxStates: 2, Stats: &tstats})
+	if err == nil || !tstats.Truncated {
+		t.Fatalf("truncation: err=%v stats=%+v", err, tstats)
+	}
+}
+
+func TestDescribeSpace(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, `M(a,b). N(a,b).`)
+	sols, err := Enumerate(s, src, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortBySize(sols)
+	report := DescribeSpace(sols)
+	for _, want := range []string{"CWA-solutions", "minimal", "maximal"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	if DescribeSpace(nil) != "no CWA-solutions\n" {
+		t.Error("empty space report")
+	}
+	// Example 5.3: the report flags the absence of a maximal solution.
+	s53 := mustSetting(t, example53)
+	sols53, err := Enumerate(s53, mustInstance(t, `P(1).`), EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(DescribeSpace(sols53), "no maximal CWA-solution") {
+		t.Errorf("Example 5.3 report:\n%s", DescribeSpace(sols53))
+	}
+}

@@ -1,0 +1,379 @@
+package cwa
+
+import (
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/dependency"
+	"repro/internal/hom"
+	"repro/internal/instance"
+	"repro/internal/parser"
+	"repro/internal/score"
+)
+
+func mustSetting(t testing.TB, src string) *dependency.Setting {
+	t.Helper()
+	s, err := parser.ParseSetting(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustInstance(t testing.TB, src string) *instance.Instance {
+	t.Helper()
+	ins, err := parser.ParseInstance(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins
+}
+
+const example21 = `
+source M/2, N/2.
+target E/2, F/2, G/2.
+st:
+  d1: M(x1,x2) -> E(x1,x2).
+  d2: N(x,y) -> exists z1,z2 : E(x,z1) & F(x,z2).
+target-deps:
+  d3: F(y,x) -> exists z : G(x,z).
+  d4: F(x,y) & F(x,z) -> y = z.
+`
+
+const source21 = `M(a,b). N(a,b). N(a,c).`
+
+func TestExistsExample21(t *testing.T) {
+	s := mustSetting(t, example21)
+	ok, err := Exists(s, mustInstance(t, source21), chase.Options{})
+	if err != nil || !ok {
+		t.Fatalf("Exists = %v, %v", ok, err)
+	}
+}
+
+func TestExistsFalseOnEgdClash(t *testing.T) {
+	s := mustSetting(t, `
+source N/2.
+target F/2.
+st:
+  N(x,y) -> F(x,y).
+target-deps:
+  F(x,y) & F(x,z) -> y = z.
+`)
+	ok, err := Exists(s, mustInstance(t, `N(a,b). N(a,c).`), chase.Options{})
+	if err != nil || ok {
+		t.Fatalf("Exists = %v, %v; want false", ok, err)
+	}
+}
+
+// Theorem 5.1: Core_D(S) is a (minimal) CWA-solution.
+func TestMinimalIsCWASolution(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, source21)
+	core, err := Minimal(s, src, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Example 2.1 / 4.9: Core is T3 up to renaming.
+	t3 := mustInstance(t, `E(a,b). F(a,_1). G(_1,_2).`)
+	if !hom.Isomorphic(core, t3) {
+		t.Fatalf("Core = %v, want ≅ %v", core, t3)
+	}
+	ok, err := IsCWASolution(s, src, core, chase.Options{})
+	if err != nil || !ok {
+		t.Fatalf("core must be a CWA-solution: %v %v", ok, err)
+	}
+	if !score.IsCore(core) {
+		t.Fatal("Minimal must return a core")
+	}
+}
+
+// Example 4.9: T2 is a CWA-solution.
+func TestT2IsCWASolution(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, source21)
+	t2 := mustInstance(t, `E(a,b). E(a,_1). E(a,_2). F(a,_3). G(_3,_4).`)
+	ok, err := IsCWASolution(s, src, t2, chase.Options{})
+	if err != nil || !ok {
+		t.Fatalf("T2 must be a CWA-solution: %v %v", ok, err)
+	}
+}
+
+// Example 4.9: T' = {E(a,b), F(a,⊥), G(⊥,b)} is a CWA-presolution but not a
+// CWA-solution (the fact ∃x (F(a,x) ∧ G(x,b)) does not follow from S and Σ).
+func TestPresolutionNotSolution(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, source21)
+	tp := mustInstance(t, `E(a,b). F(a,_0). G(_0,b).`)
+	if !IsCWAPresolution(s, src, tp) {
+		t.Fatal("T' is a CWA-presolution")
+	}
+	universal, err := IsUniversal(s, src, tp, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if universal {
+		t.Fatal("T' must not be universal")
+	}
+	ok, err := IsCWASolution(s, src, tp, chase.Options{})
+	if err != nil || ok {
+		t.Fatalf("T' must not be a CWA-solution: %v %v", ok, err)
+	}
+}
+
+// Example 4.9: T” = {E(a,b), E(⊥3,b), F(a,⊥1), G(⊥1,⊥2)} is a universal
+// solution but not a CWA-presolution (E(⊥3,b) is not justified).
+func TestUniversalNotPresolution(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, source21)
+	tpp := mustInstance(t, `E(a,b). E(_3,b). F(a,_1). G(_1,_2).`)
+	universal, err := IsUniversal(s, src, tpp, chase.Options{})
+	if err != nil || !universal {
+		t.Fatalf("T'' must be universal: %v %v", universal, err)
+	}
+	if IsCWAPresolution(s, src, tpp) {
+		t.Fatal("T'' must not be a CWA-presolution (E(_3,b) unjustified)")
+	}
+	ok, err := IsCWASolution(s, src, tpp, chase.Options{})
+	if err != nil || ok {
+		t.Fatalf("T'' must not be a CWA-solution: %v %v", ok, err)
+	}
+}
+
+// T1 of Example 2.1 invents constants and is not universal, hence no
+// CWA-solution.
+func TestT1NotCWASolution(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, source21)
+	t1 := mustInstance(t, `E(a,b). E(a,_1). E(c,_2). F(a,d). G(d,_3).`)
+	ok, err := IsCWASolution(s, src, t1, chase.Options{})
+	if err != nil || ok {
+		t.Fatalf("T1 must not be a CWA-solution: %v %v", ok, err)
+	}
+}
+
+func TestEnumerateExample21(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, source21)
+	sols, err := Enumerate(s, src, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) == 0 {
+		t.Fatal("no CWA-solutions enumerated")
+	}
+	core := mustInstance(t, `E(a,b). F(a,_1). G(_1,_2).`)
+	t2 := mustInstance(t, `E(a,b). E(a,_1). E(a,_2). F(a,_3). G(_3,_4).`)
+	foundCore, foundT2 := false, false
+	for _, sol := range sols {
+		if hom.Isomorphic(sol, core) {
+			foundCore = true
+		}
+		if hom.Isomorphic(sol, t2) {
+			foundT2 = true
+		}
+		// Every enumerated solution must pass the independent check.
+		ok, err := IsCWASolution(s, src, sol, chase.Options{})
+		if err != nil || !ok {
+			t.Errorf("enumerated %v fails IsCWASolution: %v %v", sol, ok, err)
+		}
+	}
+	if !foundCore {
+		t.Error("enumeration must find the core")
+	}
+	if !foundT2 {
+		t.Error("enumeration must find T2")
+	}
+}
+
+const example53 = `
+source P/1.
+target E/3, F/3.
+st:
+  d1: P(x) -> exists z1,z2,z3,z4 : E(x,z1,z3) & E(x,z2,z4).
+target-deps:
+  d2: E(x,x1,y) & E(x,x2,y) -> F(x,x1,x2).
+`
+
+// Example 5.3: T and T' are CWA-solutions and neither is a homomorphic
+// image of the other.
+func TestExample53Incomparable(t *testing.T) {
+	s := mustSetting(t, example53)
+	src := mustInstance(t, `P(1).`)
+	T := mustInstance(t, `E(1,_1,_3). E(1,_2,_4). F(1,_1,_1). F(1,_2,_2).`)
+	Tp := mustInstance(t, `E(1,_1,_3). E(1,_2,_3). F(1,_1,_1). F(1,_2,_2). F(1,_1,_2). F(1,_2,_1).`)
+	for name, sol := range map[string]*instance.Instance{"T": T, "T'": Tp} {
+		ok, err := IsCWASolution(s, src, sol, chase.Options{})
+		if err != nil || !ok {
+			t.Fatalf("%s must be a CWA-solution: %v %v", name, ok, err)
+		}
+	}
+	if _, onto := hom.FindOnto(T, Tp, 0); onto {
+		t.Fatal("T' must not be a homomorphic image of T")
+	}
+	if _, onto := hom.FindOnto(Tp, T, 0); onto {
+		t.Fatal("T must not be a homomorphic image of T'")
+	}
+}
+
+func TestExample53EnumerationGrowth(t *testing.T) {
+	s := mustSetting(t, example53)
+	// n = 1: at least 2 pairwise-incomparable CWA-solutions (T and T').
+	// n = 2: at least 4 = 2^2. (The paper: ≥ 2^n.)
+	counts := make(map[int]int)
+	for n := 1; n <= 2; n++ {
+		src := instance.New()
+		for i := 1; i <= n; i++ {
+			src.Add(instance.NewAtom("P", instance.Const(string(rune('0'+i)))))
+		}
+		sols, err := Enumerate(s, src, EnumOptions{MaxStates: 500000})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		_, inc := Incomparable(sols)
+		counts[n] = len(inc)
+		want := 1 << n
+		if len(inc) < want {
+			t.Errorf("n=%d: %d incomparable CWA-solutions, want ≥ %d (of %d total)",
+				n, len(inc), want, len(sols))
+		}
+	}
+	if counts[2] < 2*counts[1] {
+		t.Errorf("incomparable count must grow: %v", counts)
+	}
+}
+
+// Proposition 5.4: for settings with egd-only target dependencies, every
+// CWA-solution is a homomorphic image of CanSol.
+func TestCanSolMaximalEgdOnly(t *testing.T) {
+	s := mustSetting(t, `
+source N/2, W/2.
+target F/2.
+st:
+  N(x,y) -> exists z : F(x,z).
+  W(x,y) -> F(x,y).
+target-deps:
+  F(x,y) & F(x,z) -> y = z.
+`)
+	src := mustInstance(t, `N(a,b). N(c,d). W(a,e).`)
+	can, err := CanSol(s, src, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := IsCWASolution(s, src, can, chase.Options{})
+	if err != nil || !ok {
+		t.Fatalf("CanSol must be a CWA-solution here: %v %v (%v)", ok, err, can)
+	}
+	sols, err := Enumerate(s, src, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) == 0 {
+		t.Fatal("no solutions enumerated")
+	}
+	for _, sol := range sols {
+		if _, onto := hom.FindOnto(can, sol, 0); !onto {
+			t.Errorf("CWA-solution %v is not a homomorphic image of CanSol %v", sol, can)
+		}
+	}
+}
+
+// Proposition 5.4, second class: full tgds + egds.
+func TestCanSolMaximalFullAndEgds(t *testing.T) {
+	s := mustSetting(t, `
+source R/2.
+target E/2, T/2.
+st:
+  R(x,y) -> E(x,y).
+target-deps:
+  E(x,y) & E(y,z) -> T(x,z).
+`)
+	if !s.FullAndEgds() {
+		t.Fatal("setting should be full+egds class")
+	}
+	src := mustInstance(t, `R(a,b). R(b,c).`)
+	can, err := CanSol(s, src, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full tgds with a null-free source: the unique CWA-solution is the
+	// null-free closure.
+	want := mustInstance(t, `E(a,b). E(b,c). T(a,c).`)
+	if !can.Equal(want) {
+		t.Fatalf("CanSol = %v, want %v", can, want)
+	}
+	sols, err := Enumerate(s, src, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 1 || !hom.Isomorphic(sols[0], want) {
+		t.Fatalf("full-tgd setting must have exactly one CWA-solution, got %v", sols)
+	}
+}
+
+// CanSol on Example 2.1 (not in Prop 5.4's classes): still a CWA-solution
+// here — it coincides with T2 up to renaming.
+func TestCanSolExample21(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, source21)
+	can, err := CanSol(s, src, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2 := mustInstance(t, `E(a,b). E(a,_1). E(a,_2). F(a,_3). G(_3,_4).`)
+	if !hom.Isomorphic(can, t2) {
+		t.Fatalf("CanSol = %v, want ≅ T2 %v", can, t2)
+	}
+	ok, err := IsCWASolution(s, src, can, chase.Options{})
+	if err != nil || !ok {
+		t.Fatalf("CanSol(Ex 2.1) is a CWA-solution: %v %v", ok, err)
+	}
+}
+
+func TestMinimalNoSolution(t *testing.T) {
+	s := mustSetting(t, `
+source N/2.
+target F/2.
+st:
+  N(x,y) -> F(x,y).
+target-deps:
+  F(x,y) & F(x,z) -> y = z.
+`)
+	src := mustInstance(t, `N(a,b). N(a,c).`)
+	if _, err := Minimal(s, src, chase.Options{}); err == nil {
+		t.Fatal("Minimal must fail when no solution exists")
+	}
+	sols, err := Enumerate(s, src, EnumOptions{})
+	if err != nil || len(sols) != 0 {
+		t.Fatalf("Enumerate = %v, %v; want empty", sols, err)
+	}
+}
+
+// Corollary 5.2 on a family of random-ish weakly acyclic settings: the
+// existence of CWA-solutions coincides with the existence of universal
+// solutions (chase success), and when they exist the core is one.
+func TestCorollary52(t *testing.T) {
+	s := mustSetting(t, example21)
+	sources := []string{
+		`M(a,b).`,
+		`N(a,b).`,
+		`M(a,a). N(b,b). N(b,c).`,
+		source21,
+	}
+	for _, srcText := range sources {
+		src := mustInstance(t, srcText)
+		exists, err := Exists(s, src, chase.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		core, err := Minimal(s, src, chase.Options{})
+		if exists != (err == nil) {
+			t.Fatalf("source %s: Exists=%v but Minimal err=%v", srcText, exists, err)
+		}
+		if exists {
+			ok, err := IsCWASolution(s, src, core, chase.Options{})
+			if err != nil || !ok {
+				t.Fatalf("source %s: core not a CWA-solution", srcText)
+			}
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package cwa
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/chase"
+	"repro/internal/dependency"
+	"repro/internal/hom"
+	"repro/internal/instance"
+	"repro/internal/query"
+)
+
+// EnumOptions bounds the exhaustive enumeration of CWA-solutions.
+type EnumOptions struct {
+	// MaxStates bounds the number of search states explored (default 200000).
+	MaxStates int
+	// MaxSolutions stops after this many CWA-solutions (0 = unbounded).
+	MaxSolutions int
+	// MaxNullsPerState prunes runaway branches (default 64).
+	MaxNullsPerState int
+	// ChaseOptions is used for the universality check.
+	ChaseOptions chase.Options
+	// Stats, if non-nil, receives search statistics.
+	Stats *EnumStats
+}
+
+// EnumStats reports how an enumeration went.
+type EnumStats struct {
+	// States is the number of search states explored.
+	States int
+	// PrunedEgd counts states discarded for violating an egd.
+	PrunedEgd int
+	// PrunedUniversality counts states discarded because their target
+	// reduct already had no homomorphism into the universal solution.
+	PrunedUniversality int
+	// Found is the number of CWA-solutions returned (up to isomorphism).
+	Found int
+	// Truncated reports whether a bound was hit.
+	Truncated bool
+}
+
+func (o EnumOptions) maxStates() int {
+	if o.MaxStates > 0 {
+		return o.MaxStates
+	}
+	return 200000
+}
+
+func (o EnumOptions) maxNulls() int {
+	if o.MaxNullsPerState > 0 {
+		return o.MaxNullsPerState
+	}
+	return 64
+}
+
+// ErrEnumerationTruncated reports that the search hit a bound, so the
+// returned list may be incomplete.
+var ErrEnumerationTruncated = errors.New("cwa: enumeration truncated by limits")
+
+// Enumerate exhaustively enumerates the CWA-solutions for src under s, up
+// to isomorphism (renaming of nulls).
+//
+// The search walks all successful α-chases: states are (instance, partial α)
+// pairs; at each state every justification whose α-value is already chosen
+// is fired to closure, then the first unresolved justification branches over
+// its possible witness tuples. Candidate witness values are the current
+// active domain plus fresh nulls in canonical order — sufficient for
+// CWA-solutions because a universal solution cannot use constants beyond
+// those forced by the source and the dependencies. States violating an egd
+// are pruned (a successful chase never applies an egd, Lemma 4.5). Complete
+// states are filtered by universality (Theorem 4.8) and deduplicated up to
+// isomorphism.
+//
+// The error is ErrEnumerationTruncated when a bound was hit (the result may
+// then be incomplete), or a chase error from the universality check.
+func Enumerate(s *dependency.Setting, src *instance.Instance, opt EnumOptions) ([]*instance.Instance, error) {
+	u, err := chase.UniversalSolution(s, src, opt.ChaseOptions)
+	if err != nil {
+		if chase.IsEgdFailure(err) {
+			return nil, nil // no solutions at all
+		}
+		return nil, err
+	}
+
+	e := &enumerator{
+		s:         s,
+		src:       src,
+		universal: u,
+		opt:       opt,
+	}
+	e.walk(src.Clone(), map[string]query.Binding{}, 0)
+
+	var out []*instance.Instance
+	for _, t := range e.found {
+		out = append(out, t)
+	}
+	if opt.Stats != nil {
+		e.stats.States = e.states
+		e.stats.Found = len(out)
+		e.stats.Truncated = e.truncated
+		*opt.Stats = e.stats
+	}
+	if e.truncated {
+		return out, ErrEnumerationTruncated
+	}
+	return out, nil
+}
+
+type enumerator struct {
+	s         *dependency.Setting
+	src       *instance.Instance
+	universal *instance.Instance
+	opt       EnumOptions
+	states    int
+	truncated bool
+	found     []*instance.Instance
+	stats     EnumStats
+}
+
+// walk explores the state (cur, alpha): fire chosen justifications to
+// closure, prune on egd violations, then branch on the first unresolved
+// justification. nextNull is the next fresh null label for canonical naming.
+func (e *enumerator) walk(cur *instance.Instance, alpha map[string]query.Binding, nextNull int64) {
+	e.states++
+	if e.states > e.opt.maxStates() ||
+		(e.opt.MaxSolutions > 0 && len(e.found) >= e.opt.MaxSolutions) {
+		e.truncated = true
+		return
+	}
+	if len(cur.Nulls()) > e.opt.maxNulls() {
+		e.truncated = true
+		return
+	}
+
+	// Close under already-chosen justifications.
+	for {
+		progress := false
+		for _, d := range e.s.AllTGDs() {
+			for _, env := range chase.BodyMatches(e.s, d, cur) {
+				key := chase.JustificationKeyOf(d, env)
+				w, chosen := alpha[key]
+				if !chosen {
+					continue
+				}
+				full := env.Clone()
+				for z, v := range w {
+					full[z] = v
+				}
+				for _, a := range chase.HeadAtoms(d, full) {
+					if cur.Add(a) {
+						progress = true
+					}
+				}
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+
+	// Prune: a successful α-chase never violates an egd along the way
+	// (adding atoms cannot repair a violation, and applying the egd would
+	// contradict Lemma 4.5 for successful chases).
+	for _, d := range e.s.EGDs {
+		if !chase.SatisfiesEGD(d, cur) {
+			e.stats.PrunedEgd++
+			return
+		}
+	}
+
+	// Prune: universality is antitone in the atom set — if the current
+	// target reduct already has no homomorphism into the universal solution,
+	// no superset can have one (restrict the hom), so the whole subtree
+	// contains no CWA-solution (Theorem 4.8).
+	if !hom.Exists(cur.Reduct(e.s.Target), e.universal) {
+		e.stats.PrunedUniversality++
+		return
+	}
+
+	// Find the first unresolved justification, deterministically.
+	type open struct {
+		d   *dependency.TGD
+		env query.Binding
+		key string
+	}
+	var first *open
+	for _, d := range e.s.AllTGDs() {
+		for _, env := range chase.BodyMatches(e.s, d, cur) {
+			key := chase.JustificationKeyOf(d, env)
+			if _, chosen := alpha[key]; chosen {
+				continue
+			}
+			cand := &open{d: d, env: env, key: key}
+			if first == nil || cand.key < first.key {
+				first = cand
+			}
+		}
+	}
+
+	if first == nil {
+		// Complete: every justification resolved and fired; cur is the
+		// result of a successful α-chase. Keep it if universal and new.
+		t := cur.Reduct(e.s.Target)
+		if !hom.Exists(t, e.universal) {
+			return
+		}
+		for _, prev := range e.found {
+			if hom.Isomorphic(prev, t) {
+				return
+			}
+		}
+		e.found = append(e.found, t)
+		return
+	}
+
+	// Branch over witness tuples for the unresolved justification: each
+	// existential variable takes an existing domain value or a fresh null;
+	// fresh nulls are introduced in canonical order to cut symmetry.
+	dom := cur.Dom()
+	d := first.d
+	k := len(d.Exists)
+	assign := make([]instance.Value, k)
+	var rec func(i int, freshUsed int64)
+	rec = func(i int, freshUsed int64) {
+		if e.truncated {
+			return
+		}
+		if i == k {
+			w := make(query.Binding, k)
+			for j, z := range d.Exists {
+				w[z] = assign[j]
+			}
+			alpha2 := make(map[string]query.Binding, len(alpha)+1)
+			for kk, vv := range alpha {
+				alpha2[kk] = vv
+			}
+			alpha2[first.key] = w
+			e.walk(cur.Clone(), alpha2, nextNull+freshUsed)
+			return
+		}
+		for _, v := range dom {
+			assign[i] = v
+			rec(i+1, freshUsed)
+		}
+		// Previously assigned fresh slots of this witness.
+		for f := int64(0); f < freshUsed; f++ {
+			assign[i] = instance.Null(nextNull + f)
+			rec(i+1, freshUsed)
+		}
+		// One genuinely new fresh null (introducing more than one new label
+		// at position i is symmetric to this choice).
+		assign[i] = instance.Null(nextNull + freshUsed)
+		rec(i+1, freshUsed+1)
+	}
+	rec(0, 0)
+}
+
+// Incomparable returns the subsets of solutions that are pairwise
+// incomparable: no one is a homomorphic image of another (Example 5.3's
+// notion). It reports the solutions that are not a homomorphic image of any
+// other solution in the list, along with the full pairwise matrix.
+func Incomparable(sols []*instance.Instance) (pairwise [][]bool, incomparable []int) {
+	n := len(sols)
+	pairwise = make([][]bool, n)
+	for i := range pairwise {
+		pairwise[i] = make([]bool, n)
+		for j := range pairwise[i] {
+			if i == j {
+				continue
+			}
+			// pairwise[i][j]: sols[j] is a homomorphic image of sols[i].
+			_, onto := hom.FindOnto(sols[i], sols[j], 0)
+			pairwise[i][j] = onto
+		}
+	}
+	for j := 0; j < n; j++ {
+		image := false
+		for i := 0; i < n; i++ {
+			if i != j && pairwise[i][j] {
+				image = true
+				break
+			}
+		}
+		if !image {
+			incomparable = append(incomparable, j)
+		}
+	}
+	return pairwise, incomparable
+}
+
+// SortBySize orders instances by atom count then string, for stable output.
+func SortBySize(sols []*instance.Instance) {
+	sort.Slice(sols, func(i, j int) bool {
+		if sols[i].Len() != sols[j].Len() {
+			return sols[i].Len() < sols[j].Len()
+		}
+		return sols[i].String() < sols[j].String()
+	})
+}

@@ -1,0 +1,80 @@
+package cwa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chase"
+	"repro/internal/hom"
+	"repro/internal/instance"
+	"repro/internal/query"
+)
+
+// The Chandra–Merlin bridge behind Theorem 4.8, checked through the actual
+// FO evaluator: I ⊨ ϕ_T iff there is a homomorphism T → I.
+func TestCanonicalFactIffHomomorphism(t *testing.T) {
+	mk := func(seed uint32, nullBase int64) *instance.Instance {
+		ins := instance.New()
+		for i := 0; i < 4; i++ {
+			bits := (seed >> uint(i*4)) & 15
+			var u, v instance.Value
+			if bits&1 == 0 {
+				u = instance.Const(string(rune('a' + (bits>>1)&1)))
+			} else {
+				u = instance.Null(nullBase + int64((bits>>1)&3))
+			}
+			if bits&8 == 0 {
+				v = instance.Const(string(rune('a' + (bits>>2)&1)))
+			} else {
+				v = instance.Null(nullBase + int64((bits>>2)&3))
+			}
+			ins.Add(instance.NewAtom("E", u, v))
+		}
+		return ins
+	}
+	f := func(s1, s2 uint32) bool {
+		from := mk(s1, 0)
+		to := mk(s2, 100)
+		fact := query.CanonicalFact(from)
+		return fact.Holds(to) == hom.Exists(from, to)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Definition 4.7 verified directly on Example 2.1: a presolution is a
+// CWA-solution iff its canonical fact holds in every solution — checked on
+// concrete solutions through FO evaluation.
+func TestDefinition47Direct(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, source21)
+	solutions := []*instance.Instance{
+		mustInstance(t, `E(a,b). E(a,_1). E(c,_2). F(a,d). G(d,_3).`),   // T1
+		mustInstance(t, `E(a,b). E(a,_1). E(a,_2). F(a,_3). G(_3,_4).`), // T2
+		mustInstance(t, `E(a,b). F(a,_1). G(_1,_2).`),                   // T3
+		mustInstance(t, `E(a,b). E(x,y). F(a,q). G(q,r). G(q,s).`),      // a constant-rich solution
+	}
+	for _, sol := range solutions {
+		if !chase.IsSolution(s, src, sol) {
+			t.Fatalf("test fixture %v must be a solution", sol)
+		}
+	}
+	// T' = {E(a,b), F(a,⊥), G(⊥,b)}: a presolution whose canonical fact
+	// FAILS in T2 (Example 4.9: no F-G path to b there) — not a CWA-solution.
+	tp := mustInstance(t, `E(a,b). F(a,_0). G(_0,b).`)
+	if !IsCWAPresolution(s, src, tp) {
+		t.Fatal("T' is a presolution")
+	}
+	fact := query.CanonicalFact(tp)
+	if fact.Holds(solutions[1]) {
+		t.Fatal("ϕ_T' must fail in T2")
+	}
+	// T2's canonical fact holds in every listed solution.
+	fact2 := query.CanonicalFact(mustInstance(t, `E(a,b). E(a,_1). E(a,_2). F(a,_3). G(_3,_4).`))
+	for _, sol := range solutions {
+		if !fact2.Holds(sol) {
+			t.Fatalf("ϕ_T2 must hold in solution %v", sol)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package cwa
+
+import (
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/genwl"
+	"repro/internal/hom"
+	"repro/internal/score"
+)
+
+// Cross-check the whole pipeline on randomly generated richly acyclic
+// settings and sources: chase → solution; core → CWA-solution (Thm 5.1);
+// canonical α-chase → presolution whose result is hom-equivalent to the
+// chase result; for egd settings the chase may fail, in which case no
+// CWA-solution exists (Cor 5.2).
+func TestRandomSettingsPipeline(t *testing.T) {
+	for seed := int64(0); seed < 24; seed++ {
+		withEgd := seed%3 == 0
+		s := genwl.RandomRichlyAcyclic(seed, withEgd)
+		src := genwl.RandomLayeredSource(4+int(seed%5), seed*7)
+
+		res, err := chase.Standard(s, src, chase.Options{MaxSteps: 50000})
+		if err != nil {
+			if chase.IsEgdFailure(err) {
+				// Corollary 5.2: then there is no CWA-solution either.
+				if exists, err2 := Exists(s, src, chase.Options{MaxSteps: 50000}); err2 != nil || exists {
+					t.Errorf("seed %d: chase failed but Exists=%v err=%v", seed, exists, err2)
+				}
+				continue
+			}
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !chase.IsSolution(s, src, res.Target) {
+			t.Errorf("seed %d: chase result not a solution", seed)
+			continue
+		}
+		core, err := Minimal(s, src, chase.Options{MaxSteps: 50000})
+		if err != nil {
+			t.Fatalf("seed %d: Minimal: %v", seed, err)
+		}
+		if !score.IsCore(core) {
+			t.Errorf("seed %d: Minimal not a core", seed)
+		}
+		ok, err := IsCWASolution(s, src, core, chase.Options{MaxSteps: 50000})
+		if err != nil || !ok {
+			t.Errorf("seed %d: core is not a CWA-solution (%v, %v): %v", seed, ok, err, core)
+		}
+		cres, _, err := chase.Canonical(s, src, chase.Options{MaxSteps: 50000})
+		if err != nil {
+			t.Fatalf("seed %d: canonical: %v", seed, err)
+		}
+		if !chase.IsSolution(s, src, cres.Target) {
+			t.Errorf("seed %d: canonical result not a solution", seed)
+		}
+		if !hom.Exists(cres.Target, res.Target) || !hom.Exists(res.Target, cres.Target) {
+			t.Errorf("seed %d: canonical and standard results not hom-equivalent", seed)
+		}
+		if !IsCWAPresolution(s, src, cres.Target) {
+			t.Errorf("seed %d: canonical result not a presolution: %v", seed, cres.Target)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package dependency
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// example21 builds the running example of the paper (Example 2.1):
+//
+//	d1 = M(x1,x2) → E(x1,x2)
+//	d2 = N(x,y)   → ∃z1,z2 (E(x,z1) ∧ F(x,z2))
+//	d3 = F(y,x)   → ∃z G(x,z)
+//	d4 = F(x,y) ∧ F(x,z) → y = z
+func example21() *Setting {
+	v := query.V
+	return &Setting{
+		Source: map[string]int{"M": 2, "N": 2},
+		Target: map[string]int{"E": 2, "F": 2, "G": 2},
+		ST: []*TGD{
+			NewTGD("d1", query.A("M", v("x1"), v("x2")), []query.Atom{query.A("E", v("x1"), v("x2"))}),
+			NewTGD("d2", query.A("N", v("x"), v("y")), []query.Atom{
+				query.A("E", v("x"), v("z1")), query.A("F", v("x"), v("z2")),
+			}),
+		},
+		TGDs: []*TGD{
+			NewTGD("d3", query.A("F", v("y"), v("x")), []query.Atom{query.A("G", v("x"), v("z"))}),
+		},
+		EGDs: []*EGD{
+			{Name: "d4", Body: []query.Atom{
+				query.A("F", v("x"), v("y")), query.A("F", v("x"), v("z")),
+			}, L: "y", R: "z"},
+		},
+	}
+}
+
+func TestNewTGDVariableClassification(t *testing.T) {
+	v := query.V
+	d := NewTGD("d2", query.A("N", v("x"), v("y")), []query.Atom{
+		query.A("E", v("x"), v("z1")), query.A("F", v("x"), v("z2")),
+	})
+	if len(d.X) != 1 || d.X[0] != "x" {
+		t.Fatalf("X = %v, want [x]", d.X)
+	}
+	if len(d.Y) != 1 || d.Y[0] != "y" {
+		t.Fatalf("Y = %v, want [y]", d.Y)
+	}
+	if len(d.Exists) != 2 || d.Exists[0] != "z1" || d.Exists[1] != "z2" {
+		t.Fatalf("Exists = %v, want [z1 z2]", d.Exists)
+	}
+	if d.Full() {
+		t.Fatal("d2 is not full")
+	}
+	if d.BodyAtoms == nil {
+		t.Fatal("conjunctive body should expose BodyAtoms")
+	}
+	full := NewTGD("f", query.A("N", v("x"), v("y")), []query.Atom{query.A("E", v("x"), v("y"))})
+	if !full.Full() {
+		t.Fatal("tgd without existentials should be Full")
+	}
+}
+
+func TestNewTGDNonConjunctiveBody(t *testing.T) {
+	v := query.V
+	body := query.Disj(query.A("M", v("x"), v("x")), query.A("N", v("x"), v("x")))
+	d := NewTGD("d", body, []query.Atom{query.A("E", v("x"), v("x"))})
+	if d.BodyAtoms != nil {
+		t.Fatal("disjunctive body must not expose BodyAtoms")
+	}
+}
+
+func TestValidateExample21(t *testing.T) {
+	if err := example21().Validate(); err != nil {
+		t.Fatalf("Example 2.1 should validate: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	v := query.V
+	base := example21()
+
+	overlap := example21()
+	overlap.Target["M"] = 2
+	if err := overlap.Validate(); err == nil || !strings.Contains(err.Error(), "disjoint") {
+		t.Errorf("overlapping schemas should fail: %v", err)
+	}
+
+	dup := example21()
+	dup.TGDs = append(dup.TGDs, NewTGD("d1", query.A("F", v("x"), v("y")), []query.Atom{query.A("G", v("x"), v("y"))}))
+	if err := dup.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate names should fail: %v", err)
+	}
+
+	wrongSchema := example21()
+	wrongSchema.TGDs = []*TGD{NewTGD("dz", query.A("M", v("x"), v("y")), []query.Atom{query.A("G", v("x"), v("y"))})}
+	if err := wrongSchema.Validate(); err == nil {
+		t.Error("target tgd with source body should fail")
+	}
+
+	badArity := example21()
+	badArity.ST = append(badArity.ST, NewTGD("d9", query.A("M", v("x")), []query.Atom{query.A("E", v("x"), v("x"))}))
+	if err := badArity.Validate(); err == nil || !strings.Contains(err.Error(), "arity") {
+		t.Errorf("arity mismatch should fail: %v", err)
+	}
+
+	badEgd := example21()
+	badEgd.EGDs = []*EGD{{Name: "e", Body: []query.Atom{query.A("F", v("x"), v("y"))}, L: "y", R: "w"}}
+	if err := badEgd.Validate(); err == nil || !strings.Contains(err.Error(), "equated") {
+		t.Errorf("egd with foreign variable should fail: %v", err)
+	}
+
+	_ = base
+}
+
+func TestClassification(t *testing.T) {
+	s := example21()
+	if s.EgdsOnly() {
+		t.Fatal("Example 2.1 has a target tgd")
+	}
+	if s.FullAndEgds() {
+		t.Fatal("Example 2.1 has existential tgds")
+	}
+	egdOnly := example21()
+	egdOnly.TGDs = nil
+	if !egdOnly.EgdsOnly() {
+		t.Fatal("EgdsOnly misreported")
+	}
+	if !s.HasTargetDependencies() {
+		t.Fatal("HasTargetDependencies misreported")
+	}
+}
+
+func TestWeakAndRichAcyclicityExample21(t *testing.T) {
+	s := example21()
+	if !s.WeaklyAcyclic() {
+		t.Fatal("Example 2.1 is weakly acyclic")
+	}
+	if !s.RichlyAcyclic() {
+		t.Fatal("Example 2.1 is richly acyclic")
+	}
+}
+
+// demb builds the Kolaitis–Panttaja–Tan setting D_emb of Example 6.1 with
+// d_total split into nine prenexed tgds.
+func demb() *Setting {
+	v := query.V
+	s := &Setting{
+		Source: map[string]int{"R": 3},
+		Target: map[string]int{"Rp": 3},
+		ST: []*TGD{
+			NewTGD("copy", query.A("R", v("x"), v("y"), v("z")), []query.Atom{query.A("Rp", v("x"), v("y"), v("z"))}),
+		},
+		EGDs: []*EGD{
+			{Name: "dfunc", Body: []query.Atom{
+				query.A("Rp", v("x"), v("y"), v("z1")), query.A("Rp", v("x"), v("y"), v("z2")),
+			}, L: "z1", R: "z2"},
+		},
+	}
+	s.TGDs = append(s.TGDs, NewTGD("dassoc",
+		query.Conj(
+			query.A("Rp", v("x"), v("y"), v("u")),
+			query.A("Rp", v("y"), v("z"), v("v")),
+			query.A("Rp", v("u"), v("z"), v("w")),
+		),
+		[]query.Atom{query.A("Rp", v("x"), v("v"), v("w"))}))
+	vars := []string{"x1", "x2", "x3", "y1", "y2", "y3"}
+	for i := 1; i <= 3; i++ {
+		for j := 1; j <= 3; j++ {
+			name := "dtotal" + string(rune('0'+i)) + string(rune('0'+j))
+			body := query.Conj(
+				query.A("Rp", v("x1"), v("x2"), v("x3")),
+				query.A("Rp", v("y1"), v("y2"), v("y3")),
+			)
+			head := []query.Atom{query.A("Rp", v(vars[i-1]), v(vars[2+j]), v("zz"))}
+			s.TGDs = append(s.TGDs, NewTGD(name, body, head))
+		}
+	}
+	return s
+}
+
+func TestDembNotWeaklyAcyclic(t *testing.T) {
+	s := demb()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("D_emb should validate: %v", err)
+	}
+	if s.WeaklyAcyclic() {
+		t.Fatal("D_emb must not be weakly acyclic")
+	}
+	if s.RichlyAcyclic() {
+		t.Fatal("richly acyclic implies weakly acyclic")
+	}
+}
+
+func TestRichButNotWeakDistinction(t *testing.T) {
+	// d: E(x,y) → ∃z E(x,z). Dependency graph edges: (E,1)→(E,1) regular,
+	// (E,1)→(E,2) existential — weakly acyclic. Extended graph adds
+	// (E,2)→(E,2) existential from y — a self-loop — so not richly acyclic.
+	v := query.V
+	s := &Setting{
+		Source: map[string]int{"S": 2},
+		Target: map[string]int{"E": 2},
+		ST: []*TGD{
+			NewTGD("copy", query.A("S", v("x"), v("y")), []query.Atom{query.A("E", v("x"), v("y"))}),
+		},
+		TGDs: []*TGD{
+			NewTGD("d", query.A("E", v("x"), v("y")), []query.Atom{query.A("E", v("x"), v("z"))}),
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.WeaklyAcyclic() {
+		t.Fatal("setting should be weakly acyclic")
+	}
+	if s.RichlyAcyclic() {
+		t.Fatal("setting should not be richly acyclic")
+	}
+}
+
+func TestRanks(t *testing.T) {
+	// Chain: A(x) → ∃z B(x,z); B(x,y) → ∃z C(y,z).
+	// Existential edges (A,1)→(B,2) and (B,2)→(C,2); regular (B,2)→(C,1).
+	v := query.V
+	s := &Setting{
+		Source: map[string]int{"S": 1},
+		Target: map[string]int{"A": 1, "B": 2, "C": 2},
+		ST: []*TGD{
+			NewTGD("copy", query.A("S", v("x")), []query.Atom{query.A("A", v("x"))}),
+		},
+		TGDs: []*TGD{
+			NewTGD("t1", query.A("A", v("x")), []query.Atom{query.A("B", v("x"), v("z"))}),
+			NewTGD("t2", query.A("B", v("x"), v("y")), []query.Atom{query.A("C", v("y"), v("z"))}),
+		},
+	}
+	g := BuildDependencyGraph(s, false)
+	if g.HasExistentialCycle() {
+		t.Fatal("chain setting has no existential cycle")
+	}
+	ranks := g.Ranks()
+	want := map[Position]int{
+		{"A", 0}: 0, {"B", 0}: 0, {"B", 1}: 1, {"C", 0}: 1, {"C", 1}: 2,
+	}
+	for p, w := range want {
+		if ranks[p] != w {
+			t.Errorf("rank%v = %d, want %d", p, ranks[p], w)
+		}
+	}
+}
+
+func TestSettingString(t *testing.T) {
+	s := example21()
+	str := s.String()
+	for _, want := range []string{"source", "target", "d1", "d4", "M/2", "G/2"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("Setting.String missing %q:\n%s", want, str)
+		}
+	}
+}
+
+func TestTGDByName(t *testing.T) {
+	s := example21()
+	if s.TGDByName("d2") == nil || s.TGDByName("nope") != nil {
+		t.Fatal("TGDByName lookup wrong")
+	}
+}
+
+func TestDependencyGraphString(t *testing.T) {
+	s := example21()
+	g := BuildDependencyGraph(s, false)
+	str := g.String()
+	if !strings.Contains(str, "=∃=>") || !strings.Contains(str, "d3") {
+		t.Fatalf("graph rendering:\n%s", str)
+	}
+	ext := BuildDependencyGraph(s, true)
+	if len(ext.Edges) <= len(g.Edges) {
+		t.Fatal("extended graph must add existential edges for ȳ-variables")
+	}
+}

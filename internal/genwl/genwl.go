@@ -1,0 +1,240 @@
+// Package genwl generates the workloads used by the examples, the
+// experiment harness and the benchmarks: the paper's running examples, the
+// Section 3 anomaly instance, copying settings, and scaling families for
+// each Table 1 cell.
+package genwl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dependency"
+	"repro/internal/instance"
+	"repro/internal/parser"
+)
+
+func mustSetting(text string) *dependency.Setting {
+	s, err := parser.ParseSetting(text)
+	if err != nil {
+		panic("genwl: " + err.Error())
+	}
+	return s
+}
+
+// Example21 returns the paper's running example (Example 2.1).
+func Example21() *dependency.Setting {
+	return mustSetting(`
+source M/2, N/2.
+target E/2, F/2, G/2.
+st:
+  d1: M(x1,x2) -> E(x1,x2).
+  d2: N(x,y) -> exists z1,z2 : E(x,z1) & F(x,z2).
+target-deps:
+  d3: F(y,x) -> exists z : G(x,z).
+  d4: F(x,y) & F(x,z) -> y = z.
+`)
+}
+
+// Example21Source returns the source instance of Example 2.1.
+func Example21Source() *instance.Instance {
+	src, err := parser.ParseInstance(`M(a,b). N(a,b). N(a,c).`)
+	if err != nil {
+		panic(err)
+	}
+	return src
+}
+
+// Example53 returns the setting of Example 5.3 (exponentially many
+// incomparable CWA-solutions).
+func Example53() *dependency.Setting {
+	return mustSetting(`
+source P/1.
+target E/3, F/3.
+st:
+  d1: P(x) -> exists z1,z2,z3,z4 : E(x,z1,z3) & E(x,z2,z4).
+target-deps:
+  d2: E(x,x1,y) & E(x,x2,y) -> F(x,x1,x2).
+`)
+}
+
+// Example53Source returns S_n = {P(1), …, P(n)}.
+func Example53Source(n int) *instance.Instance {
+	src := instance.New()
+	for i := 1; i <= n; i++ {
+		src.Add(instance.NewAtom("P", instance.Const(fmt.Sprintf("%d", i))))
+	}
+	return src
+}
+
+// Copying builds the copying data exchange setting of Section 3 for the
+// schema {E/2, P/1}: every source relation R is copied to Rp.
+func Copying() *dependency.Setting {
+	return mustSetting(`
+source E/2, P/1.
+target Ep/2, Pp/1.
+st:
+  cE: E(x,y) -> Ep(x,y).
+  cP: P(x) -> Pp(x).
+`)
+}
+
+// TwoNineCycles returns the Section 3 source instance: the disjoint union
+// of two cycles of length 9 over a0…a8 and b0…b8, with P(a4).
+func TwoNineCycles() *instance.Instance {
+	return Cycles(9, 9, 4)
+}
+
+// Cycles builds two disjoint directed cycles of the given lengths with
+// P labelling node a<mark> of the first cycle.
+func Cycles(lenA, lenB, mark int) *instance.Instance {
+	src := instance.New()
+	a := func(i int) instance.Value { return instance.Const(fmt.Sprintf("a%d", i)) }
+	b := func(i int) instance.Value { return instance.Const(fmt.Sprintf("b%d", i)) }
+	for i := 0; i < lenA; i++ {
+		src.Add(instance.NewAtom("E", a(i), a((i+1)%lenA)))
+	}
+	for i := 0; i < lenB; i++ {
+		src.Add(instance.NewAtom("E", b(i), b((i+1)%lenB)))
+	}
+	src.Add(instance.NewAtom("P", a(mark)))
+	return src
+}
+
+// WeaklyAcyclicChain builds a richly acyclic setting whose chase walks a
+// chain of existential tgds of the given depth — the scaling family for
+// chase and CWA-solution computation (E5/E6).
+//
+//	source R0/2; target T1/2 … T<depth>/2
+//	R0(x,y) → T1(x,y);  Ti(x,y) → ∃z Ti+1(y,z)
+func WeaklyAcyclicChain(depth int) *dependency.Setting {
+	text := "source R0/2.\ntarget "
+	for i := 1; i <= depth; i++ {
+		if i > 1 {
+			text += ", "
+		}
+		text += fmt.Sprintf("T%d/2", i)
+	}
+	text += ".\nst:\n  R0(x,y) -> T1(x,y).\ntarget-deps:\n"
+	for i := 1; i < depth; i++ {
+		text += fmt.Sprintf("  T%d(x,y) -> exists z : T%d(y,z).\n", i, i+1)
+	}
+	return mustSetting(text)
+}
+
+// RandomEdges builds a random source instance R0(·,·) with n edges over
+// √n·c nodes, reproducibly.
+func RandomEdges(rel string, n int, seed int64) *instance.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	nodes := n/2 + 2
+	src := instance.New()
+	for src.Len() < n {
+		u := instance.Const(fmt.Sprintf("n%d", rng.Intn(nodes)))
+		v := instance.Const(fmt.Sprintf("n%d", rng.Intn(nodes)))
+		src.Add(instance.NewAtom(rel, u, v))
+	}
+	return src
+}
+
+// EgdOnly returns the egd-only setting used by the Table 1 row 3
+// experiments: F is populated both by existential and by concrete facts and
+// must be functional.
+func EgdOnly() *dependency.Setting {
+	return mustSetting(`
+source N/2, W/2.
+target F/2.
+st:
+  s1: N(x,y) -> exists z : F(x,z).
+  s2: W(x,y) -> F(x,y).
+target-deps:
+  e1: F(x,y) & F(x,z) -> y = z.
+`)
+}
+
+// EgdOnlySource builds a source for EgdOnly with n N-facts and n/2 W-facts;
+// consistent reports whether the W-facts are functional (inconsistent
+// sources make the chase fail).
+func EgdOnlySource(n int, consistent bool, seed int64) *instance.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	src := instance.New()
+	name := func(p string, i int) instance.Value {
+		return instance.Const(fmt.Sprintf("%s%d", p, i))
+	}
+	for i := 0; i < n; i++ {
+		src.Add(instance.NewAtom("N", name("k", i), name("v", rng.Intn(n+1))))
+	}
+	for i := 0; i < n/2; i++ {
+		src.Add(instance.NewAtom("W", name("k", i*2), name("w", i)))
+		if !consistent && i == 0 {
+			src.Add(instance.NewAtom("W", name("k", 0), name("w", 999)))
+		}
+	}
+	return src
+}
+
+// RandomRichlyAcyclic generates a random richly acyclic setting with a
+// layered target schema: s-t tgds copy or existentially extend source facts
+// into layer 0, and target tgds only point from layer i to layer i+1, so
+// the dependency graph is a DAG by construction. Optionally a functional
+// egd on the first layer-0 relation is added.
+func RandomRichlyAcyclic(seed int64, withEgd bool) *dependency.Setting {
+	rng := rand.New(rand.NewSource(seed))
+	text := "source S0/2, S1/2.\ntarget L0/2, L1/2, L2/2.\nst:\n"
+	// Layer-0 producers.
+	text += "  st1: S0(x,y) -> L0(x,y).\n"
+	if rng.Intn(2) == 0 {
+		text += "  st2: S1(x,y) -> exists z : L0(x,z).\n"
+	} else {
+		text += "  st2: S1(x,y) -> L0(y,x).\n"
+	}
+	text += "target-deps:\n"
+	// Layer 0 → 1 and 1 → 2 tgds, randomly full or existential.
+	shapes01 := []string{
+		"  t1: L0(x,y) -> L1(x,y).\n",
+		"  t1: L0(x,y) -> exists z : L1(y,z).\n",
+		"  t1: L0(x,y) -> exists z : L1(x,z).\n",
+	}
+	shapes12 := []string{
+		"  t2: L1(x,y) -> L2(y,x).\n",
+		"  t2: L1(x,y) -> exists z : L2(x,z).\n",
+	}
+	text += shapes01[rng.Intn(len(shapes01))]
+	text += shapes12[rng.Intn(len(shapes12))]
+	if withEgd {
+		text += "  e1: L0(x,y) & L0(x,z) -> y = z.\n"
+	}
+	s := mustSetting(text)
+	if !s.RichlyAcyclic() {
+		panic("genwl: generated setting must be richly acyclic")
+	}
+	return s
+}
+
+// RandomLayeredSource builds a random source for RandomRichlyAcyclic with n
+// facts over a small constant pool.
+func RandomLayeredSource(n int, seed int64) *instance.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	src := instance.New()
+	name := func(i int) instance.Value { return instance.Const(fmt.Sprintf("c%d", i)) }
+	pool := n/2 + 2
+	for src.Len() < n {
+		rel := "S0"
+		if rng.Intn(2) == 0 {
+			rel = "S1"
+		}
+		src.Add(instance.NewAtom(rel, name(rng.Intn(pool)), name(rng.Intn(pool))))
+	}
+	return src
+}
+
+// FullTgds returns the full-tgd transitive-closure setting of Table 1 row 4.
+func FullTgds() *dependency.Setting {
+	return mustSetting(`
+source R/2.
+target E/2, T/2.
+st:
+  s1: R(x,y) -> E(x,y).
+target-deps:
+  t1: E(x,y) -> T(x,y).
+  t2: T(x,y) & E(y,z) -> T(x,z).
+`)
+}

@@ -1,0 +1,106 @@
+package genwl
+
+import (
+	"testing"
+
+	"repro/internal/chase"
+)
+
+func TestExample21Shape(t *testing.T) {
+	s := Example21()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.RichlyAcyclic() {
+		t.Fatal("Example 2.1 is richly acyclic")
+	}
+	src := Example21Source()
+	if src.Len() != 3 {
+		t.Fatalf("source size %d", src.Len())
+	}
+	if _, err := chase.Standard(s, src, chase.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExample53Shape(t *testing.T) {
+	s := Example53()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if Example53Source(3).Len() != 3 {
+		t.Fatal("source size")
+	}
+}
+
+func TestCopyingAndCycles(t *testing.T) {
+	s := Copying()
+	src := TwoNineCycles()
+	if src.Len() != 19 {
+		t.Fatalf("two 9-cycles + P(a4) = 19 atoms, got %d", src.Len())
+	}
+	res, err := chase.Standard(s, src, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Target.Len() != 19 || res.Target.HasNulls() {
+		t.Fatalf("copy must be null-free and complete: %v", res.Target)
+	}
+}
+
+func TestWeaklyAcyclicChain(t *testing.T) {
+	s := WeaklyAcyclicChain(5)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.WeaklyAcyclic() || !s.RichlyAcyclic() {
+		t.Fatal("chain must be richly acyclic")
+	}
+	src := RandomEdges("R0", 10, 1)
+	res, err := chase.Standard(s, src, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if res.Target.RelLen("T"+string(rune('0'+i))) == 0 {
+			t.Fatalf("chain level %d empty: %v", i, res.Target.Relations())
+		}
+	}
+}
+
+func TestRandomEdgesReproducible(t *testing.T) {
+	a := RandomEdges("R", 20, 5)
+	b := RandomEdges("R", 20, 5)
+	if !a.Equal(b) {
+		t.Fatal("same seed must give same instance")
+	}
+	if a.Len() != 20 {
+		t.Fatalf("size %d", a.Len())
+	}
+}
+
+func TestEgdOnlySource(t *testing.T) {
+	s := EgdOnly()
+	good := EgdOnlySource(8, true, 3)
+	if _, err := chase.Standard(s, good, chase.Options{}); err != nil {
+		t.Fatalf("consistent source must chase: %v", err)
+	}
+	bad := EgdOnlySource(8, false, 3)
+	if _, err := chase.Standard(s, bad, chase.Options{}); !chase.IsEgdFailure(err) {
+		t.Fatalf("inconsistent source must fail the egd: %v", err)
+	}
+}
+
+func TestFullTgdsTransitiveClosure(t *testing.T) {
+	s := FullTgds()
+	if !s.FullAndEgds() {
+		t.Fatal("FullTgds must be in the full class")
+	}
+	src, _ := chase.Standard(s, RandomEdges("R", 6, 2), chase.Options{})
+	if src.Target.HasNulls() {
+		t.Fatal("full tgds produce no nulls")
+	}
+	if src.Target.RelLen("T") < src.Target.RelLen("E") {
+		t.Fatal("closure must contain the edges")
+	}
+}

@@ -1,0 +1,521 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/certain"
+	"repro/internal/chase"
+	"repro/internal/circuit"
+	"repro/internal/cwa"
+	"repro/internal/genwl"
+	"repro/internal/hom"
+	"repro/internal/instance"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/sat"
+	"repro/internal/score"
+	"repro/internal/semigroup"
+	"repro/internal/turing"
+)
+
+// RunAll executes the complete experiment index E1–E12 of DESIGN.md and
+// returns one Result per experiment.
+func RunAll() []Result {
+	results := []Result{
+		E1UCQPolynomial(),
+		E2CQIneqCoNP(),
+		E3EgdOnlyPTime(),
+		E4FOCertainUpperBound(),
+		E5Example53(),
+		E6Proposition66(),
+		E7TuringSimulation(),
+		E8Demb(),
+		E9CoreAblation(),
+		E10Anomaly(),
+		E11SemanticsCrossCheck(),
+		E12CanSolMaximality(),
+		E13ObliviousAblation(),
+	}
+	SortResults(results)
+	return results
+}
+
+// E13ObliviousAblation — an engine ablation beyond the paper's text: the
+// oblivious chase (per-trigger firing) terminates on richly acyclic
+// settings but diverges on weakly-acyclic-only ones where the standard
+// chase terminates — the executable content of the Proposition 7.4
+// restriction to rich acyclicity.
+func E13ObliviousAblation() Result {
+	weakOnly, err := parser.ParseSetting(`
+source S/2.
+target E/2.
+st:
+  s1: S(x,y) -> E(x,y).
+target-deps:
+  t1: E(x,y) -> exists z : E(x,z).
+`)
+	if err != nil {
+		panic(err)
+	}
+	src, _ := parser.ParseInstance(`S(a,b). S(b,c).`)
+	ok := weakOnly.WeaklyAcyclic() && !weakOnly.RichlyAcyclic()
+	if _, err := chase.Standard(weakOnly, src, chase.Options{MaxSteps: 2000}); err != nil {
+		ok = false
+	}
+	if _, err := chase.Oblivious(weakOnly, src, chase.Options{MaxSteps: 2000}); !errors.Is(err, chase.ErrBudgetExceeded) {
+		ok = false
+	}
+	rich := genwl.Example21()
+	richSrc := genwl.Example21Source()
+	if _, err := chase.Oblivious(rich, richSrc, chase.Options{MaxSteps: 20000}); err != nil {
+		ok = false
+	}
+	return Result{
+		ID:       "E13",
+		Artifact: "weak vs. rich acyclicity (Defs 6.5/7.3, Prop 7.4)",
+		Paper:    "per-ȳ value creation breaks termination under weak acyclicity",
+		Measured: "oblivious chase: diverges on weakly-only, terminates on richly acyclic; standard chase terminates on both",
+		OK:       ok,
+	}
+}
+
+func mustUCQ(text string) query.UCQ {
+	u, err := parser.ParseUCQ(text)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// E1UCQPolynomial — Table 1, column "union of CQ": certain answers of pure
+// UCQs are computable in polynomial time for weakly acyclic settings
+// (Theorem 7.6 / Lemma 7.7). Measured: the growth exponent of CertainUCQ
+// over increasing source sizes.
+func E1UCQPolynomial() Result {
+	s := genwl.WeaklyAcyclicChain(4)
+	u := mustUCQ("q(x,y) :- T1(x,y).\nq(x,y) :- T2(x,y).")
+	var points []Measurement
+	ok := true
+	for _, n := range []int{8, 16, 32, 64, 128} {
+		src := genwl.RandomEdges("R0", n, int64(n))
+		elapsed := Time(func() {
+			ans, err := certain.CertainUCQ(s, u, src, certain.Options{})
+			if err != nil || ans == nil {
+				ok = false
+			}
+		})
+		points = append(points, Measurement{Size: n, Elapsed: elapsed})
+	}
+	g := GrowthExponent(points)
+	return Result{
+		ID:       "E1",
+		Artifact: "Table 1 col 1 (union of CQ)",
+		Paper:    "PTIME for weakly acyclic settings",
+		Measured: fmt.Sprintf("growth ≈ n^%.1f over sizes 8..128", g),
+		OK:       ok && LooksPolynomial(points, 3),
+	}
+}
+
+// E2CQIneqCoNP — Theorem 7.5: certain answers of a CQ with one inequality
+// are co-NP-hard; the reduction's verdict must complement DPLL.
+func E2CQIneqCoNP() Result {
+	agree := true
+	for seed := int64(0); seed < 10; seed++ {
+		f := sat.Random3CNF(3, 3+int(seed)%5, seed)
+		_, isSat := sat.Solve(f)
+		unsat, err := sat.CertainUnsat(f, chase.Options{})
+		if err != nil || unsat == isSat {
+			agree = false
+			break
+		}
+	}
+	return Result{
+		ID:       "E2",
+		Artifact: "Theorem 7.5 / Table 1 col 2 (CQ + 1 inequality)",
+		Paper:    "co-NP-complete for richly acyclic settings",
+		Measured: fmt.Sprintf("certain(q,S_φ) = UNSAT(φ) on 10 random 3-CNFs: %v", agree),
+		OK:       agree,
+	}
+}
+
+// E3EgdOnlyPTime — Table 1 rows 3–4 of column 2: UCQs with one inequality
+// per disjunct are PTIME for egd-only settings; the fixpoint algorithm must
+// agree with valuation enumeration and scale polynomially.
+func E3EgdOnlyPTime() Result {
+	s := genwl.EgdOnly()
+	u := mustUCQ("q(x) :- F(x,y), y != x.")
+	agree := true
+	var points []Measurement
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		src := genwl.EgdOnlySource(n, true, int64(n))
+		can, err := cwa.CanSol(s, src, chase.Options{})
+		if err != nil {
+			agree = false
+			break
+		}
+		elapsed := Time(func() {
+			if _, err := certain.BoxUCQIneqPTime(s, u, can); err != nil {
+				agree = false
+			}
+		})
+		points = append(points, Measurement{Size: n, Elapsed: elapsed})
+		if n <= 8 {
+			fast, _ := certain.BoxUCQIneqPTime(s, u, can)
+			slow, err := certain.Box(s, u, can, certain.Options{})
+			if err != nil || !fast.Equal(slow) {
+				agree = false
+			}
+		}
+	}
+	g := GrowthExponent(points)
+	return Result{
+		ID:       "E3",
+		Artifact: "Table 1 rows 3-4, col 2 (egd-only / full+egds)",
+		Paper:    "PTIME via the Fagin-et-al.-style algorithm",
+		Measured: fmt.Sprintf("fixpoint = enumeration on small inputs; growth ≈ n^%.1f", g),
+		OK:       agree && LooksPolynomial(points, 3),
+	}
+}
+
+// E4FOCertainUpperBound — Proposition 7.4: FO certain/maybe answers over
+// richly acyclic settings are in co-NP/NP; the generic algorithm enumerates
+// valuations, exponential only in the number of nulls.
+func E4FOCertainUpperBound() Result {
+	s := genwl.EgdOnly()
+	q, err := parser.ParseFOQuery(`(x) . exists y (F(x,y) & !(exists z (F(z,x))))`)
+	if err != nil {
+		panic(err)
+	}
+	ok := true
+	var points []Measurement
+	for _, n := range []int{1, 2, 3, 4, 5} {
+		src := genwl.EgdOnlySource(n, true, 7)
+		core, err := cwa.Minimal(s, src, chase.Options{})
+		if err != nil {
+			ok = false
+			break
+		}
+		elapsed := Time(func() {
+			if _, err := certain.Box(s, q, core, certain.Options{}); err != nil {
+				ok = false
+			}
+		})
+		points = append(points, Measurement{Size: core.Len(), Elapsed: elapsed})
+	}
+	return Result{
+		ID:       "E4",
+		Artifact: "Proposition 7.4 (FO queries, richly acyclic)",
+		Paper:    "co-NP upper bound (valuation enumeration)",
+		Measured: fmt.Sprintf("generic □Q computed for up to %d nulls", 5),
+		OK:       ok,
+	}
+}
+
+// E5Example53 — Example 5.3: at least 2^n pairwise incomparable
+// CWA-solutions for S_n.
+func E5Example53() Result {
+	s := genwl.Example53()
+	ok := true
+	counts := make([]int, 0, 2)
+	for n := 1; n <= 2; n++ {
+		sols, err := cwa.Enumerate(s, genwl.Example53Source(n), cwa.EnumOptions{MaxStates: 500000})
+		if err != nil {
+			ok = false
+			break
+		}
+		_, inc := cwa.Incomparable(sols)
+		counts = append(counts, len(inc))
+		if len(inc) < 1<<n {
+			ok = false
+		}
+	}
+	return Result{
+		ID:       "E5",
+		Artifact: "Example 5.3 (no maximal CWA-solution)",
+		Paper:    "≥ 2^n pairwise incomparable CWA-solutions",
+		Measured: fmt.Sprintf("incomparable counts %v for n=1,2", counts),
+		OK:       ok,
+	}
+}
+
+// E6Proposition66 — Proposition 6.6: computing a CWA-solution is PTIME for
+// weakly acyclic settings, and the problem is PTIME-hard (MCVP reduction).
+func E6Proposition66() Result {
+	s := genwl.WeaklyAcyclicChain(5)
+	ok := true
+	var points []Measurement
+	for _, n := range []int{8, 16, 32, 64} {
+		src := genwl.RandomEdges("R0", n, int64(n))
+		elapsed := Time(func() {
+			if _, err := cwa.Minimal(s, src, chase.Options{}); err != nil {
+				ok = false
+			}
+		})
+		points = append(points, Measurement{Size: n, Elapsed: elapsed})
+	}
+	// PTIME-hardness: the MCVP reduction is correct.
+	es := circuit.ExistenceSetting()
+	for seed := int64(0); seed < 10; seed++ {
+		c := circuit.Random(3, 8, seed)
+		src, err := circuit.SourceInstance(c, true)
+		if err != nil {
+			ok = false
+			break
+		}
+		exists, err := cwa.Exists(es, src, chase.Options{})
+		if err != nil || exists == c.Eval() {
+			ok = false
+			break
+		}
+	}
+	g := GrowthExponent(points)
+	return Result{
+		ID:       "E6",
+		Artifact: "Proposition 6.6 (computing CWA-solutions)",
+		Paper:    "PTIME for weakly acyclic; PTIME-hard (MCVP)",
+		Measured: fmt.Sprintf("growth ≈ n^%.1f; MCVP reduction correct on 10 circuits", g),
+		OK:       ok && LooksPolynomial(points, 3.5),
+	}
+}
+
+// E7TuringSimulation — Theorem 6.2: the chase over D_halt simulates Turing
+// machines; halting ⟺ chase termination, step-exact against the
+// interpreter.
+func E7TuringSimulation() Result {
+	s := turing.DHaltSetting()
+	ok := true
+	detail := ""
+	for _, n := range []int{1, 3, 6} {
+		m := turing.WriterMachine(n)
+		src, err := turing.SourceInstance(m)
+		if err != nil {
+			ok = false
+			break
+		}
+		res, err := chase.Standard(s, src, chase.Options{MaxSteps: 200000})
+		if err != nil {
+			ok = false
+			break
+		}
+		got, err := turing.DecodeRun(res.Target)
+		if err != nil {
+			ok = false
+			break
+		}
+		want, _ := m.Run(1000)
+		if len(got) != len(want) {
+			ok = false
+			break
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				ok = false
+			}
+		}
+		detail = fmt.Sprintf("writer(%d): %d configs, %d chase steps", n, len(got), res.Steps)
+	}
+	// Non-halting: budget exceeded.
+	loopSrc, _ := turing.SourceInstance(turing.LoopMachine())
+	if _, err := chase.Standard(s, loopSrc, chase.Options{MaxSteps: 2000}); !errors.Is(err, chase.ErrBudgetExceeded) {
+		ok = false
+	}
+	return Result{
+		ID:       "E7",
+		Artifact: "Theorem 6.2 (D_halt)",
+		Paper:    "Existence-of-CWA-Solutions undecidable (TM simulation)",
+		Measured: detail + "; looper exceeds every budget",
+		OK:       ok,
+	}
+}
+
+// E8Demb — Example 6.1: D_emb has solutions (Z_{k+2}) for S = {R(0,1,1)}
+// but no CWA-solution: the chase keeps growing under every budget.
+func E8Demb() Result {
+	s := semigroup.DembSetting()
+	src, err := semigroup.SourceInstance(semigroup.Example61Partial())
+	ok := err == nil
+	if ok {
+		ok = chase.IsSolution(s, src, semigroup.ZkSolution(1))
+	}
+	var sizes []int
+	for _, budget := range []int{100, 300, 900} {
+		res, err := chase.Standard(s, src, chase.Options{MaxSteps: budget})
+		if !errors.Is(err, chase.ErrBudgetExceeded) || res == nil {
+			ok = false
+			break
+		}
+		sizes = append(sizes, res.Target.Len())
+	}
+	for i := 0; i+1 < len(sizes); i++ {
+		if sizes[i] >= sizes[i+1] {
+			ok = false
+		}
+	}
+	found, size := semigroup.EmbeddingBrute(semigroup.Example61Partial(), 3)
+	return Result{
+		ID:       "E8",
+		Artifact: "Example 6.1 (D_emb)",
+		Paper:    "solutions exist, no CWA-solution (chase diverges)",
+		Measured: fmt.Sprintf("Z_2 solution ✓ (brute: size %d, found %v); chase sizes %v", size, found, sizes),
+		OK:       ok && found,
+	}
+}
+
+// E9CoreAblation — Theorem 5.1 / Proposition 6.6: the core is the minimal
+// CWA-solution; the block-based core algorithm agrees with the naive one
+// and is faster on chase outputs.
+func E9CoreAblation() Result {
+	s := genwl.Example21()
+	ok := true
+	var naive, blocks time.Duration
+	for _, n := range []int{10, 20, 40} {
+		src := instance.New()
+		for i := 0; i < n; i++ {
+			a := instance.Const(fmt.Sprintf("a%d", i))
+			b := instance.Const(fmt.Sprintf("b%d", i))
+			src.Add(instance.NewAtom("M", a, b))
+			src.Add(instance.NewAtom("N", a, b))
+		}
+		u, err := chase.UniversalSolution(s, src, chase.Options{})
+		if err != nil {
+			ok = false
+			break
+		}
+		var c1, c2 *instance.Instance
+		blocks += Time(func() { c1 = score.Core(u) })
+		naive += Time(func() { c2 = score.CoreNaive(u) })
+		if !hom.Isomorphic(c1, c2) || !score.IsCore(c1) {
+			ok = false
+		}
+	}
+	return Result{
+		ID:       "E9",
+		Artifact: "Theorem 5.1 (core = minimal CWA-solution)",
+		Paper:    "core computable in PTIME (blocks algorithm)",
+		Measured: fmt.Sprintf("blocks %v vs naive %v, results isomorphic", blocks.Round(time.Millisecond), naive.Round(time.Millisecond)),
+		OK:       ok,
+	}
+}
+
+// E10Anomaly — Section 3: on the copying setting with two 9-cycles, the OWA
+// certain answers lose the b-cycle, while all four CWA semantics return
+// Q(S′) as they intuitively should.
+func E10Anomaly() Result {
+	s := genwl.Copying()
+	src := genwl.TwoNineCycles()
+	q, err := parser.ParseFOQuery(`(x) . Pp(x) | exists y,z (Pp(y) & Ep(y,z) & !(Pp(z)))`)
+	if err != nil {
+		panic(err)
+	}
+	// The copied instance S' and the spoiler S'' (all a-nodes labelled P).
+	copied := instance.New()
+	spoiler := instance.New()
+	for _, a := range src.Atoms() {
+		rel := map[string]string{"E": "Ep", "P": "Pp"}[a.Rel]
+		copied.Add(instance.Atom{Rel: rel, Args: a.Args})
+		spoiler.Add(instance.Atom{Rel: rel, Args: a.Args})
+	}
+	for i := 0; i < 9; i++ {
+		spoiler.Add(instance.NewAtom("Pp", instance.Const(fmt.Sprintf("a%d", i))))
+	}
+	wantAll := query.NewTupleSet(q.Answers(copied)...)
+	spoilerAns := query.NewTupleSet(q.Answers(spoiler)...)
+	// CWA semantics: the only CWA-solution is the copy, null-free.
+	cwaAns, err := certain.Answers(s, q, src, certain.CertainCap, certain.Options{})
+	ok := err == nil && cwaAns.Equal(wantAll) && wantAll.Len() == 18 && spoilerAns.Len() == 9
+	return Result{
+		ID:       "E10",
+		Artifact: "Section 3 anomaly (copying setting)",
+		Paper:    "OWA certain loses the b-cycle; CWA semantics return Q(S′)",
+		Measured: fmt.Sprintf("|Q(S′)| = %d, |Q(spoiler)| = %d, |certain⊓_CWA| = %d", wantAll.Len(), spoilerAns.Len(), cwaAns.Len()),
+		OK:       ok,
+	}
+}
+
+// E11SemanticsCrossCheck — Theorem 7.1 / Corollary 7.2: the by-definition
+// semantics match the Core/CanSol characterisations and form the chain
+// certain⊓ ⊆ certain⊔ ⊆ maybe⊓ ⊆ maybe⊔.
+func E11SemanticsCrossCheck() Result {
+	ok := true
+	// Example 2.1 with a small source: chain + Core characterisation.
+	s := genwl.Example21()
+	src, _ := parser.ParseInstance(`M(a,b). N(a,b).`)
+	u := mustUCQ("q(x) :- E(x,y), F(x,z), y != z.")
+	var sets []*query.TupleSet
+	for _, sem := range []certain.Semantics{certain.CertainCap, certain.CertainCup, certain.MaybeCap, certain.MaybeCup} {
+		got, err := certain.ByDefinition(s, u, src, sem, certain.Options{})
+		if err != nil {
+			ok = false
+			break
+		}
+		sets = append(sets, got)
+	}
+	for i := 0; ok && i+1 < len(sets); i++ {
+		if !sets[i].SubsetOf(sets[i+1]) {
+			ok = false
+		}
+	}
+	if ok {
+		core, err := cwa.Minimal(s, src, chase.Options{})
+		if err != nil {
+			ok = false
+		} else {
+			boxCore, err1 := certain.Box(s, u, core, certain.Options{})
+			diaCore, err2 := certain.Diamond(s, u, core, certain.Options{})
+			if err1 != nil || err2 != nil || !boxCore.Equal(sets[1]) || !diaCore.Equal(sets[2]) {
+				ok = false
+			}
+		}
+	}
+	return Result{
+		ID:       "E11",
+		Artifact: "Theorem 7.1 / Corollary 7.2",
+		Paper:    "certain⊔=□Q(Core), maybe⊓=◇Q(Core), chain of the four semantics",
+		Measured: fmt.Sprintf("verified on Example 2.1 (chain sizes %s)", sizesOf(sets)),
+		OK:       ok,
+	}
+}
+
+func sizesOf(sets []*query.TupleSet) string {
+	out := ""
+	for i, s := range sets {
+		if i > 0 {
+			out += "⊆"
+		}
+		out += fmt.Sprintf("%d", s.Len())
+	}
+	return out
+}
+
+// E12CanSolMaximality — Proposition 5.4: for egd-only (and full+egd)
+// settings, every CWA-solution is a homomorphic image of CanSol.
+func E12CanSolMaximality() Result {
+	ok := true
+	count := 0
+	s := genwl.EgdOnly()
+	src, _ := parser.ParseInstance(`N(a,b). N(c,d). W(a,e).`)
+	can, err := cwa.CanSol(s, src, chase.Options{})
+	if err != nil {
+		ok = false
+	} else {
+		sols, err := cwa.Enumerate(s, src, cwa.EnumOptions{})
+		if err != nil {
+			ok = false
+		}
+		count = len(sols)
+		for _, sol := range sols {
+			if _, onto := hom.FindOnto(can, sol, 0); !onto {
+				ok = false
+			}
+		}
+	}
+	return Result{
+		ID:       "E12",
+		Artifact: "Proposition 5.4 (CanSol)",
+		Paper:    "CanSol is the maximal CWA-solution for egd-only settings",
+		Measured: fmt.Sprintf("all %d enumerated CWA-solutions are homomorphic images of CanSol", count),
+		OK:       ok,
+	}
+}

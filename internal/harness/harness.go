@@ -1,0 +1,171 @@
+// Package harness runs the experiment suite E1–E12 that reproduces the
+// paper's Table 1 and worked examples, and formats paper-vs-measured
+// reports. It is shared by cmd/experiments, cmd/table1 and the benchmarks.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Measurement is one (size, duration) point of a scaling series.
+type Measurement struct {
+	Size    int
+	Elapsed time.Duration
+}
+
+// Series is a scaling curve with a label.
+type Series struct {
+	Name   string
+	Points []Measurement
+}
+
+// GrowthExponent estimates the slope of the log-log regression of elapsed
+// time against size — roughly the polynomial degree of the observed
+// scaling. It needs at least two points with distinct sizes.
+func GrowthExponent(points []Measurement) float64 {
+	var xs, ys []float64
+	for _, p := range points {
+		if p.Size <= 0 || p.Elapsed <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log(float64(p.Size)))
+		ys = append(ys, math.Log(float64(p.Elapsed)))
+	}
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	meanX, meanY := mean(xs), mean(ys)
+	var num, den float64
+	for i := range xs {
+		num += (xs[i] - meanX) * (ys[i] - meanY)
+		den += (xs[i] - meanX) * (xs[i] - meanX)
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}
+
+func mean(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// LooksPolynomial reports whether the series scales like a polynomial of
+// degree at most maxDegree (with slack for noise).
+func LooksPolynomial(points []Measurement, maxDegree float64) bool {
+	g := GrowthExponent(points)
+	return !math.IsNaN(g) && g <= maxDegree+0.75
+}
+
+// Time measures f once.
+func Time(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// Result is one experiment's verdict for the paper-vs-measured report.
+type Result struct {
+	ID       string
+	Artifact string // the paper claim being reproduced
+	Paper    string // what the paper says
+	Measured string // what we observed
+	OK       bool
+}
+
+// Report formats results as an aligned text table.
+func Report(results []Result) string {
+	rows := [][]string{{"id", "artifact", "paper", "measured", "ok"}}
+	for _, r := range results {
+		ok := "✓"
+		if !r.OK {
+			ok = "✗"
+		}
+		rows = append(rows, []string{r.ID, r.Artifact, r.Paper, r.Measured, ok})
+	}
+	return Table(rows)
+}
+
+// MarkdownReport formats results as a markdown table.
+func MarkdownReport(results []Result) string {
+	var b strings.Builder
+	b.WriteString("| id | artifact | paper | measured | ok |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	for _, r := range results {
+		ok := "✓"
+		if !r.OK {
+			ok = "✗"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n",
+			mdEscape(r.ID), mdEscape(r.Artifact), mdEscape(r.Paper), mdEscape(r.Measured), ok)
+	}
+	return b.String()
+}
+
+func mdEscape(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+
+// Table renders rows with aligned columns.
+func Table(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if w := displayWidth(cell); i < len(widths) && w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, row := range rows {
+		for i, cell := range row {
+			b.WriteString(cell)
+			if i < len(row)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-displayWidth(cell)+2))
+			}
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			total := 0
+			for _, w := range widths {
+				total += w + 2
+			}
+			b.WriteString(strings.Repeat("-", total))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func displayWidth(s string) int {
+	// Count runes; good enough for our mostly-ASCII tables.
+	n := 0
+	for range s {
+		n++
+	}
+	return n
+}
+
+// FormatSeries renders a series as "name: n=8 1.2ms | n=16 3.4ms | …".
+func FormatSeries(s Series) string {
+	parts := make([]string, len(s.Points))
+	for i, p := range s.Points {
+		parts[i] = fmt.Sprintf("n=%d %v", p.Size, p.Elapsed.Round(time.Microsecond))
+	}
+	g := GrowthExponent(s.Points)
+	return fmt.Sprintf("%s: %s  (growth ≈ n^%.1f)", s.Name, strings.Join(parts, " | "), g)
+}
+
+// SortResults orders results by experiment id.
+func SortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].ID < rs[j].ID })
+}

@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGrowthExponent(t *testing.T) {
+	// Quadratic data: t = n².
+	var pts []Measurement
+	for _, n := range []int{10, 20, 40, 80} {
+		pts = append(pts, Measurement{Size: n, Elapsed: time.Duration(n * n)})
+	}
+	g := GrowthExponent(pts)
+	if math.Abs(g-2) > 0.01 {
+		t.Fatalf("growth = %f, want 2", g)
+	}
+	if !LooksPolynomial(pts, 2) {
+		t.Fatal("quadratic data must look polynomial of degree 2")
+	}
+	// Exponential data: t = 2^n must not look like a low-degree polynomial.
+	var exp []Measurement
+	for _, n := range []int{10, 20, 40, 80} {
+		exp = append(exp, Measurement{Size: n, Elapsed: time.Duration(1) << uint(n/2)})
+	}
+	if LooksPolynomial(exp, 3) {
+		t.Fatal("exponential data must not look polynomial")
+	}
+}
+
+func TestGrowthExponentDegenerate(t *testing.T) {
+	if !math.IsNaN(GrowthExponent(nil)) {
+		t.Fatal("no data: NaN")
+	}
+	same := []Measurement{{Size: 4, Elapsed: 10}, {Size: 4, Elapsed: 20}}
+	if !math.IsNaN(GrowthExponent(same)) {
+		t.Fatal("same sizes: NaN")
+	}
+}
+
+func TestTableAndReport(t *testing.T) {
+	out := Table([][]string{{"a", "bb"}, {"ccc", "d"}})
+	if !strings.Contains(out, "a") || !strings.Contains(out, "ccc") {
+		t.Fatalf("table output: %q", out)
+	}
+	rep := Report([]Result{{ID: "E1", Artifact: "x", Paper: "p", Measured: "m", OK: true}})
+	if !strings.Contains(rep, "E1") || !strings.Contains(rep, "✓") {
+		t.Fatalf("report output: %q", rep)
+	}
+}
+
+func TestFormatSeries(t *testing.T) {
+	s := Series{Name: "chase", Points: []Measurement{{Size: 8, Elapsed: time.Millisecond}}}
+	if !strings.Contains(FormatSeries(s), "chase") {
+		t.Fatal("series label missing")
+	}
+}
+
+// The experiment suite itself: every experiment must pass. This is the
+// paper-vs-measured regression test.
+func TestRunAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	for _, r := range RunAll() {
+		if !r.OK {
+			t.Errorf("%s (%s): %s — measured %q", r.ID, r.Artifact, r.Paper, r.Measured)
+		}
+	}
+}
+
+func TestMarkdownReport(t *testing.T) {
+	md := MarkdownReport([]Result{{ID: "E1", Artifact: "a|b", Paper: "p", Measured: "m", OK: false}})
+	if !strings.Contains(md, "| E1 |") || !strings.Contains(md, "a\\|b") || !strings.Contains(md, "✗") {
+		t.Fatalf("markdown: %q", md)
+	}
+}

@@ -1,0 +1,28 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// Table 1 regeneration: every cell must reproduce the paper's entry.
+func TestTable1AllCellsOK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Table 1 regeneration skipped in -short mode")
+	}
+	cells := Table1()
+	if len(cells) != 12 {
+		t.Fatalf("Table 1 has 12 cells, got %d", len(cells))
+	}
+	for _, c := range cells {
+		if !c.OK {
+			t.Errorf("cell (%s, %s): paper %q, measured %q", c.Row, c.Col, c.Paper, c.Measured)
+		}
+	}
+	rep := Table1Report(cells)
+	for _, want := range []string{"weakly acyclic", "co-NP", "PTIME", "union of CQ"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

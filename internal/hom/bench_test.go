@@ -1,0 +1,71 @@
+package hom
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/instance"
+)
+
+// chaseLikeInstance builds a star of small null blocks around constants,
+// the shape of weakly acyclic chase results.
+func chaseLikeInstance(blocks int) *instance.Instance {
+	ins := instance.New()
+	for i := 0; i < blocks; i++ {
+		root := instance.Const(fmt.Sprintf("c%d", i%8))
+		n1 := instance.Null(int64(2 * i))
+		n2 := instance.Null(int64(2*i + 1))
+		ins.Add(instance.NewAtom("E", root, n1))
+		ins.Add(instance.NewAtom("F", n1, n2))
+	}
+	return ins
+}
+
+func BenchmarkFindHomomorphism(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		from := chaseLikeInstance(n)
+		to := chaseLikeInstance(n)
+		b.Run(fmt.Sprintf("blocks=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !Exists(from, to) {
+					b.Fatal("hom must exist")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkIsomorphic(b *testing.B) {
+	a := chaseLikeInstance(32)
+	shift := Mapping{}
+	for _, v := range a.Nulls() {
+		shift[v] = instance.Null(v.NullLabel() + 1000)
+	}
+	c := shift.ApplyInstance(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Isomorphic(a, c) {
+			b.Fatal("isomorphic by construction")
+		}
+	}
+}
+
+// BenchmarkFindAvoidingBlockLocal measures the block-local retraction
+// search pattern used by core computation: the from-side is a single
+// Gaifman block, not the whole instance (a whole-instance Avoiding search
+// backtracks exponentially across independent blocks when it fails, which
+// is precisely why package score searches block-locally).
+func BenchmarkFindAvoidingBlockLocal(b *testing.B) {
+	t := chaseLikeInstance(32)
+	n := instance.Null(3) // block: E(c1,_2), F(_2,_3)
+	block := instance.FromAtoms(
+		instance.NewAtom("E", instance.Const("c1"), instance.Null(2)),
+		instance.NewAtom("F", instance.Null(2), instance.Null(3)),
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := Find(block, t, Avoiding(n)); !ok {
+			b.Fatal("block-local retraction exists (another c1 block)")
+		}
+	}
+}

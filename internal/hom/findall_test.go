@@ -1,0 +1,102 @@
+package hom
+
+import (
+	"testing"
+
+	"repro/internal/instance"
+)
+
+func TestFindAllCountsHomomorphisms(t *testing.T) {
+	// From a single null edge into a 2-cycle: 2 homomorphisms.
+	from := atoms(instance.NewAtom("E", nl(0), nl(1)))
+	to := atoms(
+		instance.NewAtom("E", c("a"), c("b")),
+		instance.NewAtom("E", c("b"), c("a")),
+	)
+	all := FindAll(from, to, 0)
+	if len(all) != 2 {
+		t.Fatalf("homs = %d, want 2: %v", len(all), all)
+	}
+	for _, m := range all {
+		if m.Apply(nl(0)) == m.Apply(nl(1)) {
+			t.Fatalf("edge cannot collapse into the 2-cycle: %v", m)
+		}
+	}
+}
+
+func TestFindAllRespectsLimit(t *testing.T) {
+	from := atoms(instance.NewAtom("E", nl(0), nl(1)))
+	to := instance.New()
+	for i := 0; i < 5; i++ {
+		to.Add(instance.NewAtom("E", c("x"), instance.Const(string(rune('a'+i)))))
+	}
+	if got := FindAll(from, to, 3); len(got) != 3 {
+		t.Fatalf("limit ignored: %d", len(got))
+	}
+	if got := FindAll(from, to, 0); len(got) != 5 {
+		t.Fatalf("unbounded: %d, want 5", len(got))
+	}
+}
+
+func TestFindOnto(t *testing.T) {
+	big := atoms(
+		instance.NewAtom("E", c("a"), nl(0)),
+		instance.NewAtom("E", c("a"), nl(1)),
+	)
+	small := atoms(instance.NewAtom("E", c("a"), nl(5)))
+	m, ok := FindOnto(big, small, 0)
+	if !ok {
+		t.Fatal("collapse onto the single edge exists")
+	}
+	if !m.ApplyInstance(big).Equal(small) {
+		t.Fatalf("image %v != %v", m.ApplyInstance(big), small)
+	}
+	// The other direction cannot be onto: the image of one atom is one atom.
+	if _, ok := FindOnto(small, big, 0); ok {
+		t.Fatal("one atom cannot cover two")
+	}
+	// A hom exists but no onto-hom: target has an unreachable extra atom.
+	extra := atoms(
+		instance.NewAtom("E", c("a"), nl(5)),
+		instance.NewAtom("F", c("z")),
+	)
+	if !Exists(big, extra) {
+		t.Fatal("plain hom exists")
+	}
+	if _, ok := FindOnto(big, extra, 0); ok {
+		t.Fatal("F(z) can never be covered")
+	}
+}
+
+func TestAvoiding(t *testing.T) {
+	tt := atoms(
+		instance.NewAtom("E", c("a"), nl(0)),
+		instance.NewAtom("E", c("a"), c("b")),
+	)
+	m, ok := Find(tt, tt, Avoiding(nl(0)))
+	if !ok {
+		t.Fatal("endo avoiding _0 exists (map it to b)")
+	}
+	if m.Apply(nl(0)) != c("b") {
+		t.Fatalf("mapping = %v", m)
+	}
+	rigid := atoms(instance.NewAtom("E", c("a"), nl(0)))
+	if _, ok := Find(rigid, rigid, Avoiding(nl(0))); ok {
+		t.Fatal("nothing to retract onto")
+	}
+	// Avoiding is equivalent to Find(from, Without(to, v)).
+	if _, okW := Find(tt, Without(tt, nl(0))); okW != true {
+		t.Fatal("Without-based search must agree")
+	}
+}
+
+func TestSortValues(t *testing.T) {
+	vs := []instance.Value{nl(3), c("b"), nl(1), c("a")}
+	SortValues(vs)
+	want := []instance.Value{c("a"), c("b"), nl(1), nl(3)}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Fatalf("order %v", vs)
+		}
+	}
+}

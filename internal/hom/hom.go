@@ -1,0 +1,394 @@
+// Package hom implements homomorphism search between relational instances
+// with nulls, in the sense of Fagin, Kolaitis, Miller, Popa that the paper
+// adopts: a homomorphism h: Dom(I) → Dom(J) maps every atom of I to an atom
+// of J and is the identity on constants (nulls may map to nulls or to
+// constants).
+//
+// Homomorphisms are the paper's central tool: universal solutions are the
+// solutions with homomorphisms into every solution, cores are minimal
+// retracts, and CWA-solutions are characterised as universal CWA-presolutions
+// (Theorem 4.8).
+package hom
+
+import (
+	"sort"
+
+	"repro/internal/instance"
+)
+
+// Mapping is a value mapping; constants always map to themselves and are not
+// stored. Apply resolves values through the mapping.
+type Mapping map[instance.Value]instance.Value
+
+// Apply resolves a value: constants and unmapped values stay fixed.
+func (m Mapping) Apply(v instance.Value) instance.Value {
+	if w, ok := m[v]; ok {
+		return w
+	}
+	return v
+}
+
+// ApplyInstance returns the image of an instance under the mapping.
+func (m Mapping) ApplyInstance(ins *instance.Instance) *instance.Instance {
+	return ins.Map(map[instance.Value]instance.Value(m))
+}
+
+// options configures the search.
+type options struct {
+	injective bool
+	forced    Mapping
+	avoid     instance.Value
+	hasAvoid  bool
+}
+
+// Option customises Find.
+type Option func(*options)
+
+// Injective requires the homomorphism to be injective on Dom(from).
+func Injective() Option { return func(o *options) { o.injective = true } }
+
+// Forced seeds the search with a partial mapping that the result must extend.
+func Forced(m Mapping) Option { return func(o *options) { o.forced = m } }
+
+// Avoiding forbids the given value from occurring in the image: no atom of
+// from may map to an atom mentioning it. Find(from, to, Avoiding(n)) is
+// equivalent to Find(from, Without(to, n)) but needs no instance copy.
+func Avoiding(v instance.Value) Option {
+	return func(o *options) { o.avoid = v; o.hasAvoid = true }
+}
+
+// Find searches for a homomorphism from one instance to another. It returns
+// the mapping restricted to the nulls of from (constants are implicitly
+// fixed) and whether one exists.
+func Find(from, to *instance.Instance, opts ...Option) (Mapping, bool) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	f := &finder{to: to, injective: o.injective, mapping: Mapping{}, used: map[instance.Value]bool{},
+		avoid: o.avoid, hasAvoid: o.hasAvoid}
+	// Seed forced assignments (constants in forced must be identities).
+	for k, v := range o.forced {
+		if k.IsConst() {
+			if k != v {
+				return nil, false
+			}
+			continue
+		}
+		if o.injective && f.used[v] {
+			return nil, false
+		}
+		f.mapping[k] = v
+		f.used[v] = true
+	}
+	if o.injective {
+		// Constants are fixed, so they occupy their own images.
+		for _, c := range from.Consts() {
+			if f.used[c] {
+				// A forced null already maps onto this constant.
+				return nil, false
+			}
+			f.used[c] = true
+		}
+	}
+	atoms := orderAtoms(from)
+	if !f.search(atoms) {
+		return nil, false
+	}
+	out := make(Mapping, len(f.mapping))
+	for k, v := range f.mapping {
+		out[k] = v
+	}
+	return out, true
+}
+
+// Exists reports whether a homomorphism from → to exists.
+func Exists(from, to *instance.Instance) bool {
+	_, ok := Find(from, to)
+	return ok
+}
+
+// FindAll enumerates homomorphisms from → to, up to max of them (max ≤ 0
+// means no bound). Each mapping covers every null of from.
+func FindAll(from, to *instance.Instance, max int) []Mapping {
+	var out []Mapping
+	f := &finder{to: to, mapping: Mapping{}, used: map[instance.Value]bool{}}
+	atoms := orderAtoms(from)
+	nulls := from.Nulls()
+	f.searchAll(atoms, nulls, func(m Mapping) bool {
+		out = append(out, m)
+		return max <= 0 || len(out) < max
+	})
+	return out
+}
+
+// searchAll enumerates completions; emit receives a copy of the mapping
+// extended to all nulls (unconstrained nulls — those in no atom — cannot
+// occur since the domain is the active domain). Returns false to stop.
+func (f *finder) searchAll(atoms []instance.Atom, nulls []instance.Value, emit func(Mapping) bool) bool {
+	if len(atoms) == 0 {
+		cp := make(Mapping, len(f.mapping))
+		for k, v := range f.mapping {
+			cp[k] = v
+		}
+		return emit(cp)
+	}
+	a := atoms[0]
+	rest := atoms[1:]
+	pattern := make([]instance.Value, len(a.Args))
+	bound := make([]bool, len(a.Args))
+	for i, v := range a.Args {
+		if v.IsConst() {
+			pattern[i] = v
+			bound[i] = true
+		} else if w, ok := f.mapping[v]; ok {
+			pattern[i] = w
+			bound[i] = true
+		}
+	}
+	cont := true
+	f.to.MatchTuples(a.Rel, pattern, bound, func(args []instance.Value) bool {
+		var newly []instance.Value
+		ok := true
+		for i, v := range a.Args {
+			if bound[i] {
+				continue
+			}
+			if w, already := f.mapping[v]; already {
+				if w != args[i] {
+					ok = false
+					break
+				}
+				continue
+			}
+			f.mapping[v] = args[i]
+			newly = append(newly, v)
+		}
+		if ok {
+			cont = f.searchAll(rest, nulls, emit)
+		}
+		for _, v := range newly {
+			delete(f.mapping, v)
+		}
+		return cont
+	})
+	return cont
+}
+
+// FindOnto searches for a homomorphism from → to whose image is exactly to
+// (every atom of to is the image of some atom of from): "to is a
+// homomorphic image of from", the comparison underlying maximal
+// CWA-solutions (Section 5). The search enumerates homomorphisms (bounded
+// by maxHoms; ≤ 0 means unbounded) and checks surjectivity on atoms.
+func FindOnto(from, to *instance.Instance, maxHoms int) (Mapping, bool) {
+	if from.Len() < to.Len() {
+		return nil, false
+	}
+	var found Mapping
+	f := &finder{to: to, mapping: Mapping{}, used: map[instance.Value]bool{}}
+	atoms := orderAtoms(from)
+	n := 0
+	f.searchAll(atoms, from.Nulls(), func(m Mapping) bool {
+		n++
+		if m.ApplyInstance(from).Equal(to) {
+			found = m
+			return false
+		}
+		return maxHoms <= 0 || n < maxHoms
+	})
+	return found, found != nil
+}
+
+// orderAtoms returns from's atoms ordered so that atoms sharing nulls are
+// adjacent (grouped by connected component, most-constrained first). A static
+// greedy order: repeatedly pick the atom with the fewest unseen nulls.
+func orderAtoms(from *instance.Instance) []instance.Atom {
+	atoms := from.Atoms()
+	seen := make(map[instance.Value]bool)
+	ordered := make([]instance.Atom, 0, len(atoms))
+	remaining := make([]instance.Atom, len(atoms))
+	copy(remaining, atoms)
+	for len(remaining) > 0 {
+		best, bestScore := 0, 1<<30
+		for i, a := range remaining {
+			score := 0
+			for _, v := range a.Args {
+				if v.IsNull() && !seen[v] {
+					score++
+				}
+			}
+			if score < bestScore {
+				best, bestScore = i, score
+			}
+		}
+		a := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		for _, v := range a.Args {
+			if v.IsNull() {
+				seen[v] = true
+			}
+		}
+		ordered = append(ordered, a)
+	}
+	return ordered
+}
+
+type finder struct {
+	to        *instance.Instance
+	injective bool
+	mapping   Mapping
+	used      map[instance.Value]bool
+	avoid     instance.Value
+	hasAvoid  bool
+}
+
+// excluded reports whether a candidate image tuple mentions the avoided
+// value.
+func (f *finder) excluded(args []instance.Value) bool {
+	if !f.hasAvoid {
+		return false
+	}
+	for _, v := range args {
+		if v == f.avoid {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *finder) search(atoms []instance.Atom) bool {
+	if len(atoms) == 0 {
+		return true
+	}
+	a := atoms[0]
+	rest := atoms[1:]
+	pattern := make([]instance.Value, len(a.Args))
+	bound := make([]bool, len(a.Args))
+	for i, v := range a.Args {
+		if v.IsConst() {
+			pattern[i] = v
+			bound[i] = true
+		} else if w, ok := f.mapping[v]; ok {
+			pattern[i] = w
+			bound[i] = true
+		}
+	}
+	found := false
+	f.to.MatchTuples(a.Rel, pattern, bound, func(args []instance.Value) bool {
+		if f.excluded(args) {
+			return true
+		}
+		var newly []instance.Value
+		ok := true
+		for i, v := range a.Args {
+			if bound[i] {
+				continue
+			}
+			if w, already := f.mapping[v]; already {
+				if w != args[i] {
+					ok = false
+					break
+				}
+				continue
+			}
+			if f.injective && f.used[args[i]] {
+				ok = false
+				break
+			}
+			f.mapping[v] = args[i]
+			f.used[args[i]] = true
+			newly = append(newly, v)
+		}
+		if ok && f.search(rest) {
+			found = true
+			return false // keep the successful bindings and stop iterating
+		}
+		for _, v := range newly {
+			w := f.mapping[v]
+			delete(f.mapping, v)
+			delete(f.used, w)
+		}
+		return true
+	})
+	return found
+}
+
+// Isomorphic reports whether the two instances are equal up to renaming of
+// nulls: same atom counts per relation and an injective homomorphism from a
+// to b (which is then necessarily an isomorphism).
+func Isomorphic(a, b *instance.Instance) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	ra, rb := a.Relations(), b.Relations()
+	if len(ra) != len(rb) {
+		return false
+	}
+	for i := range ra {
+		if ra[i] != rb[i] || a.RelLen(ra[i]) != b.RelLen(rb[i]) {
+			return false
+		}
+	}
+	da, db := a.Dom(), b.Dom()
+	if len(da) != len(db) {
+		return false
+	}
+	_, ok := Find(a, b, Injective())
+	return ok
+}
+
+// HomEquivalent reports whether homomorphisms exist in both directions.
+// Homomorphically equivalent instances have isomorphic cores.
+func HomEquivalent(a, b *instance.Instance) bool {
+	return Exists(a, b) && Exists(b, a)
+}
+
+// Endomorphism searches for a homomorphism from t to the sub-instance of t
+// consisting of the atoms that do not mention the value drop. Such a
+// homomorphism exists iff t retracts to a structure missing drop; it is the
+// elementary step of core computation.
+func Endomorphism(t *instance.Instance, drop instance.Value) (Mapping, bool) {
+	return Find(t, Without(t, drop))
+}
+
+// Without returns the atoms of t that do not mention v.
+func Without(t *instance.Instance, v instance.Value) *instance.Instance {
+	out := instance.New()
+	for _, a := range t.Atoms() {
+		mentions := false
+		for _, w := range a.Args {
+			if w == v {
+				mentions = true
+				break
+			}
+		}
+		if !mentions {
+			out.Add(a)
+		}
+	}
+	return out
+}
+
+// CanonicalNullForm renames the nulls of t to 0,1,2,… in first-occurrence
+// order of the deterministic atom enumeration, producing a representative
+// that is stable under label shifts (though not under all isomorphisms).
+func CanonicalNullForm(t *instance.Instance) *instance.Instance {
+	ren := make(map[instance.Value]instance.Value)
+	var next int64
+	for _, a := range t.Atoms() {
+		for _, v := range a.Args {
+			if v.IsNull() {
+				if _, ok := ren[v]; !ok {
+					ren[v] = instance.Null(next)
+					next++
+				}
+			}
+		}
+	}
+	return t.Map(ren)
+}
+
+// SortValues sorts a value slice under the canonical order.
+func SortValues(vs []instance.Value) {
+	sort.Slice(vs, func(i, j int) bool { return instance.Less(vs[i], vs[j]) })
+}

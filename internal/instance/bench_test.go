@@ -1,0 +1,71 @@
+package instance
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchInstance(n int) *Instance {
+	ins := New()
+	for i := 0; i < n; i++ {
+		ins.Add(NewAtom("E",
+			Const(fmt.Sprintf("n%d", i%64)),
+			Const(fmt.Sprintf("n%d", (i*7)%64))))
+	}
+	return ins
+}
+
+func BenchmarkAdd(b *testing.B) {
+	atoms := make([]Atom, 256)
+	for i := range atoms {
+		atoms[i] = NewAtom("E",
+			Const(fmt.Sprintf("n%d", i%64)),
+			Const(fmt.Sprintf("n%d", (i*7)%64)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ins := New()
+		for _, a := range atoms {
+			ins.Add(a)
+		}
+	}
+}
+
+func BenchmarkHas(b *testing.B) {
+	ins := benchInstance(256)
+	a := NewAtom("E", Const("n3"), Const("n21"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ins.Has(a)
+	}
+}
+
+func BenchmarkMatchTuplesIndexed(b *testing.B) {
+	ins := benchInstance(1024)
+	pattern := []Value{Const("n3"), 0}
+	bound := []bool{true, false}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ins.MatchTuples("E", pattern, bound, func([]Value) bool { return true })
+	}
+}
+
+func BenchmarkReplaceValue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ins := New()
+		for j := int64(0); j < 128; j++ {
+			ins.Add(NewAtom("E", Null(j%8), Null(j/8%8)))
+		}
+		b.StartTimer()
+		ins.ReplaceValue(Null(3), Null(1))
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	ins := benchInstance(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ins.Clone()
+	}
+}

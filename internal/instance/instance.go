@@ -1,0 +1,471 @@
+package instance
+
+import (
+	"encoding/binary"
+	"sort"
+	"strings"
+)
+
+// Instance is a finite set of atoms over a fixed domain of constants and
+// labeled nulls. It maintains per-relation tuple stores with a hash index
+// for O(1) membership and per-position value indexes to support joins and
+// homomorphism search.
+type Instance struct {
+	rels map[string]*relation
+}
+
+type relation struct {
+	name   string
+	arity  int
+	tuples [][]Value
+	byKey  map[string]int    // encoded tuple -> index into tuples
+	byPos  []map[Value][]int // position -> value -> tuple indexes
+}
+
+func encodeTuple(args []Value) string {
+	buf := make([]byte, 0, len(args)*8)
+	var tmp [8]byte
+	for _, v := range args {
+		binary.LittleEndian.PutUint64(tmp[:], uint64(v))
+		buf = append(buf, tmp[:]...)
+	}
+	return string(buf)
+}
+
+// New returns an empty instance.
+func New() *Instance { return &Instance{rels: make(map[string]*relation)} }
+
+// FromAtoms returns an instance containing exactly the given atoms.
+func FromAtoms(atoms ...Atom) *Instance {
+	ins := New()
+	for _, a := range atoms {
+		ins.Add(a)
+	}
+	return ins
+}
+
+func (ins *Instance) rel(name string, arity int) *relation {
+	r, ok := ins.rels[name]
+	if !ok {
+		r = &relation{
+			name:  name,
+			arity: arity,
+			byKey: make(map[string]int),
+			byPos: make([]map[Value][]int, arity),
+		}
+		for i := range r.byPos {
+			r.byPos[i] = make(map[Value][]int)
+		}
+		ins.rels[name] = r
+	}
+	if r.arity != arity {
+		panic("instance: arity clash for relation " + name)
+	}
+	return r
+}
+
+// Add inserts the atom and reports whether it was new.
+func (ins *Instance) Add(a Atom) bool {
+	r := ins.rel(a.Rel, len(a.Args))
+	key := encodeTuple(a.Args)
+	if _, ok := r.byKey[key]; ok {
+		return false
+	}
+	idx := len(r.tuples)
+	cp := make([]Value, len(a.Args))
+	copy(cp, a.Args)
+	r.tuples = append(r.tuples, cp)
+	r.byKey[key] = idx
+	for i, v := range cp {
+		r.byPos[i][v] = append(r.byPos[i][v], idx)
+	}
+	return true
+}
+
+// AddAll inserts every atom of other and reports how many were new.
+func (ins *Instance) AddAll(other *Instance) int {
+	added := 0
+	for _, a := range other.Atoms() {
+		if ins.Add(a) {
+			added++
+		}
+	}
+	return added
+}
+
+// Has reports whether the atom is present.
+func (ins *Instance) Has(a Atom) bool {
+	r, ok := ins.rels[a.Rel]
+	if !ok || r.arity != len(a.Args) {
+		return false
+	}
+	_, ok = r.byKey[encodeTuple(a.Args)]
+	return ok
+}
+
+// Len returns the number of atoms.
+func (ins *Instance) Len() int {
+	n := 0
+	for _, r := range ins.rels {
+		n += len(r.tuples)
+	}
+	return n
+}
+
+// RelLen returns the number of tuples in the named relation.
+func (ins *Instance) RelLen(rel string) int {
+	r, ok := ins.rels[rel]
+	if !ok {
+		return 0
+	}
+	return len(r.tuples)
+}
+
+// Relations returns the names of all nonempty relations in sorted order.
+func (ins *Instance) Relations() []string {
+	names := make([]string, 0, len(ins.rels))
+	for n, r := range ins.rels {
+		if len(r.tuples) > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Arity returns the arity of the named relation, or -1 if absent.
+func (ins *Instance) Arity(rel string) int {
+	r, ok := ins.rels[rel]
+	if !ok {
+		return -1
+	}
+	return r.arity
+}
+
+// Atoms returns all atoms in a deterministic order (relation name, then
+// insertion order). The returned atoms share no storage with the instance.
+func (ins *Instance) Atoms() []Atom {
+	out := make([]Atom, 0, ins.Len())
+	for _, name := range ins.Relations() {
+		r := ins.rels[name]
+		for _, t := range r.tuples {
+			out = append(out, NewAtom(name, t...))
+		}
+	}
+	return out
+}
+
+// Tuples calls f for each tuple of the named relation. The slice passed to f
+// is owned by the instance and must not be modified or retained. Iteration
+// stops early if f returns false.
+func (ins *Instance) Tuples(rel string, f func(args []Value) bool) {
+	r, ok := ins.rels[rel]
+	if !ok {
+		return
+	}
+	for _, t := range r.tuples {
+		if !f(t) {
+			return
+		}
+	}
+}
+
+// MatchTuples calls f for every tuple of rel that agrees with pattern at
+// every position where bound is true. It uses the position index on the
+// most selective bound position. The slice passed to f must not be retained.
+func (ins *Instance) MatchTuples(rel string, pattern []Value, bound []bool, f func(args []Value) bool) {
+	r, ok := ins.rels[rel]
+	if !ok || r.arity != len(pattern) {
+		return
+	}
+	best, bestSize := -1, 0
+	for i, b := range bound {
+		if !b {
+			continue
+		}
+		size := len(r.byPos[i][pattern[i]])
+		if best == -1 || size < bestSize {
+			best, bestSize = i, size
+		}
+	}
+	try := func(t []Value) bool {
+		for i, b := range bound {
+			if b && t[i] != pattern[i] {
+				return true
+			}
+		}
+		return f(t)
+	}
+	if best == -1 {
+		for _, t := range r.tuples {
+			if !try(t) {
+				return
+			}
+		}
+		return
+	}
+	for _, idx := range r.byPos[best][pattern[best]] {
+		if !try(r.tuples[idx]) {
+			return
+		}
+	}
+}
+
+// Dom returns the active domain of the instance in sorted order.
+func (ins *Instance) Dom() []Value {
+	seen := make(map[Value]struct{})
+	for _, r := range ins.rels {
+		for _, t := range r.tuples {
+			for _, v := range t {
+				seen[v] = struct{}{}
+			}
+		}
+	}
+	out := make([]Value, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return Less(out[i], out[j]) })
+	return out
+}
+
+// Nulls returns the nulls of the active domain in increasing label order.
+func (ins *Instance) Nulls() []Value {
+	var out []Value
+	for _, v := range ins.Dom() {
+		if v.IsNull() {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Consts returns the constants of the active domain in name order.
+func (ins *Instance) Consts() []Value {
+	var out []Value
+	for _, v := range ins.Dom() {
+		if v.IsConst() {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// HasNulls reports whether any atom mentions a null.
+func (ins *Instance) HasNulls() bool {
+	for _, r := range ins.rels {
+		for _, t := range r.tuples {
+			for _, v := range t {
+				if v.IsNull() {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// MaxNullLabel returns the largest null label occurring in the instance,
+// or -1 if the instance is null-free. Use it to seed a NullSource.
+func (ins *Instance) MaxNullLabel() int64 {
+	max := int64(-1)
+	for _, r := range ins.rels {
+		for _, t := range r.tuples {
+			for _, v := range t {
+				if v.IsNull() && v.NullLabel() > max {
+					max = v.NullLabel()
+				}
+			}
+		}
+	}
+	return max
+}
+
+// Clone returns a deep copy.
+func (ins *Instance) Clone() *Instance {
+	cp := New()
+	for _, r := range ins.rels {
+		for _, t := range r.tuples {
+			cp.Add(Atom{Rel: r.name, Args: t})
+		}
+	}
+	return cp
+}
+
+// Reduct returns the sub-instance containing only atoms whose relation
+// belongs to the schema (the σ-reduct I|σ of the paper).
+func (ins *Instance) Reduct(s Schema) *Instance {
+	out := New()
+	for name, r := range ins.rels {
+		if !s.Has(name) {
+			continue
+		}
+		for _, t := range r.tuples {
+			out.Add(Atom{Rel: name, Args: t})
+		}
+	}
+	return out
+}
+
+// Union returns a new instance holding the atoms of both operands.
+func Union(a, b *Instance) *Instance {
+	u := a.Clone()
+	u.AddAll(b)
+	return u
+}
+
+// Equal reports whether the two instances hold exactly the same atom sets.
+func (ins *Instance) Equal(other *Instance) bool {
+	if ins.Len() != other.Len() {
+		return false
+	}
+	for _, r := range ins.rels {
+		for _, t := range r.tuples {
+			if !other.Has(Atom{Rel: r.name, Args: t}) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Map returns the image of the instance under the value mapping h;
+// values outside h are kept unchanged. The image may have fewer atoms
+// than the original if h identifies tuples.
+func (ins *Instance) Map(h map[Value]Value) *Instance {
+	out := New()
+	args := make([]Value, 0, 8)
+	for _, r := range ins.rels {
+		for _, t := range r.tuples {
+			args = args[:0]
+			for _, v := range t {
+				if w, ok := h[v]; ok {
+					args = append(args, w)
+				} else {
+					args = append(args, v)
+				}
+			}
+			out.Add(NewAtom(r.name, args...))
+		}
+	}
+	return out
+}
+
+// ReplaceValue substitutes new for every occurrence of old, in place.
+// It is the primitive used by egd application.
+func (ins *Instance) ReplaceValue(old, new Value) {
+	if old == new {
+		return
+	}
+	for name, r := range ins.rels {
+		idxs, ok := findTuplesWith(r, old)
+		if !ok {
+			continue
+		}
+		// Collect affected tuples, remove them, re-add rewritten.
+		var rewritten [][]Value
+		for _, i := range idxs {
+			t := r.tuples[i]
+			cp := make([]Value, len(t))
+			for j, v := range t {
+				if v == old {
+					cp[j] = new
+				} else {
+					cp[j] = v
+				}
+			}
+			rewritten = append(rewritten, cp)
+		}
+		ins.removeTuples(name, idxs)
+		for _, t := range rewritten {
+			ins.Add(Atom{Rel: name, Args: t})
+		}
+	}
+}
+
+func findTuplesWith(r *relation, v Value) ([]int, bool) {
+	seen := make(map[int]struct{})
+	for pos := 0; pos < r.arity; pos++ {
+		for _, i := range r.byPos[pos][v] {
+			seen[i] = struct{}{}
+		}
+	}
+	if len(seen) == 0 {
+		return nil, false
+	}
+	out := make([]int, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out, true
+}
+
+// removeTuples deletes the tuples at the given indexes and rebuilds the
+// relation's indexes. Indexes must be valid and sorted ascending.
+func (ins *Instance) removeTuples(rel string, idxs []int) {
+	r := ins.rels[rel]
+	drop := make(map[int]struct{}, len(idxs))
+	for _, i := range idxs {
+		drop[i] = struct{}{}
+	}
+	kept := r.tuples[:0]
+	for i, t := range r.tuples {
+		if _, gone := drop[i]; !gone {
+			kept = append(kept, t)
+		}
+	}
+	r.tuples = kept
+	r.byKey = make(map[string]int, len(kept))
+	for i := range r.byPos {
+		r.byPos[i] = make(map[Value][]int)
+	}
+	for i, t := range kept {
+		r.byKey[encodeTuple(t)] = i
+		for p, v := range t {
+			r.byPos[p][v] = append(r.byPos[p][v], i)
+		}
+	}
+}
+
+// Remove deletes the atom if present and reports whether it was present.
+func (ins *Instance) Remove(a Atom) bool {
+	r, ok := ins.rels[a.Rel]
+	if !ok || r.arity != len(a.Args) {
+		return false
+	}
+	idx, ok := r.byKey[encodeTuple(a.Args)]
+	if !ok {
+		return false
+	}
+	ins.removeTuples(a.Rel, []int{idx})
+	return true
+}
+
+// Diff returns the atoms present only in a and only in b, in deterministic
+// order — a debugging aid for comparing chase results and solutions.
+func Diff(a, b *Instance) (onlyA, onlyB []Atom) {
+	for _, at := range a.Atoms() {
+		if !b.Has(at) {
+			onlyA = append(onlyA, at)
+		}
+	}
+	for _, at := range b.Atoms() {
+		if !a.Has(at) {
+			onlyB = append(onlyB, at)
+		}
+	}
+	return onlyA, onlyB
+}
+
+// String renders the instance as a sorted, comma-separated atom list in
+// braces, e.g. {E(a,b), F(a,_0)}.
+func (ins *Instance) String() string {
+	atoms := ins.Atoms()
+	strs := make([]string, len(atoms))
+	for i, a := range atoms {
+		strs[i] = a.String()
+	}
+	sort.Strings(strs)
+	return "{" + strings.Join(strs, ", ") + "}"
+}

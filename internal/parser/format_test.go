@@ -1,0 +1,70 @@
+package parser
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/instance"
+)
+
+func TestFormatInstanceRoundTrip(t *testing.T) {
+	ins := instance.FromAtoms(
+		instance.NewAtom("E", instance.Const("a"), instance.Null(3)),
+		instance.NewAtom("F", instance.Const("hello world"), instance.Const("42")),
+		instance.NewAtom("P", instance.Const("exists")), // reserved word
+		instance.NewAtom("P", instance.Const("x-y_1")),
+	)
+	text := FormatInstance(ins)
+	back, err := ParseInstance(text)
+	if err != nil {
+		t.Fatalf("re-parsing failed: %v\n%s", err, text)
+	}
+	if !back.Equal(ins) {
+		t.Fatalf("round trip lost atoms:\noriginal %v\nback     %v\ntext:\n%s", ins, back, text)
+	}
+}
+
+func TestQuoteConstIfNeeded(t *testing.T) {
+	cases := map[string]string{
+		"abc":         "abc",
+		"42":          "42",
+		"a1_b-c":      "a1_b-c",
+		"hello there": "'hello there'",
+		"9lives":      "'9lives'",
+		"_weird":      "'_weird'",
+		"exists":      "'exists'",
+		"":            "''",
+	}
+	for in, want := range cases {
+		if got := quoteConstIfNeeded(in); got != want {
+			t.Errorf("quote(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Property: FormatInstance → ParseInstance is the identity on instances over
+// generated constant names and nulls.
+func TestQuickFormatRoundTrip(t *testing.T) {
+	f := func(vals []uint8) bool {
+		ins := instance.New()
+		for i := 0; i+1 < len(vals); i += 2 {
+			var a, b instance.Value
+			if vals[i]%2 == 0 {
+				a = instance.Const(string(rune('a' + vals[i]%26)))
+			} else {
+				a = instance.Null(int64(vals[i] % 7))
+			}
+			if vals[i+1]%2 == 0 {
+				b = instance.Const(string(rune('a' + vals[i+1]%26)))
+			} else {
+				b = instance.Null(int64(vals[i+1] % 7))
+			}
+			ins.Add(instance.NewAtom("R", a, b))
+		}
+		back, err := ParseInstance(FormatInstance(ins))
+		return err == nil && back.Equal(ins)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

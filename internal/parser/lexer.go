@@ -1,0 +1,216 @@
+// Package parser implements the text syntax used throughout the library for
+// data exchange settings, instances, formulas and queries.
+//
+// Conventions:
+//   - In formulas, dependencies and queries, bare identifiers are variables;
+//     numbers and 'quoted' identifiers are constants.
+//   - In instances, bare identifiers and numbers are constants and _N is the
+//     null with label N.
+//
+// Example setting (the paper's Example 2.1):
+//
+//	source M/2, N/2.
+//	target E/2, F/2, G/2.
+//	st:
+//	  d1: M(x1,x2) -> E(x1,x2).
+//	  d2: N(x,y) -> exists z1,z2 : E(x,z1) & F(x,z2).
+//	target-deps:
+//	  d3: F(y,x) -> exists z : G(x,z).
+//	  d4: F(x,y) & F(x,z) -> y = z.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF       tokenKind = iota
+	tokIdent               // bare identifier
+	tokNumber              // digit sequence
+	tokQuoted              // 'quoted' constant
+	tokNull                // _N
+	tokLParen              // (
+	tokRParen              // )
+	tokComma               // ,
+	tokDot                 // .
+	tokColon               // :
+	tokAmp                 // &
+	tokPipe                // |
+	tokBang                // !
+	tokArrow               // ->
+	tokEq                  // =
+	tokNeq                 // !=
+	tokTurnstile           // :-
+	tokSlash               // /
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokQuoted:
+		return "quoted constant"
+	case tokNull:
+		return "null"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokColon:
+		return "':'"
+	case tokAmp:
+		return "'&'"
+	case tokPipe:
+		return "'|'"
+	case tokBang:
+		return "'!'"
+	case tokArrow:
+		return "'->'"
+	case tokEq:
+		return "'='"
+	case tokNeq:
+		return "'!='"
+	case tokTurnstile:
+		return "':-'"
+	case tokSlash:
+		return "'/'"
+	}
+	return "?"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src    []rune
+	pos    int
+	line   int
+	tokens []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: []rune(src), line: 1}
+	for l.pos < len(l.src) {
+		r := l.src[l.pos]
+		switch {
+		case r == '\n':
+			l.line++
+			l.pos++
+		case unicode.IsSpace(r):
+			l.pos++
+		case r == '#' || (r == '/' && l.peekAt(1) == '/'):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case r == '(':
+			l.emit(tokLParen, "(")
+		case r == ')':
+			l.emit(tokRParen, ")")
+		case r == ',':
+			l.emit(tokComma, ",")
+		case r == '.':
+			l.emit(tokDot, ".")
+		case r == '&':
+			l.emit(tokAmp, "&")
+		case r == '|':
+			l.emit(tokPipe, "|")
+		case r == '=':
+			l.emit(tokEq, "=")
+		case r == '/':
+			l.emit(tokSlash, "/")
+		case r == ':':
+			if l.peekAt(1) == '-' {
+				l.emitN(tokTurnstile, ":-", 2)
+			} else {
+				l.emit(tokColon, ":")
+			}
+		case r == '!':
+			if l.peekAt(1) == '=' {
+				l.emitN(tokNeq, "!=", 2)
+			} else {
+				l.emit(tokBang, "!")
+			}
+		case r == '-':
+			if l.peekAt(1) == '>' {
+				l.emitN(tokArrow, "->", 2)
+			} else {
+				return nil, fmt.Errorf("line %d: unexpected '-'", l.line)
+			}
+		case r == '\'':
+			start := l.pos + 1
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+				if l.src[l.pos] == '\n' {
+					return nil, fmt.Errorf("line %d: unterminated quoted constant", l.line)
+				}
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("line %d: unterminated quoted constant", l.line)
+			}
+			l.tokens = append(l.tokens, token{kind: tokQuoted, text: string(l.src[start:l.pos]), line: l.line})
+			l.pos++
+		case r == '_':
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && unicode.IsDigit(l.src[l.pos]) {
+				l.pos++
+			}
+			if l.pos == start+1 {
+				return nil, fmt.Errorf("line %d: '_' must be followed by a null label", l.line)
+			}
+			l.tokens = append(l.tokens, token{kind: tokNull, text: string(l.src[start+1 : l.pos]), line: l.line})
+		case unicode.IsDigit(r):
+			start := l.pos
+			for l.pos < len(l.src) && unicode.IsDigit(l.src[l.pos]) {
+				l.pos++
+			}
+			l.tokens = append(l.tokens, token{kind: tokNumber, text: string(l.src[start:l.pos]), line: l.line})
+		case unicode.IsLetter(r):
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsLetter(l.src[l.pos]) || unicode.IsDigit(l.src[l.pos]) || l.src[l.pos] == '_' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+			text := string(l.src[start:l.pos])
+			// A trailing '-' belongs to '->'; give it back.
+			for strings.HasSuffix(text, "-") {
+				text = text[:len(text)-1]
+				l.pos--
+			}
+			l.tokens = append(l.tokens, token{kind: tokIdent, text: text, line: l.line})
+		default:
+			return nil, fmt.Errorf("line %d: unexpected character %q", l.line, string(r))
+		}
+	}
+	l.tokens = append(l.tokens, token{kind: tokEOF, line: l.line})
+	return l.tokens, nil
+}
+
+func (l *lexer) peekAt(off int) rune {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) emit(k tokenKind, text string) { l.emitN(k, text, 1) }
+
+func (l *lexer) emitN(k tokenKind, text string, n int) {
+	l.tokens = append(l.tokens, token{kind: k, text: text, line: l.line})
+	l.pos += n
+}

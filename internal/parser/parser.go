@@ -1,0 +1,308 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/instance"
+	"repro/internal/query"
+)
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func newParser(src string) (*parser, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks}, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) accept(k tokenKind) bool {
+	if p.cur().kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptIdent(text string) bool {
+	if p.cur().kind == tokIdent && p.cur().text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.cur()
+	if t.kind != k {
+		return t, fmt.Errorf("line %d: expected %v, found %v %q", t.line, k, t.kind, t.text)
+	}
+	p.pos++
+	return t, nil
+}
+
+// ParseInstance parses a whitespace/period-separated list of ground atoms,
+// e.g. "M(a,b). N(a,c)." — bare identifiers and numbers are constants, _N is
+// the null with label N. Commas between atoms are also accepted.
+func ParseInstance(src string) (*instance.Instance, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	ins := instance.New()
+	for p.cur().kind != tokEOF {
+		a, err := p.parseGroundAtom()
+		if err != nil {
+			return nil, err
+		}
+		ins.Add(a)
+		for p.accept(tokDot) || p.accept(tokComma) {
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseGroundAtom() (instance.Atom, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return instance.Atom{}, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return instance.Atom{}, err
+	}
+	var args []instance.Value
+	for {
+		v, err := p.parseGroundValue()
+		if err != nil {
+			return instance.Atom{}, err
+		}
+		args = append(args, v)
+		if p.accept(tokComma) {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return instance.Atom{}, err
+	}
+	return instance.NewAtom(name.text, args...), nil
+}
+
+func (p *parser) parseGroundValue() (instance.Value, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIdent, tokNumber, tokQuoted:
+		return instance.Const(t.text), nil
+	case tokNull:
+		label, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("line %d: bad null label %q", t.line, t.text)
+		}
+		return instance.Null(label), nil
+	default:
+		return 0, fmt.Errorf("line %d: expected value, found %v %q", t.line, t.kind, t.text)
+	}
+}
+
+// term parses a formula term: bare identifiers are variables, numbers and
+// quoted identifiers constants.
+func (p *parser) parseTerm() (query.Term, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIdent:
+		if t.text == "true" || t.text == "false" || t.text == "exists" || t.text == "forall" {
+			return query.Term{}, fmt.Errorf("line %d: keyword %q used as term", t.line, t.text)
+		}
+		return query.V(t.text), nil
+	case tokNumber, tokQuoted:
+		return query.C(instance.Const(t.text)), nil
+	default:
+		return query.Term{}, fmt.Errorf("line %d: expected term, found %v %q", t.line, t.kind, t.text)
+	}
+}
+
+// ParseFormula parses a first-order formula. Grammar (quantifiers extend as
+// far right as possible; '->' is right-associative):
+//
+//	formula := or ( '->' formula )?
+//	or      := and ( '|' and )*
+//	and     := unary ( '&' unary )*
+//	unary   := '!' unary | 'exists' vars (':')? formula
+//	         | 'forall' vars (':')? formula | '(' formula ')'
+//	         | 'true' | 'false' | atom | term ('='|'!=') term
+func ParseFormula(src string) (query.Formula, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	f, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("line %d: trailing input %q", p.cur().line, p.cur().text)
+	}
+	return f, nil
+}
+
+func (p *parser) parseFormula() (query.Formula, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokArrow) {
+		r, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		return query.Implies{L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseOr() (query.Formula, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	fs := []query.Formula{l}
+	for p.accept(tokPipe) {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, r)
+	}
+	return query.Disj(fs...), nil
+}
+
+func (p *parser) parseAnd() (query.Formula, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	fs := []query.Formula{l}
+	for p.accept(tokAmp) {
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, r)
+	}
+	return query.Conj(fs...), nil
+}
+
+func (p *parser) parseUnary() (query.Formula, error) {
+	switch {
+	case p.accept(tokBang):
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return query.Not{F: f}, nil
+	case p.acceptIdent("exists"):
+		return p.parseQuant(false)
+	case p.acceptIdent("forall"):
+		return p.parseQuant(true)
+	case p.acceptIdent("true"):
+		return query.Truth(true), nil
+	case p.acceptIdent("false"):
+		return query.Truth(false), nil
+	case p.accept(tokLParen):
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return f, nil
+	default:
+		return p.parseAtomOrComparison()
+	}
+}
+
+func (p *parser) parseQuant(universal bool) (query.Formula, error) {
+	var vars []string
+	for {
+		v, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		vars = append(vars, v.text)
+		if p.accept(tokComma) {
+			continue
+		}
+		break
+	}
+	p.accept(tokColon) // optional separator
+	body, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if universal {
+		return query.Forall{Vars: vars, F: body}, nil
+	}
+	return query.Exists{Vars: vars, F: body}, nil
+}
+
+// parseAtomOrComparison parses R(t,…) or t = t / t != t.
+func (p *parser) parseAtomOrComparison() (query.Formula, error) {
+	if p.cur().kind == tokIdent && p.toks[p.pos+1].kind == tokLParen {
+		return p.parseQueryAtom()
+	}
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.accept(tokEq):
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		return query.Eq{L: l, R: r}, nil
+	case p.accept(tokNeq):
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		return query.Not{F: query.Eq{L: l, R: r}}, nil
+	default:
+		return nil, fmt.Errorf("line %d: expected '=' or '!=' after term", p.cur().line)
+	}
+}
+
+func (p *parser) parseQueryAtom() (query.Atom, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return query.Atom{}, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return query.Atom{}, err
+	}
+	var terms []query.Term
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return query.Atom{}, err
+		}
+		terms = append(terms, t)
+		if p.accept(tokComma) {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return query.Atom{}, err
+	}
+	return query.A(name.text, terms...), nil
+}

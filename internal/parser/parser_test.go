@@ -1,0 +1,234 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/query"
+)
+
+const example21Setting = `
+source M/2, N/2.
+target E/2, F/2, G/2.
+st:
+  d1: M(x1,x2) -> E(x1,x2).
+  d2: N(x,y) -> exists z1,z2 : E(x,z1) & F(x,z2).
+target-deps:
+  d3: F(y,x) -> exists z : G(x,z).
+  d4: F(x,y) & F(x,z) -> y = z.
+`
+
+func TestParseSettingExample21(t *testing.T) {
+	s, err := ParseSetting(example21Setting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.ST) != 2 || len(s.TGDs) != 1 || len(s.EGDs) != 1 {
+		t.Fatalf("sections: st=%d tgds=%d egds=%d", len(s.ST), len(s.TGDs), len(s.EGDs))
+	}
+	d2 := s.TGDByName("d2")
+	if d2 == nil {
+		t.Fatal("d2 missing")
+	}
+	if len(d2.Exists) != 2 || d2.Exists[0] != "z1" || d2.Exists[1] != "z2" {
+		t.Fatalf("d2.Exists = %v", d2.Exists)
+	}
+	if len(d2.X) != 1 || d2.X[0] != "x" || len(d2.Y) != 1 || d2.Y[0] != "y" {
+		t.Fatalf("d2 X=%v Y=%v", d2.X, d2.Y)
+	}
+	egd := s.EGDs[0]
+	if egd.Name != "d4" || egd.L != "y" || egd.R != "z" || len(egd.Body) != 2 {
+		t.Fatalf("egd = %+v", egd)
+	}
+	if !s.WeaklyAcyclic() || !s.RichlyAcyclic() {
+		t.Fatal("Example 2.1 is richly acyclic")
+	}
+}
+
+func TestParseSettingAutoNames(t *testing.T) {
+	s, err := ParseSetting(`
+source M/1.
+target E/1, F/1.
+st:
+  M(x) -> E(x).
+target-deps:
+  E(x) -> F(x).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ST[0].Name != "st1" || s.TGDs[0].Name != "t1" {
+		t.Fatalf("auto names: %q %q", s.ST[0].Name, s.TGDs[0].Name)
+	}
+}
+
+func TestParseSettingErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"target E/1.", "must start with 'source'"},
+		{"source M/1.\ntarget E/1.\nst:\n M(x) -> x = x.", "egd"},
+		{"source M/1.\ntarget E/2.\nst:\n M(x) -> E(x,z).", "exists"},
+		{"source M/1.\ntarget E/1.\nst:\n M(x) -> exists x : E(x).", "declared existential"},
+		{"source M/1.\ntarget E/1.\nst:\n M(x) -> F(x).", "not in schema"},
+		{"source M/1.\ntarget E/1.\ntarget-deps:\n (E(x) | E(x)) -> E(x).", "conjunction of atoms"},
+	}
+	for _, c := range cases {
+		_, err := ParseSetting(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseSetting(%q) err = %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParseInstance(t *testing.T) {
+	ins, err := ParseInstance(`M(a,b). N(a,c). T(_0, 42, 'hello world').`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Len() != 3 {
+		t.Fatalf("Len = %d", ins.Len())
+	}
+	if !ins.Has(instance.NewAtom("T", instance.Null(0), instance.Const("42"), instance.Const("hello world"))) {
+		t.Fatalf("instance = %v", ins)
+	}
+}
+
+func TestParseInstanceErrors(t *testing.T) {
+	for _, src := range []string{"M(a", "M a)", "(a,b)", "M(a,)"} {
+		if _, err := ParseInstance(src); err == nil {
+			t.Errorf("ParseInstance(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseFormula(t *testing.T) {
+	f, err := ParseFormula("P(x) | exists y,z (P(y) & E(y,z) & !P(z))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.(query.Or); !ok {
+		t.Fatalf("expected Or at top, got %T", f)
+	}
+	free := query.FreeVars(f)
+	if len(free) != 1 || free[0] != "x" {
+		t.Fatalf("free vars = %v", free)
+	}
+}
+
+func TestParseFormulaPrecedence(t *testing.T) {
+	f, err := ParseFormula("A(x) & B(x) | C(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := f.(query.Or)
+	if !ok || len(or.Fs) != 2 {
+		t.Fatalf("& must bind tighter than |: %v", f)
+	}
+	f2, err := ParseFormula("A(x) -> B(x) -> C(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := f2.(query.Implies)
+	if _, ok := imp.R.(query.Implies); !ok {
+		t.Fatalf("-> must be right-associative: %v", f2)
+	}
+}
+
+func TestParseFormulaEquality(t *testing.T) {
+	f, err := ParseFormula("x = 'a' & y != 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := f.(query.And)
+	if _, ok := and.Fs[0].(query.Eq); !ok {
+		t.Fatalf("first conjunct: %T", and.Fs[0])
+	}
+	if _, ok := and.Fs[1].(query.Not); !ok {
+		t.Fatalf("second conjunct: %T", and.Fs[1])
+	}
+}
+
+func TestParseCQ(t *testing.T) {
+	cq, err := ParseCQ("q(x,z) :- E(x,y), F(y,z), x != z.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cq.Head) != 2 || len(cq.Atoms) != 2 || len(cq.Diseqs) != 1 {
+		t.Fatalf("cq = %+v", cq)
+	}
+	boolean, err := ParseCQ("q() :- E(x,x).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !boolean.Boolean() {
+		t.Fatal("q() should be Boolean")
+	}
+}
+
+func TestParseUCQ(t *testing.T) {
+	u, err := ParseUCQ(`
+q(x) :- A(x).
+q(x) :- B(x), x != 'c'.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Disjuncts) != 2 {
+		t.Fatalf("disjuncts = %d", len(u.Disjuncts))
+	}
+	if u.Pure() {
+		t.Fatal("second disjunct has an inequality")
+	}
+	if u.MaxInequalitiesPerDisjunct() != 1 {
+		t.Fatal("max inequalities should be 1")
+	}
+}
+
+func TestParseFOQuery(t *testing.T) {
+	q, err := ParseFOQuery("(x) . P(x) | exists y (E(x,y))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Vars) != 1 || q.Vars[0] != "x" {
+		t.Fatalf("vars = %v", q.Vars)
+	}
+	b, err := ParseFOQuery("exists x (P(x))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Boolean() {
+		t.Fatal("sentence should be Boolean")
+	}
+	if _, err := ParseFOQuery("P(x)"); err == nil {
+		t.Fatal("undeclared free variable must be rejected")
+	}
+	if _, err := ParseFOQuery("(x) . P(x) & Q(y)"); err == nil {
+		t.Fatal("free variable y not declared must be rejected")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	ins, err := ParseInstance(`
+# a comment
+M(a,b). // another
+`)
+	if err != nil || ins.Len() != 1 {
+		t.Fatalf("comments: %v %v", ins, err)
+	}
+}
+
+func TestRoundTripSettingString(t *testing.T) {
+	s, err := ParseSetting(example21Setting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseSetting(s.String())
+	if err != nil {
+		t.Fatalf("re-parsing Setting.String failed: %v\n%s", err, s.String())
+	}
+	if len(s2.ST) != 2 || len(s2.TGDs) != 1 || len(s2.EGDs) != 1 {
+		t.Fatal("round trip lost dependencies")
+	}
+}

@@ -1,0 +1,43 @@
+package parser
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The testdata files shipped for the CLI must stay parseable.
+func TestTestdataFilesParse(t *testing.T) {
+	root := filepath.Join("..", "..", "testdata")
+	setting, err := os.ReadFile(filepath.Join(root, "example21.dx"))
+	if err != nil {
+		t.Skipf("testdata not present: %v", err)
+	}
+	s, err := ParseSetting(string(setting))
+	if err != nil {
+		t.Fatalf("example21.dx: %v", err)
+	}
+	if !s.WeaklyAcyclic() {
+		t.Fatal("example21.dx must be weakly acyclic")
+	}
+	hr, err := os.ReadFile(filepath.Join(root, "hr.dx"))
+	if err != nil {
+		t.Fatalf("hr.dx: %v", err)
+	}
+	hrSetting, err := ParseSetting(string(hr))
+	if err != nil {
+		t.Fatalf("hr.dx: %v", err)
+	}
+	if !hrSetting.WeaklyAcyclic() {
+		t.Fatal("hr.dx must be weakly acyclic")
+	}
+	for _, name := range []string{"source21.dx", "t2.dx", "hr_source.dx"} {
+		data, err := os.ReadFile(filepath.Join(root, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := ParseInstance(string(data)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/instance"
+)
+
+// This file implements the classical Chandra–Merlin machinery the paper
+// leans on (reference [3]): containment and equivalence of conjunctive
+// queries via canonical instances, and CQ minimization (the core of a
+// query). The same correspondence — I ⊨ ϕ_J iff there is a homomorphism
+// J → I — underlies Theorem 4.8's bridge between CWA-solutions and
+// universal solutions.
+
+// canonicalInstance freezes the CQ's body into an instance: variables
+// become labeled nulls, constants stay. It returns the instance and the
+// head tuple under the freezing.
+func canonicalInstance(q CQ) (*instance.Instance, Tuple, error) {
+	if q.HasInequalities() {
+		return nil, nil, fmt.Errorf("query: containment via canonical instances requires inequality-free CQs")
+	}
+	varNull := make(map[string]instance.Value)
+	next := int64(0)
+	freeze := func(t Term) instance.Value {
+		if !t.IsVar() {
+			return t.Val
+		}
+		v, ok := varNull[t.Var]
+		if !ok {
+			v = instance.Null(next)
+			next++
+			varNull[t.Var] = v
+		}
+		return v
+	}
+	ins := instance.New()
+	for _, a := range q.Atoms {
+		args := make([]instance.Value, len(a.Terms))
+		for i, t := range a.Terms {
+			args[i] = freeze(t)
+		}
+		ins.Add(instance.Atom{Rel: a.Rel, Args: args})
+	}
+	head := make(Tuple, len(q.Head))
+	for i, v := range q.Head {
+		hv, ok := varNull[v]
+		if !ok {
+			return nil, nil, fmt.Errorf("query: head variable %q not bound by the body", v)
+		}
+		head[i] = hv
+	}
+	return ins, head, nil
+}
+
+// ContainedIn reports whether q1 ⊆ q2 (every answer of q1 is an answer of
+// q2 on every instance), decided by evaluating q2 on q1's canonical
+// instance and checking that the frozen head is among the answers
+// (Chandra–Merlin). Both queries must be inequality-free and share head
+// arity.
+func ContainedIn(q1, q2 CQ) (bool, error) {
+	if len(q1.Head) != len(q2.Head) {
+		return false, fmt.Errorf("query: containment requires equal head arity")
+	}
+	canon, head, err := canonicalInstance(q1)
+	if err != nil {
+		return false, err
+	}
+	if q2.HasInequalities() {
+		return false, fmt.Errorf("query: containment via canonical instances requires inequality-free CQs")
+	}
+	return q2.Answers(canon).Has(head), nil
+}
+
+// Equivalent reports whether the two CQs are equivalent (mutual
+// containment).
+func Equivalent(q1, q2 CQ) (bool, error) {
+	a, err := ContainedIn(q1, q2)
+	if err != nil || !a {
+		return false, err
+	}
+	return ContainedIn(q2, q1)
+}
+
+// Minimize returns an equivalent CQ with a minimal number of body atoms —
+// the core of the query. It greedily drops atoms whose removal leaves an
+// equivalent query; by Chandra–Merlin the result is unique up to variable
+// renaming.
+func Minimize(q CQ) (CQ, error) {
+	if q.HasInequalities() {
+		return CQ{}, fmt.Errorf("query: Minimize requires an inequality-free CQ")
+	}
+	cur := CQ{Head: append([]string(nil), q.Head...), Atoms: append([]Atom(nil), q.Atoms...)}
+	for i := 0; i < len(cur.Atoms); {
+		if len(cur.Atoms) == 1 {
+			break
+		}
+		cand := CQ{Head: cur.Head, Atoms: append(append([]Atom(nil), cur.Atoms[:i]...), cur.Atoms[i+1:]...)}
+		// Dropping an atom can only weaken the query (cur ⊆ cand always);
+		// keep the drop when cand ⊆ cur, i.e. when they are equivalent —
+		// and only when the candidate still binds all head variables.
+		if !bindsHead(cand) {
+			i++
+			continue
+		}
+		contained, err := ContainedIn(cand, cur)
+		if err != nil {
+			return CQ{}, err
+		}
+		if contained {
+			cur = cand
+			i = 0
+			continue
+		}
+		i++
+	}
+	return cur, nil
+}
+
+func bindsHead(q CQ) bool {
+	bound := make(map[string]bool)
+	for _, a := range q.Atoms {
+		for _, v := range a.Vars() {
+			bound[v] = true
+		}
+	}
+	for _, v := range q.Head {
+		if !bound[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// MinimizeUCQ removes disjuncts that are contained in another disjunct and
+// minimizes each survivor, yielding an equivalent irredundant union
+// (Sagiv–Yannakakis normal form). All disjuncts must be inequality-free.
+func MinimizeUCQ(u UCQ) (UCQ, error) {
+	kept := make([]CQ, 0, len(u.Disjuncts))
+	for i, d := range u.Disjuncts {
+		redundant := false
+		for j, other := range u.Disjuncts {
+			if i == j {
+				continue
+			}
+			// Drop d if it is contained in a surviving other disjunct; break
+			// ties between equivalent disjuncts by index so exactly one stays.
+			sub, err := ContainedIn(d, other)
+			if err != nil {
+				return UCQ{}, err
+			}
+			if !sub {
+				continue
+			}
+			back, err := ContainedIn(other, d)
+			if err != nil {
+				return UCQ{}, err
+			}
+			if !back || j < i {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			min, err := Minimize(d)
+			if err != nil {
+				return UCQ{}, err
+			}
+			kept = append(kept, min)
+		}
+	}
+	if len(kept) == 0 {
+		return UCQ{}, fmt.Errorf("query: minimization removed every disjunct")
+	}
+	return NewUCQ(kept...), nil
+}
+
+// CanonicalFact builds the canonical fact ϕ_T of a target instance
+// (Section 4): the Boolean sentence ∃x̄ ψ(x̄) whose conjuncts are T's atoms
+// with every null replaced by its variable. By Chandra–Merlin, I ⊨ ϕ_T iff
+// there is a homomorphism T → I — the bridge behind Theorem 4.8.
+func CanonicalFact(t *instance.Instance) FOQuery {
+	varOf := make(map[instance.Value]string)
+	var vars []string
+	var conjs []Formula
+	for _, a := range t.Atoms() {
+		terms := make([]Term, len(a.Args))
+		for i, v := range a.Args {
+			if v.IsConst() {
+				terms[i] = C(v)
+				continue
+			}
+			name, ok := varOf[v]
+			if !ok {
+				name = fmt.Sprintf("x%d", v.NullLabel())
+				varOf[v] = name
+				vars = append(vars, name)
+			}
+			terms[i] = V(name)
+		}
+		conjs = append(conjs, Atom{Rel: a.Rel, Terms: terms})
+	}
+	body := Conj(conjs...)
+	if len(vars) > 0 {
+		body = Exists{Vars: vars, F: body}
+	}
+	return FOQuery{F: body}
+}
+
+// UCQContainedIn reports whether u1 ⊆ u2 for unions of inequality-free
+// CQs: every disjunct of u1 must be contained in some disjunct of u2
+// (Sagiv–Yannakakis).
+func UCQContainedIn(u1, u2 UCQ) (bool, error) {
+	for _, d1 := range u1.Disjuncts {
+		foundCover := false
+		for _, d2 := range u2.Disjuncts {
+			ok, err := ContainedIn(d1, d2)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				foundCover = true
+				break
+			}
+		}
+		if !foundCover {
+			return false, nil
+		}
+	}
+	return true, nil
+}

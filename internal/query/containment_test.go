@@ -1,0 +1,201 @@
+package query
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/instance"
+)
+
+func mustCQ(t testing.TB, head []string, atoms ...Atom) CQ {
+	t.Helper()
+	return CQ{Head: head, Atoms: atoms}
+}
+
+func TestContainedInBasics(t *testing.T) {
+	// q1(x) :- E(x,y), E(y,z)   (2-step path)
+	// q2(x) :- E(x,y)           (1-step)
+	q1 := mustCQ(t, []string{"x"}, A("E", V("x"), V("y")), A("E", V("y"), V("z")))
+	q2 := mustCQ(t, []string{"x"}, A("E", V("x"), V("y")))
+	ok, err := ContainedIn(q1, q2)
+	if err != nil || !ok {
+		t.Fatalf("2-path ⊆ 1-step: %v %v", ok, err)
+	}
+	ok, err = ContainedIn(q2, q1)
+	if err != nil || ok {
+		t.Fatalf("1-step ⊄ 2-path: %v %v", ok, err)
+	}
+}
+
+func TestEquivalentAndMinimize(t *testing.T) {
+	// q(x) :- E(x,y), E(x,z) is equivalent to q(x) :- E(x,y).
+	q := mustCQ(t, []string{"x"}, A("E", V("x"), V("y")), A("E", V("x"), V("z")))
+	min, err := Minimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min.Atoms) != 1 {
+		t.Fatalf("minimized to %d atoms, want 1: %v", len(min.Atoms), min)
+	}
+	eq, err := Equivalent(q, min)
+	if err != nil || !eq {
+		t.Fatalf("minimized query must be equivalent: %v %v", eq, err)
+	}
+}
+
+func TestMinimizeKeepsNonRedundant(t *testing.T) {
+	// The 2-path is already minimal.
+	q := mustCQ(t, []string{"x"}, A("E", V("x"), V("y")), A("E", V("y"), V("z")))
+	min, err := Minimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min.Atoms) != 2 {
+		t.Fatalf("2-path is minimal, got %v", min)
+	}
+}
+
+func TestMinimizeTriangleVsEdgeWithConstants(t *testing.T) {
+	// q() :- E(a,y), E(y,a): constants block collapsing.
+	q := CQ{Atoms: []Atom{A("E", CN("a"), V("y")), A("E", V("y"), CN("a"))}}
+	min, err := Minimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min.Atoms) != 2 {
+		t.Fatalf("constant round-trip is minimal, got %v", min)
+	}
+}
+
+func TestContainedInErrors(t *testing.T) {
+	withIneq := CQ{Head: []string{"x"}, Atoms: []Atom{A("E", V("x"), V("y"))}, Diseqs: []Diseq{{L: V("x"), R: V("y")}}}
+	plain := CQ{Head: []string{"x"}, Atoms: []Atom{A("E", V("x"), V("y"))}}
+	if _, err := ContainedIn(withIneq, plain); err == nil {
+		t.Fatal("inequalities must be rejected")
+	}
+	if _, err := ContainedIn(plain, withIneq); err == nil {
+		t.Fatal("inequalities must be rejected on the right too")
+	}
+	arity := CQ{Head: []string{"x", "y"}, Atoms: []Atom{A("E", V("x"), V("y"))}}
+	if _, err := ContainedIn(plain, arity); err == nil {
+		t.Fatal("arity mismatch must be rejected")
+	}
+}
+
+func TestUCQContainment(t *testing.T) {
+	u1 := NewUCQ(
+		CQ{Head: []string{"x"}, Atoms: []Atom{A("E", V("x"), V("y")), A("E", V("y"), V("z"))}},
+	)
+	u2 := NewUCQ(
+		CQ{Head: []string{"x"}, Atoms: []Atom{A("E", V("x"), V("y"))}},
+		CQ{Head: []string{"x"}, Atoms: []Atom{A("P", V("x"))}},
+	)
+	ok, err := UCQContainedIn(u1, u2)
+	if err != nil || !ok {
+		t.Fatalf("u1 ⊆ u2: %v %v", ok, err)
+	}
+	ok, err = UCQContainedIn(u2, u1)
+	if err != nil || ok {
+		t.Fatalf("u2 ⊄ u1: %v %v", ok, err)
+	}
+}
+
+// Property: containment decided via canonical instances agrees with
+// evaluation containment on random small graphs.
+func TestQuickContainmentSoundOnRandomGraphs(t *testing.T) {
+	q1 := mustCQ(t, []string{"x"}, A("E", V("x"), V("y")), A("E", V("y"), V("x")))
+	q2 := mustCQ(t, []string{"x"}, A("E", V("x"), V("y")))
+	contained, err := ContainedIn(q1, q2)
+	if err != nil || !contained {
+		t.Fatalf("2-cycle membership ⊆ out-edge: %v %v", contained, err)
+	}
+	nodes := []instance.Value{instance.Const("a"), instance.Const("b"), instance.Const("c")}
+	f := func(adj uint16) bool {
+		ins := instance.New()
+		bit := 0
+		for _, u := range nodes {
+			for _, v := range nodes {
+				if adj&(1<<bit) != 0 {
+					ins.Add(instance.NewAtom("E", u, v))
+				}
+				bit++
+			}
+		}
+		return q1.Answers(ins).SubsetOf(q2.Answers(ins))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Minimize always yields an equivalent query with no more atoms.
+func TestQuickMinimizeEquivalent(t *testing.T) {
+	shapes := []CQ{
+		mustCQ(t, []string{"x"}, A("E", V("x"), V("y")), A("E", V("x"), V("z")), A("E", V("z"), V("w"))),
+		mustCQ(t, []string{"x"}, A("E", V("x"), V("x"))),
+		mustCQ(t, []string{"x", "y"}, A("E", V("x"), V("y")), A("E", V("x"), V("u")), A("E", V("v"), V("y"))),
+		mustCQ(t, nil, A("E", V("x"), V("y")), A("E", V("y"), V("z")), A("E", V("u"), V("v"))),
+	}
+	for _, q := range shapes {
+		min, err := Minimize(q)
+		if err != nil {
+			t.Fatalf("%v: %v", q, err)
+		}
+		if len(min.Atoms) > len(q.Atoms) {
+			t.Fatalf("%v: minimization grew", q)
+		}
+		eq, err := Equivalent(q, min)
+		if err != nil || !eq {
+			t.Fatalf("%v: minimized %v not equivalent (%v)", q, min, err)
+		}
+	}
+}
+
+func TestMinimizeUCQ(t *testing.T) {
+	// Disjunct 1 (2-path) ⊆ disjunct 2 (1-step): only the 1-step survives.
+	u := NewUCQ(
+		CQ{Head: []string{"x"}, Atoms: []Atom{A("E", V("x"), V("y")), A("E", V("y"), V("z"))}},
+		CQ{Head: []string{"x"}, Atoms: []Atom{A("E", V("x"), V("y")), A("E", V("x"), V("w"))}},
+	)
+	min, err := MinimizeUCQ(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min.Disjuncts) != 1 {
+		t.Fatalf("minimized to %d disjuncts: %v", len(min.Disjuncts), min)
+	}
+	// The surviving disjunct is itself minimized (the redundant atom drops).
+	if len(min.Disjuncts[0].Atoms) != 1 {
+		t.Fatalf("surviving disjunct not minimized: %v", min.Disjuncts[0])
+	}
+	// Minimization preserves equivalence.
+	eq, err := UCQContainedIn(u, min)
+	if err != nil || !eq {
+		t.Fatalf("u ⊆ min: %v %v", eq, err)
+	}
+	eq, err = UCQContainedIn(min, u)
+	if err != nil || !eq {
+		t.Fatalf("min ⊆ u: %v %v", eq, err)
+	}
+}
+
+func TestMinimizeUCQEquivalentDisjuncts(t *testing.T) {
+	// Two equivalent disjuncts: exactly one survives.
+	u := NewUCQ(
+		CQ{Head: []string{"x"}, Atoms: []Atom{A("E", V("x"), V("y"))}},
+		CQ{Head: []string{"x"}, Atoms: []Atom{A("E", V("x"), V("z"))}},
+	)
+	min, err := MinimizeUCQ(u)
+	if err != nil || len(min.Disjuncts) != 1 {
+		t.Fatalf("minimize equivalents: %v %v", min, err)
+	}
+	// Incomparable disjuncts both survive.
+	u2 := NewUCQ(
+		CQ{Head: []string{"x"}, Atoms: []Atom{A("P", V("x"))}},
+		CQ{Head: []string{"x"}, Atoms: []Atom{A("E", V("x"), V("y"))}},
+	)
+	min2, err := MinimizeUCQ(u2)
+	if err != nil || len(min2.Disjuncts) != 2 {
+		t.Fatalf("incomparable disjuncts: %v %v", min2, err)
+	}
+}

@@ -1,0 +1,254 @@
+package query
+
+import (
+	"strings"
+
+	"repro/internal/instance"
+)
+
+// Diseq is an inequality t1 != t2 in a conjunctive query body.
+type Diseq struct{ L, R Term }
+
+func (d Diseq) String() string { return d.L.String() + " != " + d.R.String() }
+
+// CQ is a conjunctive query, optionally with inequalities:
+//
+//	Q(x̄) :- A1, …, Am, s1 != t1, …, sk != tk
+//
+// with the remaining body variables existentially quantified. The paper's
+// Table 1 distinguishes CQs with no inequalities from CQs with one
+// inequality per disjunct; Diseqs carries them.
+type CQ struct {
+	Head   []string
+	Atoms  []Atom
+	Diseqs []Diseq
+}
+
+// HasInequalities reports whether the CQ uses any inequality.
+func (q CQ) HasInequalities() bool { return len(q.Diseqs) > 0 }
+
+// Boolean reports whether the query has an empty head.
+func (q CQ) Boolean() bool { return len(q.Head) == 0 }
+
+func (q CQ) String() string {
+	parts := make([]string, 0, len(q.Atoms)+len(q.Diseqs))
+	for _, a := range q.Atoms {
+		parts = append(parts, a.String())
+	}
+	for _, d := range q.Diseqs {
+		parts = append(parts, d.String())
+	}
+	return "(" + strings.Join(q.Head, ",") + ") :- " + strings.Join(parts, ", ")
+}
+
+// Answers evaluates the CQ over the instance (naive-table style: nulls are
+// treated as ordinary values) and returns the set of head tuples.
+func (q CQ) Answers(ins *instance.Instance) *TupleSet {
+	out := NewTupleSet()
+	MatchAtoms(ins, q.Atoms, Binding{}, func(env Binding) bool {
+		for _, d := range q.Diseqs {
+			l, ok := d.L.resolve(env)
+			if !ok {
+				panic("query: unbound variable in inequality " + d.String())
+			}
+			r, ok := d.R.resolve(env)
+			if !ok {
+				panic("query: unbound variable in inequality " + d.String())
+			}
+			if l == r {
+				return true // this match fails the inequality; keep searching
+			}
+		}
+		t := make(Tuple, len(q.Head))
+		for i, v := range q.Head {
+			val, ok := env[v]
+			if !ok {
+				panic("query: head variable " + v + " not bound by body")
+			}
+			t[i] = val
+		}
+		out.Add(t)
+		return true
+	})
+	return out
+}
+
+// Holds evaluates a Boolean CQ.
+func (q CQ) Holds(ins *instance.Instance) bool {
+	if !q.Boolean() {
+		panic("query: Holds on non-Boolean CQ")
+	}
+	return q.Answers(ins).Len() > 0
+}
+
+// Formula converts the CQ to an equivalent first-order query.
+func (q CQ) Formula() FOQuery {
+	head := make(map[string]bool, len(q.Head))
+	for _, v := range q.Head {
+		head[v] = true
+	}
+	var exVars []string
+	seen := make(map[string]bool)
+	conjs := make([]Formula, 0, len(q.Atoms)+len(q.Diseqs))
+	for _, a := range q.Atoms {
+		conjs = append(conjs, a)
+		for _, v := range a.Vars() {
+			if !head[v] && !seen[v] {
+				seen[v] = true
+				exVars = append(exVars, v)
+			}
+		}
+	}
+	for _, d := range q.Diseqs {
+		conjs = append(conjs, Not{F: Eq{L: d.L, R: d.R}})
+	}
+	body := Conj(conjs...)
+	if len(exVars) > 0 {
+		body = Exists{Vars: exVars, F: body}
+	}
+	return FOQuery{Vars: append([]string(nil), q.Head...), F: body}
+}
+
+// UCQ is a union (finite disjunction) of conjunctive queries sharing a head
+// arity. Datalog-style potentially infinite unions are approximated by their
+// finite materializations in this library.
+type UCQ struct {
+	Disjuncts []CQ
+}
+
+// NewUCQ validates that all disjuncts share the head arity.
+func NewUCQ(disjuncts ...CQ) UCQ {
+	if len(disjuncts) == 0 {
+		panic("query: empty UCQ")
+	}
+	ar := len(disjuncts[0].Head)
+	for _, d := range disjuncts {
+		if len(d.Head) != ar {
+			panic("query: UCQ disjuncts must share head arity")
+		}
+	}
+	return UCQ{Disjuncts: disjuncts}
+}
+
+// Pure reports whether no disjunct uses inequalities (the class "union of
+// CQ" of Table 1, as opposed to "union of CQ with 1 inequality per
+// disjunct").
+func (u UCQ) Pure() bool {
+	for _, d := range u.Disjuncts {
+		if d.HasInequalities() {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxInequalitiesPerDisjunct returns the largest number of inequalities in
+// any disjunct.
+func (u UCQ) MaxInequalitiesPerDisjunct() int {
+	max := 0
+	for _, d := range u.Disjuncts {
+		if len(d.Diseqs) > max {
+			max = len(d.Diseqs)
+		}
+	}
+	return max
+}
+
+// Answers evaluates the UCQ naively over the instance.
+func (u UCQ) Answers(ins *instance.Instance) *TupleSet {
+	out := NewTupleSet()
+	for _, d := range u.Disjuncts {
+		out.UnionWith(d.Answers(ins))
+	}
+	return out
+}
+
+func (u UCQ) String() string {
+	parts := make([]string, len(u.Disjuncts))
+	for i, d := range u.Disjuncts {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, "  ∪  ")
+}
+
+// Evaluable is the common interface of the query classes: first-order
+// queries, conjunctive queries (with or without inequalities) and unions of
+// conjunctive queries.
+type Evaluable interface {
+	// AnswerSet evaluates the query naively over the instance (nulls are
+	// treated as ordinary values).
+	AnswerSet(ins *instance.Instance) *TupleSet
+	// Arity is the number of answer variables (0 for Boolean queries).
+	Arity() int
+	String() string
+}
+
+// AnswerSet implements Evaluable.
+func (q CQ) AnswerSet(ins *instance.Instance) *TupleSet { return q.Answers(ins) }
+
+// Arity implements Evaluable.
+func (q CQ) Arity() int { return len(q.Head) }
+
+// AnswerSet implements Evaluable.
+func (u UCQ) AnswerSet(ins *instance.Instance) *TupleSet { return u.Answers(ins) }
+
+// Arity implements Evaluable.
+func (u UCQ) Arity() int { return len(u.Disjuncts[0].Head) }
+
+// AnswerSet implements Evaluable.
+func (q FOQuery) AnswerSet(ins *instance.Instance) *TupleSet {
+	return NewTupleSet(q.Answers(ins)...)
+}
+
+// Arity implements Evaluable.
+func (q FOQuery) Arity() int { return len(q.Vars) }
+
+// Constants returns the constants mentioned by the query (needed to build a
+// generic valuation domain).
+func Constants(q Evaluable) []instance.Value {
+	switch g := q.(type) {
+	case CQ:
+		return cqConstants(g)
+	case UCQ:
+		var out []instance.Value
+		for _, d := range g.Disjuncts {
+			out = append(out, cqConstants(d)...)
+		}
+		return out
+	case FOQuery:
+		return formulaConstants(g.F)
+	default:
+		return nil
+	}
+}
+
+func cqConstants(q CQ) []instance.Value {
+	var out []instance.Value
+	for _, a := range q.Atoms {
+		for _, t := range a.Terms {
+			if !t.IsVar() {
+				out = append(out, t.Val)
+			}
+		}
+	}
+	for _, d := range q.Diseqs {
+		for _, t := range []Term{d.L, d.R} {
+			if !t.IsVar() {
+				out = append(out, t.Val)
+			}
+		}
+	}
+	return out
+}
+
+// NullFree filters a tuple set down to the tuples without nulls — the ↓
+// operation of Lemma 7.7 (written Q(T)↓ in the paper).
+func NullFree(s *TupleSet) *TupleSet {
+	out := NewTupleSet()
+	for _, t := range s.Tuples() {
+		if !t.HasNull() {
+			out.Add(t)
+		}
+	}
+	return out
+}

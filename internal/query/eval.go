@@ -1,0 +1,218 @@
+package query
+
+import (
+	"strings"
+
+	"repro/internal/instance"
+)
+
+// Eval decides whether the formula holds in the instance under the given
+// environment, with all quantifiers relativized to the active domain of the
+// instance (plus the values bound in env and the constants mentioned by the
+// formula itself). env must bind every free variable of f.
+func Eval(ins *instance.Instance, f Formula, env Binding) bool {
+	dom := evalDomain(ins, f, env)
+	return eval(ins, f, env, dom)
+}
+
+// evalDomain is the quantification range: the active domain of the instance,
+// every value bound in env, and every constant occurring in f. Including the
+// formula's own constants makes sentences like ∃x(x = a) behave as expected
+// on instances that do not mention a.
+func evalDomain(ins *instance.Instance, f Formula, env Binding) []instance.Value {
+	seen := make(map[instance.Value]bool)
+	var dom []instance.Value
+	add := func(v instance.Value) {
+		if !seen[v] {
+			seen[v] = true
+			dom = append(dom, v)
+		}
+	}
+	for _, v := range ins.Dom() {
+		add(v)
+	}
+	for _, v := range env {
+		add(v)
+	}
+	for _, t := range formulaConstants(f) {
+		add(t)
+	}
+	return dom
+}
+
+func formulaConstants(f Formula) []instance.Value {
+	var out []instance.Value
+	var walk func(Formula)
+	addTerm := func(t Term) {
+		if !t.IsVar() {
+			out = append(out, t.Val)
+		}
+	}
+	walk = func(f Formula) {
+		switch g := f.(type) {
+		case Atom:
+			for _, t := range g.Terms {
+				addTerm(t)
+			}
+		case Eq:
+			addTerm(g.L)
+			addTerm(g.R)
+		case Not:
+			walk(g.F)
+		case And:
+			for _, h := range g.Fs {
+				walk(h)
+			}
+		case Or:
+			for _, h := range g.Fs {
+				walk(h)
+			}
+		case Implies:
+			walk(g.L)
+			walk(g.R)
+		case Exists:
+			walk(g.F)
+		case Forall:
+			walk(g.F)
+		case Truth:
+		default:
+			panic("query: unknown formula type")
+		}
+	}
+	walk(f)
+	return out
+}
+
+func eval(ins *instance.Instance, f Formula, env Binding, dom []instance.Value) bool {
+	switch g := f.(type) {
+	case Truth:
+		return bool(g)
+	case Atom:
+		args := make([]instance.Value, len(g.Terms))
+		for i, t := range g.Terms {
+			v, ok := t.resolve(env)
+			if !ok {
+				panic("query: unbound variable " + t.Var + " in Eval")
+			}
+			args[i] = v
+		}
+		return ins.Has(instance.Atom{Rel: g.Rel, Args: args})
+	case Eq:
+		l, ok := g.L.resolve(env)
+		if !ok {
+			panic("query: unbound variable " + g.L.Var + " in Eval")
+		}
+		r, ok := g.R.resolve(env)
+		if !ok {
+			panic("query: unbound variable " + g.R.Var + " in Eval")
+		}
+		return l == r
+	case Not:
+		return !eval(ins, g.F, env, dom)
+	case And:
+		for _, h := range g.Fs {
+			if !eval(ins, h, env, dom) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, h := range g.Fs {
+			if eval(ins, h, env, dom) {
+				return true
+			}
+		}
+		return false
+	case Implies:
+		return !eval(ins, g.L, env, dom) || eval(ins, g.R, env, dom)
+	case Exists:
+		return evalQuant(ins, g.Vars, g.F, env, dom, false)
+	case Forall:
+		return evalQuant(ins, g.Vars, g.F, env, dom, true)
+	default:
+		panic("query: unknown formula type")
+	}
+}
+
+// evalQuant handles nested quantifier blocks; universal=true computes ∀,
+// otherwise ∃, short-circuiting as soon as the result is determined.
+func evalQuant(ins *instance.Instance, vars []string, body Formula, env Binding, dom []instance.Value, universal bool) bool {
+	if len(vars) == 0 {
+		return eval(ins, body, env, dom)
+	}
+	v, rest := vars[0], vars[1:]
+	old, hadOld := env[v]
+	defer func() {
+		if hadOld {
+			env[v] = old
+		} else {
+			delete(env, v)
+		}
+	}()
+	for _, d := range dom {
+		env[v] = d
+		r := evalQuant(ins, rest, body, env, dom, universal)
+		if universal && !r {
+			return false
+		}
+		if !universal && r {
+			return true
+		}
+	}
+	return universal
+}
+
+// FOQuery is a first-order query: a formula with an ordered tuple of answer
+// variables (the free variables of F, in the order answers are reported).
+type FOQuery struct {
+	Vars []string
+	F    Formula
+}
+
+// Boolean reports whether the query has no answer variables.
+func (q FOQuery) Boolean() bool { return len(q.Vars) == 0 }
+
+func (q FOQuery) String() string {
+	if q.Boolean() {
+		return q.F.String()
+	}
+	return "(" + strings.Join(q.Vars, ",") + ") . " + q.F.String()
+}
+
+// Answers evaluates the query over the instance under active-domain
+// semantics and returns the answer tuples in deterministic order. For a
+// Boolean query it returns one empty tuple if the sentence holds, and no
+// tuples otherwise.
+func (q FOQuery) Answers(ins *instance.Instance) []Tuple {
+	dom := evalDomain(ins, q.F, Binding{})
+	var out []Tuple
+	env := make(Binding, len(q.Vars))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(q.Vars) {
+			if eval(ins, q.F, env, dom) {
+				t := make(Tuple, len(q.Vars))
+				for j, v := range q.Vars {
+					t[j] = env[v]
+				}
+				out = append(out, t)
+			}
+			return
+		}
+		for _, d := range dom {
+			env[q.Vars[i]] = d
+			rec(i + 1)
+		}
+		delete(env, q.Vars[i])
+	}
+	rec(0)
+	return out
+}
+
+// Holds evaluates a Boolean query.
+func (q FOQuery) Holds(ins *instance.Instance) bool {
+	if !q.Boolean() {
+		panic("query: Holds on non-Boolean query")
+	}
+	return Eval(ins, q.F, Binding{})
+}

@@ -1,0 +1,105 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/instance"
+)
+
+func TestEvaluableInterface(t *testing.T) {
+	ins := graph([2]string{"a", "b"})
+	var qs []Evaluable = []Evaluable{
+		CQ{Head: []string{"x"}, Atoms: []Atom{A("E", V("x"), V("y"))}},
+		NewUCQ(CQ{Head: []string{"x"}, Atoms: []Atom{A("E", V("x"), V("y"))}}),
+		FOQuery{Vars: []string{"x"}, F: Exists{Vars: []string{"y"}, F: A("E", V("x"), V("y"))}},
+	}
+	for _, q := range qs {
+		if q.Arity() != 1 {
+			t.Errorf("%T arity = %d", q, q.Arity())
+		}
+		ans := q.AnswerSet(ins)
+		if ans.Len() != 1 || !ans.Has(Tuple{c("a")}) {
+			t.Errorf("%T answers = %v", q, ans)
+		}
+		if q.String() == "" {
+			t.Errorf("%T has empty String", q)
+		}
+	}
+}
+
+func TestHoldsBooleanQueries(t *testing.T) {
+	ins := graph([2]string{"a", "b"})
+	cq := CQ{Atoms: []Atom{A("E", V("x"), V("y"))}}
+	if !cq.Holds(ins) {
+		t.Fatal("Boolean CQ should hold")
+	}
+	fo := FOQuery{F: Exists{Vars: []string{"x", "y"}, F: A("E", V("x"), V("y"))}}
+	if !fo.Holds(ins) {
+		t.Fatal("Boolean FO should hold")
+	}
+	empty := instance.New()
+	if cq.Holds(empty) || fo.Holds(empty) {
+		t.Fatal("nothing holds on the empty instance")
+	}
+}
+
+func TestHoldsPanicsOnNonBoolean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Holds on a non-Boolean CQ must panic")
+		}
+	}()
+	cq := CQ{Head: []string{"x"}, Atoms: []Atom{A("E", V("x"), V("y"))}}
+	cq.Holds(instance.New())
+}
+
+func TestConstantsExtraction(t *testing.T) {
+	cq := CQ{
+		Head:   []string{"x"},
+		Atoms:  []Atom{A("E", V("x"), CN("k"))},
+		Diseqs: []Diseq{{L: V("x"), R: CN("m")}},
+	}
+	got := Constants(cq)
+	if len(got) != 2 {
+		t.Fatalf("constants = %v", got)
+	}
+	u := NewUCQ(cq, CQ{Head: []string{"x"}, Atoms: []Atom{A("P", V("x"), CN("n"))}})
+	if len(Constants(u)) != 3 {
+		t.Fatalf("UCQ constants = %v", Constants(u))
+	}
+	fo := FOQuery{F: Eq{L: CN("z"), R: CN("z")}}
+	if len(Constants(fo)) != 2 { // both sides counted; duplicates fine
+		t.Fatalf("FO constants = %v", Constants(fo))
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	cq := CQ{Head: []string{"x"}, Atoms: []Atom{A("E", V("x"), V("y"))}, Diseqs: []Diseq{{L: V("x"), R: V("y")}}}
+	if !strings.Contains(cq.String(), "!=") {
+		t.Fatalf("CQ string: %q", cq.String())
+	}
+	u := NewUCQ(cq, cq)
+	if !strings.Contains(u.String(), "∪") {
+		t.Fatalf("UCQ string: %q", u.String())
+	}
+	fo := FOQuery{Vars: []string{"x"}, F: A("P", V("x"))}
+	if !strings.Contains(fo.String(), "P(x)") {
+		t.Fatalf("FO string: %q", fo.String())
+	}
+	if MaxIneq := u.MaxInequalitiesPerDisjunct(); MaxIneq != 1 {
+		t.Fatalf("max inequalities = %d", MaxIneq)
+	}
+}
+
+func TestNewUCQValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched head arities must panic")
+		}
+	}()
+	NewUCQ(
+		CQ{Head: []string{"x"}, Atoms: []Atom{A("P", V("x"))}},
+		CQ{Head: []string{"x", "y"}, Atoms: []Atom{A("E", V("x"), V("y"))}},
+	)
+}

@@ -1,0 +1,252 @@
+// Package query implements first-order formulas and queries over relational
+// instances with nulls, evaluated under active-domain semantics, plus the
+// structured query classes the paper studies: conjunctive queries (CQs),
+// CQs with inequalities, and unions of conjunctive queries (UCQs).
+//
+// Formulas serve double duty: they are the query language of Section 7 and
+// the body language of source-to-target tgds, which the paper (following
+// Libkin) allows to be arbitrary first-order formulas over the source schema
+// with quantifiers relativized to the active domain.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/instance"
+)
+
+// Term is a variable or a constant appearing in a formula.
+// A Term with Var != "" denotes the variable of that name; otherwise it
+// denotes the constant value Val. Nulls never occur in formulas.
+type Term struct {
+	Var string
+	Val instance.Value
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C returns a constant term.
+func C(v instance.Value) Term {
+	if v.IsNull() {
+		panic("query: null in formula term")
+	}
+	return Term{Val: v}
+}
+
+// CN returns a constant term for the named constant.
+func CN(name string) Term { return C(instance.Const(name)) }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Var != "" }
+
+func (t Term) String() string {
+	if t.IsVar() {
+		return t.Var
+	}
+	return t.Val.String()
+}
+
+// resolve returns the value of the term under env; ok is false if the term
+// is an unbound variable.
+func (t Term) resolve(env Binding) (instance.Value, bool) {
+	if !t.IsVar() {
+		return t.Val, true
+	}
+	v, ok := env[t.Var]
+	return v, ok
+}
+
+// Binding maps variable names to domain values.
+type Binding map[string]instance.Value
+
+// Clone returns an independent copy of the binding.
+func (b Binding) Clone() Binding {
+	cp := make(Binding, len(b))
+	for k, v := range b {
+		cp[k] = v
+	}
+	return cp
+}
+
+// Formula is a first-order formula over a relational vocabulary with
+// constants. The implementations are Atom, Eq, Not, And, Or, Implies,
+// Exists, Forall and Truth.
+type Formula interface {
+	fmt.Stringer
+	// freeVars adds the free variables of the formula to the set.
+	freeVars(bound map[string]bool, out map[string]bool)
+}
+
+// Atom is a relational atom R(t1,…,tr).
+type Atom struct {
+	Rel   string
+	Terms []Term
+}
+
+// A constructs an atom formula.
+func A(rel string, terms ...Term) Atom { return Atom{Rel: rel, Terms: terms} }
+
+// Vars returns the variable names of the atom in order of first occurrence.
+func (a Atom) Vars() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, t := range a.Terms {
+		if t.IsVar() && !seen[t.Var] {
+			seen[t.Var] = true
+			out = append(out, t.Var)
+		}
+	}
+	return out
+}
+
+func (a Atom) String() string {
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		parts[i] = t.String()
+	}
+	return a.Rel + "(" + strings.Join(parts, ",") + ")"
+}
+
+func (a Atom) freeVars(bound, out map[string]bool) {
+	for _, t := range a.Terms {
+		if t.IsVar() && !bound[t.Var] {
+			out[t.Var] = true
+		}
+	}
+}
+
+// Eq is the equality t1 = t2.
+type Eq struct{ L, R Term }
+
+func (e Eq) String() string { return e.L.String() + " = " + e.R.String() }
+func (e Eq) freeVars(bound, out map[string]bool) {
+	for _, t := range []Term{e.L, e.R} {
+		if t.IsVar() && !bound[t.Var] {
+			out[t.Var] = true
+		}
+	}
+}
+
+// Not is negation.
+type Not struct{ F Formula }
+
+func (n Not) String() string                      { return "!(" + n.F.String() + ")" }
+func (n Not) freeVars(bound, out map[string]bool) { n.F.freeVars(bound, out) }
+
+// And is a conjunction of one or more formulas.
+type And struct{ Fs []Formula }
+
+// Conj builds a conjunction; with no arguments it is truth.
+func Conj(fs ...Formula) Formula {
+	if len(fs) == 0 {
+		return Truth(true)
+	}
+	if len(fs) == 1 {
+		return fs[0]
+	}
+	return And{Fs: fs}
+}
+
+func (a And) String() string { return joinFormulas(a.Fs, " & ") }
+func (a And) freeVars(bound, out map[string]bool) {
+	for _, f := range a.Fs {
+		f.freeVars(bound, out)
+	}
+}
+
+// Or is a disjunction of one or more formulas.
+type Or struct{ Fs []Formula }
+
+// Disj builds a disjunction; with no arguments it is falsity.
+func Disj(fs ...Formula) Formula {
+	if len(fs) == 0 {
+		return Truth(false)
+	}
+	if len(fs) == 1 {
+		return fs[0]
+	}
+	return Or{Fs: fs}
+}
+
+func (o Or) String() string { return joinFormulas(o.Fs, " | ") }
+func (o Or) freeVars(bound, out map[string]bool) {
+	for _, f := range o.Fs {
+		f.freeVars(bound, out)
+	}
+}
+
+func joinFormulas(fs []Formula, sep string) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = "(" + f.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}
+
+// Implies is material implication.
+type Implies struct{ L, R Formula }
+
+func (i Implies) String() string { return "(" + i.L.String() + ") -> (" + i.R.String() + ")" }
+func (i Implies) freeVars(bound, out map[string]bool) {
+	i.L.freeVars(bound, out)
+	i.R.freeVars(bound, out)
+}
+
+// Exists is existential quantification over one or more variables.
+type Exists struct {
+	Vars []string
+	F    Formula
+}
+
+func (e Exists) String() string {
+	return "exists " + strings.Join(e.Vars, ",") + " (" + e.F.String() + ")"
+}
+func (e Exists) freeVars(bound, out map[string]bool) { quantFreeVars(e.Vars, e.F, bound, out) }
+
+// Forall is universal quantification over one or more variables.
+type Forall struct {
+	Vars []string
+	F    Formula
+}
+
+func (u Forall) String() string {
+	return "forall " + strings.Join(u.Vars, ",") + " (" + u.F.String() + ")"
+}
+func (u Forall) freeVars(bound, out map[string]bool) { quantFreeVars(u.Vars, u.F, bound, out) }
+
+func quantFreeVars(vars []string, f Formula, bound, out map[string]bool) {
+	inner := make(map[string]bool, len(bound)+len(vars))
+	for v := range bound {
+		inner[v] = true
+	}
+	for _, v := range vars {
+		inner[v] = true
+	}
+	f.freeVars(inner, out)
+}
+
+// Truth is the constant true or false formula.
+type Truth bool
+
+func (t Truth) String() string {
+	if t {
+		return "true"
+	}
+	return "false"
+}
+func (t Truth) freeVars(bound, out map[string]bool) {}
+
+// FreeVars returns the free variables of the formula in sorted order.
+func FreeVars(f Formula) []string {
+	out := make(map[string]bool)
+	f.freeVars(map[string]bool{}, out)
+	vars := make([]string, 0, len(out))
+	for v := range out {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	return vars
+}

@@ -1,0 +1,223 @@
+package query
+
+import (
+	"repro/internal/instance"
+)
+
+// Tuple is an answer tuple over the domain.
+type Tuple []instance.Value
+
+// Key returns a canonical string key for set operations on tuples.
+func (t Tuple) Key() string {
+	out := make([]byte, 0, len(t)*12)
+	for i, v := range t {
+		if i > 0 {
+			out = append(out, '|')
+		}
+		out = append(out, v.String()...)
+	}
+	return string(out)
+}
+
+// HasNull reports whether the tuple mentions a labeled null.
+func (t Tuple) HasNull() bool {
+	for _, v := range t {
+		if v.IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+func (t Tuple) String() string {
+	out := "("
+	for i, v := range t {
+		if i > 0 {
+			out += ","
+		}
+		out += v.String()
+	}
+	return out + ")"
+}
+
+// Equal reports component-wise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TupleSet is a set of tuples keyed canonically, preserving insertion order.
+type TupleSet struct {
+	byKey map[string]int
+	elems []Tuple
+}
+
+// NewTupleSet builds a set from the given tuples.
+func NewTupleSet(ts ...Tuple) *TupleSet {
+	s := &TupleSet{byKey: make(map[string]int)}
+	for _, t := range ts {
+		s.Add(t)
+	}
+	return s
+}
+
+// Add inserts the tuple, reporting whether it was new.
+func (s *TupleSet) Add(t Tuple) bool {
+	k := t.Key()
+	if _, ok := s.byKey[k]; ok {
+		return false
+	}
+	cp := make(Tuple, len(t))
+	copy(cp, t)
+	s.byKey[k] = len(s.elems)
+	s.elems = append(s.elems, cp)
+	return true
+}
+
+// Has reports membership.
+func (s *TupleSet) Has(t Tuple) bool { _, ok := s.byKey[t.Key()]; return ok }
+
+// Len returns the number of tuples.
+func (s *TupleSet) Len() int { return len(s.elems) }
+
+// Tuples returns the tuples in insertion order.
+func (s *TupleSet) Tuples() []Tuple { return s.elems }
+
+// Intersect returns the tuples present in both sets.
+func (s *TupleSet) Intersect(o *TupleSet) *TupleSet {
+	out := NewTupleSet()
+	for _, t := range s.elems {
+		if o.Has(t) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// UnionWith adds every tuple of o to s.
+func (s *TupleSet) UnionWith(o *TupleSet) {
+	for _, t := range o.elems {
+		s.Add(t)
+	}
+}
+
+// Equal reports whether the two sets contain the same tuples.
+func (s *TupleSet) Equal(o *TupleSet) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for _, t := range s.elems {
+		if !o.Has(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every tuple of s is in o.
+func (s *TupleSet) SubsetOf(o *TupleSet) bool {
+	for _, t := range s.elems {
+		if !o.Has(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as { (a,b), (c,d) } in insertion order.
+func (s *TupleSet) String() string {
+	out := "{"
+	for i, t := range s.elems {
+		if i > 0 {
+			out += ", "
+		}
+		out += t.String()
+	}
+	return out + "}"
+}
+
+// MatchAtoms enumerates all extensions of init that make every atom of the
+// conjunction true in ins, invoking f for each complete binding. The binding
+// passed to f is reused between calls; clone it if you keep it. Enumeration
+// stops early when f returns false. MatchAtoms returns false iff it was
+// stopped early.
+//
+// The matcher greedily picks the next atom with the most bound positions and
+// dispatches through the instance's position indexes, which makes it the
+// shared join kernel of chase steps, dependency checking and homomorphism
+// search.
+func MatchAtoms(ins *instance.Instance, atoms []Atom, init Binding, f func(Binding) bool) bool {
+	env := init.Clone()
+	remaining := make([]Atom, len(atoms))
+	copy(remaining, atoms)
+	return matchRec(ins, remaining, env, f)
+}
+
+func matchRec(ins *instance.Instance, remaining []Atom, env Binding, f func(Binding) bool) bool {
+	if len(remaining) == 0 {
+		return f(env)
+	}
+	// Pick the atom with the most bound terms (ties: fewer unbound vars).
+	best, bestScore := 0, -1
+	for i, a := range remaining {
+		score := 0
+		for _, t := range a.Terms {
+			if !t.IsVar() {
+				score += 2
+			} else if _, ok := env[t.Var]; ok {
+				score += 2
+			}
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	a := remaining[best]
+	rest := make([]Atom, 0, len(remaining)-1)
+	rest = append(rest, remaining[:best]...)
+	rest = append(rest, remaining[best+1:]...)
+
+	pattern := make([]instance.Value, len(a.Terms))
+	bound := make([]bool, len(a.Terms))
+	for i, t := range a.Terms {
+		if v, ok := t.resolve(env); ok {
+			pattern[i] = v
+			bound[i] = true
+		}
+	}
+	cont := true
+	ins.MatchTuples(a.Rel, pattern, bound, func(args []instance.Value) bool {
+		// Bind unbound variables; verify repeated-variable consistency.
+		var newly []string
+		ok := true
+		for i, t := range a.Terms {
+			if bound[i] {
+				continue
+			}
+			if v, alreadyBound := env[t.Var]; alreadyBound {
+				if v != args[i] {
+					ok = false
+					break
+				}
+				continue
+			}
+			env[t.Var] = args[i]
+			newly = append(newly, t.Var)
+		}
+		if ok {
+			cont = matchRec(ins, rest, env, f)
+		}
+		for _, v := range newly {
+			delete(env, v)
+		}
+		return cont
+	})
+	return cont
+}

@@ -1,0 +1,291 @@
+package query
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/instance"
+)
+
+func c(n string) instance.Value { return instance.Const(n) }
+
+func graph(edges ...[2]string) *instance.Instance {
+	ins := instance.New()
+	for _, e := range edges {
+		ins.Add(instance.NewAtom("E", c(e[0]), c(e[1])))
+	}
+	return ins
+}
+
+func TestEvalAtoms(t *testing.T) {
+	ins := graph([2]string{"a", "b"})
+	if !Eval(ins, A("E", CN("a"), CN("b")), Binding{}) {
+		t.Fatal("present atom should hold")
+	}
+	if Eval(ins, A("E", CN("b"), CN("a")), Binding{}) {
+		t.Fatal("absent atom should not hold")
+	}
+}
+
+func TestEvalConnectives(t *testing.T) {
+	ins := graph([2]string{"a", "b"})
+	e := A("E", CN("a"), CN("b"))
+	ne := A("E", CN("b"), CN("a"))
+	cases := []struct {
+		f    Formula
+		want bool
+	}{
+		{Conj(e, e), true},
+		{Conj(e, ne), false},
+		{Disj(ne, e), true},
+		{Disj(ne, ne), false},
+		{Not{F: ne}, true},
+		{Implies{L: ne, R: ne}, true},
+		{Implies{L: e, R: ne}, false},
+		{Truth(true), true},
+		{Truth(false), false},
+		{Eq{L: CN("a"), R: CN("a")}, true},
+		{Eq{L: CN("a"), R: CN("b")}, false},
+	}
+	for _, cse := range cases {
+		if got := Eval(ins, cse.f, Binding{}); got != cse.want {
+			t.Errorf("Eval(%v) = %v, want %v", cse.f, got, cse.want)
+		}
+	}
+}
+
+func TestEvalQuantifiers(t *testing.T) {
+	ins := graph([2]string{"a", "b"}, [2]string{"b", "a"})
+	// Every node has an outgoing edge.
+	all := Forall{Vars: []string{"x"}, F: Implies{
+		L: Exists{Vars: []string{"u"}, F: Disj(A("E", V("x"), V("u")), A("E", V("u"), V("x")))},
+		R: Exists{Vars: []string{"y"}, F: A("E", V("x"), V("y"))},
+	}}
+	if !Eval(ins, all, Binding{}) {
+		t.Fatal("2-cycle: all nodes have out-edges")
+	}
+	ins2 := graph([2]string{"a", "b"})
+	if Eval(ins2, all, Binding{}) {
+		t.Fatal("single edge: b has no out-edge")
+	}
+	exx := Exists{Vars: []string{"x", "y"}, F: A("E", V("x"), V("y"))}
+	if !Eval(ins2, exx, Binding{}) {
+		t.Fatal("∃xy E(x,y) should hold")
+	}
+}
+
+func TestEvalFormulaConstantsInDomain(t *testing.T) {
+	// The formula mentions constant z absent from the instance; active-domain
+	// quantification must still range over it.
+	ins := graph([2]string{"a", "b"})
+	f := Exists{Vars: []string{"x"}, F: Eq{L: V("x"), R: CN("zzz")}}
+	if !Eval(ins, f, Binding{}) {
+		t.Fatal("formula constants must join the quantification range")
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	f := Exists{Vars: []string{"y"}, F: Conj(A("E", V("x"), V("y")), A("E", V("y"), V("z")))}
+	got := FreeVars(f)
+	want := []string{"x", "z"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("FreeVars = %v, want %v", got, want)
+	}
+}
+
+func TestFOQueryAnswers(t *testing.T) {
+	ins := graph([2]string{"a", "b"}, [2]string{"b", "c"})
+	q := FOQuery{Vars: []string{"x"}, F: Exists{Vars: []string{"y"}, F: A("E", V("x"), V("y"))}}
+	ans := q.Answers(ins)
+	var names []string
+	for _, t := range ans {
+		names = append(names, t[0].String())
+	}
+	sort.Strings(names)
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("answers = %v", names)
+	}
+}
+
+func TestCQAnswers(t *testing.T) {
+	ins := graph([2]string{"a", "b"}, [2]string{"b", "c"}, [2]string{"c", "a"})
+	// Two-step reachability.
+	q := CQ{
+		Head:  []string{"x", "z"},
+		Atoms: []Atom{A("E", V("x"), V("y")), A("E", V("y"), V("z"))},
+	}
+	ans := q.Answers(ins)
+	if ans.Len() != 3 {
+		t.Fatalf("triangle 2-paths = %d, want 3 (%v)", ans.Len(), ans)
+	}
+	if !ans.Has(Tuple{c("a"), c("c")}) {
+		t.Fatalf("missing (a,c): %v", ans)
+	}
+}
+
+func TestCQWithInequality(t *testing.T) {
+	ins := instance.FromAtoms(
+		instance.NewAtom("E", c("a"), c("b")),
+		instance.NewAtom("E", c("a"), c("a")),
+	)
+	q := CQ{
+		Head:   []string{"x"},
+		Atoms:  []Atom{A("E", V("x"), V("y"))},
+		Diseqs: []Diseq{{L: V("x"), R: V("y")}},
+	}
+	ans := q.Answers(ins)
+	if ans.Len() != 1 || !ans.Has(Tuple{c("a")}) {
+		t.Fatalf("answers = %v", ans)
+	}
+	// Only the self-loop match is filtered, not the whole variable.
+	q2 := CQ{Head: []string{"x"}, Atoms: []Atom{A("E", V("x"), V("x"))}}
+	if got := q2.Answers(ins); got.Len() != 1 {
+		t.Fatalf("self-loop query = %v", got)
+	}
+}
+
+func TestCQFormulaAgreesWithDirectEval(t *testing.T) {
+	ins := graph([2]string{"a", "b"}, [2]string{"b", "c"}, [2]string{"c", "d"}, [2]string{"d", "a"})
+	q := CQ{
+		Head:   []string{"x"},
+		Atoms:  []Atom{A("E", V("x"), V("y")), A("E", V("y"), V("z"))},
+		Diseqs: []Diseq{{L: V("x"), R: V("z")}},
+	}
+	direct := q.Answers(ins)
+	viaFO := NewTupleSet(q.Formula().Answers(ins)...)
+	if !direct.Equal(viaFO) {
+		t.Fatalf("CQ direct %v != FO %v", direct, viaFO)
+	}
+}
+
+func TestUCQ(t *testing.T) {
+	ins := graph([2]string{"a", "b"})
+	u := NewUCQ(
+		CQ{Head: []string{"x"}, Atoms: []Atom{A("E", V("x"), V("y"))}},
+		CQ{Head: []string{"x"}, Atoms: []Atom{A("E", V("y"), V("x"))}},
+	)
+	if !u.Pure() {
+		t.Fatal("UCQ without inequalities should be Pure")
+	}
+	ans := u.Answers(ins)
+	if ans.Len() != 2 {
+		t.Fatalf("UCQ answers = %v", ans)
+	}
+}
+
+func TestNullFree(t *testing.T) {
+	s := NewTupleSet(
+		Tuple{c("a"), c("b")},
+		Tuple{c("a"), instance.Null(0)},
+	)
+	nf := NullFree(s)
+	if nf.Len() != 1 || !nf.Has(Tuple{c("a"), c("b")}) {
+		t.Fatalf("NullFree = %v", nf)
+	}
+}
+
+func TestTupleSetOps(t *testing.T) {
+	a := NewTupleSet(Tuple{c("a")}, Tuple{c("b")})
+	b := NewTupleSet(Tuple{c("b")}, Tuple{c("c")})
+	inter := a.Intersect(b)
+	if inter.Len() != 1 || !inter.Has(Tuple{c("b")}) {
+		t.Fatalf("Intersect = %v", inter)
+	}
+	u := NewTupleSet()
+	u.UnionWith(a)
+	u.UnionWith(b)
+	if u.Len() != 3 {
+		t.Fatalf("Union = %v", u)
+	}
+	if !inter.SubsetOf(a) || a.SubsetOf(inter) {
+		t.Fatal("SubsetOf wrong")
+	}
+	if !a.Equal(NewTupleSet(Tuple{c("b")}, Tuple{c("a")})) {
+		t.Fatal("Equal must ignore order")
+	}
+}
+
+func TestMatchAtomsRepeatedVariable(t *testing.T) {
+	ins := instance.FromAtoms(
+		instance.NewAtom("E", c("a"), c("a")),
+		instance.NewAtom("E", c("a"), c("b")),
+	)
+	n := 0
+	MatchAtoms(ins, []Atom{A("E", V("x"), V("x"))}, Binding{}, func(env Binding) bool {
+		if env["x"] != c("a") {
+			t.Errorf("bad binding %v", env)
+		}
+		n++
+		return true
+	})
+	if n != 1 {
+		t.Fatalf("repeated-variable matches = %d, want 1", n)
+	}
+}
+
+func TestMatchAtomsJoin(t *testing.T) {
+	ins := graph([2]string{"a", "b"}, [2]string{"b", "c"}, [2]string{"a", "c"})
+	var pairs []string
+	MatchAtoms(ins, []Atom{A("E", V("x"), V("y")), A("E", V("y"), V("z"))}, Binding{}, func(env Binding) bool {
+		pairs = append(pairs, env["x"].String()+env["z"].String())
+		return true
+	})
+	if len(pairs) != 1 || pairs[0] != "ac" {
+		t.Fatalf("join results = %v", pairs)
+	}
+}
+
+func TestMatchAtomsInitialBinding(t *testing.T) {
+	ins := graph([2]string{"a", "b"}, [2]string{"c", "d"})
+	n := 0
+	MatchAtoms(ins, []Atom{A("E", V("x"), V("y"))}, Binding{"x": c("c")}, func(env Binding) bool {
+		if env["y"] != c("d") {
+			t.Errorf("bad y: %v", env["y"])
+		}
+		n++
+		return true
+	})
+	if n != 1 {
+		t.Fatalf("matches = %d, want 1", n)
+	}
+}
+
+func TestMatchAtomsEarlyStop(t *testing.T) {
+	ins := graph([2]string{"a", "b"}, [2]string{"b", "c"}, [2]string{"c", "d"})
+	n := 0
+	completed := MatchAtoms(ins, []Atom{A("E", V("x"), V("y"))}, Binding{}, func(env Binding) bool {
+		n++
+		return false
+	})
+	if completed || n != 1 {
+		t.Fatalf("early stop: completed=%v n=%d", completed, n)
+	}
+}
+
+// Property: CQ evaluation agrees with its FO translation on random graphs.
+func TestQuickCQAgreesWithFO(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	q := CQ{
+		Head:  []string{"x"},
+		Atoms: []Atom{A("E", V("x"), V("y")), A("E", V("y"), V("x"))},
+	}
+	f := func(adj uint16) bool {
+		ins := instance.New()
+		bit := 0
+		for _, u := range nodes {
+			for _, v := range nodes {
+				if adj&(1<<bit) != 0 {
+					ins.Add(instance.NewAtom("E", c(u), c(v)))
+				}
+				bit++
+			}
+		}
+		direct := q.Answers(ins)
+		viaFO := NewTupleSet(q.Formula().Answers(ins)...)
+		return direct.Equal(viaFO)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+package sat
+
+import (
+	"fmt"
+
+	"repro/internal/certain"
+	"repro/internal/chase"
+	"repro/internal/cwa"
+	"repro/internal/dependency"
+	"repro/internal/instance"
+	"repro/internal/parser"
+	"repro/internal/query"
+)
+
+// This file implements the reduction behind Theorem 7.5: a fixed data
+// exchange setting with richly acyclic target dependencies and a Boolean
+// conjunctive query with a single inequality whose certain answers decide
+// UNSAT.
+//
+// Encoding. Every variable v and every clause c receives a pair of nulls
+// via P2(name, ⊥, ⊥'). The query
+//
+//	q() :- P2(n, x, y), x != y
+//
+// is false in a possible world exactly when every pair is collapsed to a
+// single value. The target dependencies constrain collapsed worlds:
+//
+//	t1: P2(c,x,x) & Cho(c,p) -> Cho(c,x)   (a collapsed clause pair must
+//	     name an existing choice — its value is forced into the positions
+//	     of c, because the world's only Cho-atoms are the constant ones)
+//	t2: P2(v,x,x) & BVal(v,b) -> BVal(v,x) (a collapsed variable pair must
+//	     take a boolean value 0/1, for the same reason)
+//	e1: P2(c,x,x) & Lit(c,x,v,s) & P2(v,y,y) -> y = s
+//	     (the literal at the chosen position must be true: the variable's
+//	     value must equal the literal's sign)
+//
+// The bodies of t1/t2/e1 use a repeated variable (x,x), so they never match
+// the chase result itself — only worlds that collapse a pair. Hence a legal
+// world in which q is false encodes a choice of one true literal per clause
+// under a boolean assignment, i.e. a satisfying assignment; and every
+// satisfying assignment yields such a world. Therefore
+//
+//	certain(q, S_φ) = true  ⟺  φ is unsatisfiable.
+
+// ReductionSetting returns the fixed setting D of the Theorem 7.5
+// reduction. It is richly acyclic.
+func ReductionSetting() *dependency.Setting {
+	s, err := parser.ParseSetting(`
+source SVar/1, SClause/1, SLit/4.
+target P2/3, Lit/4, Cho/2, BVal/2.
+st:
+  st1: SVar(v) -> exists x,y : P2(v,x,y).
+  st2: SVar(v) -> BVal(v,'0') & BVal(v,'1').
+  st3: SClause(c) -> exists x,y : P2(c,x,y).
+  st4: SLit(c,p,v,s) -> Lit(c,p,v,s).
+  st5: SLit(c,p,v,s) -> Cho(c,p).
+target-deps:
+  t1: P2(c,x,x) & Cho(c,p) -> Cho(c,x).
+  t2: P2(v,x,x) & BVal(v,b) -> BVal(v,x).
+  e1: P2(c,x,x) & Lit(c,x,v,s) & P2(v,y,y) -> y = s.
+`)
+	if err != nil {
+		panic("sat: reduction setting must parse: " + err.Error())
+	}
+	return s
+}
+
+// varName and clauseName build the source constants for variables/clauses.
+func varName(i int) instance.Value    { return instance.Const(fmt.Sprintf("v%d", i)) }
+func clauseName(i int) instance.Value { return instance.Const(fmt.Sprintf("c%d", i)) }
+func posName(p int) instance.Value    { return instance.Const(fmt.Sprintf("p%d", p)) }
+func signName(pos bool) instance.Value {
+	if pos {
+		return instance.Const("1")
+	}
+	return instance.Const("0")
+}
+
+// SourceInstance encodes the CNF formula as a source instance for the
+// reduction setting.
+func SourceInstance(f CNF) *instance.Instance {
+	src := instance.New()
+	for v := 1; v <= f.Vars; v++ {
+		src.Add(instance.NewAtom("SVar", varName(v)))
+	}
+	for ci, c := range f.Clauses {
+		src.Add(instance.NewAtom("SClause", clauseName(ci+1)))
+		for pi, l := range c {
+			src.Add(instance.NewAtom("SLit",
+				clauseName(ci+1), posName(pi+1), varName(l.Var()), signName(l.Pos())))
+		}
+	}
+	return src
+}
+
+// ReductionQuery returns the Boolean conjunctive query with one inequality.
+func ReductionQuery() query.CQ {
+	q, err := parser.ParseCQ("q() :- P2(n,x,y), x != y.")
+	if err != nil {
+		panic("sat: reduction query must parse: " + err.Error())
+	}
+	return q
+}
+
+// CertainUnsat decides whether q is a certain answer for the encoded
+// formula — by the reduction, whether the formula is unsatisfiable. It
+// builds the minimal CWA-solution with the real pipeline and then searches
+// the collapsed worlds directly: a world in which q is false must collapse
+// every pair, variable pairs are forced to booleans and clause pairs to
+// positions (tgds t1/t2), so the search space is exactly
+// assignments × choices, checked against the real Σt-satisfaction and
+// query evaluation. Exponential — the problem is co-NP-complete
+// (Theorem 7.5).
+func CertainUnsat(f CNF, opt chase.Options) (bool, error) {
+	s := ReductionSetting()
+	src := SourceInstance(f)
+	core, err := cwa.Minimal(s, src, opt)
+	if err != nil {
+		return false, err
+	}
+	q := ReductionQuery()
+
+	// Pair nulls per name: P2(n, x, y).
+	type pair struct{ a, b instance.Value }
+	pairs := make(map[instance.Value]pair)
+	core.Tuples("P2", func(args []instance.Value) bool {
+		pairs[args[0]] = pair{a: args[1], b: args[2]}
+		return true
+	})
+
+	// Candidate collapsed values per pair.
+	candidates := make(map[instance.Value][]instance.Value)
+	for v := 1; v <= f.Vars; v++ {
+		candidates[varName(v)] = []instance.Value{signName(false), signName(true)}
+	}
+	for ci, c := range f.Clauses {
+		var ps []instance.Value
+		for pi := range c {
+			ps = append(ps, posName(pi+1))
+		}
+		candidates[clauseName(ci+1)] = ps
+	}
+
+	names := make([]instance.Value, 0, len(pairs))
+	for n := range pairs {
+		names = append(names, n)
+	}
+	// Deterministic order.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if instance.Less(names[j], names[i]) {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+
+	valuation := make(map[instance.Value]instance.Value)
+	var found bool
+	var rec func(i int)
+	rec = func(i int) {
+		if found {
+			return
+		}
+		if i == len(names) {
+			world := core.Map(valuation)
+			if certain.SatisfiesTargetDeps(s, world) && !q.Holds(world) {
+				found = true
+			}
+			return
+		}
+		n := names[i]
+		p := pairs[n]
+		for _, val := range candidates[n] {
+			valuation[p.a] = val
+			valuation[p.b] = val
+			rec(i + 1)
+		}
+		delete(valuation, p.a)
+		delete(valuation, p.b)
+	}
+	rec(0)
+	// q is certain iff no legal world makes it false.
+	return !found, nil
+}

@@ -1,0 +1,248 @@
+// Package sat provides CNF formulas, a DPLL solver used as an independent
+// baseline, and the reduction behind Theorem 7.5: a richly acyclic data
+// exchange setting and a conjunctive query with a single inequality whose
+// certain answers decide (the complement of) 3-SAT. The reduction witnesses
+// the co-NP-hardness entries of Table 1's second and third columns.
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Literal is a propositional literal: positive values are variables
+// 1, 2, 3, …; negative values their negations. Zero is invalid.
+type Literal int
+
+// Var returns the literal's variable index (≥ 1).
+func (l Literal) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Pos reports whether the literal is positive.
+func (l Literal) Pos() bool { return l > 0 }
+
+func (l Literal) String() string {
+	if l < 0 {
+		return fmt.Sprintf("¬x%d", -l)
+	}
+	return fmt.Sprintf("x%d", l)
+}
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+func (c Clause) String() string {
+	parts := make([]string, len(c))
+	for i, l := range c {
+		parts[i] = l.String()
+	}
+	return "(" + strings.Join(parts, " ∨ ") + ")"
+}
+
+// CNF is a conjunction of clauses over variables 1..Vars.
+type CNF struct {
+	Vars    int
+	Clauses []Clause
+}
+
+func (f CNF) String() string {
+	parts := make([]string, len(f.Clauses))
+	for i, c := range f.Clauses {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// Validate checks that every literal references a declared variable and no
+// clause is empty or tautological beyond repair (empty clauses are allowed —
+// they make the formula unsatisfiable).
+func (f CNF) Validate() error {
+	for i, c := range f.Clauses {
+		for _, l := range c {
+			if l == 0 {
+				return fmt.Errorf("sat: zero literal in clause %d", i)
+			}
+			if l.Var() > f.Vars {
+				return fmt.Errorf("sat: literal %v exceeds variable count %d", l, f.Vars)
+			}
+		}
+	}
+	return nil
+}
+
+// Assignment maps variable indexes (1-based) to truth values; missing
+// variables are unassigned.
+type Assignment map[int]bool
+
+// Satisfies reports whether the (total) assignment satisfies the formula.
+func (f CNF) Satisfies(a Assignment) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			if v, assigned := a[l.Var()]; assigned && v == l.Pos() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve decides satisfiability with DPLL (unit propagation + branch on the
+// first unassigned variable) and returns a satisfying assignment if one
+// exists. It is the independent baseline against which the data exchange
+// reduction is validated.
+func Solve(f CNF) (Assignment, bool) {
+	if err := f.Validate(); err != nil {
+		panic(err)
+	}
+	a := make(Assignment, f.Vars)
+	if !dpll(f, a) {
+		return nil, false
+	}
+	// Complete the assignment for unconstrained variables.
+	for v := 1; v <= f.Vars; v++ {
+		if _, ok := a[v]; !ok {
+			a[v] = false
+		}
+	}
+	return a, true
+}
+
+func dpll(f CNF, a Assignment) bool {
+	// Unit propagation.
+	for {
+		unit := 0
+		unitVal := false
+		conflict := false
+		for _, c := range f.Clauses {
+			unassigned := 0
+			var lastLit Literal
+			satisfied := false
+			for _, l := range c {
+				if v, ok := a[l.Var()]; ok {
+					if v == l.Pos() {
+						satisfied = true
+						break
+					}
+					continue
+				}
+				unassigned++
+				lastLit = l
+			}
+			if satisfied {
+				continue
+			}
+			if unassigned == 0 {
+				conflict = true
+				break
+			}
+			if unassigned == 1 && unit == 0 {
+				unit = lastLit.Var()
+				unitVal = lastLit.Pos()
+			}
+		}
+		if conflict {
+			return false
+		}
+		if unit == 0 {
+			break
+		}
+		a[unit] = unitVal
+	}
+	// Pick a branch variable.
+	branch := 0
+	for v := 1; v <= f.Vars; v++ {
+		if _, ok := a[v]; !ok {
+			branch = v
+			break
+		}
+	}
+	if branch == 0 {
+		return f.Satisfies(a)
+	}
+	saved := cloneAssignment(a)
+	for _, val := range []bool{true, false} {
+		a[branch] = val
+		if dpll(f, a) {
+			return true
+		}
+		restoreAssignment(a, saved)
+	}
+	return false
+}
+
+func cloneAssignment(a Assignment) Assignment {
+	cp := make(Assignment, len(a))
+	for k, v := range a {
+		cp[k] = v
+	}
+	return cp
+}
+
+func restoreAssignment(a, saved Assignment) {
+	for k := range a {
+		if _, ok := saved[k]; !ok {
+			delete(a, k)
+		}
+	}
+	for k, v := range saved {
+		a[k] = v
+	}
+}
+
+// SolveBrute decides satisfiability by trying all 2^Vars assignments — the
+// ground truth for property tests of Solve.
+func SolveBrute(f CNF) bool {
+	n := f.Vars
+	if n > 24 {
+		panic("sat: SolveBrute limited to 24 variables")
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		a := make(Assignment, n)
+		for v := 1; v <= n; v++ {
+			a[v] = mask&(1<<(v-1)) != 0
+		}
+		if f.Satisfies(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Random3CNF generates a random 3-CNF with the given numbers of variables
+// and clauses, reproducibly from the seed. Clauses use three distinct
+// variables, so vars must be at least 3.
+func Random3CNF(vars, clauses int, seed int64) CNF {
+	if vars < 3 {
+		panic("sat: Random3CNF needs at least 3 variables for distinct-variable clauses")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := CNF{Vars: vars}
+	for i := 0; i < clauses; i++ {
+		var c Clause
+		used := map[int]bool{}
+		for len(c) < 3 {
+			v := rng.Intn(vars) + 1
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			l := Literal(v)
+			if rng.Intn(2) == 0 {
+				l = -l
+			}
+			c = append(c, l)
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}

@@ -1,0 +1,185 @@
+package sat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/certain"
+	"repro/internal/chase"
+	"repro/internal/cwa"
+	"repro/internal/score"
+)
+
+func TestSolveSimple(t *testing.T) {
+	cases := []struct {
+		f    CNF
+		want bool
+	}{
+		{CNF{Vars: 1, Clauses: []Clause{{1}}}, true},
+		{CNF{Vars: 1, Clauses: []Clause{{1}, {-1}}}, false},
+		{CNF{Vars: 2, Clauses: []Clause{{1, 2}, {-1, 2}, {1, -2}, {-1, -2}}}, false},
+		{CNF{Vars: 2, Clauses: []Clause{{1, 2}, {-1, 2}, {1, -2}}}, true},
+		{CNF{Vars: 3, Clauses: []Clause{{1, 2, 3}, {-1, -2, -3}}}, true},
+		{CNF{Vars: 0, Clauses: nil}, true},
+		{CNF{Vars: 1, Clauses: []Clause{{}}}, false}, // empty clause
+	}
+	for _, c := range cases {
+		a, got := Solve(c.f)
+		if got != c.want {
+			t.Errorf("Solve(%v) = %v, want %v", c.f, got, c.want)
+		}
+		if got && !c.f.Satisfies(a) {
+			t.Errorf("Solve(%v) returned non-satisfying assignment %v", c.f, a)
+		}
+	}
+}
+
+func TestSolveAgreesWithBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		cnf := Random3CNF(4, 8, seed)
+		_, got := Solve(cnf)
+		return got == SolveBrute(cnf)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (CNF{Vars: 2, Clauses: []Clause{{1, -2}}}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (CNF{Vars: 1, Clauses: []Clause{{2}}}).Validate(); err == nil {
+		t.Fatal("literal beyond Vars must fail")
+	}
+	if err := (CNF{Vars: 1, Clauses: []Clause{{0}}}).Validate(); err == nil {
+		t.Fatal("zero literal must fail")
+	}
+}
+
+func TestReductionSettingShape(t *testing.T) {
+	s := ReductionSetting()
+	if !s.WeaklyAcyclic() {
+		t.Fatal("reduction setting must be weakly acyclic")
+	}
+	if !s.RichlyAcyclic() {
+		t.Fatal("Theorem 7.5 requires richly acyclic target dependencies")
+	}
+	q := ReductionQuery()
+	if len(q.Diseqs) != 1 || len(q.Head) != 0 {
+		t.Fatalf("query must be Boolean with one inequality: %v", q)
+	}
+}
+
+func TestReductionChaseCoreShape(t *testing.T) {
+	f := CNF{Vars: 2, Clauses: []Clause{{1, -2}}}
+	s := ReductionSetting()
+	src := SourceInstance(f)
+	core, err := cwa.Minimal(s, src, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One P2 pair per variable and per clause; the pairs are rigid, so the
+	// core keeps them all.
+	if got := core.RelLen("P2"); got != 3 {
+		t.Fatalf("P2 pairs = %d, want 3 (%v)", got, core)
+	}
+	if !score.IsCore(core) {
+		t.Fatal("Minimal must return a core")
+	}
+	// The repeated-variable tgd bodies must not fire during the chase:
+	// Cho has one fact per literal, BVal two per variable, nothing more.
+	if core.RelLen("Cho") != 2 || core.RelLen("BVal") != 4 {
+		t.Fatalf("unexpected chase result: %v", core)
+	}
+}
+
+// The heart of Theorem 7.5: certain(q, S_φ) ⟺ φ unsatisfiable, validated
+// against the DPLL baseline.
+func TestReductionAgreesWithDPLL(t *testing.T) {
+	hand := []CNF{
+		{Vars: 1, Clauses: []Clause{{1}}},
+		{Vars: 1, Clauses: []Clause{{1}, {-1}}},
+		{Vars: 2, Clauses: []Clause{{1, 2}, {-1, 2}, {1, -2}, {-1, -2}}},
+		{Vars: 2, Clauses: []Clause{{1, 2}, {-1, -2}}},
+		{Vars: 3, Clauses: []Clause{{1, 2, 3}, {-1, -2, -3}, {1, -2, 3}}},
+	}
+	for _, f := range hand {
+		_, sat := Solve(f)
+		unsat, err := CertainUnsat(f, chase.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if unsat == sat {
+			t.Errorf("formula %v: certain=%v but sat=%v (must be complementary)", f, unsat, sat)
+		}
+	}
+}
+
+func TestReductionAgreesWithDPLLRandom(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		f := Random3CNF(3, 2+int(seed)%6, seed)
+		_, sat := Solve(f)
+		unsat, err := CertainUnsat(f, chase.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if unsat == sat {
+			t.Errorf("seed %d (%v): certain=%v sat=%v", seed, f, unsat, sat)
+		}
+	}
+}
+
+// On a tiny formula, the structured search must agree with the fully
+// generic valuation enumeration of □Q(Core).
+func TestReductionAgreesWithGenericBox(t *testing.T) {
+	// Kept tiny: the generic enumeration is |base|^nulls. The unsat side is
+	// exercised at bench scale (experiment E2) and by the DPLL cross-checks.
+	for _, f := range []CNF{
+		{Vars: 1, Clauses: []Clause{{1}}},
+		{Vars: 1, Clauses: []Clause{{-1}}},
+	} {
+		s := ReductionSetting()
+		src := SourceInstance(f)
+		core, err := cwa.Minimal(s, src, chase.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		box, err := certain.Box(s, ReductionQuery(), core, certain.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		generic := box.Len() == 1 // Boolean query: one empty tuple iff certain
+		structured, err := CertainUnsat(f, chase.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if generic != structured {
+			t.Errorf("formula %v: generic Box says certain=%v, structured says %v", f, generic, structured)
+		}
+	}
+}
+
+func TestRandom3CNFShape(t *testing.T) {
+	f := Random3CNF(5, 10, 42)
+	if f.Vars != 5 || len(f.Clauses) != 10 {
+		t.Fatal("shape")
+	}
+	for _, c := range f.Clauses {
+		if len(c) != 3 {
+			t.Fatalf("clause %v not ternary", c)
+		}
+		seen := map[int]bool{}
+		for _, l := range c {
+			if seen[l.Var()] {
+				t.Fatalf("duplicate variable in clause %v", c)
+			}
+			seen[l.Var()] = true
+		}
+	}
+	// Reproducible.
+	g := Random3CNF(5, 10, 42)
+	if f.String() != g.String() {
+		t.Fatal("same seed must give same formula")
+	}
+}

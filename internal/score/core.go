@@ -1,0 +1,154 @@
+// Package score computes cores of instances with nulls. A core of an
+// instance I is a sub-instance J ⊆ I with a homomorphism I → J but no
+// homomorphism from J to a proper sub-instance of J; by Hell & Nešetřil it
+// is unique up to renaming of nulls.
+//
+// Cores matter here because of Theorem 5.1: if universal solutions exist,
+// their common core Core_D(S) is the unique minimal CWA-solution.
+//
+// The implementation rests on a decomposition fact: a null n is droppable —
+// there is a homomorphism from I into the atoms of I avoiding n — iff the
+// Gaifman block of n (the atoms reachable from n through shared nulls) maps
+// into I avoiding n. Atoms outside the block never mention n and extend any
+// block-local homomorphism by the identity; conversely a global
+// homomorphism restricts to the block. Core therefore only ever searches
+// homomorphisms for one block at a time, which keeps the search local (the
+// FKP/Gottlob–Nash-style blocks technique); CoreNaive, which searches whole
+// instance endomorphisms, remains as the ablation baseline of experiment E9
+// and can backtrack exponentially across independent blocks on failures.
+package score
+
+import (
+	"repro/internal/hom"
+	"repro/internal/instance"
+)
+
+// CoreNaive computes the core by repeatedly searching, for each null n, a
+// whole-instance homomorphism into the atoms avoiding n, and replacing the
+// instance by the image. Correct but exponential across blocks; use Core.
+func CoreNaive(t *instance.Instance) *instance.Instance {
+	cur := t.Clone()
+	for {
+		dropped := false
+		for _, n := range cur.Nulls() {
+			if m, ok := hom.Find(cur, cur, hom.Avoiding(n)); ok {
+				cur = m.ApplyInstance(cur)
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			return cur
+		}
+	}
+}
+
+// Core computes the core via block-local retractions.
+func Core(t *instance.Instance) *instance.Instance {
+	cur := t.Clone()
+	for {
+		if !dropSomeNullBlockwise(&cur) {
+			return cur
+		}
+	}
+}
+
+// IsCore reports whether no null of t can be dropped. By the block
+// decomposition this is checked block-locally.
+func IsCore(t *instance.Instance) bool {
+	for _, block := range blocks(t) {
+		sub := blockAtoms(t, block)
+		for _, n := range block {
+			if _, ok := hom.Find(sub, t, hom.Avoiding(n)); ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// dropSomeNullBlockwise looks for a droppable null block-locally, applies
+// the block-extended endomorphism, and reports whether it made progress.
+func dropSomeNullBlockwise(cur **instance.Instance) bool {
+	for _, block := range blocks(*cur) {
+		sub := blockAtoms(*cur, block)
+		for _, n := range block {
+			m, ok := hom.Find(sub, *cur, hom.Avoiding(n))
+			if !ok {
+				continue
+			}
+			full := hom.Mapping{}
+			for _, b := range block {
+				full[b] = m.Apply(b)
+			}
+			*cur = full.ApplyInstance(*cur)
+			return true
+		}
+	}
+	return false
+}
+
+// blocks partitions the nulls of t into Gaifman components: two nulls are
+// connected when they co-occur in an atom. The returned blocks are in
+// deterministic order (by smallest null).
+func blocks(t *instance.Instance) [][]instance.Value {
+	parent := make(map[instance.Value]instance.Value)
+	var find func(v instance.Value) instance.Value
+	find = func(v instance.Value) instance.Value {
+		p, ok := parent[v]
+		if !ok || p == v {
+			parent[v] = v
+			return v
+		}
+		r := find(p)
+		parent[v] = r
+		return r
+	}
+	union := func(a, b instance.Value) { parent[find(a)] = find(b) }
+	for _, a := range t.Atoms() {
+		var prev instance.Value
+		hasPrev := false
+		for _, v := range a.Args {
+			if !v.IsNull() {
+				continue
+			}
+			if hasPrev {
+				union(prev, v)
+			}
+			prev, hasPrev = v, true
+		}
+	}
+	grouped := make(map[instance.Value][]instance.Value)
+	var roots []instance.Value
+	for _, n := range t.Nulls() { // Nulls() is sorted, so blocks are ordered
+		r := find(n)
+		if _, seen := grouped[r]; !seen {
+			roots = append(roots, r)
+		}
+		grouped[r] = append(grouped[r], n)
+	}
+	out := make([][]instance.Value, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, grouped[r])
+	}
+	return out
+}
+
+// blockAtoms returns the atoms of t mentioning at least one null of the
+// block.
+func blockAtoms(t *instance.Instance, block []instance.Value) *instance.Instance {
+	in := make(map[instance.Value]bool, len(block))
+	for _, n := range block {
+		in[n] = true
+	}
+	out := instance.New()
+	for _, a := range t.Atoms() {
+		for _, v := range a.Args {
+			if in[v] {
+				out.Add(a)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package score
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hom"
+	"repro/internal/instance"
+)
+
+func c(n string) instance.Value { return instance.Const(n) }
+func nl(i int64) instance.Value { return instance.Null(i) }
+
+func TestCoreDropsDominatedNull(t *testing.T) {
+	ins := instance.FromAtoms(
+		instance.NewAtom("E", c("a"), c("b")),
+		instance.NewAtom("E", c("a"), nl(0)),
+	)
+	want := instance.FromAtoms(instance.NewAtom("E", c("a"), c("b")))
+	for name, f := range map[string]func(*instance.Instance) *instance.Instance{
+		"Core": Core, "CoreNaive": CoreNaive,
+	} {
+		got := f(ins)
+		if !got.Equal(want) {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// The paper's Example 2.1: Core of the universal solutions is T3 (up to
+// renaming of nulls); T2's core must be isomorphic to T3.
+func TestCoreExample21(t *testing.T) {
+	t2 := instance.FromAtoms(
+		instance.NewAtom("E", c("a"), c("b")),
+		instance.NewAtom("E", c("a"), nl(1)),
+		instance.NewAtom("E", c("a"), nl(2)),
+		instance.NewAtom("F", c("a"), nl(3)),
+		instance.NewAtom("G", nl(3), nl(4)),
+	)
+	t3 := instance.FromAtoms(
+		instance.NewAtom("E", c("a"), c("b")),
+		instance.NewAtom("F", c("a"), nl(1)),
+		instance.NewAtom("G", nl(1), nl(2)),
+	)
+	got := Core(t2)
+	if !hom.Isomorphic(got, t3) {
+		t.Fatalf("Core(T2) = %v, want ≅ %v", got, t3)
+	}
+	if !hom.Isomorphic(CoreNaive(t2), t3) {
+		t.Fatalf("CoreNaive(T2) not isomorphic to T3")
+	}
+}
+
+func TestCoreOfCoreIsIdentityShape(t *testing.T) {
+	t3 := instance.FromAtoms(
+		instance.NewAtom("E", c("a"), c("b")),
+		instance.NewAtom("F", c("a"), nl(1)),
+		instance.NewAtom("G", nl(1), nl(2)),
+	)
+	if !IsCore(t3) {
+		t.Fatal("T3 is a core")
+	}
+	if !hom.Isomorphic(Core(t3), t3) {
+		t.Fatal("core of a core must be itself")
+	}
+}
+
+func TestCoreTwoDisjointNullEdges(t *testing.T) {
+	// {E(_0,_1), E(_2,_3)} has core a single edge.
+	ins := instance.FromAtoms(
+		instance.NewAtom("E", nl(0), nl(1)),
+		instance.NewAtom("E", nl(2), nl(3)),
+	)
+	got := Core(ins)
+	if got.Len() != 1 {
+		t.Fatalf("core of two disjoint null edges = %v", got)
+	}
+}
+
+func TestCoreNullCycleOntoConstantLoop(t *testing.T) {
+	ins := instance.FromAtoms(
+		instance.NewAtom("E", c("a"), c("a")),
+		instance.NewAtom("E", nl(0), nl(1)),
+		instance.NewAtom("E", nl(1), nl(0)),
+	)
+	want := instance.FromAtoms(instance.NewAtom("E", c("a"), c("a")))
+	if got := Core(ins); !got.Equal(want) {
+		t.Fatalf("core = %v, want %v", got, want)
+	}
+}
+
+func TestCoreKeepsRigidStructure(t *testing.T) {
+	// A null 9-cycle with no constants retracts onto... nothing smaller with
+	// the same odd girth except odd cycles; its core is the 9-cycle itself?
+	// No: a 9-cycle has homs onto any odd cycle dividing structure? A hom
+	// from C9 to C3 exists, but C3 is not a sub-instance of C9 — cores are
+	// sub-instances, and C9 has no proper retract (it is a core).
+	ins := instance.New()
+	for i := int64(0); i < 9; i++ {
+		ins.Add(instance.NewAtom("E", nl(i), nl((i+1)%9)))
+	}
+	got := Core(ins)
+	if got.Len() != 9 {
+		t.Fatalf("C9 is a core; got %d atoms", got.Len())
+	}
+}
+
+func TestCoreAgreesNaiveVsBlocks(t *testing.T) {
+	// Random-ish chase-like instances: star of blocks around constants.
+	mk := func(seed int64) *instance.Instance {
+		ins := instance.New()
+		for i := int64(0); i < 5; i++ {
+			a := c("a")
+			if (seed>>uint(i))&1 == 1 {
+				a = c("b")
+			}
+			ins.Add(instance.NewAtom("E", a, nl(2*i)))
+			ins.Add(instance.NewAtom("F", nl(2*i), nl(2*i+1)))
+		}
+		ins.Add(instance.NewAtom("E", c("a"), c("b")))
+		ins.Add(instance.NewAtom("F", c("b"), c("a")))
+		return ins
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		ins := mk(seed)
+		a, b := Core(ins), CoreNaive(ins)
+		if !hom.Isomorphic(a, b) {
+			t.Fatalf("seed %d: Core %v vs CoreNaive %v", seed, a, b)
+		}
+	}
+}
+
+func TestCorePreservesHomEquivalence(t *testing.T) {
+	ins := instance.FromAtoms(
+		instance.NewAtom("E", c("a"), nl(0)),
+		instance.NewAtom("E", nl(0), nl(1)),
+		instance.NewAtom("E", c("a"), nl(2)),
+	)
+	core := Core(ins)
+	if !hom.HomEquivalent(ins, core) {
+		t.Fatal("core must be hom-equivalent to the original")
+	}
+	if !IsCore(core) {
+		t.Fatal("Core output must be a core")
+	}
+}
+
+// Property: Core is idempotent and hom-equivalent to its input on random
+// bipartite-ish instances.
+func TestQuickCoreInvariants(t *testing.T) {
+	f := func(edges []uint8) bool {
+		ins := instance.New()
+		ins.Add(instance.NewAtom("E", c("a"), c("b")))
+		for i, e := range edges {
+			if i >= 6 {
+				break
+			}
+			u := instance.Value(nl(int64(e % 4)))
+			v := instance.Value(nl(int64(e / 4 % 4)))
+			ins.Add(instance.NewAtom("E", u, v))
+		}
+		core := Core(ins)
+		return hom.HomEquivalent(ins, core) && IsCore(core) && hom.Isomorphic(Core(core), core)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Egd-merged blocks (the Gottlob–Nash concern): after an egd identifies
+// nulls from different tgd firings, Gaifman blocks grow; the block-local
+// core must still agree with the naive one.
+func TestCoreAgreesAfterEgdMerges(t *testing.T) {
+	// Shape: star around a merged hub null, plus redundant satellites.
+	hub := nl(0)
+	ins := instance.FromAtoms(
+		instance.NewAtom("F", c("a"), hub),
+		instance.NewAtom("G", hub, nl(1)),
+		instance.NewAtom("G", hub, nl(2)),
+		instance.NewAtom("G", hub, c("b")),
+		instance.NewAtom("H", nl(1), nl(3)),
+	)
+	a, b := Core(ins), CoreNaive(ins)
+	if !hom.Isomorphic(a, b) {
+		t.Fatalf("Core %v vs CoreNaive %v", a, b)
+	}
+	if !hom.HomEquivalent(a, ins) {
+		t.Fatal("core must stay hom-equivalent")
+	}
+	// G(hub,_1)+H(_1,_3) cannot retract onto G(hub,b) (no H from b), but
+	// G(hub,_2) can retract onto G(hub,b) or G(hub,_1).
+	if a.Len() != 4 {
+		t.Fatalf("core = %v, want 4 atoms", a)
+	}
+}
+
+func TestBlocksPartition(t *testing.T) {
+	ins := instance.FromAtoms(
+		instance.NewAtom("E", nl(0), nl(1)),
+		instance.NewAtom("E", nl(2), c("a")),
+		instance.NewAtom("E", nl(3), nl(0)),
+	)
+	bs := blocks(ins)
+	if len(bs) != 2 {
+		t.Fatalf("blocks = %v, want 2 components", bs)
+	}
+	sizes := map[int]bool{}
+	for _, b := range bs {
+		sizes[len(b)] = true
+	}
+	if !sizes[3] || !sizes[1] {
+		t.Fatalf("component sizes wrong: %v", bs)
+	}
+}

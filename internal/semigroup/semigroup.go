@@ -1,0 +1,198 @@
+// Package semigroup implements the Kolaitis–Panttaja–Tan setting D_emb used
+// in Example 6.1: it encodes the embedding problem for finite semigroups
+// (given a partial binary operation, does a finite total associative
+// extension exist?), which is undecidable and witnesses the undecidability
+// of Existence-of-Solutions.
+//
+// The paper's Example 6.1 shows this reduction does NOT carry over to
+// CWA-solutions: for S = {R(0,1,1)} a solution exists (addition modulo
+// k+2), but no CWA-solution exists — every α-chase keeps generating new
+// elements. This package provides D_emb, the encoding, a brute-force
+// associative-extension searcher as the baseline, and helpers to observe
+// the never-successful chase under growing budgets (experiment E8).
+package semigroup
+
+import (
+	"fmt"
+
+	"repro/internal/dependency"
+	"repro/internal/instance"
+	"repro/internal/parser"
+)
+
+// Partial is a partial binary operation on named elements: Table[x][y] = z
+// means x·y = z.
+type Partial struct {
+	Elements []string
+	Table    map[string]map[string]string
+}
+
+// Validate checks that the table only references declared elements.
+func (p *Partial) Validate() error {
+	decl := make(map[string]bool, len(p.Elements))
+	for _, e := range p.Elements {
+		decl[e] = true
+	}
+	for x, row := range p.Table {
+		if !decl[x] {
+			return fmt.Errorf("semigroup: undeclared element %q", x)
+		}
+		for y, z := range row {
+			if !decl[y] || !decl[z] {
+				return fmt.Errorf("semigroup: undeclared element in %s·%s=%s", x, y, z)
+			}
+		}
+	}
+	return nil
+}
+
+// DembSetting returns the fixed setting D_emb: R is copied to Rp; Rp must be
+// functional (d_func), associative (d_assoc) and total (d_total, prenexed
+// into nine tgds, one per argument pair). The setting is not weakly acyclic.
+func DembSetting() *dependency.Setting {
+	text := `
+source R/3.
+target Rp/3.
+st:
+  copy: R(x,y,z) -> Rp(x,y,z).
+target-deps:
+  dfunc: Rp(x,y,z1) & Rp(x,y,z2) -> z1 = z2.
+  dassoc: Rp(x,y,u) & Rp(y,z,v) & Rp(u,z,w) -> Rp(x,v,w).
+`
+	vars := []string{"x1", "x2", "x3", "y1", "y2", "y3"}
+	for i := 1; i <= 3; i++ {
+		for j := 1; j <= 3; j++ {
+			text += fmt.Sprintf("  dtotal%d%d: Rp(x1,x2,x3) & Rp(y1,y2,y3) -> exists z : Rp(%s,%s,z).\n",
+				i, j, vars[i-1], vars[2+j])
+		}
+	}
+	s, err := parser.ParseSetting(text)
+	if err != nil {
+		panic("semigroup: D_emb must parse: " + err.Error())
+	}
+	return s
+}
+
+// SourceInstance encodes the partial operation as {R(x,y,z) : p(x,y)=z}.
+func SourceInstance(p *Partial) (*instance.Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	src := instance.New()
+	for x, row := range p.Table {
+		for y, z := range row {
+			src.Add(instance.NewAtom("R",
+				instance.Const(x), instance.Const(y), instance.Const(z)))
+		}
+	}
+	return src, nil
+}
+
+// Example61Partial is the partial function of Example 6.1: p(0,1) = 1.
+func Example61Partial() *Partial {
+	return &Partial{
+		Elements: []string{"0", "1"},
+		Table:    map[string]map[string]string{"0": {"1": "1"}},
+	}
+}
+
+// ZkSolution builds the Example 6.1 witness solution T' for S = {R(0,1,1)}:
+// addition modulo k+2 over the elements 0, 1, …, k+1 — a finite total
+// associative extension, hence a solution for S under D_emb.
+func ZkSolution(k int) *instance.Instance {
+	n := k + 2
+	ins := instance.New()
+	name := func(i int) instance.Value { return instance.Const(fmt.Sprintf("%d", i)) }
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			ins.Add(instance.NewAtom("Rp", name(a), name(b), name((a+b)%n)))
+		}
+	}
+	return ins
+}
+
+// EmbeddingBrute searches for a total associative extension of the partial
+// operation over ground sets of size |Elements| … maxSize, by backtracking
+// over the multiplication table. It is the independent baseline: a solution
+// for S_p under D_emb exists iff such an extension exists.
+func EmbeddingBrute(p *Partial, maxSize int) (found bool, size int) {
+	if err := p.Validate(); err != nil {
+		return false, 0
+	}
+	for n := len(p.Elements); n <= maxSize; n++ {
+		if searchExtension(p, n) {
+			return true, n
+		}
+	}
+	return false, 0
+}
+
+// searchExtension tries to complete the table over n elements (the declared
+// ones plus fresh e<i>), checking associativity incrementally.
+func searchExtension(p *Partial, n int) bool {
+	elems := append([]string(nil), p.Elements...)
+	for i := len(elems); i < n; i++ {
+		elems = append(elems, fmt.Sprintf("e%d", i))
+	}
+	idx := make(map[string]int, n)
+	for i, e := range elems {
+		idx[e] = i
+	}
+	table := make([][]int, n)
+	for i := range table {
+		table[i] = make([]int, n)
+		for j := range table[i] {
+			table[i][j] = -1
+		}
+	}
+	for x, row := range p.Table {
+		for y, z := range row {
+			table[idx[x]][idx[y]] = idx[z]
+		}
+	}
+	var rec func(cell int) bool
+	check := func(a, b, c int) bool {
+		// (a·b)·c = a·(b·c) whenever all intermediate products are defined.
+		ab := table[a][b]
+		if ab == -1 {
+			return true
+		}
+		bc := table[b][c]
+		if bc == -1 {
+			return true
+		}
+		abC := table[ab][c]
+		aBC := table[a][bc]
+		return abC == -1 || aBC == -1 || abC == aBC
+	}
+	consistent := func() bool {
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				for c := 0; c < n; c++ {
+					if !check(a, b, c) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	rec = func(cell int) bool {
+		if cell == n*n {
+			return consistent()
+		}
+		a, b := cell/n, cell%n
+		if table[a][b] != -1 {
+			return rec(cell + 1)
+		}
+		for z := 0; z < n; z++ {
+			table[a][b] = z
+			if consistent() && rec(cell+1) {
+				return true
+			}
+		}
+		table[a][b] = -1
+		return false
+	}
+	return rec(0)
+}

@@ -1,0 +1,61 @@
+package turing
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/cwa"
+	"repro/internal/hom"
+)
+
+// Corollary 6.4: Existence-of-Universal-Solutions(D_halt) is undecidable —
+// by Corollary 5.2 it coincides with Existence-of-CWA-Solutions, which
+// tracks halting. Executable form: for a halting machine the chase result
+// is a universal solution; for the looper no universal solution can be
+// produced within any budget (while plain solutions exist, Remark 6.3).
+func TestCorollary64UniversalSolutions(t *testing.T) {
+	s := DHaltSetting()
+
+	// Halting machine: the chase result is a universal solution and
+	// in particular hom-maps into the saturated solution of Remark 6.3.
+	m := WriterMachine(1)
+	src, err := SourceInstance(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := chase.UniversalSolution(s, src, chase.Options{MaxSteps: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chase.IsSolution(s, src, u) {
+		t.Fatal("chase result must be a solution")
+	}
+	sat := SaturatedSolution(s, src)
+	if !hom.Exists(u, sat) {
+		t.Fatal("universal solution must map into every solution, including the saturated one")
+	}
+	universal, err := cwa.IsUniversal(s, src, u, chase.Options{MaxSteps: 100000})
+	if err != nil || !universal {
+		t.Fatalf("chase result must be universal: %v %v", universal, err)
+	}
+	// The saturated solution is NOT universal: it contains atoms (e.g. a
+	// Succ-cycle) with no counterpart in the chase result.
+	satUniversal, err := cwa.IsUniversal(s, src, sat, chase.Options{MaxSteps: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if satUniversal {
+		t.Fatal("the saturated solution must not be universal")
+	}
+
+	// Looping machine: no universal solution within any budget.
+	loopSrc, err := SourceInstance(LoopMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = chase.UniversalSolution(s, loopSrc, chase.Options{MaxSteps: 4000})
+	if !errors.Is(err, chase.ErrBudgetExceeded) {
+		t.Fatalf("looper: want budget exceeded, got %v", err)
+	}
+}

@@ -1,0 +1,105 @@
+package turing
+
+// Example machines used by tests, examples and the E7 benchmarks.
+
+// WriterMachine writes the symbol "1" and moves right n times, then halts.
+// It halts after exactly n steps.
+func WriterMachine(n int) *Machine {
+	m := &Machine{
+		Name:     "writer",
+		Alphabet: []string{Blank, "1"},
+		Start:    "q0",
+		Final:    map[string]bool{"halt": true},
+		Delta:    map[string]map[string]Transition{},
+	}
+	for i := 0; i < n; i++ {
+		q := stateName(i)
+		nq := stateName(i + 1)
+		if i+1 == n {
+			nq = "halt"
+		}
+		m.States = append(m.States, q)
+		m.Delta[q] = map[string]Transition{
+			Blank: {NewState: nq, Write: "1", Move: Right},
+			"1":   {NewState: nq, Write: "1", Move: Right},
+		}
+	}
+	m.States = append(m.States, "halt")
+	if n == 0 {
+		m.Start = "halt"
+	}
+	return m
+}
+
+// ZigzagMachine walks right n cells writing "1", then walks left back to the
+// first cell and halts (by attempting to move left off the tape, the stuck
+// convention). It exercises both head directions and the tape copy rules.
+func ZigzagMachine(n int) *Machine {
+	m := &Machine{
+		Name:     "zigzag",
+		Alphabet: []string{Blank, "1"},
+		Start:    "r0",
+		Final:    map[string]bool{},
+		Delta:    map[string]map[string]Transition{},
+	}
+	for i := 0; i < n; i++ {
+		q := "r" + itoa(i)
+		nq := "r" + itoa(i+1)
+		if i+1 == n {
+			nq = "back"
+		}
+		m.States = append(m.States, q)
+		m.Delta[q] = map[string]Transition{
+			Blank: {NewState: nq, Write: "1", Move: Right},
+			"1":   {NewState: nq, Write: "1", Move: Right},
+		}
+	}
+	m.States = append(m.States, "back")
+	m.Delta["back"] = map[string]Transition{
+		Blank: {NewState: "back", Write: Blank, Move: Left},
+		"1":   {NewState: "back", Write: "1", Move: Left},
+	}
+	return m
+}
+
+// LoopMachine moves right forever — it never halts on any input.
+func LoopMachine() *Machine {
+	return &Machine{
+		Name:     "loop",
+		States:   []string{"go"},
+		Alphabet: []string{Blank},
+		Start:    "go",
+		Final:    map[string]bool{},
+		Delta: map[string]map[string]Transition{
+			"go": {Blank: {NewState: "go", Write: Blank, Move: Right}},
+		},
+	}
+}
+
+// HaltMachine halts immediately: its start state is final.
+func HaltMachine() *Machine {
+	return &Machine{
+		Name:     "halt",
+		States:   []string{"h"},
+		Alphabet: []string{Blank},
+		Start:    "h",
+		Final:    map[string]bool{"h": true},
+		Delta:    map[string]map[string]Transition{},
+	}
+}
+
+func stateName(i int) string { return "q" + itoa(i) }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	n := len(buf)
+	for i > 0 {
+		n--
+		buf[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[n:])
+}

@@ -1,0 +1,97 @@
+package turing
+
+import (
+	"repro/internal/dependency"
+	"repro/internal/instance"
+	"repro/internal/parser"
+)
+
+// DHaltCoSetting returns the Remark 6.3 variant of D_halt: the source
+// additionally carries the machine's final states (Final) and a Clash fact
+// with two distinct constants, and an egd tries to identify the clash
+// constants as soon as a final state is reached. Under this setting the
+// chase FAILS exactly when the machine halts, so (with infinite solutions
+// admitted) a reduction from the complement of the halting problem shows
+// Existence-of-CWA-Solutions undecidable even for infinite solutions:
+// M does not halt ⟺ an (infinite) CWA-solution exists.
+func DHaltCoSetting() *dependency.Setting {
+	s, err := parser.ParseSetting(`
+source Delta/5, Q0/1, Final/1, SClash/2.
+target DeltaP/5, Succ/2, Q/3, I/3, NEXTPOS/3, END/2, COPYL/3, COPYR/3, FinalP/1, Clash/2.
+st:
+  copy: Delta(q,s,q2,s2,d) -> DeltaP(q,s,q2,s2,d).
+  init: Q0(q) -> Q('0',q,'1') & I('0','1','B') & I('0','2','B') & NEXTPOS('0','1','2') & END('0','2').
+  fin: Final(q) -> FinalP(q).
+  cl: SClash(x,y) -> Clash(x,y).
+target-deps:
+  moveL: Q(t,q,p) & I(t,p,s) & NEXTPOS(t,pm,p) & DeltaP(q,s,q2,s2,'L') ->
+    exists t2 : Succ(t,t2) & Q(t2,q2,pm) & I(t2,p,s2) & COPYL(t,t2,p) & COPYR(t,t2,p).
+  moveR: Q(t,q,p) & I(t,p,s) & NEXTPOS(t,p,pp) & DeltaP(q,s,q2,s2,'R') ->
+    exists t2 : Succ(t,t2) & Q(t2,q2,pp) & I(t2,p,s2) & COPYL(t,t2,p) & COPYR(t,t2,p).
+  copyL: COPYL(t,t2,p) & NEXTPOS(t,pm,p) & I(t,pm,s) ->
+    COPYL(t,t2,pm) & NEXTPOS(t2,pm,p) & I(t2,pm,s).
+  copyR: COPYR(t,t2,p) & NEXTPOS(t,p,pp) & I(t,pp,s) ->
+    COPYR(t,t2,pp) & NEXTPOS(t2,p,pp) & I(t2,pp,s).
+  grow: END(t,p) & Succ(t,t2) ->
+    exists p2 : NEXTPOS(t2,p,p2) & I(t2,p2,'B') & END(t2,p2).
+  halt: Q(t,q,p) & FinalP(q) & Clash(x,y) -> x = y.
+`)
+	if err != nil {
+		panic("turing: co-halting setting must parse: " + err.Error())
+	}
+	return s
+}
+
+// CoSourceInstance encodes the machine for DHaltCoSetting: δ, the start
+// state, the final states, and the clash pair.
+func CoSourceInstance(m *Machine) (*instance.Instance, error) {
+	src, err := SourceInstance(m)
+	if err != nil {
+		return nil, err
+	}
+	for q := range m.Final {
+		src.Add(instance.NewAtom("Final", instance.Const(q)))
+	}
+	src.Add(instance.NewAtom("SClash", instance.Const("clash0"), instance.Const("clash1")))
+	return src, nil
+}
+
+// SaturatedSolution builds the Remark 6.3 witness: for ANY source instance
+// over D_halt's source schema, the target instance containing every atom
+// R(ū) with ū over Const(S) ∪ {0, 1, 2, B} is a solution — every tgd head
+// is present and D_halt has no egds. Existence-of-Solutions is therefore
+// trivial for D_halt, while Existence-of-CWA-Solutions is equivalent to
+// halting (Theorem 6.2): the saturated instance is wildly unjustified
+// under the closed world assumption.
+//
+// The instance has |pool|^arity atoms per relation; keep the machine small.
+func SaturatedSolution(s *dependency.Setting, src *instance.Instance) *instance.Instance {
+	poolSet := make(map[instance.Value]bool)
+	for _, c := range src.Consts() {
+		poolSet[c] = true
+	}
+	for _, name := range []string{"0", "1", "2", Blank} {
+		poolSet[instance.Const(name)] = true
+	}
+	pool := make([]instance.Value, 0, len(poolSet))
+	for v := range poolSet {
+		pool = append(pool, v)
+	}
+	out := instance.New()
+	for rel, arity := range s.Target {
+		args := make([]instance.Value, arity)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == arity {
+				out.Add(instance.NewAtom(rel, args...))
+				return
+			}
+			for _, v := range pool {
+				args[i] = v
+				rec(i + 1)
+			}
+		}
+		rec(0)
+	}
+	return out
+}

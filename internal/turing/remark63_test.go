@@ -1,0 +1,68 @@
+package turing
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/chase"
+)
+
+// Remark 6.3: for every source instance, the saturated target instance is a
+// solution under D_halt — so the Kolaitis–Panttaja–Tan-style reduction via
+// plain solutions cannot work for D_halt; the undecidability of
+// Existence-of-CWA-Solutions really is about CWA-solutions. Even for the
+// LOOPING machine (which has no CWA-solution), the saturated instance is a
+// solution.
+func TestRemark63SaturatedSolution(t *testing.T) {
+	s := DHaltSetting()
+	m := LoopMachine() // one state, blank-only alphabet: small pool
+	src, err := SourceInstance(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat := SaturatedSolution(s, src)
+	if sat.Len() == 0 {
+		t.Fatal("saturated instance empty")
+	}
+	if !chase.IsSolution(s, src, sat) {
+		t.Fatal("the saturated instance must be a solution for every source (Remark 6.3)")
+	}
+	// But it is certainly not a CWA-presolution: its atoms are unjustified.
+	// (The full presolution search is too expensive on the saturated
+	// instance; the non-existence of ANY CWA-solution for the looper is
+	// covered by TestHaltingIffCWASolution.)
+}
+
+// Remark 6.3, second part: with final-state egds, the chase FAILS exactly
+// when the machine halts in a final state — the complement reduction.
+func TestRemark63CoHalting(t *testing.T) {
+	s := DHaltCoSetting()
+	// A machine that reaches its final state: the egd clash fires.
+	m := WriterMachine(2)
+	src, err := CoSourceInstance(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = chase.Standard(s, src, chase.Options{MaxSteps: 100000})
+	if !chase.IsEgdFailure(err) {
+		t.Fatalf("halting machine must clash: %v", err)
+	}
+	// The looper never reaches a final state: the chase just keeps running.
+	loopSrc, err := CoSourceInstance(LoopMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = chase.Standard(s, loopSrc, chase.Options{MaxSteps: 3000})
+	if !errors.Is(err, chase.ErrBudgetExceeded) {
+		t.Fatalf("looper must keep running: %v", err)
+	}
+	// The zigzag machine halts by the stuck convention WITHOUT entering a
+	// final state — no clash, and the chase terminates normally.
+	zig, err := CoSourceInstance(ZigzagMachine(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chase.Standard(s, zig, chase.Options{MaxSteps: 100000}); err != nil {
+		t.Fatalf("stuck machine must terminate without clash: %v", err)
+	}
+}

@@ -1,0 +1,306 @@
+// Package turing implements deterministic one-tape Turing machines and the
+// D_halt data exchange setting of Theorem 6.2, under which the chase
+// simulates a machine's run on the empty input step for step. The theorem:
+// Existence-of-CWA-Solutions(D_halt) is undecidable, because a CWA-solution
+// for the source instance S_M exists iff M halts on the empty input.
+//
+// The machine is encoded in the SOURCE instance (the setting is fixed):
+// Delta holds the graph of the transition function δ and Q0 the start
+// state. The target dependencies drive the simulation: one tgd per head
+// direction creates the successor configuration, two tgds copy the
+// untouched tape cells leftwards and rightwards, and one tgd appends a
+// fresh blank cell at the right end of the tape each step, so the tape is
+// always long enough. The package also contains a direct interpreter used
+// as the baseline for step-exact cross-checks (experiment E7).
+package turing
+
+import (
+	"fmt"
+
+	"repro/internal/dependency"
+	"repro/internal/instance"
+	"repro/internal/parser"
+)
+
+// Blank is the reserved blank tape symbol; every machine must use it.
+const Blank = "B"
+
+// Direction of a head move.
+type Direction string
+
+// Head move directions.
+const (
+	Left  Direction = "L"
+	Right Direction = "R"
+)
+
+// Transition is one entry of the transition function δ.
+type Transition struct {
+	NewState string
+	Write    string
+	Move     Direction
+}
+
+// Machine is a deterministic one-tape Turing machine with a tape that is
+// infinite only to the right (the paper's convention). δ must be total on
+// (Q \ QF) × Σ.
+type Machine struct {
+	Name     string
+	States   []string
+	Alphabet []string // must contain Blank
+	Start    string
+	Final    map[string]bool
+	Delta    map[string]map[string]Transition // state -> symbol -> transition
+}
+
+// Validate checks the totality of δ and membership of all components.
+func (m *Machine) Validate() error {
+	states := make(map[string]bool, len(m.States))
+	for _, q := range m.States {
+		states[q] = true
+	}
+	symbols := make(map[string]bool, len(m.Alphabet))
+	hasBlank := false
+	for _, s := range m.Alphabet {
+		symbols[s] = true
+		if s == Blank {
+			hasBlank = true
+		}
+	}
+	if !hasBlank {
+		return fmt.Errorf("turing: alphabet must contain the blank %q", Blank)
+	}
+	if !states[m.Start] {
+		return fmt.Errorf("turing: start state %q not declared", m.Start)
+	}
+	for q := range m.Final {
+		if !states[q] {
+			return fmt.Errorf("turing: final state %q not declared", q)
+		}
+	}
+	for _, q := range m.States {
+		if m.Final[q] {
+			if len(m.Delta[q]) != 0 {
+				return fmt.Errorf("turing: final state %q must have no transitions", q)
+			}
+			continue
+		}
+		for _, s := range m.Alphabet {
+			tr, ok := m.Delta[q][s]
+			if !ok {
+				return fmt.Errorf("turing: δ undefined on (%q, %q)", q, s)
+			}
+			if !states[tr.NewState] || !symbols[tr.Write] {
+				return fmt.Errorf("turing: transition (%q,%q) references unknown state or symbol", q, s)
+			}
+			if tr.Move != Left && tr.Move != Right {
+				return fmt.Errorf("turing: bad direction %q", tr.Move)
+			}
+		}
+	}
+	return nil
+}
+
+// Config is a machine configuration: state, 1-based head position, and the
+// tape contents (index 0 = position 1).
+type Config struct {
+	State string
+	Head  int
+	Tape  []string
+}
+
+// Clone returns an independent copy.
+func (c Config) Clone() Config {
+	cp := c
+	cp.Tape = append([]string(nil), c.Tape...)
+	return cp
+}
+
+func (c Config) String() string {
+	out := c.State + " ["
+	for i, s := range c.Tape {
+		if i == c.Head-1 {
+			out += "(" + s + ")"
+		} else {
+			out += s
+		}
+	}
+	return out + "]"
+}
+
+// Run executes the machine on the empty input for at most maxSteps steps
+// and returns the visited configurations (including the initial one) and
+// whether the machine halted: by reaching a final state or by attempting to
+// move left off the tape (the "stuck" convention matching the chase, whose
+// transition tgds simply stop matching). halted = false means the budget
+// was exhausted.
+//
+// To mirror D_halt exactly, the tape starts with two blank cells and grows
+// by one blank cell per step.
+func (m *Machine) Run(maxSteps int) (configs []Config, halted bool) {
+	cur := Config{State: m.Start, Head: 1, Tape: []string{Blank, Blank}}
+	configs = append(configs, cur.Clone())
+	for step := 0; step < maxSteps; step++ {
+		if m.Final[cur.State] {
+			return configs, true
+		}
+		tr, ok := m.Delta[cur.State][cur.Tape[cur.Head-1]]
+		if !ok {
+			return configs, true // δ undefined: halt
+		}
+		next := cur.Clone()
+		next.Tape[cur.Head-1] = tr.Write
+		if tr.Move == Left {
+			if cur.Head == 1 {
+				return configs, true // fell off the left end: stuck = halt
+			}
+			next.Head = cur.Head - 1
+		} else {
+			next.Head = cur.Head + 1
+		}
+		next.State = tr.NewState
+		next.Tape = append(next.Tape, Blank) // the END rule grows the tape
+		cur = next
+		configs = append(configs, cur.Clone())
+	}
+	return configs, m.Final[cur.State]
+}
+
+// DHaltSetting returns the fixed data exchange setting D_halt of
+// Theorem 6.2. It is deliberately NOT weakly acyclic: the Succ-creating
+// transition tgds and the tape-growing END tgd form existential cycles,
+// which is what lets the chase run as long as the machine does.
+func DHaltSetting() *dependency.Setting {
+	s, err := parser.ParseSetting(`
+source Delta/5, Q0/1.
+target DeltaP/5, Succ/2, Q/3, I/3, NEXTPOS/3, END/2, COPYL/3, COPYR/3.
+st:
+  copy: Delta(q,s,q2,s2,d) -> DeltaP(q,s,q2,s2,d).
+  init: Q0(q) -> Q('0',q,'1') & I('0','1','B') & I('0','2','B') & NEXTPOS('0','1','2') & END('0','2').
+target-deps:
+  moveL: Q(t,q,p) & I(t,p,s) & NEXTPOS(t,pm,p) & DeltaP(q,s,q2,s2,'L') ->
+    exists t2 : Succ(t,t2) & Q(t2,q2,pm) & I(t2,p,s2) & COPYL(t,t2,p) & COPYR(t,t2,p).
+  moveR: Q(t,q,p) & I(t,p,s) & NEXTPOS(t,p,pp) & DeltaP(q,s,q2,s2,'R') ->
+    exists t2 : Succ(t,t2) & Q(t2,q2,pp) & I(t2,p,s2) & COPYL(t,t2,p) & COPYR(t,t2,p).
+  copyL: COPYL(t,t2,p) & NEXTPOS(t,pm,p) & I(t,pm,s) ->
+    COPYL(t,t2,pm) & NEXTPOS(t2,pm,p) & I(t2,pm,s).
+  copyR: COPYR(t,t2,p) & NEXTPOS(t,p,pp) & I(t,pp,s) ->
+    COPYR(t,t2,pp) & NEXTPOS(t2,p,pp) & I(t2,pp,s).
+  grow: END(t,p) & Succ(t,t2) ->
+    exists p2 : NEXTPOS(t2,p,p2) & I(t2,p2,'B') & END(t2,p2).
+`)
+	if err != nil {
+		panic("turing: D_halt must parse: " + err.Error())
+	}
+	return s
+}
+
+// SourceInstance encodes the machine as the source instance S_M: the graph
+// of δ plus the start state.
+func SourceInstance(m *Machine) (*instance.Instance, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	src := instance.New()
+	for q, row := range m.Delta {
+		for s, tr := range row {
+			src.Add(instance.NewAtom("Delta",
+				instance.Const(q), instance.Const(s),
+				instance.Const(tr.NewState), instance.Const(tr.Write),
+				instance.Const(string(tr.Move))))
+		}
+	}
+	src.Add(instance.NewAtom("Q0", instance.Const(m.Start)))
+	return src, nil
+}
+
+// DecodeRun extracts the sequence of configurations encoded in a chase
+// result over D_halt's target schema, starting from time constant 0 and
+// following Succ. It reconstructs each tape by walking NEXTPOS from
+// position 1 and reading I.
+func DecodeRun(t *instance.Instance) ([]Config, error) {
+	succ := make(map[instance.Value]instance.Value)
+	t.Tuples("Succ", func(args []instance.Value) bool {
+		succ[args[0]] = args[1]
+		return true
+	})
+	var configs []Config
+	cur := instance.Const("0")
+	for {
+		cfg, err := decodeConfig(t, cur)
+		if err != nil {
+			return nil, fmt.Errorf("turing: at time %v: %w", cur, err)
+		}
+		configs = append(configs, cfg)
+		next, ok := succ[cur]
+		if !ok {
+			return configs, nil
+		}
+		cur = next
+	}
+}
+
+func decodeConfig(t *instance.Instance, time instance.Value) (Config, error) {
+	var cfg Config
+	found := 0
+	var headPos instance.Value
+	t.MatchTuples("Q", []instance.Value{time, 0, 0}, []bool{true, false, false},
+		func(args []instance.Value) bool {
+			cfg.State = instance.ConstName(args[1])
+			headPos = args[2]
+			found++
+			return true
+		})
+	if found != 1 {
+		return cfg, fmt.Errorf("expected one Q atom, found %d", found)
+	}
+	// Tape: successor edges and inscriptions at this time.
+	next := make(map[instance.Value]instance.Value)
+	t.MatchTuples("NEXTPOS", []instance.Value{time, 0, 0}, []bool{true, false, false},
+		func(args []instance.Value) bool {
+			next[args[1]] = args[2]
+			return true
+		})
+	content := make(map[instance.Value]string)
+	t.MatchTuples("I", []instance.Value{time, 0, 0}, []bool{true, false, false},
+		func(args []instance.Value) bool {
+			content[args[1]] = instance.ConstName(args[2])
+			return true
+		})
+	pos := instance.Const("1")
+	for i := 1; ; i++ {
+		s, ok := content[pos]
+		if !ok {
+			return cfg, fmt.Errorf("no inscription at position %v (cell %d)", pos, i)
+		}
+		cfg.Tape = append(cfg.Tape, s)
+		if pos == headPos {
+			cfg.Head = i
+		}
+		np, ok := next[pos]
+		if !ok {
+			break
+		}
+		pos = np
+		if i > len(content)+1 {
+			return cfg, fmt.Errorf("NEXTPOS cycle at time %v", time)
+		}
+	}
+	if cfg.Head == 0 {
+		return cfg, fmt.Errorf("head position %v not on tape", headPos)
+	}
+	return cfg, nil
+}
+
+// Equal reports whether two configurations agree on state, head and tape.
+func (c Config) Equal(d Config) bool {
+	if c.State != d.State || c.Head != d.Head || len(c.Tape) != len(d.Tape) {
+		return false
+	}
+	for i := range c.Tape {
+		if c.Tape[i] != d.Tape[i] {
+			return false
+		}
+	}
+	return true
+}

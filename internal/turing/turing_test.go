@@ -1,0 +1,167 @@
+package turing
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/cwa"
+)
+
+func TestValidate(t *testing.T) {
+	for _, m := range []*Machine{WriterMachine(3), ZigzagMachine(2), LoopMachine(), HaltMachine()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	bad := &Machine{States: []string{"q"}, Alphabet: []string{Blank}, Start: "q", Final: map[string]bool{}}
+	if err := bad.Validate(); err == nil {
+		t.Error("partial δ on non-final state must fail")
+	}
+	noBlank := &Machine{States: []string{"q"}, Alphabet: []string{"x"}, Start: "q", Final: map[string]bool{"q": true}}
+	if err := noBlank.Validate(); err == nil {
+		t.Error("missing blank must fail")
+	}
+}
+
+func TestInterpreterWriter(t *testing.T) {
+	m := WriterMachine(3)
+	configs, halted := m.Run(100)
+	if !halted {
+		t.Fatal("writer(3) must halt")
+	}
+	if len(configs) != 4 {
+		t.Fatalf("writer(3) runs 3 steps, got %d configs", len(configs))
+	}
+	last := configs[len(configs)-1]
+	if last.State != "halt" || last.Head != 4 {
+		t.Fatalf("final config %v", last)
+	}
+	for i := 0; i < 3; i++ {
+		if last.Tape[i] != "1" {
+			t.Fatalf("tape %v", last.Tape)
+		}
+	}
+}
+
+func TestInterpreterLoop(t *testing.T) {
+	if _, halted := LoopMachine().Run(200); halted {
+		t.Fatal("loop machine must not halt")
+	}
+}
+
+func TestInterpreterZigzagStuckConvention(t *testing.T) {
+	m := ZigzagMachine(2)
+	configs, halted := m.Run(100)
+	if !halted {
+		t.Fatal("zigzag halts by the stuck convention")
+	}
+	last := configs[len(configs)-1]
+	if last.Head != 1 || last.State != "back" {
+		t.Fatalf("final config %v", last)
+	}
+}
+
+func TestDHaltSettingShape(t *testing.T) {
+	s := DHaltSetting()
+	if s.WeaklyAcyclic() {
+		t.Fatal("D_halt must not be weakly acyclic (it simulates Turing machines)")
+	}
+}
+
+// The chase over D_halt must reproduce the interpreter's run step for step.
+func TestChaseSimulatesInterpreter(t *testing.T) {
+	s := DHaltSetting()
+	for _, m := range []*Machine{HaltMachine(), WriterMachine(1), WriterMachine(3), ZigzagMachine(2)} {
+		src, err := SourceInstance(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := chase.Standard(s, src, chase.Options{MaxSteps: 100000})
+		if err != nil {
+			t.Fatalf("%s: chase: %v", m.Name, err)
+		}
+		got, err := DecodeRun(res.Target)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", m.Name, err)
+		}
+		want, halted := m.Run(1000)
+		if !halted {
+			t.Fatalf("%s should halt", m.Name)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: chase has %d configs, interpreter %d\nchase: %v\ninterp: %v",
+				m.Name, len(got), len(want), got, want)
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Errorf("%s step %d: chase %v != interpreter %v", m.Name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Theorem 6.2, executable form: for halting machines a CWA-solution exists;
+// for the looping machine the chase exceeds every budget.
+func TestHaltingIffCWASolution(t *testing.T) {
+	s := DHaltSetting()
+	for _, m := range []*Machine{HaltMachine(), WriterMachine(2)} {
+		src, err := SourceInstance(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exists, err := cwa.Exists(s, src, chase.Options{MaxSteps: 100000})
+		if err != nil || !exists {
+			t.Errorf("%s halts: CWA-solution must exist (%v, %v)", m.Name, exists, err)
+		}
+	}
+	src, err := SourceInstance(LoopMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = chase.Standard(s, src, chase.Options{MaxSteps: 3000})
+	if !errors.Is(err, chase.ErrBudgetExceeded) {
+		t.Fatalf("looping machine: want budget exceeded, got %v", err)
+	}
+}
+
+// The core of the chase result is a CWA-solution (Theorem 5.1 applies even
+// though D_halt is not weakly acyclic, as long as the chase terminates).
+func TestHaltingRunCoreIsCWASolution(t *testing.T) {
+	s := DHaltSetting()
+	m := WriterMachine(1)
+	src, err := SourceInstance(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := cwa.Minimal(s, src, chase.Options{MaxSteps: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := cwa.IsCWASolution(s, src, core, chase.Options{MaxSteps: 100000})
+	if err != nil || !ok {
+		t.Fatalf("core of halting run must be a CWA-solution: %v %v", ok, err)
+	}
+}
+
+func TestDecodeRunErrors(t *testing.T) {
+	s := DHaltSetting()
+	src, err := SourceInstance(HaltMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := chase.Standard(s, src, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove the inscription at position 1 to break decoding.
+	broken := res.Target.Clone()
+	for _, a := range broken.Atoms() {
+		if a.Rel == "I" {
+			broken.Remove(a)
+		}
+	}
+	if _, err := DecodeRun(broken); err == nil {
+		t.Fatal("decoding a broken run must fail")
+	}
+}

@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel evaluation paths (certain.ForEachRep, cwa.Enumerate,
+# cwa.Incomparable) are exercised under the race detector; the
+# worker-invariance crosscheck tests double as race workloads.
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: catches bit-rot in the bench targets
+# without waiting for statistically meaningful timings.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+ci: vet build race bench-smoke

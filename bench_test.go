@@ -434,6 +434,55 @@ func BenchmarkAlphaChase_Canonical(b *testing.B) {
 	}
 }
 
+// --- Parallel evaluation engine: worker-count scaling — E13 ---
+
+// BenchmarkForEachRep_Workers measures representative enumeration (via Box)
+// on a multi-null universal solution at several worker counts. It reports
+// wall-clock only — speedup depends on the host's core count, so nothing is
+// asserted about it.
+func BenchmarkForEachRep_Workers(b *testing.B) {
+	s := genwl.Example21()
+	// Two existential st-tgd firings plus the d3 target tgd give the
+	// universal solution six nulls — a valuation space in the tens of
+	// thousands, big enough to keep the workers busy without making the
+	// one-shot bench smoke crawl.
+	src, err := parser.ParseInstance(`M(a,b). N(a,b). N(c,d).`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tgt, err := chase.UniversalSolution(s, src, chase.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := mustUCQb(b, "q(x) :- E(x,y).")
+	b.Logf("target nulls: %d", len(tgt.Nulls()))
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := certain.Box(s, u, tgt, certain.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEnumerate_Workers measures CWA-solution enumeration on the
+// Example 5.3 family at several worker counts.
+func BenchmarkEnumerate_Workers(b *testing.B) {
+	s := genwl.Example53()
+	src := genwl.Example53Source(1)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cwa.Enumerate(s, src, cwa.EnumOptions{MaxStates: 500000, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Possibility checking ablation (Libkin's case) ---
 
 func BenchmarkPossibleUCQ_Unification(b *testing.B) {

@@ -13,9 +13,16 @@
 //	dxcli certain -setting FILE -source FILE -query 'q(x) :- E(x,y).' [-sem certain-cap|certain-cup|maybe-cap|maybe-cup]
 //	dxcli enum    -setting FILE -source FILE [-max N]
 //	dxcli info    -setting FILE
+//
+// Every command also accepts -max-steps (chase step budget), -timeout
+// (wall-clock limit; the run aborts with ErrCanceled), -workers (goroutines
+// for certain/enum; 0 = GOMAXPROCS) and -metrics (print evaluation counters
+// to stderr on exit).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,7 +30,12 @@ import (
 
 	"repro"
 	"repro/internal/cwa"
+	"repro/internal/metrics"
 )
+
+// showMetrics makes fatal and the normal exit path print the counter
+// snapshot, so a run aborted by -timeout still reports its effort.
+var showMetrics bool
 
 func main() {
 	if len(os.Args) < 2 {
@@ -38,12 +50,20 @@ func main() {
 	semName := fs.String("sem", "certain-cap", "semantics: certain-cap, certain-cup, maybe-cap, maybe-cup")
 	maxSteps := fs.Int("max-steps", 0, "chase step budget (0 = default)")
 	maxSols := fs.Int("max", 0, "maximum solutions to enumerate (0 = unbounded)")
+	timeout := fs.Duration("timeout", 0, "wall-clock limit; aborts with ErrCanceled (0 = none)")
+	workers := fs.Int("workers", 0, "worker goroutines for certain/enum (0 = GOMAXPROCS, 1 = sequential)")
+	fs.BoolVar(&showMetrics, "metrics", false, "print evaluation counters to stderr on exit")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		fatal(err)
 	}
 
 	s := loadSetting(*settingPath)
 	opt := repro.ChaseOptions{MaxSteps: *maxSteps}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opt.Ctx = ctx
+	}
 
 	switch cmd {
 	case "info":
@@ -139,21 +159,34 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("unknown semantics %q", *semName))
 		}
-		ans, err := repro.Answers(s, u, src, sem, repro.CertainOptions{Chase: opt})
+		ans, err := repro.Answers(s, u, src, sem, repro.CertainOptions{Chase: opt, Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%s answers: %v\n", *semName, ans)
 	case "enum":
 		src := loadInstance(*sourcePath)
-		sols, err := repro.EnumerateCWASolutions(s, src, repro.EnumOptions{MaxSolutions: *maxSols})
-		if err != nil {
+		sols, err := repro.EnumerateCWASolutions(s, src,
+			repro.EnumOptions{MaxSolutions: *maxSols, ChaseOptions: opt, Workers: *workers})
+		if errors.Is(err, cwa.ErrEnumerationTruncated) && *maxSols > 0 {
+			// Hitting a user-requested cap is the expected outcome, not a
+			// failure; report the (possibly partial) space.
+			fmt.Fprintln(os.Stderr, "dxcli: enumeration truncated at -max bound")
+		} else if err != nil {
 			fatal(err)
 		}
 		cwa.SortBySize(sols)
 		fmt.Print(cwa.DescribeSpace(sols))
 	default:
 		usage()
+	}
+	reportMetrics()
+}
+
+// reportMetrics prints the counter snapshot to stderr when -metrics is set.
+func reportMetrics() {
+	if showMetrics {
+		fmt.Fprintln(os.Stderr, "metrics:", metrics.Read())
 	}
 }
 
@@ -188,6 +221,7 @@ func loadInstance(path string) *repro.Instance {
 }
 
 func fatal(err error) {
+	reportMetrics()
 	fmt.Fprintln(os.Stderr, "dxcli:", err)
 	os.Exit(1)
 }

@@ -13,12 +13,17 @@ import (
 
 func main() {
 	md := flag.Bool("md", false, "emit a markdown table")
+	showMetrics := flag.Bool("metrics", false, "append the evaluation-counter table")
 	flag.Parse()
 	results := harness.RunAll()
 	if *md {
 		fmt.Print(harness.MarkdownReport(results))
 	} else {
 		fmt.Print(harness.Report(results))
+	}
+	if *showMetrics {
+		fmt.Println()
+		fmt.Print(harness.MetricsReport())
 	}
 	for _, r := range results {
 		if !r.OK {

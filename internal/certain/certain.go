@@ -15,25 +15,37 @@
 package certain
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/chase"
 	"repro/internal/cwa"
 	"repro/internal/dependency"
 	"repro/internal/instance"
+	"repro/internal/metrics"
 	"repro/internal/query"
 )
 
 // Options configures certain-answer computation.
 type Options struct {
-	// Chase bounds the chases used to build solutions.
+	// Chase bounds the chases used to build solutions. Its Ctx, when set,
+	// also cancels representative enumeration (ForEachRep/Box/Diamond).
 	Chase chase.Options
 	// Enum bounds CWA-solution enumeration for the by-definition semantics.
 	Enum cwa.EnumOptions
 	// MaxNulls bounds the nulls of an instance whose valuations are
 	// enumerated (the enumeration is |C|^nulls); default 12.
 	MaxNulls int
+	// Workers is the number of goroutines that fan out the top-level
+	// null-valuation branches of ForEachRep. 0 means runtime.GOMAXPROCS;
+	// 1 forces the sequential path. Results are worker-count-invariant:
+	// the same representatives are visited (only the order varies), so
+	// Box/Diamond answer sets are identical for 1 and N workers.
+	Workers int
 }
 
 func (o Options) maxNulls() int {
@@ -41,6 +53,13 @@ func (o Options) maxNulls() int {
 		return o.MaxNulls
 	}
 	return 12
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // ErrTooManyNulls reports that valuation enumeration was refused because the
@@ -131,53 +150,184 @@ func Rep(s *dependency.Setting, t *instance.Instance, q query.Evaluable, opt Opt
 }
 
 // ForEachRep streams Rep_D(T) (see Rep) to f without materialising the
-// whole set; f returning false stops the enumeration.
+// whole set; f returning false stops the enumeration. f is never invoked
+// concurrently with itself (calls are serialized even on the parallel
+// path), but with Workers != 1 the visiting order is unspecified. The
+// visited set is worker-count-invariant: an early stop aborts promptly in
+// every branch, and a run to completion delivers exactly the same
+// representatives regardless of Workers. The enumeration honours
+// opt.Chase.Ctx and returns an error wrapping chase.ErrCanceled when the
+// context expires mid-run.
 func ForEachRep(s *dependency.Setting, t *instance.Instance, q query.Evaluable, opt Options, f func(*instance.Instance) bool) error {
+	var mu sync.Mutex
+	stopped := false
+	return forEachRep(s, t, q, opt, func(img *instance.Instance) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if stopped {
+			// An in-flight worker reached its leaf after another branch
+			// stopped the enumeration; the callback must not see it.
+			return false
+		}
+		if !f(img) {
+			stopped = true
+		}
+		return !stopped
+	})
+}
+
+// forEachRep is ForEachRep without the serialization wrapper: emit may be
+// called concurrently from several workers (each call on a distinct
+// representative). Box and Diamond use it directly so that answer-set
+// evaluation runs inside the workers, keeping only the merge serialized.
+func forEachRep(s *dependency.Setting, t *instance.Instance, q query.Evaluable, opt Options, emit func(*instance.Instance) bool) error {
 	nulls := t.Nulls()
 	if len(nulls) > opt.maxNulls() {
 		return fmt.Errorf("%w: %d nulls", ErrTooManyNulls, len(nulls))
 	}
-	base := valuationBase(s, t, q)
-	v := make(map[instance.Value]instance.Value, len(nulls))
-	stopped := false
-	var rec func(i, freshUsed int)
-	rec = func(i, freshUsed int) {
-		if stopped {
-			return
-		}
-		if i == len(nulls) {
-			img := t.Map(v)
-			if satisfiesTargetDeps(s, img) {
-				if !f(img) {
-					stopped = true
-				}
-			}
-			return
-		}
-		for _, c := range base {
-			v[nulls[i]] = c
-			rec(i+1, freshUsed)
-		}
-		for j := 0; j <= freshUsed && !stopped; j++ {
-			v[nulls[i]] = freshConst(j)
-			next := freshUsed
-			if j == freshUsed {
-				next++
-			}
-			rec(i+1, next)
-		}
-		delete(v, nulls[i])
+	w := &repWalker{
+		s:     s,
+		t:     t,
+		base:  valuationBase(s, t, q),
+		nulls: nulls,
+		ctx:   opt.Chase.Ctx,
+		emit:  emit,
 	}
-	rec(0, 0)
+	if workers := opt.workers(); workers > 1 && len(nulls) > 0 {
+		w.parallel(workers)
+	} else {
+		w.walk(make(map[instance.Value]instance.Value, len(nulls)), 0, 0)
+	}
+	if w.canceled.Load() {
+		return chase.ContextErr(w.ctx)
+	}
 	return nil
 }
 
+// repWalker enumerates the canonical valuations of t's nulls. stop is the
+// short-circuit broadcast: set when a callback returns false (Box's empty
+// intersection, Diamond's early hit) or the context expires, it aborts
+// every branch — sequential recursion and parallel workers alike.
+type repWalker struct {
+	s        *dependency.Setting
+	t        *instance.Instance
+	base     []instance.Value
+	nulls    []instance.Value
+	ctx      context.Context
+	emit     func(*instance.Instance) bool
+	stop     atomic.Bool
+	canceled atomic.Bool
+}
+
+func (w *repWalker) stopped() bool { return w.stop.Load() }
+
+// checkCtx polls the context (at leaves only — Err takes a lock) and
+// converts expiry into a stop broadcast.
+func (w *repWalker) checkCtx() bool {
+	if w.ctx != nil && w.ctx.Err() != nil {
+		w.canceled.Store(true)
+		w.stop.Store(true)
+		return true
+	}
+	return false
+}
+
+// walk enumerates valuations of w.nulls[i:] given the partial valuation v
+// using freshUsed canonical fresh constants. Both the base-constant loop
+// and the fresh-constant loop re-check the stop flag so an early stop
+// cannot fan out over the remaining branches (the base loop historically
+// lacked this guard, wasting exponential work after a stop).
+func (w *repWalker) walk(v map[instance.Value]instance.Value, i, freshUsed int) {
+	if w.stopped() {
+		return
+	}
+	if i == len(w.nulls) {
+		if w.checkCtx() {
+			return
+		}
+		metrics.RepCandidates.Inc()
+		img := w.t.Map(v)
+		if satisfiesTargetDeps(w.s, img) {
+			metrics.RepVisited.Inc()
+			if !w.emit(img) {
+				w.stop.Store(true)
+			}
+		}
+		return
+	}
+	for _, c := range w.base {
+		if w.stopped() {
+			return
+		}
+		v[w.nulls[i]] = c
+		w.walk(v, i+1, freshUsed)
+	}
+	for j := 0; j <= freshUsed && !w.stopped(); j++ {
+		v[w.nulls[i]] = freshConst(j)
+		next := freshUsed
+		if j == freshUsed {
+			next++
+		}
+		w.walk(v, i+1, next)
+	}
+	delete(v, w.nulls[i])
+}
+
+// parallel fans the top-level branches — the valuations of nulls[0] — over
+// a bounded worker pool. Each worker owns a private valuation map and runs
+// the sequential recursion from level 1; the stop flag broadcasts
+// short-circuits across workers.
+func (w *repWalker) parallel(workers int) {
+	type branch struct {
+		val       instance.Value
+		freshUsed int
+	}
+	branches := make([]branch, 0, len(w.base)+1)
+	for _, c := range w.base {
+		branches = append(branches, branch{c, 0})
+	}
+	// nulls[0] can only take the first fresh constant (canonical order).
+	branches = append(branches, branch{freshConst(0), 1})
+	if workers > len(branches) {
+		workers = len(branches)
+	}
+	jobs := make(chan branch)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		metrics.GoroutinesSpawned.Inc()
+		go func() {
+			defer wg.Done()
+			v := make(map[instance.Value]instance.Value, len(w.nulls))
+			for b := range jobs {
+				if w.stopped() {
+					continue // drain remaining jobs after a stop
+				}
+				v[w.nulls[0]] = b.val
+				w.walk(v, 1, b.freshUsed)
+				delete(v, w.nulls[0])
+			}
+		}()
+	}
+	for _, b := range branches {
+		jobs <- b
+	}
+	close(jobs)
+	wg.Wait()
+}
+
 // Box computes □Q(T) = ∩_{R ∈ Rep_D(T)} Q(R), the certain answers of Q on
-// the single CWA-solution T.
+// the single CWA-solution T. Representative enumeration and answer-set
+// evaluation are fanned across opt.Workers goroutines; the intersection
+// merge is serialized and order-insensitive, and an empty intersection
+// short-circuits every branch.
 func Box(s *dependency.Setting, q query.Evaluable, t *instance.Instance, opt Options) (*query.TupleSet, error) {
+	var mu sync.Mutex
 	var out *query.TupleSet
-	err := ForEachRep(s, t, q, opt, func(r *instance.Instance) bool {
-		ans := q.AnswerSet(r)
+	err := forEachRep(s, t, q, opt, func(r *instance.Instance) bool {
+		ans := q.AnswerSet(r) // evaluated inside the worker
+		mu.Lock()
+		defer mu.Unlock()
 		if out == nil {
 			out = ans
 		} else {
@@ -197,12 +347,17 @@ func Box(s *dependency.Setting, q query.Evaluable, t *instance.Instance, opt Opt
 	return out, nil
 }
 
-// Diamond computes ◇Q(T) = ∪_{R ∈ Rep_D(T)} Q(R), the maybe answers of Q on
-// the single CWA-solution T.
+// Diamond computes ◇Q(T) = ∪_{R ∈ Rep_D(T)} Q(R), the maybe answers of Q
+// on the single CWA-solution T. Like Box, evaluation runs inside the
+// workers with a serialized, order-insensitive union merge.
 func Diamond(s *dependency.Setting, q query.Evaluable, t *instance.Instance, opt Options) (*query.TupleSet, error) {
+	var mu sync.Mutex
 	out := query.NewTupleSet()
-	err := ForEachRep(s, t, q, opt, func(r *instance.Instance) bool {
-		out.UnionWith(q.AnswerSet(r))
+	err := forEachRep(s, t, q, opt, func(r *instance.Instance) bool {
+		ans := q.AnswerSet(r)
+		mu.Lock()
+		defer mu.Unlock()
+		out.UnionWith(ans)
 		return true
 	})
 	if err != nil {

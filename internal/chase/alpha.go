@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dependency"
 	"repro/internal/instance"
+	"repro/internal/metrics"
 	"repro/internal/query"
 )
 
@@ -143,6 +144,9 @@ func AlphaChase(s *dependency.Setting, src *instance.Instance, a Alpha, opt Opti
 	budget := opt.maxSteps()
 
 	for {
+		if err := opt.err(); err != nil {
+			return nil, err
+		}
 		if res.Steps >= budget {
 			return nil, ErrBudgetExceeded
 		}
@@ -193,7 +197,7 @@ func alphaTgdPass(s *dependency.Setting, cur *instance.Instance, a Alpha, res *R
 			return true
 		})
 		for _, env := range pending {
-			if res.Steps >= budget {
+			if res.Steps >= budget || opt.err() != nil {
 				return true
 			}
 			atoms, applicable := alphaApplicable(d, cur, a, env)
@@ -204,6 +208,7 @@ func alphaTgdPass(s *dependency.Setting, cur *instance.Instance, a Alpha, res *R
 				cur.Add(at)
 			}
 			res.Steps++
+			metrics.ChaseSteps.Inc()
 			fired = true
 			if opt.Trace {
 				res.Trace = append(res.Trace, Step{Dep: d.Name, Kind: "tgd", Added: atoms})
@@ -244,6 +249,9 @@ func Canonical(s *dependency.Setting, src *instance.Instance, opt Options) (*Alp
 		merged := false
 	run:
 		for {
+			if err := opt.err(); err != nil {
+				return nil, nil, err
+			}
 			if totalSteps+res.Steps >= budget {
 				return nil, nil, ErrBudgetExceeded
 			}
@@ -263,6 +271,7 @@ func Canonical(s *dependency.Setting, src *instance.Instance, opt Options) (*Alp
 					}
 				}
 				res.Steps++
+				metrics.ChaseSteps.Inc()
 				merged = true
 				if opt.Trace {
 					res.Trace = append(res.Trace, Step{Dep: d.Name, Kind: "egd", Equated: [2]instance.Value{a, b}})

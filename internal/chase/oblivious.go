@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dependency"
 	"repro/internal/instance"
+	"repro/internal/metrics"
 	"repro/internal/query"
 )
 
@@ -34,6 +35,11 @@ func Oblivious(s *dependency.Setting, src *instance.Instance, opt Options) (*Res
 	fired := make(map[string]bool)
 
 	for {
+		if err := opt.err(); err != nil {
+			res.Instance = cur
+			res.Target = cur.Reduct(s.Target)
+			return res, err
+		}
 		if res.Steps >= budget {
 			res.Instance = cur
 			res.Target = cur.Reduct(s.Target)
@@ -55,7 +61,7 @@ func Oblivious(s *dependency.Setting, src *instance.Instance, opt Options) (*Res
 				return true
 			})
 			for _, env := range pending {
-				if res.Steps >= budget {
+				if res.Steps >= budget || opt.err() != nil {
 					break
 				}
 				key := obliviousTriggerKey(d, env)
@@ -71,6 +77,7 @@ func Oblivious(s *dependency.Setting, src *instance.Instance, opt Options) (*Res
 					cur.Add(a)
 				}
 				res.Steps++
+				metrics.ChaseSteps.Inc()
 				applied = true
 				if opt.Trace {
 					res.Trace = append(res.Trace, Step{Dep: d.Name, Kind: "tgd", Added: added})
@@ -78,6 +85,14 @@ func Oblivious(s *dependency.Setting, src *instance.Instance, opt Options) (*Res
 			}
 		}
 		if !applied {
+			// A cancellation arriving mid-pass can leave triggers unfired
+			// without marking the pass as applied; re-check before treating
+			// the state as a fixpoint.
+			if err := opt.err(); err != nil {
+				res.Instance = cur
+				res.Target = cur.Reduct(s.Target)
+				return res, err
+			}
 			break
 		}
 	}

@@ -5,6 +5,7 @@
 package chase
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -17,6 +18,27 @@ import (
 // step budget — the observable stand-in for potential non-termination
 // (Existence-of-(CWA-)Solutions is undecidable in general, Theorem 6.2).
 var ErrBudgetExceeded = errors.New("chase: step budget exceeded")
+
+// ErrCanceled reports that a run was aborted through its context (deadline
+// or cancellation) before reaching a fixpoint. It is the wall-clock sibling
+// of ErrBudgetExceeded: on settings where termination is undecidable
+// (Theorem 6.2, D_halt) a deadline bounds the run in time rather than in
+// steps. Test with errors.Is(err, ErrCanceled).
+var ErrCanceled = errors.New("chase: canceled")
+
+// ContextErr returns nil when ctx is nil or still live, and otherwise an
+// error wrapping ErrCanceled with the context's cause. It is the single
+// cancellation check shared by the chase variants and the enumeration
+// layers above them (cwa, certain).
+func ContextErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrCanceled, err)
+	}
+	return nil
+}
 
 // EgdFailureError reports a failing chase: an egd tried to equate two
 // distinct constants (Definition 4.2(2)).

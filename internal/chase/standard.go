@@ -1,10 +1,12 @@
 package chase
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dependency"
 	"repro/internal/instance"
+	"repro/internal/metrics"
 	"repro/internal/query"
 )
 
@@ -16,7 +18,15 @@ type Options struct {
 	MaxSteps int
 	// Trace, when true, records every step in Result.Trace.
 	Trace bool
+	// Ctx, when non-nil, lets the run be aborted by deadline or
+	// cancellation: the chase checks it between steps and returns an error
+	// wrapping ErrCanceled. Essential for bounding runs on settings whose
+	// chase need not terminate (Theorem 6.2). A nil Ctx never cancels.
+	Ctx context.Context
 }
+
+// err reports the pending cancellation of the run's context, if any.
+func (o Options) err() error { return ContextErr(o.Ctx) }
 
 // DefaultMaxSteps is the budget used when Options.MaxSteps is zero.
 const DefaultMaxSteps = 1_000_000
@@ -75,6 +85,12 @@ func Standard(s *dependency.Setting, src *instance.Instance, opt Options) (*Resu
 	tracker := &deltaTracker{full: true}
 
 	for {
+		if err := opt.err(); err != nil {
+			// Like the budget case, expose the partial result.
+			res.Instance = cur
+			res.Target = cur.Reduct(s.Target)
+			return res, err
+		}
 		if res.Steps >= budget {
 			// Expose the partial result so callers can observe how far a
 			// non-terminating chase got (experiment E8).
@@ -112,6 +128,7 @@ func standardEgdPass(s *dependency.Setting, cur *instance.Instance, res *Result,
 			return false, err
 		}
 		res.Steps++
+		metrics.ChaseSteps.Inc()
 		if opt.Trace {
 			res.Trace = append(res.Trace, Step{Dep: d.Name, Kind: "egd", Equated: [2]instance.Value{a, b}})
 		}
@@ -135,8 +152,8 @@ func standardTgdPass(s *dependency.Setting, cur *instance.Instance, nulls *insta
 
 	fire := func(d *dependency.TGD, pending []query.Binding) bool {
 		for _, env := range pending {
-			if res.Steps >= budget {
-				return true // budget check happens at loop top in Standard
+			if res.Steps >= budget || opt.err() != nil {
+				return true // budget/cancel check happens at loop top in Standard
 			}
 			if headSatisfied(d, cur, env) {
 				continue
@@ -151,6 +168,7 @@ func standardTgdPass(s *dependency.Setting, cur *instance.Instance, nulls *insta
 				}
 			}
 			res.Steps++
+			metrics.ChaseSteps.Inc()
 			fired = true
 			if opt.Trace {
 				res.Trace = append(res.Trace, Step{Dep: d.Name, Kind: "tgd", Added: added})

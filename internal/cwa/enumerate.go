@@ -2,12 +2,16 @@ package cwa
 
 import (
 	"errors"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/chase"
 	"repro/internal/dependency"
 	"repro/internal/hom"
 	"repro/internal/instance"
+	"repro/internal/metrics"
 	"repro/internal/query"
 )
 
@@ -19,8 +23,14 @@ type EnumOptions struct {
 	MaxSolutions int
 	// MaxNullsPerState prunes runaway branches (default 64).
 	MaxNullsPerState int
-	// ChaseOptions is used for the universality check.
+	// ChaseOptions is used for the universality check; its Ctx also cancels
+	// the enumeration itself (Enumerate then returns chase.ErrCanceled).
 	ChaseOptions chase.Options
+	// Workers bounds the number of goroutines expanding branches
+	// concurrently (0 = GOMAXPROCS, 1 = sequential). The solution set is
+	// identical for every worker count; with bounds in play, which states
+	// are reached before truncation may differ.
+	Workers int
 	// Stats, if non-nil, receives search statistics.
 	Stats *EnumStats
 }
@@ -54,6 +64,13 @@ func (o EnumOptions) maxNulls() int {
 	return 64
 }
 
+func (o EnumOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // ErrEnumerationTruncated reports that the search hit a bound, so the
 // returned list may be incomplete.
 var ErrEnumerationTruncated = errors.New("cwa: enumeration truncated by limits")
@@ -72,8 +89,14 @@ var ErrEnumerationTruncated = errors.New("cwa: enumeration truncated by limits")
 // states are filtered by universality (Theorem 4.8) and deduplicated up to
 // isomorphism.
 //
+// Branches are expanded by up to opt.Workers goroutines. Solutions are
+// reported in canonical null form, with the lexicographically least member
+// of each isomorphism class as representative, sorted — so the returned
+// slice is identical for every worker count (absent truncation).
+//
 // The error is ErrEnumerationTruncated when a bound was hit (the result may
-// then be incomplete), or a chase error from the universality check.
+// then be incomplete), chase.ErrCanceled when opt.ChaseOptions.Ctx was
+// canceled, or a chase error from the universality check.
 func Enumerate(s *dependency.Setting, src *instance.Instance, opt EnumOptions) ([]*instance.Instance, error) {
 	u, err := chase.UniversalSolution(s, src, opt.ChaseOptions)
 	if err != nil {
@@ -83,28 +106,44 @@ func Enumerate(s *dependency.Setting, src *instance.Instance, opt EnumOptions) (
 		return nil, err
 	}
 
+	workers := opt.workers()
 	e := &enumerator{
 		s:         s,
 		src:       src,
 		universal: u,
 		opt:       opt,
+		sem:       make(chan struct{}, workers-1),
 	}
 	e.walk(src.Clone(), map[string]query.Binding{}, 0)
+	e.wg.Wait()
 
-	var out []*instance.Instance
-	for _, t := range e.found {
-		out = append(out, t)
+	sort.Slice(e.found, func(i, j int) bool { return e.found[i].key < e.found[j].key })
+	out := make([]*instance.Instance, len(e.found))
+	for i, f := range e.found {
+		out[i] = f.t
 	}
 	if opt.Stats != nil {
-		e.stats.States = e.states
-		e.stats.Found = len(out)
-		e.stats.Truncated = e.truncated
-		*opt.Stats = e.stats
+		*opt.Stats = EnumStats{
+			States:             int(e.states.Load()),
+			PrunedEgd:          int(e.prunedEgd.Load()),
+			PrunedUniversality: int(e.prunedUniv.Load()),
+			Found:              len(out),
+			Truncated:          e.truncated.Load(),
+		}
 	}
-	if e.truncated {
+	if err := chase.ContextErr(opt.ChaseOptions.Ctx); err != nil {
+		return out, err
+	}
+	if e.truncated.Load() {
 		return out, ErrEnumerationTruncated
 	}
 	return out, nil
+}
+
+// foundSol pairs a canonical-form solution with its sort/dedup key.
+type foundSol struct {
+	t   *instance.Instance
+	key string
 }
 
 type enumerator struct {
@@ -112,24 +151,93 @@ type enumerator struct {
 	src       *instance.Instance
 	universal *instance.Instance
 	opt       EnumOptions
-	states    int
-	truncated bool
-	found     []*instance.Instance
-	stats     EnumStats
+
+	sem chan struct{} // bounds extra walker goroutines (cap workers-1)
+	wg  sync.WaitGroup
+
+	states     atomic.Int64
+	prunedEgd  atomic.Int64
+	prunedUniv atomic.Int64
+	truncated  atomic.Bool
+	canceled   atomic.Bool
+
+	mu    sync.Mutex
+	found []*foundSol
+}
+
+// stopped reports whether the search should unwind: a bound was hit or the
+// context was canceled.
+func (e *enumerator) stopped() bool {
+	return e.truncated.Load() || e.canceled.Load()
+}
+
+// spawnOrWalk explores the state on a fresh goroutine when a worker slot is
+// free, inline otherwise. cur and alpha must be private to the callee.
+func (e *enumerator) spawnOrWalk(cur *instance.Instance, alpha map[string]query.Binding, nextNull int64) {
+	select {
+	case e.sem <- struct{}{}:
+		e.wg.Add(1)
+		metrics.GoroutinesSpawned.Inc()
+		go func() {
+			defer func() { <-e.sem; e.wg.Done() }()
+			e.walk(cur, alpha, nextNull)
+		}()
+	default:
+		e.walk(cur, alpha, nextNull)
+	}
+}
+
+// emit records a complete state's target reduct, deduplicating up to
+// isomorphism. Each isomorphism class keeps the lexicographically least
+// canonical form seen, so the final (sorted) output does not depend on
+// discovery order and hence not on the worker count.
+func (e *enumerator) emit(t *instance.Instance) {
+	c := hom.CanonicalNullForm(t)
+	key := c.String()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, prev := range e.found {
+		if hom.Isomorphic(prev.t, c) {
+			if key < prev.key {
+				prev.t, prev.key = c, key
+			}
+			return
+		}
+	}
+	e.found = append(e.found, &foundSol{t: c, key: key})
+	if e.opt.MaxSolutions > 0 && len(e.found) >= e.opt.MaxSolutions {
+		e.truncated.Store(true)
+	}
+}
+
+// nfound returns the current number of isomorphism classes found.
+func (e *enumerator) nfound() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.found)
 }
 
 // walk explores the state (cur, alpha): fire chosen justifications to
 // closure, prune on egd violations, then branch on the first unresolved
 // justification. nextNull is the next fresh null label for canonical naming.
+// cur and alpha are owned by this call; everything else reached through e is
+// either read-only (s, src, universal) or synchronized.
 func (e *enumerator) walk(cur *instance.Instance, alpha map[string]query.Binding, nextNull int64) {
-	e.states++
-	if e.states > e.opt.maxStates() ||
-		(e.opt.MaxSolutions > 0 && len(e.found) >= e.opt.MaxSolutions) {
-		e.truncated = true
+	if err := chase.ContextErr(e.opt.ChaseOptions.Ctx); err != nil {
+		e.canceled.Store(true)
+		return
+	}
+	if e.stopped() {
+		return
+	}
+	metrics.EnumStates.Inc()
+	if e.states.Add(1) > int64(e.opt.maxStates()) ||
+		(e.opt.MaxSolutions > 0 && e.nfound() >= e.opt.MaxSolutions) {
+		e.truncated.Store(true)
 		return
 	}
 	if len(cur.Nulls()) > e.opt.maxNulls() {
-		e.truncated = true
+		e.truncated.Store(true)
 		return
 	}
 
@@ -164,7 +272,7 @@ func (e *enumerator) walk(cur *instance.Instance, alpha map[string]query.Binding
 	// contradict Lemma 4.5 for successful chases).
 	for _, d := range e.s.EGDs {
 		if !chase.SatisfiesEGD(d, cur) {
-			e.stats.PrunedEgd++
+			e.prunedEgd.Add(1)
 			return
 		}
 	}
@@ -174,7 +282,7 @@ func (e *enumerator) walk(cur *instance.Instance, alpha map[string]query.Binding
 	// no superset can have one (restrict the hom), so the whole subtree
 	// contains no CWA-solution (Theorem 4.8).
 	if !hom.Exists(cur.Reduct(e.s.Target), e.universal) {
-		e.stats.PrunedUniversality++
+		e.prunedUniv.Add(1)
 		return
 	}
 
@@ -205,25 +313,21 @@ func (e *enumerator) walk(cur *instance.Instance, alpha map[string]query.Binding
 		if !hom.Exists(t, e.universal) {
 			return
 		}
-		for _, prev := range e.found {
-			if hom.Isomorphic(prev, t) {
-				return
-			}
-		}
-		e.found = append(e.found, t)
+		e.emit(t)
 		return
 	}
 
 	// Branch over witness tuples for the unresolved justification: each
 	// existential variable takes an existing domain value or a fresh null;
-	// fresh nulls are introduced in canonical order to cut symmetry.
+	// fresh nulls are introduced in canonical order to cut symmetry. Each
+	// complete witness explores its subtree on a free worker if available.
 	dom := cur.Dom()
 	d := first.d
 	k := len(d.Exists)
 	assign := make([]instance.Value, k)
 	var rec func(i int, freshUsed int64)
 	rec = func(i int, freshUsed int64) {
-		if e.truncated {
+		if e.stopped() {
 			return
 		}
 		if i == k {
@@ -236,7 +340,7 @@ func (e *enumerator) walk(cur *instance.Instance, alpha map[string]query.Binding
 				alpha2[kk] = vv
 			}
 			alpha2[first.key] = w
-			e.walk(cur.Clone(), alpha2, nextNull+freshUsed)
+			e.spawnOrWalk(cur.Clone(), alpha2, nextNull+freshUsed)
 			return
 		}
 		for _, v := range dom {
@@ -260,18 +364,40 @@ func (e *enumerator) walk(cur *instance.Instance, alpha map[string]query.Binding
 // incomparable: no one is a homomorphic image of another (Example 5.3's
 // notion). It reports the solutions that are not a homomorphic image of any
 // other solution in the list, along with the full pairwise matrix.
+//
+// Rows of the matrix are computed concurrently (up to GOMAXPROCS workers);
+// the result is deterministic since the entries are independent.
 func Incomparable(sols []*instance.Instance) (pairwise [][]bool, incomparable []int) {
 	n := len(sols)
 	pairwise = make([][]bool, n)
 	for i := range pairwise {
 		pairwise[i] = make([]bool, n)
-		for j := range pairwise[i] {
-			if i == j {
-				continue
-			}
-			// pairwise[i][j]: sols[j] is a homomorphic image of sols[i].
-			_, onto := hom.FindOnto(sols[i], sols[j], 0)
-			pairwise[i][j] = onto
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers > 1 {
+		rows := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			metrics.GoroutinesSpawned.Inc()
+			go func() {
+				defer wg.Done()
+				for i := range rows {
+					incomparableRow(sols, pairwise, i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			rows <- i
+		}
+		close(rows)
+		wg.Wait()
+	} else {
+		for i := 0; i < n; i++ {
+			incomparableRow(sols, pairwise, i)
 		}
 	}
 	for j := 0; j < n; j++ {
@@ -287,6 +413,19 @@ func Incomparable(sols []*instance.Instance) (pairwise [][]bool, incomparable []
 		}
 	}
 	return pairwise, incomparable
+}
+
+// incomparableRow fills row i: pairwise[i][j] reports that sols[j] is a
+// homomorphic image of sols[i]. Each call owns its row, so rows can be
+// computed concurrently without synchronization.
+func incomparableRow(sols []*instance.Instance, pairwise [][]bool, i int) {
+	for j := range pairwise[i] {
+		if i == j {
+			continue
+		}
+		_, onto := hom.FindOnto(sols[i], sols[j], 0)
+		pairwise[i][j] = onto
+	}
 }
 
 // SortBySize orders instances by atom count then string, for stable output.

@@ -1,0 +1,90 @@
+package cwa
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/chase"
+)
+
+// TestEnumerateWorkerInvariance: the returned solution list — canonical
+// representatives in sorted order — must be byte-identical for the
+// sequential and the parallel search.
+func TestEnumerateWorkerInvariance(t *testing.T) {
+	cases := []struct {
+		name, setting, source string
+	}{
+		{"example21", example21, source21},
+		{"example53", example53, `P(1).`},
+	}
+	for _, tc := range cases {
+		s := mustSetting(t, tc.setting)
+		src := mustInstance(t, tc.source)
+		base, err := Enumerate(s, src, EnumOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(base) == 0 {
+			t.Fatalf("%s: no solutions enumerated", tc.name)
+		}
+		for _, workers := range []int{2, 4} {
+			got, err := Enumerate(s, src, EnumOptions{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", tc.name, workers, err)
+			}
+			if len(got) != len(base) {
+				t.Fatalf("%s workers=%d: %d solutions, want %d",
+					tc.name, workers, len(got), len(base))
+			}
+			for i := range got {
+				if got[i].String() != base[i].String() {
+					t.Fatalf("%s workers=%d: solution %d differs:\n%v\n%v",
+						tc.name, workers, i, got[i], base[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEnumerateCanceled: a done context aborts the enumeration with
+// chase.ErrCanceled, whichever stage (the universal-solution chase or the
+// state walk) observes it first.
+func TestEnumerateCanceled(t *testing.T) {
+	s := mustSetting(t, example21)
+	src := mustInstance(t, source21)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Enumerate(s, src, EnumOptions{ChaseOptions: chase.Options{Ctx: ctx}})
+	if !errors.Is(err, chase.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+// TestIncomparableMatchesSequential pins the parallel row computation of
+// Incomparable against a direct sequential recomputation.
+func TestIncomparableMatchesSequential(t *testing.T) {
+	s := mustSetting(t, example53)
+	src := mustInstance(t, `P(1).`)
+	sols, err := Enumerate(s, src, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairwise, inc := Incomparable(sols)
+	seq := make([][]bool, len(sols))
+	for i := range seq {
+		seq[i] = make([]bool, len(sols))
+		incomparableRow(sols, seq, i)
+	}
+	for i := range seq {
+		for j := range seq[i] {
+			if pairwise[i][j] != seq[i][j] {
+				t.Fatalf("pairwise[%d][%d] = %v, sequential says %v",
+					i, j, pairwise[i][j], seq[i][j])
+			}
+		}
+	}
+	if len(inc) == 0 {
+		t.Fatal("Example 5.3 must have incomparable solutions")
+	}
+}

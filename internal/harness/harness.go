@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Measurement is one (size, duration) point of a scaling series.
@@ -90,6 +92,23 @@ func Report(results []Result) string {
 			ok = "✗"
 		}
 		rows = append(rows, []string{r.ID, r.Artifact, r.Paper, r.Measured, ok})
+	}
+	return Table(rows)
+}
+
+// MetricsReport formats the process-global evaluation counters (chase
+// steps, homomorphism backtracks, representatives visited, goroutines
+// spawned, …) as an aligned table, for appending to an experiment report.
+func MetricsReport() string {
+	snap := metrics.Read()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	rows := [][]string{{"counter", "value"}}
+	for _, k := range names {
+		rows = append(rows, []string{k, fmt.Sprintf("%d", snap[k])})
 	}
 	return Table(rows)
 }

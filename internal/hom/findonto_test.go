@@ -1,0 +1,53 @@
+package hom
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+)
+
+// TestFindOntoBoundContract pins the documented bound semantics of FindOnto:
+// maxHoms counts enumerated homomorphisms, each of which — including the
+// maxHoms-th — is fully checked for surjectivity before the bound cuts the
+// search.
+func TestFindOntoBoundContract(t *testing.T) {
+	from, err := parser.ParseInstance(`E(_0,_1). E(_2,_3).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to, err := parser.ParseInstance(`E(a,b). E(c,d).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The deterministic enumeration order maps both atoms over the tuples
+	// (a,b) then (c,d): hom #1 sends both atoms to (a,b) (not onto), hom #2
+	// sends them to (a,b) and (c,d) (onto). So:
+	//   maxHoms=1 examines only the non-onto hom #1 and reports false;
+	//   maxHoms=2 must report true — the onto verdict of the bound-exhausting
+	//   2nd candidate is not discarded.
+	if _, onto := FindOnto(from, to, 1); onto {
+		t.Fatal("maxHoms=1: the single examined homomorphism is not onto")
+	}
+	if _, onto := FindOnto(from, to, 2); !onto {
+		t.Fatal("maxHoms=2: the 2nd (bound-exhausting) homomorphism is onto and must be reported")
+	}
+	if m, onto := FindOnto(from, to, 0); !onto {
+		t.Fatal("unbounded search must find an onto homomorphism")
+	} else if !m.ApplyInstance(from).Equal(to) {
+		t.Fatalf("returned mapping %v is not onto", m)
+	}
+
+	// A bounded search whose first candidate is already onto succeeds.
+	single, err := parser.ParseInstance(`E(_0,_1).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneAtom, err := parser.ParseInstance(`E(a,b).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, onto := FindOnto(single, oneAtom, 1); !onto {
+		t.Fatal("maxHoms=1 must accept an onto first candidate")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/instance"
+	"repro/internal/metrics"
 )
 
 // Mapping is a value mapping; constants always map to themselves and are not
@@ -167,6 +168,9 @@ func (f *finder) searchAll(atoms []instance.Atom, nulls []instance.Value, emit f
 		if ok {
 			cont = f.searchAll(rest, nulls, emit)
 		}
+		if len(newly) > 0 {
+			metrics.HomBacktracks.Inc()
+		}
 		for _, v := range newly {
 			delete(f.mapping, v)
 		}
@@ -178,8 +182,17 @@ func (f *finder) searchAll(atoms []instance.Atom, nulls []instance.Value, emit f
 // FindOnto searches for a homomorphism from → to whose image is exactly to
 // (every atom of to is the image of some atom of from): "to is a
 // homomorphic image of from", the comparison underlying maximal
-// CWA-solutions (Section 5). The search enumerates homomorphisms (bounded
-// by maxHoms; ≤ 0 means unbounded) and checks surjectivity on atoms.
+// CWA-solutions (Section 5).
+//
+// Bound contract: with maxHoms > 0 the search examines exactly
+// min(maxHoms, total) enumerated homomorphisms, each fully checked for
+// surjectivity — including the maxHoms-th, whose verdict is never
+// discarded at the boundary (pinned by TestFindOntoBoundContract). If none
+// of the examined candidates is onto, FindOnto reports false even when a
+// later homomorphism would be; callers that need a complete answer must
+// pass maxHoms ≤ 0 (unbounded). The bound counts enumerated homomorphisms,
+// not search states, so a false result with maxHoms > 0 is "not found
+// among the first maxHoms", not "no onto homomorphism exists".
 func FindOnto(from, to *instance.Instance, maxHoms int) (Mapping, bool) {
 	if from.Len() < to.Len() {
 		return nil, false
@@ -190,6 +203,8 @@ func FindOnto(from, to *instance.Instance, maxHoms int) (Mapping, bool) {
 	n := 0
 	f.searchAll(atoms, from.Nulls(), func(m Mapping) bool {
 		n++
+		// Surjectivity is checked before the bound: the candidate that
+		// exhausts the budget still gets its full verdict.
 		if m.ApplyInstance(from).Equal(to) {
 			found = m
 			return false
@@ -302,6 +317,9 @@ func (f *finder) search(atoms []instance.Atom) bool {
 		if ok && f.search(rest) {
 			found = true
 			return false // keep the successful bindings and stop iterating
+		}
+		if len(newly) > 0 {
+			metrics.HomBacktracks.Inc()
 		}
 		for _, v := range newly {
 			w := f.mapping[v]

@@ -1,0 +1,63 @@
+package instance
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRelationIterationDeterminism pins the sorted relation-name iteration
+// order: two equal instances built by adding relations in different orders
+// must agree on every enumeration-facing surface, and derived instances
+// (Clone, Map, Reduct) must preserve the order. Before the sorted-name
+// cache, Atoms/Clone/Map ranged over the relation map directly, leaking
+// Go's randomized map order into results.
+func TestRelationIterationDeterminism(t *testing.T) {
+	build := func(order []string) *Instance {
+		ins := New()
+		atoms := map[string]Atom{
+			"B": NewAtom("B", Const("a"), Null(0)),
+			"A": NewAtom("A", Const("c")),
+			"C": NewAtom("C", Null(1), Const("d")),
+		}
+		for _, rel := range order {
+			ins.Add(atoms[rel])
+		}
+		return ins
+	}
+	x := build([]string{"B", "A", "C"})
+	y := build([]string{"C", "B", "A"})
+
+	if !x.Equal(y) {
+		t.Fatal("instances with the same atoms must be Equal")
+	}
+	if x.String() != y.String() {
+		t.Fatalf("String differs:\n%s\n%s", x, y)
+	}
+	if !reflect.DeepEqual(x.Relations(), []string{"A", "B", "C"}) {
+		t.Fatalf("Relations not sorted: %v", x.Relations())
+	}
+	if !reflect.DeepEqual(x.Atoms(), y.Atoms()) {
+		t.Fatalf("Atoms order differs:\n%v\n%v", x.Atoms(), y.Atoms())
+	}
+
+	// Derived instances keep the deterministic enumeration.
+	if !reflect.DeepEqual(x.Clone().Atoms(), x.Atoms()) {
+		t.Fatal("Clone must preserve atom enumeration order")
+	}
+	ren := map[Value]Value{Null(0): Const("z"), Null(1): Const("z")}
+	if !reflect.DeepEqual(x.Map(ren).Atoms(), y.Map(ren).Atoms()) {
+		t.Fatal("Map must enumerate deterministically")
+	}
+	sch := Schema{"A": 1, "C": 2}
+	if !reflect.DeepEqual(x.Reduct(sch).Relations(), []string{"A", "C"}) {
+		t.Fatalf("Reduct relations not sorted: %v", x.Reduct(sch).Relations())
+	}
+
+	// Repeated enumeration of the same instance is stable (no map-order
+	// leakage between calls).
+	for i := 0; i < 10; i++ {
+		if !reflect.DeepEqual(x.Atoms(), y.Atoms()) {
+			t.Fatal("Atoms must be stable across calls")
+		}
+	}
+}

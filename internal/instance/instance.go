@@ -10,8 +10,22 @@ import (
 // labeled nulls. It maintains per-relation tuple stores with a hash index
 // for O(1) membership and per-position value indexes to support joins and
 // homomorphism search.
+//
+// All iteration over relations is in sorted relation-name order (via a
+// name slice maintained on insertion), never over the rels map directly:
+// atom enumeration, cloning, mapping and value replacement are therefore
+// deterministic run to run, which downstream canonical forms
+// (hom.CanonicalNullForm), golden outputs and benchmarks rely on.
+//
+// An Instance is safe for concurrent readers as long as no goroutine
+// mutates it; the parallel evaluation paths share read-only instances
+// across workers under exactly this contract.
 type Instance struct {
 	rels map[string]*relation
+	// names holds the keys of rels in sorted order; maintained eagerly by
+	// rel() (rather than lazily on read) so that read-only methods stay
+	// side-effect-free and safe for concurrent readers.
+	names []string
 }
 
 type relation struct {
@@ -57,11 +71,22 @@ func (ins *Instance) rel(name string, arity int) *relation {
 			r.byPos[i] = make(map[Value][]int)
 		}
 		ins.rels[name] = r
+		i := sort.SearchStrings(ins.names, name)
+		ins.names = append(ins.names, "")
+		copy(ins.names[i+1:], ins.names[i:])
+		ins.names[i] = name
 	}
 	if r.arity != arity {
 		panic("instance: arity clash for relation " + name)
 	}
 	return r
+}
+
+// eachRel visits every relation in sorted name order.
+func (ins *Instance) eachRel(f func(r *relation)) {
+	for _, n := range ins.names {
+		f(ins.rels[n])
+	}
 }
 
 // Add inserts the atom and reports whether it was new.
@@ -112,6 +137,11 @@ func (ins *Instance) Len() int {
 	return n
 }
 
+// Note for the iteration-order-sensitive methods below: every method that
+// produces atoms, instances or strings iterates relations via eachRel
+// (sorted name order). Order-insensitive aggregates (Len, sorted Dom) may
+// still range over the map.
+
 // RelLen returns the number of tuples in the named relation.
 func (ins *Instance) RelLen(rel string) int {
 	r, ok := ins.rels[rel]
@@ -123,13 +153,12 @@ func (ins *Instance) RelLen(rel string) int {
 
 // Relations returns the names of all nonempty relations in sorted order.
 func (ins *Instance) Relations() []string {
-	names := make([]string, 0, len(ins.rels))
-	for n, r := range ins.rels {
-		if len(r.tuples) > 0 {
+	names := make([]string, 0, len(ins.names))
+	for _, n := range ins.names {
+		if len(ins.rels[n].tuples) > 0 {
 			names = append(names, n)
 		}
 	}
-	sort.Strings(names)
 	return names
 }
 
@@ -146,12 +175,11 @@ func (ins *Instance) Arity(rel string) int {
 // insertion order). The returned atoms share no storage with the instance.
 func (ins *Instance) Atoms() []Atom {
 	out := make([]Atom, 0, ins.Len())
-	for _, name := range ins.Relations() {
-		r := ins.rels[name]
+	ins.eachRel(func(r *relation) {
 		for _, t := range r.tuples {
-			out = append(out, NewAtom(name, t...))
+			out = append(out, NewAtom(r.name, t...))
 		}
-	}
+	})
 	return out
 }
 
@@ -281,14 +309,14 @@ func (ins *Instance) MaxNullLabel() int64 {
 	return max
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy with identical iteration order.
 func (ins *Instance) Clone() *Instance {
 	cp := New()
-	for _, r := range ins.rels {
+	ins.eachRel(func(r *relation) {
 		for _, t := range r.tuples {
 			cp.Add(Atom{Rel: r.name, Args: t})
 		}
-	}
+	})
 	return cp
 }
 
@@ -296,14 +324,14 @@ func (ins *Instance) Clone() *Instance {
 // belongs to the schema (the σ-reduct I|σ of the paper).
 func (ins *Instance) Reduct(s Schema) *Instance {
 	out := New()
-	for name, r := range ins.rels {
-		if !s.Has(name) {
-			continue
+	ins.eachRel(func(r *relation) {
+		if !s.Has(r.name) {
+			return
 		}
 		for _, t := range r.tuples {
-			out.Add(Atom{Rel: name, Args: t})
+			out.Add(Atom{Rel: r.name, Args: t})
 		}
-	}
+	})
 	return out
 }
 
@@ -335,7 +363,7 @@ func (ins *Instance) Equal(other *Instance) bool {
 func (ins *Instance) Map(h map[Value]Value) *Instance {
 	out := New()
 	args := make([]Value, 0, 8)
-	for _, r := range ins.rels {
+	ins.eachRel(func(r *relation) {
 		for _, t := range r.tuples {
 			args = args[:0]
 			for _, v := range t {
@@ -347,7 +375,7 @@ func (ins *Instance) Map(h map[Value]Value) *Instance {
 			}
 			out.Add(NewAtom(r.name, args...))
 		}
-	}
+	})
 	return out
 }
 
@@ -357,10 +385,10 @@ func (ins *Instance) ReplaceValue(old, new Value) {
 	if old == new {
 		return
 	}
-	for name, r := range ins.rels {
+	ins.eachRel(func(r *relation) {
 		idxs, ok := findTuplesWith(r, old)
 		if !ok {
-			continue
+			return
 		}
 		// Collect affected tuples, remove them, re-add rewritten.
 		var rewritten [][]Value
@@ -376,11 +404,11 @@ func (ins *Instance) ReplaceValue(old, new Value) {
 			}
 			rewritten = append(rewritten, cp)
 		}
-		ins.removeTuples(name, idxs)
+		ins.removeTuples(r.name, idxs)
 		for _, t := range rewritten {
-			ins.Add(Atom{Rel: name, Args: t})
+			ins.Add(Atom{Rel: r.name, Args: t})
 		}
-	}
+	})
 }
 
 func findTuplesWith(r *relation, v Value) ([]int, bool) {

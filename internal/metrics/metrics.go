@@ -1,0 +1,106 @@
+// Package metrics provides lightweight, concurrency-safe counters for the
+// evaluation engine: chase steps, homomorphism-search backtracks,
+// representatives visited during Rep enumeration, enumeration states, and
+// goroutines spawned by the parallel paths. Counters are process-global
+// atomics so the hot paths pay a single atomic add; cmd/dxcli and the
+// experiment harness surface a Snapshot after a run.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing concurrency-safe counter.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// The engine's counters. They are registered at init and shared by every
+// chase, homomorphism search and enumeration in the process.
+var (
+	// ChaseSteps counts dependency applications across all chase variants.
+	ChaseSteps = register("chase_steps")
+	// HomBacktracks counts undone candidate assignments in homomorphism
+	// search — the backtracking effort of hom.Find/FindAll/FindOnto.
+	HomBacktracks = register("hom_backtracks")
+	// RepCandidates counts null valuations materialised by
+	// certain.ForEachRep (before the Σt membership filter).
+	RepCandidates = register("rep_candidates")
+	// RepVisited counts representatives that passed the Σt filter and were
+	// delivered to the ForEachRep callback.
+	RepVisited = register("rep_visited")
+	// EnumStates counts search states explored by cwa.Enumerate.
+	EnumStates = register("enum_states")
+	// GoroutinesSpawned counts workers launched by the parallel evaluation
+	// paths (ForEachRep fan-out, Enumerate spawn-or-inline, Incomparable).
+	GoroutinesSpawned = register("goroutines_spawned")
+)
+
+var registry []*Counter
+
+func register(name string) *Counter {
+	c := &Counter{name: name}
+	registry = append(registry, c)
+	return c
+}
+
+// Snapshot is a point-in-time copy of every registered counter.
+type Snapshot map[string]int64
+
+// Read captures the current value of every counter.
+func Read() Snapshot {
+	s := make(Snapshot, len(registry))
+	for _, c := range registry {
+		s[c.name] = c.Load()
+	}
+	return s
+}
+
+// Diff returns the per-counter difference s - earlier, for reporting the
+// cost of a single run out of the process-global totals.
+func (s Snapshot) Diff(earlier Snapshot) Snapshot {
+	out := make(Snapshot, len(s))
+	for k, v := range s {
+		out[k] = v - earlier[k]
+	}
+	return out
+}
+
+// String renders the snapshot as "name=value" pairs in sorted name order.
+func (s Snapshot) String() string {
+	names := make([]string, 0, len(s))
+	for k := range s {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, k := range names {
+		parts[i] = fmt.Sprintf("%s=%d", k, s[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// Reset zeroes every registered counter. Intended for tests and for
+// per-command reporting in CLIs; concurrent engine activity during a Reset
+// yields approximate results, which is acceptable for diagnostics.
+func Reset() {
+	for _, c := range registry {
+		c.v.Store(0)
+	}
+}

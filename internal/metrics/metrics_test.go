@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersAreConcurrencySafe(t *testing.T) {
+	Reset()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				ChaseSteps.Inc()
+				HomBacktracks.Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ChaseSteps.Load(); got != 8000 {
+		t.Fatalf("ChaseSteps = %d, want 8000", got)
+	}
+	if got := HomBacktracks.Load(); got != 16000 {
+		t.Fatalf("HomBacktracks = %d, want 16000", got)
+	}
+}
+
+func TestSnapshotDiffAndString(t *testing.T) {
+	Reset()
+	before := Read()
+	ChaseSteps.Add(5)
+	RepVisited.Add(3)
+	d := Read().Diff(before)
+	if d["chase_steps"] != 5 || d["rep_visited"] != 3 || d["hom_backtracks"] != 0 {
+		t.Fatalf("Diff = %v", d)
+	}
+	s := d.String()
+	if !strings.Contains(s, "chase_steps=5") || !strings.Contains(s, "rep_visited=3") {
+		t.Fatalf("String = %q", s)
+	}
+	// Sorted name order.
+	if strings.Index(s, "chase_steps") > strings.Index(s, "rep_visited") {
+		t.Fatalf("String not sorted: %q", s)
+	}
+}

@@ -1,0 +1,77 @@
+package turing
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/chase"
+)
+
+// TestChaseCanceledOnNonTerminatingSetting: on D_halt with a looping
+// machine the standard chase never reaches a fixpoint; a context deadline
+// must abort it with chase.ErrCanceled (not ErrBudgetExceeded) and still
+// hand back the partial result.
+func TestChaseCanceledOnNonTerminatingSetting(t *testing.T) {
+	s := DHaltSetting()
+	src, err := SourceInstance(LoopMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	// The step budget is far beyond what the deadline allows: only the
+	// context can stop this run.
+	res, err := chase.Standard(s, src, chase.Options{MaxSteps: 1 << 30, Ctx: ctx})
+	if !errors.Is(err, chase.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if errors.Is(err, chase.ErrBudgetExceeded) {
+		t.Fatal("cancellation must be distinguishable from budget exhaustion")
+	}
+	if res == nil || res.Instance == nil || res.Target == nil {
+		t.Fatal("canceled chase must return its partial result")
+	}
+	if res.Steps == 0 {
+		t.Error("the chase should have made progress before the deadline")
+	}
+}
+
+// TestObliviousChaseCanceled: the oblivious chase honours the same contract
+// on the non-terminating setting.
+func TestObliviousChaseCanceled(t *testing.T) {
+	s := DHaltSetting()
+	src, err := SourceInstance(LoopMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	res, err := chase.Oblivious(s, src, chase.Options{MaxSteps: 1 << 30, Ctx: ctx})
+	if !errors.Is(err, chase.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if res == nil || res.Instance == nil {
+		t.Fatal("canceled chase must return its partial result")
+	}
+}
+
+// TestChaseCanceledBeforeStart: an already-done context aborts immediately,
+// before any step fires.
+func TestChaseCanceledBeforeStart(t *testing.T) {
+	s := DHaltSetting()
+	src, err := SourceInstance(LoopMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := chase.Standard(s, src, chase.Options{Ctx: ctx})
+	if !errors.Is(err, chase.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if res == nil || res.Steps != 0 {
+		t.Fatalf("no step may fire under a pre-canceled context: %+v", res)
+	}
+}

@@ -1,0 +1,114 @@
+package repro_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro"
+	"repro/internal/certain"
+	"repro/internal/chase"
+	"repro/internal/cwa"
+	"repro/internal/genwl"
+)
+
+// TestParallelWorkerCrosscheck is the worker-invariance property test for
+// the parallel evaluation engine: on randomly generated richly acyclic
+// settings, Box, Diamond and CWA-solution enumeration must produce
+// identical results with 1 and 4 workers. The ci target runs it under
+// -race, which also exercises the concurrent paths for data races.
+func TestParallelWorkerCrosscheck(t *testing.T) {
+	q, err := repro.ParseUCQ("q(x) :- L2(x,y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := chase.Options{MaxSteps: 50000}
+	for seed := int64(0); seed < 6; seed++ {
+		s := genwl.RandomRichlyAcyclic(seed, seed%3 == 0)
+		src := genwl.RandomLayeredSource(4, seed*11)
+		core, err := cwa.Minimal(s, src, budget)
+		if err != nil {
+			if chase.IsEgdFailure(err) {
+				continue // no CWA-solution for this seed
+			}
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		// MaxNulls keeps the |base|^nulls valuation spaces small enough for a
+		// unit test; cores over the cap are skipped, not failed.
+		seqOpt := certain.Options{Workers: 1, Chase: budget, MaxNulls: 4}
+		parOpt := certain.Options{Workers: 4, Chase: budget, MaxNulls: 4}
+		boxSeq, err := certain.Box(s, q, core, seqOpt)
+		if err == nil {
+			diaSeq, err := certain.Diamond(s, q, core, seqOpt)
+			if err != nil {
+				t.Fatalf("seed %d: Diamond: %v", seed, err)
+			}
+			boxPar, err := certain.Box(s, q, core, parOpt)
+			if err != nil {
+				t.Fatalf("seed %d: Box(4): %v", seed, err)
+			}
+			diaPar, err := certain.Diamond(s, q, core, parOpt)
+			if err != nil {
+				t.Fatalf("seed %d: Diamond(4): %v", seed, err)
+			}
+			if !boxSeq.Equal(boxPar) {
+				t.Errorf("seed %d: Box differs: %v vs %v", seed, boxSeq, boxPar)
+			}
+			if !diaSeq.Equal(diaPar) {
+				t.Errorf("seed %d: Diamond differs: %v vs %v", seed, diaSeq, diaPar)
+			}
+		} else if !errors.Is(err, certain.ErrTooManyNulls) {
+			t.Fatalf("seed %d: Box: %v", seed, err)
+		}
+
+		enumOpt := cwa.EnumOptions{MaxStates: 10000, ChaseOptions: budget}
+		enumOpt.Workers = 1
+		seq, errSeq := cwa.Enumerate(s, src, enumOpt)
+		enumOpt.Workers = 4
+		par, errPar := cwa.Enumerate(s, src, enumOpt)
+		if errors.Is(errSeq, cwa.ErrEnumerationTruncated) || errors.Is(errPar, cwa.ErrEnumerationTruncated) {
+			continue // which states a truncated search reaches is order-dependent
+		}
+		if errSeq != nil || errPar != nil {
+			t.Fatalf("seed %d: Enumerate: %v / %v", seed, errSeq, errPar)
+		}
+		if len(seq) != len(par) {
+			t.Errorf("seed %d: Enumerate found %d vs %d solutions", seed, len(seq), len(par))
+			continue
+		}
+		for i := range seq {
+			if seq[i].String() != par[i].String() {
+				t.Errorf("seed %d: solution %d differs:\n%v\n%v", seed, i, seq[i], par[i])
+			}
+		}
+	}
+}
+
+// TestAnswersWorkerCrosscheckEgdOnly covers all four semantics on the
+// egd-only Table 1 family, where every semantics has a characterisation and
+// none falls back to the exponential by-definition path.
+func TestAnswersWorkerCrosscheckEgdOnly(t *testing.T) {
+	s := genwl.EgdOnly()
+	q, err := repro.ParseUCQ("q(x,y) :- F(x,y).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		src := genwl.EgdOnlySource(6, true, seed)
+		for _, sem := range []certain.Semantics{
+			certain.CertainCap, certain.CertainCup, certain.MaybeCap, certain.MaybeCup,
+		} {
+			seq, err1 := certain.Answers(s, q, src, sem, certain.Options{Workers: 1})
+			par, err2 := certain.Answers(s, q, src, sem, certain.Options{Workers: 4})
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("seed %d %v: error disagreement: %v vs %v", seed, sem, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if !seq.Equal(par) {
+				t.Errorf("seed %d %v: %v vs %v", seed, sem, seq, par)
+			}
+		}
+	}
+}

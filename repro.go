@@ -86,6 +86,17 @@ type (
 	Mapping = hom.Mapping
 )
 
+// Sentinel errors for aborted evaluations. Both may accompany a partial
+// result; errors.Is distinguishes a run that exhausted its step budget from
+// one whose ChaseOptions.Ctx was canceled (deadline or explicit cancel).
+var (
+	// ErrBudgetExceeded reports that a chase exceeded its MaxSteps budget.
+	ErrBudgetExceeded = chase.ErrBudgetExceeded
+	// ErrCanceled reports that ChaseOptions.Ctx was done; it wraps the
+	// context's error.
+	ErrCanceled = chase.ErrCanceled
+)
+
 // The four query-answering semantics of Section 7.1.
 const (
 	CertainCap = certain.CertainCap // certain⊓

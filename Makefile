@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke ci
+# Output file and optional text baseline for bench-json (see cmd/benchjson).
+BENCH_OUT ?= BENCH_2.json
+BENCH_BASELINE ?=
+
+.PHONY: all build vet vet-shadow test race bench-smoke bench-json ci
 
 all: build
 
@@ -9,6 +13,17 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Variable-shadowing analysis. The shadow analyzer ships separately from the
+# toolchain; when the binary is absent we skip rather than fetch it (CI runs
+# offline). Install with:
+#   go install golang.org/x/tools/go/analysis/passes/shadow/cmd/shadow@latest
+vet-shadow:
+	@if command -v shadow >/dev/null 2>&1; then \
+		$(GO) vet -vettool=$$(command -v shadow) ./...; \
+	else \
+		echo "vet-shadow: shadow analyzer not installed, skipping"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -24,4 +39,12 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-ci: vet build race bench-smoke
+# Full benchmark run converted to JSON (the perf trajectory: BENCH_<pr>.json
+# is committed per perf PR). Set BENCH_BASELINE to a saved `go test -bench`
+# text output to embed before/after numbers and speedup ratios.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem ./... \
+		| $(GO) run ./cmd/benchjson $(if $(BENCH_BASELINE),-before $(BENCH_BASELINE)) \
+		> $(BENCH_OUT)
+
+ci: vet vet-shadow build race bench-smoke

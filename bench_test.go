@@ -386,6 +386,27 @@ func BenchmarkCanSol_Maximality(b *testing.B) {
 
 // --- Engine micro-benchmarks ---
 
+// BenchmarkMatchAtoms_Join exercises the join kernel alone: a three-hop
+// path join over a random edge relation, the shape of tgd-body evaluation.
+// Allocation counts here are the per-step cost of the evaluation engine.
+func BenchmarkMatchAtoms_Join(b *testing.B) {
+	ins := genwl.RandomEdges("E", 300, 7)
+	atoms := []query.Atom{
+		query.A("E", query.V("x"), query.V("y")),
+		query.A("E", query.V("y"), query.V("z")),
+		query.A("E", query.V("z"), query.V("w")),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		query.MatchAtoms(ins, atoms, query.Binding{}, func(query.Binding) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("join must produce matches")
+		}
+	}
+}
+
 func BenchmarkChase_Standard(b *testing.B) {
 	s := genwl.Example21()
 	for _, n := range []int{10, 40, 160} {

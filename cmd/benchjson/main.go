@@ -1,0 +1,175 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON document, so benchmark runs can be committed as
+// machine-readable points of the repo's perf trajectory (BENCH_<pr>.json).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson [-before FILE] > BENCH_N.json
+//
+// Each benchmark maps to its ns/op, B/op and allocs/op, averaged when the
+// run used -count > 1. Benchmarks are keyed as "<pkg>.<name>" (the pkg:
+// header lines of the bench output), with any -GOMAXPROCS suffix stripped.
+//
+// With -before, FILE is a previous run in the same text format; the output
+// then carries before/after pairs plus the speedup (before ns / after ns)
+// and alloc-reduction (before allocs / after allocs) ratios per benchmark.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// metrics holds one benchmark's per-op numbers.
+type metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// entry is one benchmark in the combined output. Before and the ratios are
+// only present when -before was given and the benchmark appears in both
+// runs.
+type entry struct {
+	Before      *metrics `json:"before,omitempty"`
+	After       *metrics `json:"after,omitempty"`
+	Speedup     float64  `json:"speedup,omitempty"`
+	AllocsRatio float64  `json:"allocs_ratio,omitempty"`
+}
+
+type accum struct {
+	metrics
+	runs int
+}
+
+// parseBench reads `go test -bench` output, averaging repeated lines
+// (-count > 1) per benchmark.
+func parseBench(r io.Reader) (map[string]*accum, error) {
+	out := make(map[string]*accum)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix so runs on different machines compare.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if pkg != "" {
+			name = pkg + "." + name
+		}
+		a := out[name]
+		if a == nil {
+			a = &accum{}
+			out[name] = a
+		}
+		a.runs++
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %v", line, err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				a.NsPerOp += v
+			case "B/op":
+				a.BytesPerOp += v
+			case "allocs/op":
+				a.AllocsPerOp += v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, a := range out {
+		n := float64(a.runs)
+		a.NsPerOp /= n
+		a.BytesPerOp /= n
+		a.AllocsPerOp /= n
+	}
+	return out, nil
+}
+
+func main() {
+	beforePath := flag.String("before", "", "baseline `go test -bench` output to diff against")
+	flag.Parse()
+
+	after, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	var before map[string]*accum
+	if *beforePath != "" {
+		f, err := os.Open(*beforePath)
+		if err != nil {
+			fatal(err)
+		}
+		before, err = parseBench(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	combined := make(map[string]*entry, len(after))
+	for name, a := range after {
+		m := a.metrics
+		combined[name] = &entry{After: &m}
+	}
+	for name, b := range before {
+		e := combined[name]
+		if e == nil {
+			e = &entry{}
+			combined[name] = e
+		}
+		m := b.metrics
+		e.Before = &m
+		if e.After != nil {
+			if e.After.NsPerOp > 0 {
+				e.Speedup = round2(m.NsPerOp / e.After.NsPerOp)
+			}
+			if e.After.AllocsPerOp > 0 {
+				e.AllocsRatio = round2(m.AllocsPerOp / e.After.AllocsPerOp)
+			}
+		}
+	}
+
+	// encoding/json sorts map keys, so the file is deterministic and diffs
+	// cleanly across runs.
+	doc := struct {
+		Benchmarks map[string]*entry `json:"benchmarks"`
+	}{Benchmarks: combined}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
+	}
+}
+
+func round2(f float64) float64 {
+	return float64(int64(f*100+0.5)) / 100
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

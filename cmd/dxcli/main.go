@@ -16,8 +16,10 @@
 //
 // Every command also accepts -max-steps (chase step budget), -timeout
 // (wall-clock limit; the run aborts with ErrCanceled), -workers (goroutines
-// for certain/enum; 0 = GOMAXPROCS) and -metrics (print evaluation counters
-// to stderr on exit).
+// for certain/enum; 0 = GOMAXPROCS), -metrics (print evaluation counters
+// to stderr on exit), and the profiling flags -cpuprofile FILE /
+// -memprofile FILE (pprof profiles, written even when the run ends in an
+// error — so a -timeout'd run can still be profiled).
 package main
 
 import (
@@ -26,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"repro"
@@ -36,6 +40,48 @@ import (
 // showMetrics makes fatal and the normal exit path print the counter
 // snapshot, so a run aborted by -timeout still reports its effort.
 var showMetrics bool
+
+// stopProfiles flushes any active pprof profiles. It is installed by
+// startProfiles and invoked from both exit paths (normal return and fatal),
+// so profiles survive runs that end in an error. Idempotent.
+var stopProfiles = func() {}
+
+// startProfiles begins CPU profiling and arranges for the heap profile,
+// according to the -cpuprofile/-memprofile flags.
+func startProfiles(cpu, mem string) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		cpuFile = f
+	}
+	stopProfiles = func() {
+		stopProfiles = func() {}
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem == "" {
+			return
+		}
+		f, err := os.Create(mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dxcli: -memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile reflects live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dxcli: -memprofile:", err)
+		}
+	}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -53,9 +99,12 @@ func main() {
 	timeout := fs.Duration("timeout", 0, "wall-clock limit; aborts with ErrCanceled (0 = none)")
 	workers := fs.Int("workers", 0, "worker goroutines for certain/enum (0 = GOMAXPROCS, 1 = sequential)")
 	fs.BoolVar(&showMetrics, "metrics", false, "print evaluation counters to stderr on exit")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		fatal(err)
 	}
+	startProfiles(*cpuProfile, *memProfile)
 
 	s := loadSetting(*settingPath)
 	opt := repro.ChaseOptions{MaxSteps: *maxSteps}
@@ -180,6 +229,7 @@ func main() {
 	default:
 		usage()
 	}
+	stopProfiles()
 	reportMetrics()
 }
 
@@ -221,6 +271,7 @@ func loadInstance(path string) *repro.Instance {
 }
 
 func fatal(err error) {
+	stopProfiles()
 	reportMetrics()
 	fmt.Fprintln(os.Stderr, "dxcli:", err)
 	os.Exit(1)

@@ -3,55 +3,63 @@ package chase
 import (
 	"repro/internal/dependency"
 	"repro/internal/instance"
-	"repro/internal/query"
 )
 
 // Semi-naive (delta-driven) body evaluation: because tgd bodies are
 // monotone, any body match that did not exist before a batch of atom
-// insertions must use at least one inserted atom. deltaBodyBindings
-// therefore seeds the join, one body-atom occurrence at a time, with each
-// delta atom, and completes the remaining atoms against the full instance.
-// The same binding can be produced once per delta atom it uses; callers
-// deduplicate by re-checking applicability before firing, which they do
-// anyway.
+// insertions must use at least one inserted atom. deltaBodyEnvs therefore
+// seeds the join, one body-atom occurrence at a time, with each delta atom
+// (via the tgd's compiled unifier), and completes the remaining atoms
+// against the tgd's cached delta plan (body minus the seeded atom, its
+// variables pre-bound). Results are delivered as BodyPlan slot environments;
+// the env passed to f is reused — copy what you keep.
+//
+// The same match can arise once per delta atom it uses; environments are
+// deduplicated by their justification key (d, ū, v̄) before f is invoked, so
+// tgd passes see each firing candidate exactly once.
 //
 // Only target tgds benefit: s-t tgd bodies are evaluated on the σ-reduct,
 // which never changes during a chase, so their matches are enumerated once
 // up front.
-func deltaBodyBindings(d *dependency.TGD, cur *instance.Instance, delta []instance.Atom, f func(query.Binding) bool) {
+func deltaBodyEnvs(d *dependency.TGD, cur *instance.Instance, delta []instance.Atom, f func(env []instance.Value) bool) {
+	DeltaBodyEnvsKeyed(d, cur, delta, func(env []instance.Value, _ string) bool {
+		return f(env)
+	})
+}
+
+// DeltaBodyEnvsKeyed is deltaBodyEnvs with the justification key (already
+// computed for the dedup) passed alongside each environment, for callers
+// that key their own bookkeeping by justification (cwa's enumeration closes
+// states under chosen justifications this way). The env passed to f is
+// reused — copy what you keep. f must not mutate cur.
+func DeltaBodyEnvsKeyed(d *dependency.TGD, cur *instance.Instance, delta []instance.Atom, f func(env []instance.Value, key string) bool) {
 	if d.BodyAtoms == nil {
-		panic("chase: deltaBodyBindings requires a conjunctive body")
+		panic("chase: deltaBodyEnvs requires a conjunctive body")
 	}
+	n := d.BodyPlan().NumSlots()
+	buf := make([]instance.Value, n)  // delta result in body slot order
+	init := make([]instance.Value, n) // unified pre-bound slots (prefix used)
+	seen := make(map[string]bool)
 	for _, da := range delta {
 		for i, ba := range d.BodyAtoms {
 			if ba.Rel != da.Rel || len(ba.Terms) != len(da.Args) {
 				continue
 			}
-			// Unify the i-th body atom with the delta atom.
-			env := query.Binding{}
-			ok := true
-			for j, t := range ba.Terms {
-				if !t.IsVar() {
-					if t.Val != da.Args[j] {
-						ok = false
-					}
-					continue
-				}
-				if prev, bound := env[t.Var]; bound {
-					if prev != da.Args[j] {
-						ok = false
-					}
-					continue
-				}
-				env[t.Var] = da.Args[j]
-			}
-			if !ok {
+			if !d.DeltaUnifierFor(i).Unify(da.Args, init) {
 				continue
 			}
-			rest := make([]query.Atom, 0, len(d.BodyAtoms)-1)
-			rest = append(rest, d.BodyAtoms[:i]...)
-			rest = append(rest, d.BodyAtoms[i+1:]...)
-			stopped := !query.MatchAtoms(cur, rest, env, f)
+			perm := d.DeltaPerm(i)
+			stopped := !d.DeltaPlan(i).Eval(cur, init, func(env []instance.Value) bool {
+				for j, s := range perm {
+					buf[s] = env[j]
+				}
+				k := justificationKeySlots(d, buf)
+				if seen[k] {
+					return true
+				}
+				seen[k] = true
+				return f(buf, k)
+			})
 			if stopped {
 				return
 			}

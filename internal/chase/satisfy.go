@@ -8,6 +8,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 
 	"repro/internal/dependency"
 	"repro/internal/instance"
@@ -65,7 +66,7 @@ func IsEgdFailure(err error) bool {
 // early when f returns false.
 func bodyBindings(d *dependency.TGD, bodyInst *instance.Instance, f func(query.Binding) bool) {
 	if d.BodyAtoms != nil {
-		query.MatchAtoms(bodyInst, d.BodyAtoms, query.Binding{}, f)
+		d.BodyPlan().EvalBinding(bodyInst, nil, f)
 		return
 	}
 	q := query.FOQuery{Vars: d.FrontierVars(), F: d.Body}
@@ -85,11 +86,58 @@ func bodyBindings(d *dependency.TGD, bodyInst *instance.Instance, f func(query.B
 // satisfaction condition).
 func headSatisfied(d *dependency.TGD, ins *instance.Instance, env query.Binding) bool {
 	sat := false
-	query.MatchAtoms(ins, d.Head, env, func(query.Binding) bool {
+	d.HeadPlan().EvalBinding(ins, env, func(query.Binding) bool {
 		sat = true
 		return false
 	})
 	return sat
+}
+
+// headSatisfiedSlots is headSatisfied on the slot-based hot path: env is a
+// BodyPlan result environment (or a delta result permuted into body slot
+// order), seeding HeadSlotsPlan directly with no name translation.
+func headSatisfiedSlots(d *dependency.TGD, ins *instance.Instance, env []instance.Value) bool {
+	sat := false
+	d.HeadSlotsPlan().Eval(ins, env, func([]instance.Value) bool {
+		sat = true
+		return false
+	})
+	return sat
+}
+
+// justificationKeySlots is JustificationKeyOf for a body slot environment.
+// It produces byte-for-byte the same key as Justification.Key with Z == "",
+// built in a single buffer (the hot enumeration loops compute one key per
+// body match per state).
+func justificationKeySlots(d *dependency.TGD, env []instance.Value) string {
+	xs, ys := d.XSlots(), d.YSlots()
+	buf := make([]byte, 0, len(d.Name)+8*(len(xs)+len(ys))+4)
+	buf = append(buf, d.Name...)
+	buf = append(buf, '(')
+	for i, s := range xs {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendValue(buf, env[s])
+	}
+	buf = append(buf, ';')
+	for i, s := range ys {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = appendValue(buf, env[s])
+	}
+	buf = append(buf, ')', '.')
+	return string(buf)
+}
+
+// appendValue appends Value.String() without the intermediate allocations.
+func appendValue(buf []byte, v instance.Value) []byte {
+	if v.IsNull() {
+		buf = append(buf, '_')
+		return strconv.AppendInt(buf, v.NullLabel(), 10)
+	}
+	return append(buf, instance.ConstName(v)...)
 }
 
 // headAtomsUnder instantiates the head atoms under the binding, which must
@@ -143,7 +191,7 @@ func BodyMatches(s *dependency.Setting, d *dependency.TGD, full *instance.Instan
 // body binding env. Each witness maps d.Exists to values.
 func HeadWitnesses(d *dependency.TGD, ins *instance.Instance, env query.Binding) []query.Binding {
 	var out []query.Binding
-	query.MatchAtoms(ins, d.Head, env, func(full query.Binding) bool {
+	d.HeadPlan().EvalBinding(ins, env, func(full query.Binding) bool {
 		w := make(query.Binding, len(d.Exists))
 		for _, z := range d.Exists {
 			w[z] = full[z]
@@ -193,6 +241,34 @@ func JustificationKeyOf(d *dependency.TGD, env query.Binding) string {
 	return JustificationOf(d, env, "").Key()
 }
 
+// BodyEnvsKeyed returns every body match of a conjunctive-body tgd in cur as
+// a BodyPlan slot environment (fresh copies), paired with its justification
+// key (d, ū, v̄). The slot path avoids the Binding maps of BodyMatches on
+// enumeration hot loops.
+func BodyEnvsKeyed(d *dependency.TGD, cur *instance.Instance) ([][]instance.Value, []string) {
+	var envs [][]instance.Value
+	var keys []string
+	d.BodyPlan().Eval(cur, nil, func(env []instance.Value) bool {
+		envs = append(envs, append([]instance.Value(nil), env...))
+		keys = append(keys, justificationKeySlots(d, env))
+		return true
+	})
+	return envs, keys
+}
+
+// HeadAtomsSlots instantiates the tgd's head under a body slot environment
+// and a witness binding of the existential variables. Conjunctive bodies
+// only.
+func HeadAtomsSlots(d *dependency.TGD, benv []instance.Value, w query.Binding) []instance.Atom {
+	full := make([]instance.Value, d.HeadSlotsPlan().NumSlots())
+	copy(full, benv)
+	zs := d.ExistsSlots()
+	for i, z := range d.Exists {
+		full[zs[i]] = w[z]
+	}
+	return d.HeadTemplates().Instantiate(full)
+}
+
 // SatisfiesTGD reports whether the instance satisfies the tgd.
 func SatisfiesTGD(s *dependency.Setting, d *dependency.TGD, full *instance.Instance) bool {
 	bodyInst := tgdBodyInstance(s, d, full)
@@ -209,9 +285,10 @@ func SatisfiesTGD(s *dependency.Setting, d *dependency.TGD, full *instance.Insta
 
 // SatisfiesEGD reports whether the instance satisfies the egd.
 func SatisfiesEGD(d *dependency.EGD, full *instance.Instance) bool {
+	p, l, r := d.BodyPlan()
 	ok := true
-	query.MatchAtoms(full, d.Body, query.Binding{}, func(env query.Binding) bool {
-		if env[d.L] != env[d.R] {
+	p.Eval(full, nil, func(env []instance.Value) bool {
+		if env[l] != env[r] {
 			ok = false
 			return false
 		}
@@ -245,9 +322,10 @@ func IsSolution(s *dependency.Setting, src, t *instance.Instance) bool {
 
 // findEgdViolation locates a binding violating the egd, or ok=false.
 func findEgdViolation(d *dependency.EGD, ins *instance.Instance) (a, b instance.Value, ok bool) {
-	query.MatchAtoms(ins, d.Body, query.Binding{}, func(env query.Binding) bool {
-		if env[d.L] != env[d.R] {
-			a, b, ok = env[d.L], env[d.R], true
+	p, l, r := d.BodyPlan()
+	p.Eval(ins, nil, func(env []instance.Value) bool {
+		if env[l] != env[r] {
+			a, b, ok = env[l], env[r], true
 			return false
 		}
 		return true

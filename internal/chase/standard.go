@@ -83,6 +83,7 @@ func Standard(s *dependency.Setting, src *instance.Instance, opt Options) (*Resu
 	res := &Result{}
 	budget := opt.maxSteps()
 	tracker := &deltaTracker{full: true}
+	stc := &stCache{}
 
 	for {
 		if err := opt.err(); err != nil {
@@ -108,7 +109,7 @@ func Standard(s *dependency.Setting, src *instance.Instance, opt Options) (*Resu
 			tracker.invalidate()
 			continue
 		}
-		if applied := standardTgdPass(s, cur, nulls, res, opt, tracker); applied {
+		if applied := standardTgdPass(s, cur, nulls, res, opt, tracker, stc); applied {
 			continue
 		}
 		break
@@ -137,31 +138,154 @@ func standardEgdPass(s *dependency.Setting, cur *instance.Instance, res *Result,
 	return false, nil
 }
 
+// stCache holds the per-run constants of a chase: the σ-reduct and the body
+// matches of every s-t tgd. Both are fixed for the whole run — dependency
+// heads are over τ, so no chase step adds a source atom, and egd
+// applications only replace nulls, which the null-free source atoms never
+// mention — and are computed lazily on the first full scan.
+type stCache struct {
+	reduct *instance.Instance
+	conj   map[*dependency.TGD][][]instance.Value
+	fo     map[*dependency.TGD][]query.Binding
+}
+
+func (c *stCache) bodyInst(s *dependency.Setting, cur *instance.Instance) *instance.Instance {
+	if c.reduct == nil {
+		c.reduct = cur.Reduct(s.Source)
+	}
+	return c.reduct
+}
+
+// conjEnvs returns the (constant) body slot environments of a conjunctive
+// s-t tgd. The environments are shared — callers must not modify them.
+func (c *stCache) conjEnvs(s *dependency.Setting, d *dependency.TGD, cur *instance.Instance) [][]instance.Value {
+	if envs, ok := c.conj[d]; ok {
+		return envs
+	}
+	var envs [][]instance.Value
+	d.BodyPlan().Eval(c.bodyInst(s, cur), nil, func(env []instance.Value) bool {
+		envs = append(envs, append([]instance.Value(nil), env...))
+		return true
+	})
+	if c.conj == nil {
+		c.conj = make(map[*dependency.TGD][][]instance.Value)
+	}
+	c.conj[d] = envs
+	return envs
+}
+
+// foEnvs returns the (constant) body bindings of an s-t tgd with a general
+// first-order body. The bindings are shared — callers must not modify them.
+func (c *stCache) foEnvs(s *dependency.Setting, d *dependency.TGD, cur *instance.Instance) []query.Binding {
+	if envs, ok := c.fo[d]; ok {
+		return envs
+	}
+	var envs []query.Binding
+	bodyBindings(d, c.bodyInst(s, cur), func(env query.Binding) bool {
+		envs = append(envs, env.Clone())
+		return true
+	})
+	if c.fo == nil {
+		c.fo = make(map[*dependency.TGD][]query.Binding)
+	}
+	c.fo[d] = envs
+	return envs
+}
+
 // standardTgdPass fires all currently violating tgd bindings. Enumeration
 // is semi-naive: on delta passes, only target-tgd matches touching an atom
 // added by the previous pass are considered (s-t tgd bodies live on the
 // never-changing σ-reduct and cannot gain matches, and their matches are
 // all satisfied after the initial full pass). Every candidate binding is
 // re-checked before firing, so duplicate candidates are harmless.
-func standardTgdPass(s *dependency.Setting, cur *instance.Instance, nulls *instance.NullSource, res *Result, opt Options, tracker *deltaTracker) bool {
+//
+// Conjunctive bodies run entirely on the slot-based compiled-plan path:
+// body environments are []instance.Value keyed by the body plan's slots,
+// head checks seed HeadSlotsPlan directly, and firing instantiates the
+// compiled head templates. Only general FO bodies (some s-t tgds) still go
+// through Bindings.
+func standardTgdPass(s *dependency.Setting, cur *instance.Instance, nulls *instance.NullSource, res *Result, opt Options, tracker *deltaTracker, stc *stCache) bool {
 	budget := opt.maxSteps()
 	fired := false
 	fullScan := tracker.needsFullScan()
 	delta := tracker.delta()
 	tracker.reset()
 
-	fire := func(d *dependency.TGD, pending []query.Binding) bool {
-		for _, env := range pending {
+	for _, d := range s.AllTGDs() {
+		isst := isST(s, d)
+		if !fullScan && isst {
+			continue // σ-reduct unchanged: no new s-t matches
+		}
+
+		if d.BodyAtoms == nil {
+			// General FO body (s-t tgds only): Binding-based path.
+			var pending []query.Binding
+			for _, env := range stc.foEnvs(s, d, cur) {
+				if !headSatisfied(d, cur, env) {
+					pending = append(pending, env.Clone())
+				}
+			}
+			for _, env := range pending {
+				if res.Steps >= budget || opt.err() != nil {
+					return true // budget/cancel check happens at loop top in Standard
+				}
+				if headSatisfied(d, cur, env) {
+					continue
+				}
+				for _, z := range d.Exists {
+					env[z] = nulls.Fresh()
+				}
+				added := headAtomsUnder(d, env)
+				for _, a := range added {
+					if cur.Add(a) {
+						tracker.add(a)
+					}
+				}
+				res.Steps++
+				metrics.ChaseSteps.Inc()
+				fired = true
+				if opt.Trace {
+					res.Trace = append(res.Trace, Step{Dep: d.Name, Kind: "tgd", Added: added})
+				}
+			}
+			continue
+		}
+
+		// Slot-based path.
+		var pending [][]instance.Value
+		collect := func(env []instance.Value) bool {
+			if !headSatisfiedSlots(d, cur, env) {
+				pending = append(pending, append([]instance.Value(nil), env...))
+			}
+			return true
+		}
+		switch {
+		case isst:
+			for _, env := range stc.conjEnvs(s, d, cur) {
+				collect(env)
+			}
+		case fullScan:
+			d.BodyPlan().Eval(cur, nil, collect)
+		default:
+			deltaBodyEnvs(d, cur, delta, collect)
+		}
+
+		hp := d.HeadSlotsPlan()
+		tmpl := d.HeadTemplates()
+		existsSlots := d.ExistsSlots()
+		for _, benv := range pending {
 			if res.Steps >= budget || opt.err() != nil {
 				return true // budget/cancel check happens at loop top in Standard
 			}
-			if headSatisfied(d, cur, env) {
+			if headSatisfiedSlots(d, cur, benv) {
 				continue
 			}
-			for _, z := range d.Exists {
-				env[z] = nulls.Fresh()
+			full := make([]instance.Value, hp.NumSlots())
+			copy(full, benv)
+			for _, sl := range existsSlots {
+				full[sl] = nulls.Fresh()
 			}
-			added := headAtomsUnder(d, env)
+			added := tmpl.Instantiate(full)
 			for _, a := range added {
 				if cur.Add(a) {
 					tracker.add(a)
@@ -173,29 +297,6 @@ func standardTgdPass(s *dependency.Setting, cur *instance.Instance, nulls *insta
 			if opt.Trace {
 				res.Trace = append(res.Trace, Step{Dep: d.Name, Kind: "tgd", Added: added})
 			}
-		}
-		return false
-	}
-
-	for _, d := range s.AllTGDs() {
-		var pending []query.Binding
-		collect := func(env query.Binding) bool {
-			if !headSatisfied(d, cur, env) {
-				pending = append(pending, env.Clone())
-			}
-			return true
-		}
-		isST := isST(s, d)
-		switch {
-		case fullScan:
-			bodyBindings(d, tgdBodyInstance(s, d, cur), collect)
-		case isST:
-			continue // σ-reduct unchanged: no new s-t matches
-		default:
-			deltaBodyBindings(d, cur, delta, collect)
-		}
-		if fire(d, pending) {
-			return true
 		}
 	}
 	return fired

@@ -114,7 +114,42 @@ func Enumerate(s *dependency.Setting, src *instance.Instance, opt EnumOptions) (
 		opt:       opt,
 		sem:       make(chan struct{}, workers-1),
 	}
-	e.walk(src.Clone(), map[string]query.Binding{}, 0)
+	// s-t tgd bodies are evaluated on the σ-reduct, which never changes
+	// during the walk (states only add target atoms; egd violations prune
+	// rather than rewrite), so their matches — and their justification keys —
+	// are computed once up front and shared read-only by every state.
+	// Conjunctive bodies are kept as slot environments so each state fires
+	// them via the slot path; FO bodies keep their Binding.
+	e.stMatches = make(map[*dependency.TGD][]stMatch, len(s.ST))
+	var srcReduct *instance.Instance
+	for _, d := range s.ST {
+		var ms []stMatch
+		if d.BodyAtoms != nil {
+			if srcReduct == nil {
+				srcReduct = src.Reduct(s.Source)
+			}
+			envs, keys := chase.BodyEnvsKeyed(d, srcReduct)
+			ms = make([]stMatch, len(envs))
+			for i := range envs {
+				ms[i] = stMatch{senv: envs[i], key: keys[i]}
+			}
+		} else {
+			bs := chase.BodyMatches(s, d, src)
+			ms = make([]stMatch, len(bs))
+			for i, env := range bs {
+				ms[i] = stMatch{env: env, key: chase.JustificationKeyOf(d, env)}
+			}
+		}
+		e.stMatches[d] = ms
+	}
+	e.allTGDs = s.AllTGDs()
+	// The walk carries only the target part of each state: every dependency
+	// evaluated during the walk is over τ (s-t matches are precomputed
+	// above), so the σ atoms would only be dead weight in the per-state
+	// clones, reducts and content keys. The source active domain still
+	// contributes witness candidates, via srcDom.
+	e.srcDom = src.Dom()
+	e.walk(instance.New(), map[string]query.Binding{}, 0)
 	e.wg.Wait()
 
 	sort.Slice(e.found, func(i, j int) bool { return e.found[i].key < e.found[j].key })
@@ -146,11 +181,33 @@ type foundSol struct {
 	key string
 }
 
+// stMatch is one precomputed s-t body match: a BodyPlan slot environment for
+// conjunctive bodies, a Binding for FO bodies, plus the justification key.
+type stMatch struct {
+	env  query.Binding    // FO body match (nil when senv is set)
+	senv []instance.Value // conjunctive body match, BodyPlan slot order
+	key  string
+}
+
 type enumerator struct {
 	s         *dependency.Setting
 	src       *instance.Instance
 	universal *instance.Instance
 	opt       EnumOptions
+	// stMatches holds the (constant) body matches of every s-t tgd, computed
+	// once in Enumerate; matches and keys are shared read-only.
+	stMatches map[*dependency.TGD][]stMatch
+	allTGDs   []*dependency.TGD
+	// srcDom is the source active domain (sorted); merged with each state's
+	// target domain to form the witness candidate pool.
+	srcDom []instance.Value
+
+	// univCache memoizes the universality prune by target-reduct content:
+	// whether a hom into the universal solution exists is a pure function of
+	// the reduct's atom set, and sibling branches frequently reach identical
+	// reducts. Sound because reducts are fresh instances never mutated after
+	// the check.
+	univCache sync.Map // ContentKey -> bool
 
 	sem chan struct{} // bounds extra walker goroutines (cap workers-1)
 	wg  sync.WaitGroup
@@ -163,6 +220,13 @@ type enumerator struct {
 
 	mu    sync.Mutex
 	found []*foundSol
+	// seen memoizes emitted target reducts by exact content
+	// (instance.ContentKey): distinct chase branches frequently complete in
+	// the very same instance, and a repeat can change neither the
+	// isomorphism classes nor their representatives, so its canonical-form
+	// and isomorphism work is skipped. Sound only because emitted instances
+	// are never mutated afterwards (emit stores a fresh canonical copy).
+	seen map[string]struct{}
 }
 
 // stopped reports whether the search should unwind: a bound was hit or the
@@ -191,7 +255,17 @@ func (e *enumerator) spawnOrWalk(cur *instance.Instance, alpha map[string]query.
 // isomorphism. Each isomorphism class keeps the lexicographically least
 // canonical form seen, so the final (sorted) output does not depend on
 // discovery order and hence not on the worker count.
-func (e *enumerator) emit(t *instance.Instance) {
+func (e *enumerator) emit(t *instance.Instance, ck string) {
+	e.mu.Lock()
+	if _, dup := e.seen[ck]; dup {
+		e.mu.Unlock()
+		return
+	}
+	if e.seen == nil {
+		e.seen = make(map[string]struct{})
+	}
+	e.seen[ck] = struct{}{}
+	e.mu.Unlock()
 	c := hom.CanonicalNullForm(t)
 	key := c.String()
 	e.mu.Lock()
@@ -210,6 +284,17 @@ func (e *enumerator) emit(t *instance.Instance) {
 	}
 }
 
+// universal reports whether the target reduct (with the given content key)
+// maps homomorphically into the universal solution, memoized by content.
+func (e *enumerator) universalByKey(t *instance.Instance, ck string) bool {
+	if v, ok := e.univCache.Load(ck); ok {
+		return v.(bool)
+	}
+	ex := hom.Exists(t, e.universal)
+	e.univCache.Store(ck, ex)
+	return ex
+}
+
 // nfound returns the current number of isomorphism classes found.
 func (e *enumerator) nfound() int {
 	e.mu.Lock()
@@ -217,11 +302,14 @@ func (e *enumerator) nfound() int {
 	return len(e.found)
 }
 
-// walk explores the state (cur, alpha): fire chosen justifications to
-// closure, prune on egd violations, then branch on the first unresolved
-// justification. nextNull is the next fresh null label for canonical naming.
-// cur and alpha are owned by this call; everything else reached through e is
-// either read-only (s, src, universal) or synchronized.
+// walk explores the state (cur, alpha), where cur is the state's target
+// instance (the σ part of every state is the never-changing source, kept out
+// of the per-state clones; all dependencies fired here are over τ): fire
+// chosen justifications to closure, prune on egd violations, then branch on
+// the first unresolved justification. nextNull is the next fresh null label
+// for canonical naming. cur and alpha are owned by this call; everything
+// else reached through e is either read-only (s, src, universal) or
+// synchronized.
 func (e *enumerator) walk(cur *instance.Instance, alpha map[string]query.Binding, nextNull int64) {
 	if err := chase.ContextErr(e.opt.ChaseOptions.Ctx); err != nil {
 		e.canceled.Store(true)
@@ -236,34 +324,103 @@ func (e *enumerator) walk(cur *instance.Instance, alpha map[string]query.Binding
 		e.truncated.Store(true)
 		return
 	}
-	if len(cur.Nulls()) > e.opt.maxNulls() {
+	if cur.NullCount() > e.opt.maxNulls() {
 		e.truncated.Store(true)
 		return
 	}
 
-	// Close under already-chosen justifications.
-	for {
-		progress := false
-		for _, d := range e.s.AllTGDs() {
-			for _, env := range chase.BodyMatches(e.s, d, cur) {
-				key := chase.JustificationKeyOf(d, env)
-				w, chosen := alpha[key]
+	// Close under already-chosen justifications, semi-naively: the first
+	// round enumerates every body in full; later rounds only join the atoms
+	// added by the previous round against each target tgd (a new match of a
+	// monotone conjunctive body must use a new atom). The accumulated match
+	// list — deduplicated by justification key — is exactly the matches at
+	// the fixpoint, reused by the first-unresolved scan below. s-t tgds use
+	// their precomputed (constant) Binding matches and can only fire in the
+	// first round; target tgds (always conjunctive) stay on the slot path.
+	type open struct {
+		d    *dependency.TGD
+		senv []instance.Value // body match, BodyPlan slot order (nil for FO s-t)
+		key  string
+	}
+	var matches []open
+	var delta []instance.Atom
+	for _, d := range e.allTGDs {
+		if ms, ok := e.stMatches[d]; ok {
+			for i := range ms {
+				m := &ms[i]
+				matches = append(matches, open{d: d, senv: m.senv, key: m.key})
+				w, chosen := alpha[m.key]
 				if !chosen {
 					continue
 				}
-				full := env.Clone()
-				for z, v := range w {
-					full[z] = v
+				var atoms []instance.Atom
+				if m.senv != nil {
+					atoms = chase.HeadAtomsSlots(d, m.senv, w)
+				} else {
+					full := m.env.Clone()
+					for z, v := range w {
+						full[z] = v
+					}
+					atoms = chase.HeadAtoms(d, full)
 				}
-				for _, a := range chase.HeadAtoms(d, full) {
+				for _, a := range atoms {
 					if cur.Add(a) {
-						progress = true
+						delta = append(delta, a)
 					}
 				}
 			}
+			continue
 		}
-		if !progress {
-			break
+		envs, keys := chase.BodyEnvsKeyed(d, cur)
+		for i, senv := range envs {
+			key := keys[i]
+			matches = append(matches, open{d: d, senv: senv, key: key})
+			w, chosen := alpha[key]
+			if !chosen {
+				continue
+			}
+			for _, a := range chase.HeadAtomsSlots(d, senv, w) {
+				if cur.Add(a) {
+					delta = append(delta, a)
+				}
+			}
+		}
+	}
+	var seenKeys map[string]bool
+	for len(delta) > 0 {
+		if seenKeys == nil {
+			seenKeys = make(map[string]bool, len(matches))
+			for i := range matches {
+				seenKeys[matches[i].key] = true
+			}
+		}
+		var fresh []open
+		for _, d := range e.allTGDs {
+			if _, ok := e.stMatches[d]; ok {
+				continue
+			}
+			chase.DeltaBodyEnvsKeyed(d, cur, delta, func(env []instance.Value, key string) bool {
+				if seenKeys[key] {
+					return true
+				}
+				seenKeys[key] = true
+				senv := append([]instance.Value(nil), env...)
+				fresh = append(fresh, open{d: d, senv: senv, key: key})
+				return true
+			})
+		}
+		delta = delta[:0]
+		for _, m := range fresh {
+			matches = append(matches, m)
+			w, chosen := alpha[m.key]
+			if !chosen {
+				continue
+			}
+			for _, a := range chase.HeadAtomsSlots(m.d, m.senv, w) {
+				if cur.Add(a) {
+					delta = append(delta, a)
+				}
+			}
 		}
 	}
 
@@ -278,50 +435,42 @@ func (e *enumerator) walk(cur *instance.Instance, alpha map[string]query.Binding
 	}
 
 	// Prune: universality is antitone in the atom set — if the current
-	// target reduct already has no homomorphism into the universal solution,
-	// no superset can have one (restrict the hom), so the whole subtree
-	// contains no CWA-solution (Theorem 4.8).
-	if !hom.Exists(cur.Reduct(e.s.Target), e.universal) {
+	// target instance already has no homomorphism into the universal
+	// solution, no superset can have one (restrict the hom), so the whole
+	// subtree contains no CWA-solution (Theorem 4.8). The check is memoized
+	// by content: sibling branches frequently reach the same instance.
+	ck := cur.ContentKey()
+	if !e.universalByKey(cur, ck) {
 		e.prunedUniv.Add(1)
 		return
 	}
 
-	// Find the first unresolved justification, deterministically.
-	type open struct {
-		d   *dependency.TGD
-		env query.Binding
-		key string
-	}
+	// Find the first unresolved justification, deterministically, among the
+	// fixpoint matches collected above.
 	var first *open
-	for _, d := range e.s.AllTGDs() {
-		for _, env := range chase.BodyMatches(e.s, d, cur) {
-			key := chase.JustificationKeyOf(d, env)
-			if _, chosen := alpha[key]; chosen {
-				continue
-			}
-			cand := &open{d: d, env: env, key: key}
-			if first == nil || cand.key < first.key {
-				first = cand
-			}
+	for i := range matches {
+		cand := &matches[i]
+		if _, chosen := alpha[cand.key]; chosen {
+			continue
+		}
+		if first == nil || cand.key < first.key {
+			first = cand
 		}
 	}
 
 	if first == nil {
 		// Complete: every justification resolved and fired; cur is the
-		// result of a successful α-chase. Keep it if universal and new.
-		t := cur.Reduct(e.s.Target)
-		if !hom.Exists(t, e.universal) {
-			return
-		}
-		e.emit(t)
+		// target of a successful α-chase. Universality already held above.
+		e.emit(cur, ck)
 		return
 	}
 
 	// Branch over witness tuples for the unresolved justification: each
-	// existential variable takes an existing domain value or a fresh null;
-	// fresh nulls are introduced in canonical order to cut symmetry. Each
-	// complete witness explores its subtree on a free worker if available.
-	dom := cur.Dom()
+	// existential variable takes an existing domain value (source or target)
+	// or a fresh null; fresh nulls are introduced in canonical order to cut
+	// symmetry. Each complete witness explores its subtree on a free worker
+	// if available.
+	dom := mergeDom(e.srcDom, cur.Dom())
 	d := first.d
 	k := len(d.Exists)
 	assign := make([]instance.Value, k)
@@ -358,6 +507,30 @@ func (e *enumerator) walk(cur *instance.Instance, alpha map[string]query.Binding
 		rec(i+1, freshUsed+1)
 	}
 	rec(0, 0)
+}
+
+// mergeDom returns the sorted union of two sorted domains (the order of
+// instance.Dom), so mergeDom(Dom(S), Dom(T)) == Dom(S ∪ T).
+func mergeDom(a, b []instance.Value) []instance.Value {
+	out := make([]instance.Value, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case instance.Less(a[i], b[j]):
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 // Incomparable returns the subsets of solutions that are pairwise

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/instance"
 	"repro/internal/query"
@@ -38,6 +39,25 @@ type TGD struct {
 	X, Y, Exists []string
 	// Head is the conclusion ψ(x̄, z̄) as a conjunction of atoms.
 	Head []query.Atom
+
+	// Compiled-plan caches (see plan.go). Lazily built, concurrency-safe;
+	// TGDs are shared by pointer so a plan is compiled once per dependency.
+	planOnce   sync.Once
+	bodyPlan   *query.Plan
+	headPlan   *query.Plan
+	deltaOnce  sync.Once
+	deltaPlans []*query.Plan
+	deltaPerms [][]int
+	deltaUnify []DeltaUnifier
+
+	// Slot-space caches for the fully slot-based chase hot path (conjunctive
+	// bodies only, see plan.go).
+	slotsOnce   sync.Once
+	headSlots   *query.Plan
+	headTmpl    *query.AtomTemplates
+	existsSlots []int
+	xSlots      []int
+	ySlots      []int
 }
 
 // Full reports whether the tgd has no existentially quantified variables.
@@ -138,6 +158,11 @@ type EGD struct {
 	Name string
 	Body []query.Atom
 	L, R string // the variables equated; both must occur in the body
+
+	// Compiled-plan cache (see plan.go).
+	planOnce     sync.Once
+	bodyPlan     *query.Plan
+	slotL, slotR int
 }
 
 func (d *EGD) String() string {

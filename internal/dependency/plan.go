@@ -1,0 +1,212 @@
+package dependency
+
+import (
+	"repro/internal/instance"
+	"repro/internal/query"
+)
+
+// Compiled-plan caches. Each dependency lazily compiles its conjunctive
+// bodies and head into query.Plans exactly once (sync.Once), so every chase
+// pass, satisfaction check and enumeration step over the same dependency
+// reuses the same immutable plan — including from concurrent workers, since
+// dependencies are shared by pointer throughout a Setting.
+
+func (d *TGD) compilePlans() {
+	if d.BodyAtoms != nil {
+		d.bodyPlan = query.Compile(d.BodyAtoms, nil)
+	}
+	d.headPlan = query.Compile(d.Head, d.FrontierVars())
+}
+
+// BodyPlan returns the compiled plan for the tgd's conjunctive body, or nil
+// when the body is a general first-order formula (s-t tgds with non-
+// conjunctive bodies, which go through the FO evaluator instead).
+func (d *TGD) BodyPlan() *query.Plan {
+	d.planOnce.Do(d.compilePlans)
+	return d.bodyPlan
+}
+
+// HeadPlan returns the compiled plan for the tgd's head conjunction with the
+// frontier variables (x̄ ∪ ȳ) pre-bound, as used by head-satisfaction checks
+// and witness enumeration under a body binding.
+func (d *TGD) HeadPlan() *query.Plan {
+	d.planOnce.Do(d.compilePlans)
+	return d.headPlan
+}
+
+// DeltaPlan returns the compiled plan for the body with atom i removed and
+// atom i's variables pre-bound: the semi-naive chase unifies body atom i
+// with a freshly inserted atom and completes the join with this plan.
+// Requires a conjunctive body.
+func (d *TGD) DeltaPlan(i int) *query.Plan {
+	d.compileDelta()
+	return d.deltaPlans[i]
+}
+
+// DeltaPerm returns the permutation from DeltaPlan(i)'s slot space into
+// BodyPlan's: envBody[perm[j]] = envDelta[j] transfers a delta-join result
+// into the body slot order shared by HeadSlotsPlan and the justification
+// slots. The slice is cached storage — do not modify.
+func (d *TGD) DeltaPerm(i int) []int {
+	d.compileDelta()
+	return d.deltaPerms[i]
+}
+
+// DeltaUnifierFor returns the compiled unifier matching a freshly inserted
+// atom against body atom i, writing the atom's variable values into
+// DeltaPlan(i)'s pre-bound slots.
+func (d *TGD) DeltaUnifierFor(i int) *DeltaUnifier {
+	d.compileDelta()
+	return &d.deltaUnify[i]
+}
+
+func (d *TGD) compileDelta() {
+	d.deltaOnce.Do(func() {
+		bp := d.BodyPlan()
+		d.deltaPlans = make([]*query.Plan, len(d.BodyAtoms))
+		d.deltaPerms = make([][]int, len(d.BodyAtoms))
+		d.deltaUnify = make([]DeltaUnifier, len(d.BodyAtoms))
+		for j, ba := range d.BodyAtoms {
+			rest := make([]query.Atom, 0, len(d.BodyAtoms)-1)
+			rest = append(rest, d.BodyAtoms[:j]...)
+			rest = append(rest, d.BodyAtoms[j+1:]...)
+			dp := query.Compile(rest, ba.Vars())
+			d.deltaPlans[j] = dp
+			perm := make([]int, dp.NumSlots())
+			for k, name := range dp.VarNames() {
+				perm[k] = bp.Slot(name)
+			}
+			d.deltaPerms[j] = perm
+			d.deltaUnify[j] = compileUnifier(ba)
+		}
+	})
+}
+
+// DeltaUnifier matches a ground atom against one body atom, filling the
+// atom's variable slots (in first-occurrence order, DeltaPlan's pre-bound
+// layout) and checking constants and repeated variables.
+type DeltaUnifier struct {
+	consts []unifyConst
+	ops    []unifyOp
+}
+
+type unifyConst struct {
+	pos int
+	val instance.Value
+}
+
+type unifyOp struct {
+	pos, slot int
+	check     bool
+}
+
+func compileUnifier(a query.Atom) DeltaUnifier {
+	var u DeltaUnifier
+	slotOf := make(map[string]int, len(a.Terms))
+	for i, t := range a.Terms {
+		if !t.IsVar() {
+			u.consts = append(u.consts, unifyConst{pos: i, val: t.Val})
+			continue
+		}
+		if slot, seen := slotOf[t.Var]; seen {
+			u.ops = append(u.ops, unifyOp{pos: i, slot: slot, check: true})
+			continue
+		}
+		slot := len(slotOf)
+		slotOf[t.Var] = slot
+		u.ops = append(u.ops, unifyOp{pos: i, slot: slot})
+	}
+	return u
+}
+
+// Unify matches args against the body atom, writing variable values into
+// init (which must have room for the atom's variables) and reporting
+// success.
+func (u *DeltaUnifier) Unify(args []instance.Value, init []instance.Value) bool {
+	for _, c := range u.consts {
+		if args[c.pos] != c.val {
+			return false
+		}
+	}
+	for _, op := range u.ops {
+		if op.check {
+			if args[op.pos] != init[op.slot] {
+				return false
+			}
+			continue
+		}
+		init[op.slot] = args[op.pos]
+	}
+	return true
+}
+
+func (d *TGD) ensureSlots() {
+	d.slotsOnce.Do(func() {
+		if d.BodyAtoms == nil {
+			return
+		}
+		bp := d.BodyPlan()
+		// Head compiled against the body's slot layout: a body result env
+		// can seed head evaluation directly, with no name translation.
+		d.headSlots = query.Compile(d.Head, bp.VarNames())
+		d.headTmpl = query.NewAtomTemplates(d.Head, d.headSlots)
+		d.existsSlots = make([]int, len(d.Exists))
+		for i, z := range d.Exists {
+			d.existsSlots[i] = d.headSlots.Slot(z)
+		}
+		d.xSlots = make([]int, len(d.X))
+		for i, x := range d.X {
+			d.xSlots[i] = bp.Slot(x)
+		}
+		d.ySlots = make([]int, len(d.Y))
+		for i, y := range d.Y {
+			d.ySlots[i] = bp.Slot(y)
+		}
+	})
+}
+
+// HeadSlotsPlan returns the head conjunction compiled with the body plan's
+// full slot layout pre-bound, so a body result env (length
+// BodyPlan().NumSlots()) is a valid init. Conjunctive bodies only.
+func (d *TGD) HeadSlotsPlan() *query.Plan {
+	d.ensureSlots()
+	return d.headSlots
+}
+
+// HeadTemplates returns the head atoms compiled against HeadSlotsPlan's
+// slot space, for map-free instantiation. Conjunctive bodies only.
+func (d *TGD) HeadTemplates() *query.AtomTemplates {
+	d.ensureSlots()
+	return d.headTmpl
+}
+
+// ExistsSlots returns the HeadSlotsPlan slots of the existential variables.
+func (d *TGD) ExistsSlots() []int {
+	d.ensureSlots()
+	return d.existsSlots
+}
+
+// XSlots and YSlots return the BodyPlan slots of x̄ and ȳ, in declaration
+// order, for slot-based justification keys. Conjunctive bodies only.
+func (d *TGD) XSlots() []int {
+	d.ensureSlots()
+	return d.xSlots
+}
+
+// YSlots returns the BodyPlan slots of ȳ; see XSlots.
+func (d *TGD) YSlots() []int {
+	d.ensureSlots()
+	return d.ySlots
+}
+
+// BodyPlan returns the compiled plan for the egd's body together with the
+// slots of the two equated variables, so violation checks read two slots
+// instead of two map lookups.
+func (d *EGD) BodyPlan() (p *query.Plan, slotL, slotR int) {
+	d.planOnce.Do(func() {
+		d.bodyPlan = query.Compile(d.Body, nil)
+		d.slotL = d.bodyPlan.Slot(d.L)
+		d.slotR = d.bodyPlan.Slot(d.R)
+	})
+	return d.bodyPlan, d.slotL, d.slotR
+}

@@ -1,0 +1,75 @@
+package hom
+
+// Randomized crosscheck of the compiled, arc-consistency-pruned Search path
+// against the interpreted, unpruned reference finder: on random instance
+// pairs with nulls, Find and findRef must agree on whether a homomorphism
+// exists, and any mapping either returns must actually be one. Run under
+// -race by `make ci`, where repeated Find calls double as a race workload
+// for the shared per-position indexes.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/genwl"
+	"repro/internal/instance"
+)
+
+// withRandomNulls replaces each constant of ins with a fresh null with the
+// given probability, producing an instance whose hom search has real choice
+// points (constants are fixed by definition).
+func withRandomNulls(ins *instance.Instance, rng *rand.Rand, prob float64, nextNull *int64) *instance.Instance {
+	m := make(map[instance.Value]instance.Value)
+	for _, c := range ins.Consts() {
+		if rng.Float64() < prob {
+			m[c] = instance.Null(*nextNull)
+			*nextNull++
+		}
+	}
+	return ins.Map(m)
+}
+
+// isHom verifies that the mapping really is a homomorphism from → to: every
+// atom of the image occurs in to (constants are identities by construction
+// of Mapping).
+func isHom(t *testing.T, m Mapping, from, to *instance.Instance) {
+	t.Helper()
+	for _, a := range m.ApplyInstance(from).Atoms() {
+		if !to.Has(a) {
+			t.Fatalf("returned mapping %v is not a homomorphism: image atom %v not in target", m, a)
+		}
+	}
+}
+
+func TestFindCrosscheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var nextNull int64
+	agree, found := 0, 0
+	for agree < 200 {
+		// Small random graphs: big enough for joins and shared nulls, small
+		// enough that negative cases stay cheap for the unpruned reference.
+		from := withRandomNulls(genwl.RandomEdges("E", 3+rng.Intn(5), rng.Int63()), rng, 0.7, &nextNull)
+		to := withRandomNulls(genwl.RandomEdges("E", 4+rng.Intn(8), rng.Int63()), rng, 0.2, &nextNull)
+
+		var opts []Option
+		if rng.Intn(4) == 0 {
+			opts = append(opts, Injective())
+		}
+
+		got, gotOK := Find(from, to, opts...)
+		want, wantOK := findRef(from, to, opts...)
+		if gotOK != wantOK {
+			t.Fatalf("case %d: pruned Find=%v, reference findRef=%v\nfrom: %v\nto:   %v",
+				agree, gotOK, wantOK, from, to)
+		}
+		if gotOK {
+			isHom(t, got, from, to)
+			isHom(t, want, from, to)
+			found++
+		}
+		agree++
+	}
+	if found == 0 || found == 200 {
+		t.Fatalf("degenerate workload: %d/200 cases had a homomorphism; want a mix", found)
+	}
+}

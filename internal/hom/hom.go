@@ -61,7 +61,17 @@ func Avoiding(v instance.Value) Option {
 // Find searches for a homomorphism from one instance to another. It returns
 // the mapping restricted to the nulls of from (constants are implicitly
 // fixed) and whether one exists.
+//
+// Find compiles the source's atom list once (CompileSource) and runs the
+// compiled search with arc-consistency pruning; callers probing the same
+// source repeatedly should compile once and reuse the Search.
 func Find(from, to *instance.Instance, opts ...Option) (Mapping, bool) {
+	return CompileSource(from).Find(to, opts...)
+}
+
+// findRef is the interpreted reference finder, kept as ground truth for the
+// randomized crosschecks of the compiled, pruned Search path.
+func findRef(from, to *instance.Instance, opts ...Option) (Mapping, bool) {
 	var o options
 	for _, opt := range opts {
 		opt(&o)
@@ -113,10 +123,10 @@ func Exists(from, to *instance.Instance) bool {
 // means no bound). Each mapping covers every null of from.
 func FindAll(from, to *instance.Instance, max int) []Mapping {
 	var out []Mapping
-	f := &finder{to: to, mapping: Mapping{}, used: map[instance.Value]bool{}}
-	atoms := orderAtoms(from)
-	nulls := from.Nulls()
-	f.searchAll(atoms, nulls, func(m Mapping) bool {
+	s := CompileSource(from)
+	st := s.state()
+	defer s.release(st)
+	s.searchAll(to, st, 0, func(m Mapping) bool {
 		out = append(out, m)
 		return max <= 0 || len(out) < max
 	})
@@ -198,10 +208,11 @@ func FindOnto(from, to *instance.Instance, maxHoms int) (Mapping, bool) {
 		return nil, false
 	}
 	var found Mapping
-	f := &finder{to: to, mapping: Mapping{}, used: map[instance.Value]bool{}}
-	atoms := orderAtoms(from)
+	s := CompileSource(from)
+	st := s.state()
+	defer s.release(st)
 	n := 0
-	f.searchAll(atoms, from.Nulls(), func(m Mapping) bool {
+	s.searchAll(to, st, 0, func(m Mapping) bool {
 		n++
 		// Surjectivity is checked before the bound: the candidate that
 		// exhausts the budget still gets its full verdict.
@@ -218,29 +229,43 @@ func FindOnto(from, to *instance.Instance, maxHoms int) (Mapping, bool) {
 // adjacent (grouped by connected component, most-constrained first). A static
 // greedy order: repeatedly pick the atom with the fewest unseen nulls.
 func orderAtoms(from *instance.Instance) []instance.Atom {
-	atoms := from.Atoms()
-	seen := make(map[instance.Value]bool)
-	ordered := make([]instance.Atom, 0, len(atoms))
-	remaining := make([]instance.Atom, len(atoms))
-	copy(remaining, atoms)
-	for len(remaining) > 0 {
-		best, bestScore := 0, 1<<30
-		for i, a := range remaining {
-			score := 0
-			for _, v := range a.Args {
-				if v.IsNull() && !seen[v] {
-					score++
-				}
-			}
-			if score < bestScore {
-				best, bestScore = i, score
-			}
-		}
-		a := remaining[best]
-		remaining = append(remaining[:best], remaining[best+1:]...)
+	// Greedy fewest-unseen-nulls-first, first minimum wins. Scores are
+	// maintained incrementally (decremented at every occurrence of a null the
+	// moment it becomes seen), which picks the exact same sequence as
+	// re-scoring every remaining atom per round: the scan below visits alive
+	// atoms in original order, just as the splice-based remaining list did.
+	atoms := from.AtomsShared()
+	n := len(atoms)
+	score := make([]int, n)
+	occs := make(map[instance.Value][]int)
+	for i, a := range atoms {
 		for _, v := range a.Args {
 			if v.IsNull() {
-				seen[v] = true
+				score[i]++ // per occurrence, as the rescan counted
+				occs[v] = append(occs[v], i)
+			}
+		}
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	ordered := make([]instance.Atom, 0, n)
+	for len(ordered) < n {
+		best, bestScore := -1, 1<<30
+		for i := 0; i < n; i++ {
+			if alive[i] && score[i] < bestScore {
+				best, bestScore = i, score[i]
+			}
+		}
+		a := atoms[best]
+		alive[best] = false
+		for _, v := range a.Args {
+			if idxs, unseen := occs[v]; unseen && v.IsNull() {
+				delete(occs, v)
+				for _, j := range idxs {
+					score[j]--
+				}
 			}
 		}
 		ordered = append(ordered, a)

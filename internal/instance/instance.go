@@ -36,14 +36,20 @@ type relation struct {
 	byPos  []map[Value][]int // position -> value -> tuple indexes
 }
 
-func encodeTuple(args []Value) string {
-	buf := make([]byte, 0, len(args)*8)
+// appendTuple appends the fixed-width encoding of args to buf. Callers on
+// hot paths pass a stack buffer and rely on the compiler's alloc-free
+// map[string(buf)] lookup optimization for the duplicate check.
+func appendTuple(buf []byte, args []Value) []byte {
 	var tmp [8]byte
 	for _, v := range args {
 		binary.LittleEndian.PutUint64(tmp[:], uint64(v))
 		buf = append(buf, tmp[:]...)
 	}
-	return string(buf)
+	return buf
+}
+
+func encodeTuple(args []Value) string {
+	return string(appendTuple(make([]byte, 0, len(args)*8), args))
 }
 
 // New returns an empty instance.
@@ -89,18 +95,21 @@ func (ins *Instance) eachRel(f func(r *relation)) {
 	}
 }
 
-// Add inserts the atom and reports whether it was new.
+// Add inserts the atom and reports whether it was new. The duplicate path
+// is allocation-free: the tuple encoding is built in a stack buffer and the
+// key string is only materialized when the atom is actually inserted.
 func (ins *Instance) Add(a Atom) bool {
 	r := ins.rel(a.Rel, len(a.Args))
-	key := encodeTuple(a.Args)
-	if _, ok := r.byKey[key]; ok {
+	var kb [8 * 8]byte
+	buf := appendTuple(kb[:0], a.Args)
+	if _, ok := r.byKey[string(buf)]; ok {
 		return false
 	}
 	idx := len(r.tuples)
 	cp := make([]Value, len(a.Args))
 	copy(cp, a.Args)
 	r.tuples = append(r.tuples, cp)
-	r.byKey[key] = idx
+	r.byKey[string(buf)] = idx
 	for i, v := range cp {
 		r.byPos[i][v] = append(r.byPos[i][v], idx)
 	}
@@ -124,7 +133,8 @@ func (ins *Instance) Has(a Atom) bool {
 	if !ok || r.arity != len(a.Args) {
 		return false
 	}
-	_, ok = r.byKey[encodeTuple(a.Args)]
+	var kb [8 * 8]byte
+	_, ok = r.byKey[string(appendTuple(kb[:0], a.Args))]
 	return ok
 }
 
@@ -183,6 +193,20 @@ func (ins *Instance) Atoms() []Atom {
 	return out
 }
 
+// AtomsShared is Atoms without the defensive copies: the returned atoms'
+// Args slices are the instance's own tuple storage. Callers must treat them
+// as read-only and must not retain them across mutations of the instance.
+// Iteration order is identical to Atoms.
+func (ins *Instance) AtomsShared() []Atom {
+	out := make([]Atom, 0, ins.Len())
+	ins.eachRel(func(r *relation) {
+		for _, t := range r.tuples {
+			out = append(out, Atom{Rel: r.name, Args: t})
+		}
+	})
+	return out
+}
+
 // Tuples calls f for each tuple of the named relation. The slice passed to f
 // is owned by the instance and must not be modified or retained. Iteration
 // stops early if f returns false.
@@ -202,9 +226,47 @@ func (ins *Instance) Tuples(rel string, f func(args []Value) bool) {
 // every position where bound is true. It uses the position index on the
 // most selective bound position. The slice passed to f must not be retained.
 func (ins *Instance) MatchTuples(rel string, pattern []Value, bound []bool, f func(args []Value) bool) {
-	r, ok := ins.rels[rel]
-	if !ok || r.arity != len(pattern) {
+	tuples, idxs, ok := ins.MatchCandidates(rel, pattern, bound)
+	if !ok {
 		return
+	}
+	try := func(t []Value) bool {
+		for i, b := range bound {
+			if b && t[i] != pattern[i] {
+				return true
+			}
+		}
+		return f(t)
+	}
+	if idxs == nil {
+		for _, t := range tuples {
+			if !try(t) {
+				return
+			}
+		}
+		return
+	}
+	for _, idx := range idxs {
+		if !try(tuples[idx]) {
+			return
+		}
+	}
+}
+
+// MatchCandidates returns the candidate tuples for a pattern match on rel:
+// the relation's tuple store plus the posting list of the most selective
+// bound position (idxs == nil means "scan all tuples"). Candidates are a
+// superset of the matches — callers must still verify every bound position.
+// ok is false when the relation is absent or the arity differs.
+//
+// The returned slices are the instance's own storage: they must not be
+// modified or retained past the next mutation. This is the allocation-free
+// access path used by compiled query plans (query.Plan) and homomorphism
+// search, which loop over candidates without a callback closure.
+func (ins *Instance) MatchCandidates(rel string, pattern []Value, bound []bool) (tuples [][]Value, idxs []int, ok bool) {
+	r, present := ins.rels[rel]
+	if !present || r.arity != len(pattern) {
+		return nil, nil, false
 	}
 	best, bestSize := -1, 0
 	for i, b := range bound {
@@ -216,27 +278,84 @@ func (ins *Instance) MatchTuples(rel string, pattern []Value, bound []bool, f fu
 			best, bestSize = i, size
 		}
 	}
-	try := func(t []Value) bool {
-		for i, b := range bound {
-			if b && t[i] != pattern[i] {
-				return true
-			}
-		}
-		return f(t)
-	}
 	if best == -1 {
-		for _, t := range r.tuples {
-			if !try(t) {
-				return
-			}
-		}
+		return r.tuples, nil, true
+	}
+	return r.tuples, r.byPos[best][pattern[best]], true
+}
+
+// PosDistinct returns the number of distinct values occurring at the given
+// position of rel, or 0 if the relation is absent or the position is out of
+// range. It sizes candidate domains for homomorphism-search pruning.
+func (ins *Instance) PosDistinct(rel string, pos int) int {
+	r, ok := ins.rels[rel]
+	if !ok || pos < 0 || pos >= r.arity {
+		return 0
+	}
+	return len(r.byPos[pos])
+}
+
+// PosHasValue reports whether some tuple of rel carries v at the given
+// position — an O(1) membership probe into the position index.
+func (ins *Instance) PosHasValue(rel string, pos int, v Value) bool {
+	r, ok := ins.rels[rel]
+	if !ok || pos < 0 || pos >= r.arity {
+		return false
+	}
+	return len(r.byPos[pos][v]) > 0
+}
+
+// EachPosValue calls f for every distinct value occurring at the given
+// position of rel, with the number of tuples carrying it. Iteration order is
+// unspecified (it ranges over the index map); stop early by returning false.
+func (ins *Instance) EachPosValue(rel string, pos int, f func(v Value, count int) bool) {
+	r, ok := ins.rels[rel]
+	if !ok || pos < 0 || pos >= r.arity {
 		return
 	}
-	for _, idx := range r.byPos[best][pattern[best]] {
-		if !try(r.tuples[idx]) {
+	for v, idxs := range r.byPos[pos] {
+		if !f(v, len(idxs)) {
 			return
 		}
 	}
+}
+
+// ContentKey returns a compact byte-string key with the property that two
+// instances hold exactly the same atom set iff their keys are equal,
+// regardless of insertion order. It is cheaper than String() (no name
+// decoding) and is the memo key used by cwa.Enumerate's canonical-form
+// cache. The key is only stable within a process (constants are interned
+// process-wide).
+func (ins *Instance) ContentKey() string {
+	var b strings.Builder
+	total := 0
+	ins.eachRel(func(r *relation) {
+		if len(r.tuples) == 0 {
+			return
+		}
+		total += len(r.name) + 2 + 8*r.arity*len(r.tuples)
+	})
+	b.Grow(total)
+	ins.eachRel(func(r *relation) {
+		if len(r.tuples) == 0 {
+			return
+		}
+		b.WriteString(r.name)
+		b.WriteByte(0)
+		// Sort the fixed-width tuple encodings so the key is insertion-order
+		// independent (equal atom sets always collide). byKey's keys are
+		// exactly those encodings, already materialized — reuse them.
+		keys := make([]string, 0, len(r.byKey))
+		for k := range r.byKey {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			b.WriteString(k)
+		}
+		b.WriteByte(0)
+	})
+	return b.String()
 }
 
 // Dom returns the active domain of the instance in sorted order.
@@ -255,6 +374,22 @@ func (ins *Instance) Dom() []Value {
 	}
 	sort.Slice(out, func(i, j int) bool { return Less(out[i], out[j]) })
 	return out
+}
+
+// NullCount returns the number of distinct nulls in the active domain,
+// without the sort of Nulls (bound checks on hot paths only need the count).
+func (ins *Instance) NullCount() int {
+	seen := make(map[Value]struct{})
+	for _, r := range ins.rels {
+		for _, t := range r.tuples {
+			for _, v := range t {
+				if v.IsNull() {
+					seen[v] = struct{}{}
+				}
+			}
+		}
+	}
+	return len(seen)
 }
 
 // Nulls returns the nulls of the active domain in increasing label order.
@@ -309,13 +444,49 @@ func (ins *Instance) MaxNullLabel() int64 {
 	return max
 }
 
+// clone copies a relation without re-encoding keys or rehashing: maps are
+// copied with exact size hints and posting lists into one flat backing per
+// position. The inner tuple slices are shared — they are immutable once
+// stored (Add copies its argument, ReplaceValue rewrites into fresh copies,
+// removeTuples only compacts the outer slice) — but everything a mutation
+// can touch (the outer tuples slice, byKey, the byPos maps and their index
+// slices) is fresh. Posting lists are full-capacity sub-slices of the flat
+// backing, so an append on either copy reallocates instead of clobbering a
+// neighbor.
+func (r *relation) clone() *relation {
+	cp := &relation{
+		name:   r.name,
+		arity:  r.arity,
+		tuples: make([][]Value, len(r.tuples)),
+		byKey:  make(map[string]int, len(r.byKey)),
+		byPos:  make([]map[Value][]int, r.arity),
+	}
+	copy(cp.tuples, r.tuples)
+	for k, v := range r.byKey {
+		cp.byKey[k] = v
+	}
+	for p, m := range r.byPos {
+		nm := make(map[Value][]int, len(m))
+		flat := make([]int, 0, len(r.tuples))
+		for v, idxs := range m {
+			start := len(flat)
+			flat = append(flat, idxs...)
+			nm[v] = flat[start:len(flat):len(flat)]
+		}
+		cp.byPos[p] = nm
+	}
+	return cp
+}
+
 // Clone returns a deep copy with identical iteration order.
 func (ins *Instance) Clone() *Instance {
 	cp := New()
 	ins.eachRel(func(r *relation) {
-		for _, t := range r.tuples {
-			cp.Add(Atom{Rel: r.name, Args: t})
+		if len(r.tuples) == 0 {
+			return
 		}
+		cp.rels[r.name] = r.clone()
+		cp.names = append(cp.names, r.name)
 	})
 	return cp
 }
@@ -325,12 +496,11 @@ func (ins *Instance) Clone() *Instance {
 func (ins *Instance) Reduct(s Schema) *Instance {
 	out := New()
 	ins.eachRel(func(r *relation) {
-		if !s.Has(r.name) {
+		if !s.Has(r.name) || len(r.tuples) == 0 {
 			return
 		}
-		for _, t := range r.tuples {
-			out.Add(Atom{Rel: r.name, Args: t})
-		}
+		out.rels[r.name] = r.clone()
+		out.names = append(out.names, r.name)
 	})
 	return out
 }

@@ -39,6 +39,11 @@ var (
 	// HomBacktracks counts undone candidate assignments in homomorphism
 	// search — the backtracking effort of hom.Find/FindAll/FindOnto.
 	HomBacktracks = register("hom_backtracks")
+	// HomPrunes counts homomorphism searches refuted by the arc-consistency
+	// pass before any backtracking: some null's candidate domain (values
+	// occurring at every position the null occupies in the source) is empty.
+	// Only these deterministic empty-domain events are counted.
+	HomPrunes = register("hom_prunes")
 	// RepCandidates counts null valuations materialised by
 	// certain.ForEachRep (before the Σt membership filter).
 	RepCandidates = register("rep_candidates")

@@ -1,0 +1,75 @@
+//go:build !race
+
+package query_test
+
+// Alloc guard for the compiled evaluation hot path: a compiled Plan must
+// evaluate with (amortized) zero allocations per call — per-level buffers
+// come from the plan's pool and results are slot slices, not maps. A
+// regression that reintroduces per-step allocation fails this test long
+// before it would show up in the benchmarks.
+//
+// Excluded under -race: the race runtime instruments allocations and makes
+// AllocsPerRun meaningless there.
+
+import (
+	"testing"
+
+	"repro/internal/genwl"
+	"repro/internal/instance"
+	"repro/internal/query"
+)
+
+func TestPlanEvalAllocFree(t *testing.T) {
+	ins := genwl.TwoNineCycles()
+	atoms := []query.Atom{
+		query.A("E", query.V("x"), query.V("y")),
+		query.A("E", query.V("y"), query.V("z")),
+		query.A("E", query.V("z"), query.V("w")),
+	}
+	plan := query.Compile(atoms, nil)
+	count := 0
+	eval := func() {
+		plan.Eval(ins, nil, func(env []instance.Value) bool {
+			count++
+			return true
+		})
+	}
+	eval() // prime the plan's eval-state pool
+	if count == 0 {
+		t.Fatal("workload produced no matches; the guard would be vacuous")
+	}
+	// Budget 0: the steady-state slot path performs no allocations at all.
+	// sync.Pool can in principle lose state across GCs mid-measurement, so
+	// allow a fraction of a state allocation amortized over the runs.
+	if avg := testing.AllocsPerRun(100, eval); avg > 0.5 {
+		t.Errorf("Plan.Eval allocates %.2f objects/run on the hot path; budget is 0", avg)
+	}
+}
+
+// TestMatchAtomsAllocBudget guards the one-shot MatchAtoms entry point,
+// which pays a single compile per call: its allocation count must stay
+// bounded by plan size, not by the number of results.
+func TestMatchAtomsAllocBudget(t *testing.T) {
+	ins := genwl.TwoNineCycles()
+	atoms := []query.Atom{
+		query.A("E", query.V("x"), query.V("y")),
+		query.A("E", query.V("y"), query.V("z")),
+		query.A("E", query.V("z"), query.V("w")),
+	}
+	count := 0
+	run := func() {
+		query.MatchAtoms(ins, atoms, nil, func(b query.Binding) bool {
+			count++
+			return true
+		})
+	}
+	run()
+	if count == 0 {
+		t.Fatal("workload produced no matches; the guard would be vacuous")
+	}
+	// ~54 result tuples per run: a per-result allocation would cost 50+.
+	const budget = 40
+	if avg := testing.AllocsPerRun(50, run); avg > budget {
+		t.Errorf("MatchAtoms allocates %.1f objects/run; budget is %d (compile cost only)", avg, budget)
+	}
+}

@@ -1,0 +1,94 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/instance"
+)
+
+// Compile builds a Plan for the conjunction of atoms, assuming the variables
+// in preBound are bound before evaluation starts. The atom order is fixed at
+// compile time by simulating the interpreted matcher's greedy most-bound
+// heuristic: repeatedly pick the first remaining atom maximizing the number
+// of constant-or-bound terms. Because boundness is determined statically
+// (each variable is bound by the first chosen atom mentioning it, or by
+// preBound), the compiled order — and hence the enumeration order of
+// results — is identical to the interpreted engine's.
+//
+// Slots are assigned preBound first (in the given order), then remaining
+// variables in the position order of the chosen atoms. Compile panics on a
+// duplicate preBound name, since that indicates a caller bug.
+func Compile(atoms []Atom, preBound []string) *Plan {
+	p := &Plan{
+		slotOf: make(map[string]int, len(preBound)+4*len(atoms)),
+		nPre:   len(preBound),
+	}
+	for _, name := range preBound {
+		if _, dup := p.slotOf[name]; dup {
+			panic(fmt.Sprintf("query.Compile: duplicate pre-bound variable %q", name))
+		}
+		p.slotOf[name] = len(p.vars)
+		p.vars = append(p.vars, name)
+	}
+
+	remaining := make([]Atom, len(atoms))
+	copy(remaining, atoms)
+	p.atoms = make([]planAtom, 0, len(atoms))
+	for len(remaining) > 0 {
+		// Mirror matchRec's selection: score 2 per const-or-bound term,
+		// strict > so the first maximum wins.
+		best, bestScore := 0, -1
+		for i, a := range remaining {
+			score := 0
+			for _, t := range a.Terms {
+				if !t.IsVar() {
+					score += 2
+				} else if _, ok := p.slotOf[t.Var]; ok {
+					score += 2
+				}
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		a := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		p.atoms = append(p.atoms, p.compileAtom(a))
+	}
+	return p
+}
+
+// compileAtom classifies each position of the atom against the variables
+// bound so far, extending the slot table with newly bound variables.
+func (p *Plan) compileAtom(a Atom) planAtom {
+	pa := planAtom{
+		rel:     a.Rel,
+		pattern: make([]instance.Value, len(a.Terms)),
+		bound:   make([]bool, len(a.Terms)),
+	}
+	seenHere := make(map[string]bool, len(a.Terms))
+	for i, t := range a.Terms {
+		if !t.IsVar() {
+			pa.pattern[i] = t.Val
+			pa.bound[i] = true
+			continue
+		}
+		if slot, ok := p.slotOf[t.Var]; ok {
+			if seenHere[t.Var] {
+				// Bound earlier in this same atom: runtime equality check,
+				// matching the interpreted engine's repeated-variable path.
+				pa.ops = append(pa.ops, planOp{pos: i, slot: slot, check: true})
+				continue
+			}
+			pa.bound[i] = true
+			pa.fills = append(pa.fills, slotRef{pos: i, slot: slot})
+			continue
+		}
+		slot := len(p.vars)
+		p.slotOf[t.Var] = slot
+		p.vars = append(p.vars, t.Var)
+		seenHere[t.Var] = true
+		pa.ops = append(pa.ops, planOp{pos: i, slot: slot})
+	}
+	return pa
+}

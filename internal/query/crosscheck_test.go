@@ -1,0 +1,133 @@
+package query_test
+
+// Randomized crosscheck of the compiled Plan path against the interpreted
+// reference engine: on random instances (via genwl) and random conjunctive
+// bodies, MatchAtoms (Compile + EvalBinding) must produce exactly the same
+// binding sequence as MatchAtomsRef — same bindings, same order, same
+// early-stop behavior. Run under -race by `make ci`, where it doubles as a
+// data-race workload for the shared compiled plans.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/genwl"
+	"repro/internal/instance"
+	"repro/internal/query"
+)
+
+// randomConjunction builds 1–4 atoms over the relations of the workload
+// instance, drawing variables from a small pool (so repeated variables and
+// cross-atom joins are common) and occasionally using constants.
+func randomConjunction(rng *rand.Rand, rels map[string]int, consts []instance.Value) []query.Atom {
+	vars := []string{"x", "y", "z", "w", "v"}
+	names := make([]string, 0, len(rels))
+	for n := range rels {
+		names = append(names, n)
+	}
+	// Deterministic order for reproducibility (map iteration is random).
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	n := 1 + rng.Intn(4)
+	atoms := make([]query.Atom, 0, n)
+	for i := 0; i < n; i++ {
+		rel := names[rng.Intn(len(names))]
+		terms := make([]query.Term, rels[rel])
+		for j := range terms {
+			if rng.Intn(5) == 0 && len(consts) > 0 {
+				terms[j] = query.C(consts[rng.Intn(len(consts))])
+			} else {
+				terms[j] = query.V(vars[rng.Intn(len(vars))])
+			}
+		}
+		atoms = append(atoms, query.A(rel, terms...))
+	}
+	return atoms
+}
+
+// bindingKey renders a binding canonically for sequence comparison.
+func bindingKey(b query.Binding) string {
+	vars := []string{"x", "y", "z", "w", "v"}
+	out := ""
+	for _, v := range vars {
+		if val, ok := b[v]; ok {
+			out += fmt.Sprintf("%s=%v;", v, val)
+		}
+	}
+	return out
+}
+
+// collect runs a matcher, recording the sequence of bindings and stopping
+// after limit results (0 = unbounded). It returns the sequence and the
+// matcher's return value.
+func collect(match func(f func(query.Binding) bool) bool, limit int) ([]string, bool) {
+	var seq []string
+	ret := match(func(b query.Binding) bool {
+		seq = append(seq, bindingKey(b))
+		return limit == 0 || len(seq) < limit
+	})
+	return seq, ret
+}
+
+func TestMatchAtomsCrosscheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	workloads := []*instance.Instance{
+		genwl.RandomEdges("E", 12, 1),
+		genwl.RandomEdges("E", 30, 2),
+		genwl.RandomLayeredSource(16, 3),
+		genwl.TwoNineCycles(),
+		genwl.EgdOnlySource(8, true, 4),
+	}
+	relsOf := func(ins *instance.Instance) map[string]int {
+		rels := make(map[string]int)
+		for _, a := range ins.Atoms() {
+			rels[a.Rel] = len(a.Args)
+		}
+		return rels
+	}
+	cases := 0
+	for cases < 200 {
+		ins := workloads[rng.Intn(len(workloads))]
+		rels := relsOf(ins)
+		dom := ins.Dom()
+		atoms := randomConjunction(rng, rels, dom)
+
+		// Sometimes pre-bind a variable, exercising the preBound slot path.
+		init := query.Binding{}
+		if rng.Intn(3) == 0 && len(dom) > 0 {
+			init["x"] = dom[rng.Intn(len(dom))]
+		}
+		// Sometimes stop early, exercising the cancellation contract.
+		limit := 0
+		if rng.Intn(4) == 0 {
+			limit = 1 + rng.Intn(3)
+		}
+
+		gotSeq, gotRet := collect(func(f func(query.Binding) bool) bool {
+			return query.MatchAtoms(ins, atoms, init, f)
+		}, limit)
+		wantSeq, wantRet := collect(func(f func(query.Binding) bool) bool {
+			return query.MatchAtomsRef(ins, atoms, init, f)
+		}, limit)
+
+		if gotRet != wantRet {
+			t.Fatalf("case %d: atoms=%v init=%v limit=%d: return %v, reference %v",
+				cases, atoms, init, limit, gotRet, wantRet)
+		}
+		if len(gotSeq) != len(wantSeq) {
+			t.Fatalf("case %d: atoms=%v init=%v limit=%d: %d bindings, reference %d\ngot:  %v\nwant: %v",
+				cases, atoms, init, limit, len(gotSeq), len(wantSeq), gotSeq, wantSeq)
+		}
+		for i := range gotSeq {
+			if gotSeq[i] != wantSeq[i] {
+				t.Fatalf("case %d: atoms=%v init=%v: binding %d differs: %s vs reference %s",
+					cases, atoms, init, i, gotSeq[i], wantSeq[i])
+			}
+		}
+		cases++
+	}
+}

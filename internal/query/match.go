@@ -1,6 +1,8 @@
 package query
 
 import (
+	"sort"
+
 	"repro/internal/instance"
 )
 
@@ -149,11 +151,28 @@ func (s *TupleSet) String() string {
 // stops early when f returns false. MatchAtoms returns false iff it was
 // stopped early.
 //
-// The matcher greedily picks the next atom with the most bound positions and
-// dispatches through the instance's position indexes, which makes it the
-// shared join kernel of chase steps, dependency checking and homomorphism
-// search.
+// MatchAtoms compiles the conjunction into a Plan (fixed most-bound atom
+// order, integer slots) and evaluates it, so the per-step cost is
+// allocation-free; callers that evaluate the same body repeatedly should
+// Compile once and reuse the Plan. The enumeration order is identical to the
+// interpreted reference engine MatchAtomsRef.
 func MatchAtoms(ins *instance.Instance, atoms []Atom, init Binding, f func(Binding) bool) bool {
+	var preBound []string
+	if len(init) > 0 {
+		preBound = make([]string, 0, len(init))
+		for v := range init {
+			preBound = append(preBound, v)
+		}
+		sort.Strings(preBound)
+	}
+	return Compile(atoms, preBound).EvalBinding(ins, init, f)
+}
+
+// MatchAtomsRef is the interpreted reference engine: it re-plans the atom
+// order at every recursion level and keys bindings through a map. It is kept
+// as the ground truth for randomized crosschecks against the compiled Plan
+// path and follows the same callback contract as MatchAtoms.
+func MatchAtomsRef(ins *instance.Instance, atoms []Atom, init Binding, f func(Binding) bool) bool {
 	env := init.Clone()
 	remaining := make([]Atom, len(atoms))
 	copy(remaining, atoms)

@@ -1,0 +1,165 @@
+package query
+
+import (
+	"sync"
+
+	"repro/internal/instance"
+)
+
+// Plan is a conjunctive body compiled for repeated evaluation: a fixed atom
+// order chosen by the most-bound heuristic at compile time, integer variable
+// slots instead of string-keyed bindings, and statically known bound/free
+// positions per atom. Evaluation recurses over the compiled levels with
+// per-level pattern buffers drawn from a pool, so the steady-state hot path
+// performs no allocations and no map operations.
+//
+// A Plan is immutable after Compile and safe for concurrent use; per-call
+// evaluation state lives in a sync.Pool. Plans are cached per dependency
+// (dependency.TGD/EGD) and shared by the parallel evaluation paths.
+type Plan struct {
+	vars   []string // slot → variable name; the first nPre slots are pre-bound
+	slotOf map[string]int
+	nPre   int
+	atoms  []planAtom
+	pool   sync.Pool // *evalState
+}
+
+// slotRef ties a tuple position to a variable slot.
+type slotRef struct{ pos, slot int }
+
+// planOp is a per-position action on a candidate tuple: bind the slot to the
+// tuple value, or check the value against an already-bound slot (repeated
+// variables within one atom). Ops are executed in position order.
+type planOp struct {
+	pos, slot int
+	check     bool
+}
+
+type planAtom struct {
+	rel     string
+	pattern []instance.Value // template: constant positions pre-filled
+	bound   []bool           // static: true for constants and bound slots
+	fills   []slotRef        // bound-variable positions to fill from env
+	ops     []planOp         // unbound positions, in position order
+}
+
+type evalState struct {
+	env      []instance.Value
+	patterns [][]instance.Value
+}
+
+// NumSlots returns the number of variable slots (pre-bound vars first).
+func (p *Plan) NumSlots() int { return len(p.vars) }
+
+// Slot returns the slot index of the named variable, or -1 if the variable
+// occurs neither in the atoms nor in the pre-bound set.
+func (p *Plan) Slot(name string) int {
+	if i, ok := p.slotOf[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// VarNames returns the slot → name table. The slice is the plan's own
+// storage and must not be modified.
+func (p *Plan) VarNames() []string { return p.vars }
+
+func (p *Plan) state() *evalState {
+	if st, ok := p.pool.Get().(*evalState); ok {
+		return st
+	}
+	st := &evalState{
+		env:      make([]instance.Value, len(p.vars)),
+		patterns: make([][]instance.Value, len(p.atoms)),
+	}
+	for i, a := range p.atoms {
+		st.patterns[i] = make([]instance.Value, len(a.pattern))
+	}
+	return st
+}
+
+// Eval enumerates every extension of the pre-bound slots that makes all
+// compiled atoms true in ins, invoking f with the full slot environment.
+// init supplies the values of the first len(init) (= nPre) slots; it may be
+// nil when the plan has no pre-bound variables. The env slice passed to f is
+// reused between calls — copy what you keep. Enumeration stops early when f
+// returns false; Eval returns false iff it was stopped early.
+func (p *Plan) Eval(ins *instance.Instance, init []instance.Value, f func(env []instance.Value) bool) bool {
+	st := p.state()
+	copy(st.env[:p.nPre], init)
+	ok := p.run(ins, st, 0, f)
+	p.pool.Put(st)
+	return ok
+}
+
+func (p *Plan) run(ins *instance.Instance, st *evalState, lvl int, f func([]instance.Value) bool) bool {
+	if lvl == len(p.atoms) {
+		return f(st.env)
+	}
+	a := &p.atoms[lvl]
+	pat := st.patterns[lvl]
+	copy(pat, a.pattern)
+	for _, fr := range a.fills {
+		pat[fr.pos] = st.env[fr.slot]
+	}
+	tuples, idxs, ok := ins.MatchCandidates(a.rel, pat, a.bound)
+	if !ok {
+		return true
+	}
+	if idxs == nil {
+		for _, t := range tuples {
+			if !p.step(ins, st, lvl, a, pat, t, f) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, i := range idxs {
+		if !p.step(ins, st, lvl, a, pat, tuples[i], f) {
+			return false
+		}
+	}
+	return true
+}
+
+// step verifies one candidate tuple against the pattern, executes the atom's
+// bind/check ops, and recurses. It returns false to stop the enumeration.
+func (p *Plan) step(ins *instance.Instance, st *evalState, lvl int, a *planAtom, pat, t []instance.Value, f func([]instance.Value) bool) bool {
+	for i, b := range a.bound {
+		if b && t[i] != pat[i] {
+			return true
+		}
+	}
+	for _, op := range a.ops {
+		if op.check {
+			if t[op.pos] != st.env[op.slot] {
+				return true
+			}
+		} else {
+			st.env[op.slot] = t[op.pos]
+		}
+	}
+	return p.run(ins, st, lvl+1, f)
+}
+
+// EvalBinding is the adapter that keeps func(Binding) callbacks working on
+// top of slot-based evaluation: init supplies the pre-bound variables by
+// name, and f receives a Binding covering every slot. The Binding passed to
+// f is reused between calls — clone it if you keep it (the same contract as
+// MatchAtoms).
+func (p *Plan) EvalBinding(ins *instance.Instance, init Binding, f func(Binding) bool) bool {
+	var initVals []instance.Value
+	if p.nPre > 0 {
+		initVals = make([]instance.Value, p.nPre)
+		for i := 0; i < p.nPre; i++ {
+			initVals[i] = init[p.vars[i]]
+		}
+	}
+	out := make(Binding, len(p.vars))
+	return p.Eval(ins, initVals, func(env []instance.Value) bool {
+		for i, name := range p.vars {
+			out[name] = env[i]
+		}
+		return f(out)
+	})
+}

@@ -1,0 +1,64 @@
+package query
+
+import (
+	"repro/internal/instance"
+)
+
+// AtomTemplates instantiate a list of atoms under a slot environment without
+// any map lookups: each argument is either a constant or a slot index into
+// the env of the Plan the templates were compiled against. They are the
+// slot-based counterpart of instantiating head atoms under a Binding.
+type AtomTemplates struct {
+	atoms []atomTemplate
+}
+
+type atomTemplate struct {
+	rel   string
+	args  []instance.Value // constant positions pre-filled
+	slots []int            // per position: env slot, or -1 for constants
+}
+
+// NewAtomTemplates compiles the atoms against the plan's slot table. Every
+// variable must have a slot in p (occur in p's atoms or pre-bound set);
+// NewAtomTemplates panics otherwise, since that indicates a caller bug.
+func NewAtomTemplates(atoms []Atom, p *Plan) *AtomTemplates {
+	ts := &AtomTemplates{atoms: make([]atomTemplate, len(atoms))}
+	for i, a := range atoms {
+		t := atomTemplate{
+			rel:   a.Rel,
+			args:  make([]instance.Value, len(a.Terms)),
+			slots: make([]int, len(a.Terms)),
+		}
+		for j, term := range a.Terms {
+			if !term.IsVar() {
+				t.args[j] = term.Val
+				t.slots[j] = -1
+				continue
+			}
+			slot := p.Slot(term.Var)
+			if slot < 0 {
+				panic("query.NewAtomTemplates: variable " + term.Var + " has no slot")
+			}
+			t.slots[j] = slot
+		}
+		ts.atoms[i] = t
+	}
+	return ts
+}
+
+// Instantiate returns the atoms under the environment. The returned atoms
+// use freshly allocated argument slices.
+func (ts *AtomTemplates) Instantiate(env []instance.Value) []instance.Atom {
+	out := make([]instance.Atom, len(ts.atoms))
+	for i, t := range ts.atoms {
+		args := make([]instance.Value, len(t.args))
+		copy(args, t.args)
+		for j, slot := range t.slots {
+			if slot >= 0 {
+				args[j] = env[slot]
+			}
+		}
+		out[i] = instance.Atom{Rel: t.rel, Args: args}
+	}
+	return out
+}

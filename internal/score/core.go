@@ -30,8 +30,11 @@ func CoreNaive(t *instance.Instance) *instance.Instance {
 	cur := t.Clone()
 	for {
 		dropped := false
+		// Compile cur once per pass; the instance only changes when a null
+		// is dropped, which restarts the pass.
+		s := hom.CompileSource(cur)
 		for _, n := range cur.Nulls() {
-			if m, ok := hom.Find(cur, cur, hom.Avoiding(n)); ok {
+			if m, ok := s.Find(cur, hom.Avoiding(n)); ok {
 				cur = m.ApplyInstance(cur)
 				dropped = true
 				break
@@ -56,10 +59,12 @@ func Core(t *instance.Instance) *instance.Instance {
 // IsCore reports whether no null of t can be dropped. By the block
 // decomposition this is checked block-locally.
 func IsCore(t *instance.Instance) bool {
-	for _, block := range blocks(t) {
-		sub := blockAtoms(t, block)
+	blks, atoms := blocksWithAtoms(t)
+	for i, block := range blks {
+		// One compiled search per block, probed once per null of the block.
+		s := hom.CompileSource(atoms[i])
 		for _, n := range block {
-			if _, ok := hom.Find(sub, t, hom.Avoiding(n)); ok {
+			if _, ok := s.Find(t, hom.Avoiding(n)); ok {
 				return false
 			}
 		}
@@ -70,10 +75,13 @@ func IsCore(t *instance.Instance) bool {
 // dropSomeNullBlockwise looks for a droppable null block-locally, applies
 // the block-extended endomorphism, and reports whether it made progress.
 func dropSomeNullBlockwise(cur **instance.Instance) bool {
-	for _, block := range blocks(*cur) {
-		sub := blockAtoms(*cur, block)
+	blks, atoms := blocksWithAtoms(*cur)
+	for i, block := range blks {
+		// One compiled search per block, reused across the droppable-null
+		// loop: only the avoided value changes between probes.
+		s := hom.CompileSource(atoms[i])
 		for _, n := range block {
-			m, ok := hom.Find(sub, *cur, hom.Avoiding(n))
+			m, ok := s.Find(*cur, hom.Avoiding(n))
 			if !ok {
 				continue
 			}
@@ -151,4 +159,32 @@ func blockAtoms(t *instance.Instance, block []instance.Value) *instance.Instance
 		}
 	}
 	return out
+}
+
+// blocksWithAtoms returns the Gaifman blocks of t (as blocks does) paired
+// with, for each block, the sub-instance of atoms mentioning one of its
+// nulls. A single pass over the atoms replaces the per-block scans of
+// blockAtoms, which dominated the blockwise core loop on instances with
+// many blocks.
+func blocksWithAtoms(t *instance.Instance) ([][]instance.Value, []*instance.Instance) {
+	blks := blocks(t)
+	idx := make(map[instance.Value]int) // null -> block index
+	for i, block := range blks {
+		for _, n := range block {
+			idx[n] = i
+		}
+	}
+	atoms := make([]*instance.Instance, len(blks))
+	for i := range atoms {
+		atoms[i] = instance.New()
+	}
+	for _, a := range t.Atoms() {
+		for _, v := range a.Args {
+			if i, ok := idx[v]; ok {
+				atoms[i].Add(a)
+				break
+			}
+		}
+	}
+	return blks, atoms
 }

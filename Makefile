@@ -4,7 +4,7 @@ GO ?= go
 BENCH_OUT ?= BENCH_2.json
 BENCH_BASELINE ?=
 
-.PHONY: all build vet vet-shadow test race bench-smoke bench-json ci
+.PHONY: all build vet vet-shadow test race race-server serve-smoke bench-smoke bench-json ci
 
 all: build
 
@@ -34,6 +34,18 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused race pass over the server stack: the admission gate, the LRU
+# caches, the registry's single-flight memos, and the metrics scrape-during-
+# enumeration workload.
+race-server:
+	$(GO) test -race -count=1 ./internal/server/... ./internal/status/... ./internal/metrics/...
+
+# Start dxserver on a loopback port, fire a scripted request burst through
+# the Go client (register, chase, core, certain twice to hit the result
+# cache, enum, metrics, health), verify every response, and exit.
+serve-smoke:
+	$(GO) run ./cmd/dxserver -smoke
+
 # One iteration of every benchmark: catches bit-rot in the bench targets
 # without waiting for statistically meaningful timings.
 bench-smoke:
@@ -47,4 +59,4 @@ bench-json:
 		| $(GO) run ./cmd/benchjson $(if $(BENCH_BASELINE),-before $(BENCH_BASELINE)) \
 		> $(BENCH_OUT)
 
-ci: vet vet-shadow build race bench-smoke
+ci: vet vet-shadow build race race-server serve-smoke bench-smoke

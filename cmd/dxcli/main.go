@@ -20,6 +20,16 @@
 // to stderr on exit), and the profiling flags -cpuprofile FILE /
 // -memprofile FILE (pprof profiles, written even when the run ends in an
 // error — so a -timeout'd run can still be profiled).
+//
+// Exit codes (the same table internal/status maps to dxserver's HTTP
+// statuses, so shell scripts and HTTP clients share one taxonomy):
+//
+//	0  success
+//	1  no (CWA-)solution exists (the chase failed on an egd)
+//	2  usage or parse error (bad flags, malformed setting/instance/query)
+//	3  resource limit: -timeout expired, -max-steps budget exhausted, or a
+//	   size bound (too many nulls, enumeration truncated) refused the run
+//	4  internal/unexpected error
 package main
 
 import (
@@ -35,6 +45,7 @@ import (
 	"repro"
 	"repro/internal/cwa"
 	"repro/internal/metrics"
+	"repro/internal/status"
 )
 
 // showMetrics makes fatal and the normal exit path print the counter
@@ -102,7 +113,7 @@ func main() {
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	if err := fs.Parse(os.Args[2:]); err != nil {
-		fatal(err)
+		fatal(status.WithKind(err, status.Usage))
 	}
 	startProfiles(*cpuProfile, *memProfile)
 
@@ -197,7 +208,7 @@ func main() {
 		src := loadInstance(*sourcePath)
 		u, err := repro.ParseUCQ(*queryText)
 		if err != nil {
-			fatal(fmt.Errorf("parsing query: %w", err))
+			fatal(status.WithKind(fmt.Errorf("parsing query: %w", err), status.Usage))
 		}
 		sem, ok := map[string]repro.Semantics{
 			"certain-cap": repro.CertainCap,
@@ -206,7 +217,7 @@ func main() {
 			"maybe-cup":   repro.MaybeCup,
 		}[*semName]
 		if !ok {
-			fatal(fmt.Errorf("unknown semantics %q", *semName))
+			fatal(status.WithKind(fmt.Errorf("unknown semantics %q", *semName), status.Usage))
 		}
 		ans, err := repro.Answers(s, u, src, sem, repro.CertainOptions{Chase: opt, Workers: *workers})
 		if err != nil {
@@ -242,39 +253,45 @@ func reportMetrics() {
 
 func loadSetting(path string) *repro.Setting {
 	if path == "" {
-		fatal(fmt.Errorf("-setting is required"))
+		fatal(status.WithKind(fmt.Errorf("-setting is required"), status.Usage))
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fatal(err)
+		fatal(status.WithKind(err, status.Usage))
 	}
 	s, err := repro.ParseSetting(string(data))
 	if err != nil {
-		fatal(fmt.Errorf("parsing %s: %w", path, err))
+		fatal(status.WithKind(fmt.Errorf("parsing %s: %w", path, err), status.Usage))
 	}
 	return s
 }
 
 func loadInstance(path string) *repro.Instance {
 	if path == "" {
-		fatal(fmt.Errorf("-source/-target file is required"))
+		fatal(status.WithKind(fmt.Errorf("-source/-target file is required"), status.Usage))
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fatal(err)
+		fatal(status.WithKind(err, status.Usage))
 	}
 	ins, err := repro.ParseInstance(string(data))
 	if err != nil {
-		fatal(fmt.Errorf("parsing %s: %w", path, err))
+		fatal(status.WithKind(fmt.Errorf("parsing %s: %w", path, err), status.Usage))
 	}
 	return ins
 }
 
+// fatal reports the error and exits with the internal/status exit code for
+// its classification (see the package comment's table).
 func fatal(err error) {
 	stopProfiles()
 	reportMetrics()
 	fmt.Fprintln(os.Stderr, "dxcli:", err)
-	os.Exit(1)
+	code := status.Classify(err).ExitCode()
+	if code == 0 {
+		code = 4 // fatal is never called on success
+	}
+	os.Exit(code)
 }
 
 func usage() {

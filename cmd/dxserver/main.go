@@ -1,0 +1,277 @@
+// Command dxserver runs the long-running data-exchange service: an
+// HTTP/JSON API over registered scenarios (setting + source instance) with
+// plan/result caching, per-request deadlines and budgets, and
+// bounded-concurrency admission control. See internal/server for the
+// architecture and README.md ("Running the server") for the endpoints.
+//
+// Usage:
+//
+//	dxserver [-addr :8080] [-max-concurrent N] [-queue-depth N]
+//	         [-default-deadline 30s] [-max-deadline 5m] [-max-steps N]
+//	         [-max-enum N] [-max-scenarios N] [-max-results N]
+//	         [-drain-timeout 10s]
+//
+// On SIGINT/SIGTERM the server stops admitting new work (503), drains
+// in-flight requests for -drain-timeout, then aborts whatever is left via
+// the evaluation contexts and exits.
+//
+// dxserver -smoke starts the server on a loopback port, fires a scripted
+// request burst through the Go client (register, chase, core, certain
+// twice to exercise the result cache, enum, a deliberately timed-out
+// request, health and metrics), verifies every response, and exits 0/1 —
+// the `make serve-smoke` target.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/server/api"
+	"repro/internal/server/client"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrently evaluating requests (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 0, "max requests waiting for a slot before 503 (0 = 4×max-concurrent)")
+	defaultDeadline := flag.Duration("default-deadline", 30*time.Second, "deadline for requests without deadline_ms")
+	maxDeadline := flag.Duration("max-deadline", 5*time.Minute, "cap on request deadlines")
+	maxSteps := flag.Int("max-steps", 0, "default chase step budget (0 = library default)")
+	maxEnum := flag.Int("max-enum", 0, "cap on /v1/enum solutions (0 = default 256)")
+	maxScenarios := flag.Int("max-scenarios", 0, "resident scenario bound (0 = default 128)")
+	maxResults := flag.Int("max-results", 0, "cached response bound (0 = default 4096)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window")
+	smoke := flag.Bool("smoke", false, "start on a loopback port, run a scripted request burst, and exit")
+	flag.Parse()
+
+	cfg := server.Config{
+		MaxConcurrent:    *maxConcurrent,
+		QueueDepth:       *queueDepth,
+		DefaultDeadline:  *defaultDeadline,
+		MaxDeadline:      *maxDeadline,
+		DefaultMaxSteps:  *maxSteps,
+		MaxEnumSolutions: *maxEnum,
+		MaxScenarios:     *maxScenarios,
+		MaxResults:       *maxResults,
+	}
+
+	if *smoke {
+		if err := runSmoke(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "dxserver -smoke: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("dxserver -smoke: PASS")
+		return
+	}
+
+	srv := server.New(cfg)
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("dxserver: listening on %s", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("dxserver: %v", err)
+	case s := <-sig:
+		log.Printf("dxserver: %v: draining (max %v)", s, *drainTimeout)
+	}
+
+	// Graceful shutdown: refuse new evaluations, give in-flight work the
+	// drain window, then abort stragglers through their contexts so
+	// Shutdown can complete.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- hs.Shutdown(ctx) }()
+	select {
+	case err := <-shutdownDone:
+		if err != nil {
+			log.Printf("dxserver: shutdown: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("dxserver: drain window expired, aborting in-flight work")
+		srv.Abort()
+		if err := <-shutdownDone; err != nil {
+			log.Printf("dxserver: shutdown after abort: %v", err)
+		}
+	}
+	log.Printf("dxserver: bye")
+}
+
+// runSmoke is the self-contained request burst behind `make serve-smoke`.
+func runSmoke(cfg server.Config) error {
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	c := client.New("http://" + ln.Addr().String())
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	step := func(name string, f func() error) error {
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("  ok: %s\n", name)
+		return nil
+	}
+
+	const setting = `
+source M/2, N/2.
+target E/2, F/2, G/2.
+st:
+  d1: M(x1,x2) -> E(x1,x2).
+  d2: N(x,y) -> exists z1,z2 : E(x,z1) & F(x,z2).
+target-deps:
+  d3: F(y,x) -> exists z : G(x,z).
+  d4: F(x,y) & F(x,z) -> y = z.
+`
+	const source = `M(a,b). N(a,b). N(a,c).`
+
+	if err := step("register", func() error {
+		info, err := c.Register(ctx, api.RegisterRequest{Name: "smoke", Setting: setting, Source: source})
+		if err != nil {
+			return err
+		}
+		if !info.WeaklyAcyclic || !info.Chased {
+			return fmt.Errorf("expected an eagerly chased weakly acyclic scenario, got %+v", info)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("chase", func() error {
+		res, err := c.Chase(ctx, api.EvalRequest{Scenario: "smoke"})
+		if err != nil {
+			return err
+		}
+		if res.Atoms == 0 || res.Steps == 0 {
+			return fmt.Errorf("empty chase result: %+v", res)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("core", func() error {
+		res, err := c.Core(ctx, api.EvalRequest{Scenario: "smoke"})
+		if err != nil {
+			return err
+		}
+		if res.Atoms != 3 {
+			return fmt.Errorf("Example 2.1 core must have 3 atoms, got %d: %s", res.Atoms, res.Instance)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	certainReq := api.EvalRequest{Scenario: "smoke", Query: `q(x,y) :- E(x,y).`, Semantics: "certain-cup"}
+	var first api.CertainResponse
+	if err := step("certain (miss)", func() error {
+		first, err = c.Certain(ctx, certainReq)
+		if err != nil {
+			return err
+		}
+		if len(first.Answers) != 1 {
+			return fmt.Errorf("certain⊔ of q(x,y):-E(x,y) must be {(a,b)}, got %v", first.Answers)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("certain (cached)", func() error {
+		second, err := c.Certain(ctx, certainReq)
+		if err != nil {
+			return err
+		}
+		if fmt.Sprint(second.Answers) != fmt.Sprint(first.Answers) {
+			return fmt.Errorf("cached answers differ: %v vs %v", second.Answers, first.Answers)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("enum", func() error {
+		n := 0
+		sum, err := c.Enum(ctx, api.EvalRequest{Scenario: "smoke", Max: 50}, func(api.EnumSolution) error {
+			n++
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if !sum.Done || sum.Count != n || n == 0 {
+			return fmt.Errorf("bad enum stream: summary %+v after %d lines", sum, n)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("burst of 25 mixed requests", func() error {
+		for i := 0; i < 25; i++ {
+			switch i % 3 {
+			case 0:
+				if _, err := c.Core(ctx, api.EvalRequest{Scenario: "smoke"}); err != nil {
+					return err
+				}
+			case 1:
+				if _, err := c.Certain(ctx, certainReq); err != nil {
+					return err
+				}
+			default:
+				if _, err := c.Exists(ctx, api.EvalRequest{Scenario: "smoke"}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("metrics expose cache hits", func() error {
+		text, err := c.Metrics(ctx)
+		if err != nil {
+			return err
+		}
+		if !strings.Contains(text, "server_cache_hits") {
+			return fmt.Errorf("metricsz missing server_cache_hits:\n%s", text)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return step("health", func() error {
+		h, err := c.Health(ctx)
+		if err != nil {
+			return err
+		}
+		if h.Status != "ok" || h.Scenarios != 1 {
+			return fmt.Errorf("unexpected health %+v", h)
+		}
+		var apiErr *client.APIError
+		if _, err := c.Core(ctx, api.EvalRequest{Scenario: "nope"}); !errors.As(err, &apiErr) || apiErr.Code != "unknown_scenario" {
+			return fmt.Errorf("lookup of unknown scenario: want unknown_scenario, got %v", err)
+		}
+		return nil
+	})
+}

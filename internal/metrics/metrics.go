@@ -8,6 +8,7 @@ package metrics
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -55,6 +56,22 @@ var (
 	// GoroutinesSpawned counts workers launched by the parallel evaluation
 	// paths (ForEachRep fan-out, Enumerate spawn-or-inline, Incomparable).
 	GoroutinesSpawned = register("goroutines_spawned")
+
+	// ServerRequests counts requests admitted to dxserver's evaluation
+	// endpoints (after the admission gate, before evaluation).
+	ServerRequests = register("server_requests")
+	// ServerCacheHits counts dxserver responses served from the result
+	// cache without re-evaluating.
+	ServerCacheHits = register("server_cache_hits")
+	// ServerCacheMisses counts dxserver responses that had to be computed
+	// (and were then cached when successful).
+	ServerCacheMisses = register("server_cache_misses")
+	// ServerRejected counts requests refused by the admission gate because
+	// every worker slot was busy and the wait queue was full.
+	ServerRejected = register("server_rejected")
+	// ServerEvictions counts scenarios and cached results dropped by the
+	// registry's LRU bounds.
+	ServerEvictions = register("server_evictions")
 )
 
 var registry []*Counter
@@ -99,6 +116,25 @@ func (s Snapshot) String() string {
 		parts[i] = fmt.Sprintf("%s=%d", k, s[k])
 	}
 	return strings.Join(parts, " ")
+}
+
+// WriteText writes every counter as one "name value" line in sorted name
+// order — the /metricsz scrape format. Each counter is read with a single
+// atomic load, so scraping while the engine is running is safe (the dump is
+// a per-counter-consistent snapshot, not a globally atomic one).
+func WriteText(w io.Writer) error {
+	s := Read()
+	names := make([]string, 0, len(s))
+	for k := range s {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, s[k]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Reset zeroes every registered counter. Intended for tests and for

@@ -1,0 +1,79 @@
+package metrics_test
+
+// Scrape-while-running: the /metricsz dump must be safe against a live
+// evaluation engine. The test runs a parallel cwa.Enumerate while hammering
+// metrics.WriteText and metrics.Read from several scraper goroutines; under
+// `go test -race` any non-atomic read in the dump path is a failure.
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cwa"
+	"repro/internal/metrics"
+	"repro/internal/parser"
+)
+
+func TestScrapeDuringParallelEnumerate(t *testing.T) {
+	s, err := parser.ParseSetting(`
+source M/2, N/2.
+target E/2, F/2, G/2.
+st:
+  d1: M(x1,x2) -> E(x1,x2).
+  d2: N(x,y) -> exists z1,z2 : E(x,z1) & F(x,z2).
+target-deps:
+  d3: F(y,x) -> exists z : G(x,z).
+  d4: F(x,y) & F(x,z) -> y = z.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := parser.ParseInstance(`M(a,b). N(a,b). N(a,c).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				var buf bytes.Buffer
+				if err := metrics.WriteText(&buf); err != nil {
+					t.Errorf("WriteText: %v", err)
+					return
+				}
+				if !strings.Contains(buf.String(), "enum_states ") {
+					t.Errorf("scrape missing enum_states:\n%s", buf.String())
+					return
+				}
+				_ = metrics.Read().String()
+			}
+		}()
+	}
+
+	for round := 0; round < 3; round++ {
+		sols, err := cwa.Enumerate(s, src, cwa.EnumOptions{Workers: 4})
+		if err != nil {
+			t.Fatalf("Enumerate: %v", err)
+		}
+		if len(sols) == 0 {
+			t.Fatal("Enumerate found no CWA-solutions")
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	if metrics.EnumStates.Load() == 0 {
+		t.Fatal("EnumStates stayed zero during Enumerate")
+	}
+}

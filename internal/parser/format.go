@@ -1,0 +1,152 @@
+package parser
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dependency"
+	"repro/internal/instance"
+	"repro/internal/query"
+)
+
+// FormatSetting renders a setting in the text syntax ParseSetting accepts:
+// schema declarations, then the st: and target-deps: sections. Unlike
+// Setting.String (a human-readable display), constants inside dependencies
+// are quoted so they lex as constants rather than variables — the output
+// always re-parses to an equivalent setting. This is what lets
+// programmatically built settings (e.g. turing.DHaltSetting) travel over
+// dxserver's text API.
+func FormatSetting(s *dependency.Setting) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "source %s.\ntarget %s.\n", formatSchema(s.Source), formatSchema(s.Target))
+	if len(s.ST) > 0 {
+		b.WriteString("st:\n")
+		for _, d := range s.ST {
+			fmt.Fprintf(&b, "  %s.\n", formatTGD(d))
+		}
+	}
+	if len(s.TGDs) > 0 || len(s.EGDs) > 0 {
+		b.WriteString("target-deps:\n")
+		for _, d := range s.TGDs {
+			fmt.Fprintf(&b, "  %s.\n", formatTGD(d))
+		}
+		for _, d := range s.EGDs {
+			fmt.Fprintf(&b, "  %s.\n", formatEGD(d))
+		}
+	}
+	return b.String()
+}
+
+func formatSchema(s instance.Schema) string {
+	names := s.Names()
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s/%d", n, s[n])
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ", ")
+}
+
+func formatTGD(d *dependency.TGD) string {
+	head := make([]string, len(d.Head))
+	for i, a := range d.Head {
+		head[i] = formatAtom(a)
+	}
+	rhs := strings.Join(head, " & ")
+	if len(d.Exists) > 0 {
+		rhs = "exists " + strings.Join(d.Exists, ",") + " : " + rhs
+	}
+	body := formatFormula(d.Body)
+	// Quantified and implicational bodies are parenthesised so the printed
+	// dependency re-parses: a bare quantifier body would swallow the tgd
+	// arrow, a bare implication would be mistaken for it.
+	switch d.Body.(type) {
+	case query.Implies, query.Exists, query.Forall:
+		body = "(" + body + ")"
+	}
+	return fmt.Sprintf("%s: %s -> %s", d.Name, body, rhs)
+}
+
+func formatEGD(d *dependency.EGD) string {
+	parts := make([]string, len(d.Body))
+	for i, a := range d.Body {
+		parts[i] = formatAtom(a)
+	}
+	return fmt.Sprintf("%s: %s -> %s = %s", d.Name, strings.Join(parts, " & "), d.L, d.R)
+}
+
+func formatAtom(a query.Atom) string {
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		parts[i] = formatTerm(t)
+	}
+	return a.Rel + "(" + strings.Join(parts, ",") + ")"
+}
+
+// formatTerm renders a variable bare and a constant quoted, so the lexer
+// reconstructs the same term kind. Unlike instances (where bare identifiers
+// are constants), in dependencies and formulas a bare identifier lexes as a
+// variable — so every non-numeric constant must be quoted. Nulls do not
+// occur in dependencies.
+func formatTerm(t query.Term) string {
+	if t.IsVar() {
+		return t.Var
+	}
+	name := instance.ConstName(t.Val)
+	allDigits := name != ""
+	for _, r := range name {
+		if r < '0' || r > '9' {
+			allDigits = false
+			break
+		}
+	}
+	if allDigits {
+		return name // lexes as a number token, a constant in any context
+	}
+	return "'" + name + "'"
+}
+
+// formatFormula renders an FO formula (an s-t tgd body) with quoted
+// constants. Operands of the binary connectives are parenthesised when
+// composite, which the formula grammar accepts everywhere.
+func formatFormula(f query.Formula) string {
+	switch g := f.(type) {
+	case query.Atom:
+		return formatAtom(g)
+	case query.Eq:
+		return formatTerm(g.L) + " = " + formatTerm(g.R)
+	case query.Truth:
+		if bool(g) {
+			return "true"
+		}
+		return "false"
+	case query.Not:
+		return "!(" + formatFormula(g.F) + ")"
+	case query.And:
+		return joinOperands(g.Fs, " & ")
+	case query.Or:
+		return joinOperands(g.Fs, " | ")
+	case query.Implies:
+		return "(" + formatFormula(g.L) + ") -> (" + formatFormula(g.R) + ")"
+	case query.Exists:
+		return "exists " + strings.Join(g.Vars, ",") + " (" + formatFormula(g.F) + ")"
+	case query.Forall:
+		return "forall " + strings.Join(g.Vars, ",") + " (" + formatFormula(g.F) + ")"
+	}
+	// Unknown formula kinds fall back to their display form.
+	return f.String()
+}
+
+func joinOperands(fs []query.Formula, sep string) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		switch f.(type) {
+		case query.Atom, query.Eq, query.Truth, query.Not:
+			parts[i] = formatFormula(f)
+		default:
+			parts[i] = "(" + formatFormula(f) + ")"
+		}
+	}
+	return strings.Join(parts, sep)
+}

@@ -1,0 +1,72 @@
+package parser_test
+
+import (
+	"testing"
+
+	"repro/internal/dependency"
+	"repro/internal/genwl"
+	. "repro/internal/parser"
+	"repro/internal/semigroup"
+	"repro/internal/turing"
+)
+
+// reparse asserts FormatSetting(s) parses back to a setting with the same
+// schemas and the same dependencies (compared by their formatted text, which
+// is deterministic).
+func reparse(t *testing.T, name string, s *dependency.Setting) {
+	t.Helper()
+	text := FormatSetting(s)
+	back, err := ParseSetting(text)
+	if err != nil {
+		t.Fatalf("%s: FormatSetting output does not re-parse: %v\n%s", name, err, text)
+	}
+	if got := FormatSetting(back); got != text {
+		t.Fatalf("%s: round trip not a fixpoint:\nfirst:\n%s\nsecond:\n%s", name, text, got)
+	}
+	if len(back.ST) != len(s.ST) || len(back.TGDs) != len(s.TGDs) || len(back.EGDs) != len(s.EGDs) {
+		t.Fatalf("%s: dependency counts changed: %d/%d/%d -> %d/%d/%d", name,
+			len(s.ST), len(s.TGDs), len(s.EGDs), len(back.ST), len(back.TGDs), len(back.EGDs))
+	}
+}
+
+func TestFormatSettingRoundTrip(t *testing.T) {
+	ex21, err := ParseSetting(`
+source M/2, N/2.
+target E/2, F/2, G/2.
+st:
+  d1: M(x1,x2) -> E(x1,x2).
+  d2: N(x,y) -> exists z1,z2 : E(x,z1) & F(x,z2).
+target-deps:
+  d3: F(y,x) -> exists z : G(x,z).
+  d4: F(x,y) & F(x,z) -> y = z.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]*dependency.Setting{
+		"example21": ex21,
+		// D_halt carries quoted constants ('0', 'B', 'L', 'R') inside tgd
+		// bodies and heads — the case Setting.String loses.
+		"turing":    turing.DHaltSetting(),
+		"semigroup": semigroup.DembSetting(),
+		"copying":   genwl.Copying(),
+	} {
+		reparse(t, name, s)
+	}
+}
+
+// An FO-bodied s-t tgd with a constant and nested connectives must survive
+// the trip too.
+func TestFormatSettingFOBody(t *testing.T) {
+	s, err := ParseSetting(`
+source P/1, E/2.
+target Q/1.
+st:
+  d1: P(x) & !(E(x,'b')) -> Q(x).
+  d2: (exists y (E(x,y) | P(x))) -> Q(x).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparse(t, "fo-body", s)
+}

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// errOverloaded is returned by the admission gate when every worker slot is
+// busy and the wait queue is full; the handler maps it to HTTP 503.
+var errOverloaded = errors.New("server: overloaded (no worker slot, queue full)")
+
+// gate is the bounded-concurrency admission control in front of the
+// evaluation endpoints: at most `slots` requests evaluate concurrently, at
+// most `queueDepth` more wait for a slot (counting their wait against their
+// own deadline), and everything beyond that is rejected immediately rather
+// than piling up — the server sheds load instead of collapsing under it.
+type gate struct {
+	slots      chan struct{}
+	queueDepth int64
+	queued     atomic.Int64
+	inFlight   atomic.Int64
+}
+
+func newGate(maxConcurrent, queueDepth int) *gate {
+	g := &gate{slots: make(chan struct{}, maxConcurrent), queueDepth: int64(queueDepth)}
+	for i := 0; i < maxConcurrent; i++ {
+		g.slots <- struct{}{}
+	}
+	return g
+}
+
+// acquire takes a worker slot, waiting in the bounded queue if none is
+// free. It returns errOverloaded when the queue is full, or the context's
+// error if the caller's deadline expires while queued. On success the
+// caller must release().
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case <-g.slots:
+		g.inFlight.Add(1)
+		return nil
+	default:
+	}
+	if g.queued.Add(1) > g.queueDepth {
+		g.queued.Add(-1)
+		metrics.ServerRejected.Inc()
+		return errOverloaded
+	}
+	defer g.queued.Add(-1)
+	select {
+	case <-g.slots:
+		g.inFlight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns the slot taken by acquire.
+func (g *gate) release() {
+	g.inFlight.Add(-1)
+	g.slots <- struct{}{}
+}

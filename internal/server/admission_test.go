@@ -1,0 +1,82 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestGateSlotsAndQueue(t *testing.T) {
+	g := newGate(1, 1)
+	ctx := context.Background()
+
+	if err := g.acquire(ctx); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if got := g.inFlight.Load(); got != 1 {
+		t.Fatalf("inFlight = %d, want 1", got)
+	}
+
+	// Second caller queues; third is rejected while the queue is full.
+	queued := make(chan error, 1)
+	go func() {
+		queued <- g.acquire(ctx)
+	}()
+	waitFor(t, func() bool { return g.queued.Load() == 1 })
+
+	if err := g.acquire(ctx); !errors.Is(err, errOverloaded) {
+		t.Fatalf("third acquire = %v, want errOverloaded", err)
+	}
+
+	// Releasing the slot admits the queued caller.
+	g.release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	g.release()
+	if got := g.inFlight.Load(); got != 0 {
+		t.Fatalf("inFlight after releases = %d, want 0", got)
+	}
+}
+
+func TestGateQueuedCallerHonoursDeadline(t *testing.T) {
+	g := newGate(1, 4)
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer g.release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := g.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire under expired deadline = %v, want DeadlineExceeded", err)
+	}
+	if got := g.queued.Load(); got != 0 {
+		t.Fatalf("queued counter leaked: %d", got)
+	}
+}
+
+func TestGateZeroQueueRejectsImmediately(t *testing.T) {
+	g := newGate(1, 0)
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer g.release()
+	if err := g.acquire(context.Background()); !errors.Is(err, errOverloaded) {
+		t.Fatalf("acquire with zero queue = %v, want errOverloaded", err)
+	}
+}
+
+// waitFor polls cond for up to two seconds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 2s")
+}

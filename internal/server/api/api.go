@@ -1,0 +1,152 @@
+// Package api defines the JSON wire types of dxserver's HTTP interface.
+// Both internal/server (the handlers) and internal/server/client (the Go
+// client) marshal exactly these structs, so the two sides cannot drift.
+//
+// Instances travel as text in the syntax parser.ParseInstance accepts and
+// parser.FormatInstance emits; settings in the syntax parser.ParseSetting
+// accepts and parser.FormatSetting emits. Queries are UCQ rules
+// ("q(x) :- E(x,y).") or, prefixed by their free-variable tuple, FO
+// formulas ("(x) . Pp(x) | ...").
+package api
+
+// RegisterRequest registers a scenario: a setting plus a source instance,
+// parsed, validated and (for weakly acyclic settings) chased once so later
+// requests reuse the compiled plans and the cached chase result.
+type RegisterRequest struct {
+	// Name is the scenario identifier used by later requests. Optional: an
+	// empty name gets a generated one ("s1", "s2", ...).
+	Name string `json:"name,omitempty"`
+	// Setting is the data exchange setting text.
+	Setting string `json:"setting"`
+	// Source is the source instance text.
+	Source string `json:"source"`
+	// MaxSteps bounds the registration chase (0 = server default). It does
+	// not constrain later requests, which carry their own budgets.
+	MaxSteps int `json:"max_steps,omitempty"`
+}
+
+// ScenarioInfo describes a registered scenario.
+type ScenarioInfo struct {
+	ID            string `json:"id"`
+	WeaklyAcyclic bool   `json:"weakly_acyclic"`
+	RichlyAcyclic bool   `json:"richly_acyclic"`
+	// SourceAtoms is the size of the source instance.
+	SourceAtoms int `json:"source_atoms"`
+	// Chased reports whether the registration chase ran (weakly acyclic
+	// settings only) and its result is cached.
+	Chased bool `json:"chased"`
+	// ChaseSteps and UniversalAtoms describe the cached chase result when
+	// Chased is true.
+	ChaseSteps     int `json:"chase_steps,omitempty"`
+	UniversalAtoms int `json:"universal_atoms,omitempty"`
+	// Existing reports that registration found a scenario with identical
+	// content (same setting text, same source atom set) and returned it
+	// instead of creating a duplicate.
+	Existing bool `json:"existing,omitempty"`
+}
+
+// ScenarioList is the GET /v1/scenarios response.
+type ScenarioList struct {
+	Scenarios []ScenarioInfo `json:"scenarios"`
+}
+
+// EvalRequest is the common request body of the evaluation endpoints
+// (/v1/chase, /v1/core, /v1/cansol, /v1/exists, /v1/certain, /v1/enum).
+type EvalRequest struct {
+	// Scenario is the registered scenario ID.
+	Scenario string `json:"scenario"`
+	// DeadlineMillis is the per-request wall-clock deadline in
+	// milliseconds. 0 means the server default; the server caps it at its
+	// configured maximum. Expiry returns HTTP 504.
+	DeadlineMillis int `json:"deadline_ms,omitempty"`
+	// MaxSteps is the chase step budget (0 = server default). Exhaustion
+	// returns HTTP 422.
+	MaxSteps int `json:"max_steps,omitempty"`
+	// Workers is the evaluation parallelism for certain/enum
+	// (0 = server default).
+	Workers int `json:"workers,omitempty"`
+
+	// Query is the query text (certain only).
+	Query string `json:"query,omitempty"`
+	// Semantics is certain-cap, certain-cup, maybe-cap or maybe-cup
+	// (certain only; default certain-cap).
+	Semantics string `json:"semantics,omitempty"`
+
+	// Max bounds the number of solutions streamed by /v1/enum
+	// (0 = server default; the server caps it).
+	Max int `json:"max,omitempty"`
+}
+
+// ChaseResponse is the /v1/chase response.
+type ChaseResponse struct {
+	Scenario string `json:"scenario"`
+	Steps    int    `json:"steps"`
+	// Universal is the universal solution (the chase's target reduct) as
+	// instance text.
+	Universal string `json:"universal"`
+	Atoms     int    `json:"atoms"`
+}
+
+// InstanceResponse is the /v1/core and /v1/cansol response.
+type InstanceResponse struct {
+	Scenario string `json:"scenario"`
+	// Instance is the computed instance (core or canonical solution) as
+	// instance text.
+	Instance string `json:"instance"`
+	Atoms    int    `json:"atoms"`
+}
+
+// ExistsResponse is the /v1/exists response.
+type ExistsResponse struct {
+	Scenario string `json:"scenario"`
+	Exists   bool   `json:"exists"`
+}
+
+// CertainResponse is the /v1/certain response. Answers are sorted
+// lexicographically, so equal answer sets serialize byte-identically.
+type CertainResponse struct {
+	Scenario  string     `json:"scenario"`
+	Semantics string     `json:"semantics"`
+	Query     string     `json:"query"`
+	Answers   [][]string `json:"answers"`
+}
+
+// EnumSolution is one NDJSON line of the /v1/enum stream.
+type EnumSolution struct {
+	// Solution is a CWA-solution as instance text.
+	Solution string `json:"solution"`
+	Atoms    int    `json:"atoms"`
+}
+
+// EnumSummary is the final NDJSON line of the /v1/enum stream.
+type EnumSummary struct {
+	Done      bool `json:"done"`
+	Count     int  `json:"count"`
+	Truncated bool `json:"truncated"`
+}
+
+// Health is the GET /healthz response.
+type Health struct {
+	Status    string `json:"status"`
+	Scenarios int    `json:"scenarios"`
+	// InFlight is the number of admitted evaluation requests currently
+	// executing.
+	InFlight int `json:"in_flight"`
+	// Draining reports that the server is shutting down and rejecting new
+	// work.
+	Draining bool `json:"draining"`
+}
+
+// Error is the JSON error envelope every non-2xx response carries.
+type Error struct {
+	Err ErrorBody `json:"error"`
+}
+
+// ErrorBody is the inner error object.
+type ErrorBody struct {
+	// Code is the machine-readable classification from internal/status:
+	// no_solution, usage, timeout, budget_exceeded, too_large, internal —
+	// plus the server-side codes unknown_scenario and overloaded.
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}

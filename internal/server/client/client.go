@@ -1,0 +1,226 @@
+// Package client is a small Go client for dxserver's HTTP/JSON API. It
+// speaks exactly the wire types of internal/server/api and surfaces the
+// server's error envelope as *APIError values, so callers can branch on
+// the machine-readable code ("timeout", "no_solution", ...) that
+// internal/status assigns.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/server/api"
+)
+
+// Client calls a dxserver instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient is the transport; nil means http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the server at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// APIError is a non-2xx server response.
+type APIError struct {
+	StatusCode int
+	Code       string
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %s (%d): %s", e.Code, e.StatusCode, e.Message)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do posts in (when non-nil) to path and decodes the response into out.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	resp, err := c.roundTrip(ctx, method, path, in)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return err
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) roundTrip(ctx context.Context, method, path string, in any) (*http.Response, error) {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return nil, err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return c.httpClient().Do(req)
+}
+
+// checkStatus converts a non-2xx response into an *APIError, consuming the
+// body.
+func checkStatus(resp *http.Response) error {
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return nil
+	}
+	defer io.Copy(io.Discard, resp.Body)
+	var envelope api.Error
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		return &APIError{StatusCode: resp.StatusCode, Code: "internal",
+			Message: fmt.Sprintf("undecodable error body: %v", err)}
+	}
+	return &APIError{StatusCode: resp.StatusCode, Code: envelope.Err.Code, Message: envelope.Err.Message}
+}
+
+// Register registers (or dedupes) a scenario.
+func (c *Client) Register(ctx context.Context, req api.RegisterRequest) (api.ScenarioInfo, error) {
+	var out api.ScenarioInfo
+	err := c.do(ctx, http.MethodPost, "/v1/scenarios", req, &out)
+	return out, err
+}
+
+// Scenarios lists the registered scenarios.
+func (c *Client) Scenarios(ctx context.Context) (api.ScenarioList, error) {
+	var out api.ScenarioList
+	err := c.do(ctx, http.MethodGet, "/v1/scenarios", nil, &out)
+	return out, err
+}
+
+// Scenario fetches one scenario's info.
+func (c *Client) Scenario(ctx context.Context, id string) (api.ScenarioInfo, error) {
+	var out api.ScenarioInfo
+	err := c.do(ctx, http.MethodGet, "/v1/scenarios/"+id, nil, &out)
+	return out, err
+}
+
+// Delete removes a scenario and its cached results.
+func (c *Client) Delete(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/scenarios/"+id, nil, nil)
+}
+
+// Chase runs (or serves the cached) standard chase.
+func (c *Client) Chase(ctx context.Context, req api.EvalRequest) (api.ChaseResponse, error) {
+	var out api.ChaseResponse
+	err := c.do(ctx, http.MethodPost, "/v1/chase", req, &out)
+	return out, err
+}
+
+// Core computes the minimal CWA-solution (the core).
+func (c *Client) Core(ctx context.Context, req api.EvalRequest) (api.InstanceResponse, error) {
+	var out api.InstanceResponse
+	err := c.do(ctx, http.MethodPost, "/v1/core", req, &out)
+	return out, err
+}
+
+// CanSol computes the canonical solution.
+func (c *Client) CanSol(ctx context.Context, req api.EvalRequest) (api.InstanceResponse, error) {
+	var out api.InstanceResponse
+	err := c.do(ctx, http.MethodPost, "/v1/cansol", req, &out)
+	return out, err
+}
+
+// Exists decides Existence-of-CWA-Solutions.
+func (c *Client) Exists(ctx context.Context, req api.EvalRequest) (api.ExistsResponse, error) {
+	var out api.ExistsResponse
+	err := c.do(ctx, http.MethodPost, "/v1/exists", req, &out)
+	return out, err
+}
+
+// Certain computes certain/maybe answers under the requested semantics.
+func (c *Client) Certain(ctx context.Context, req api.EvalRequest) (api.CertainResponse, error) {
+	var out api.CertainResponse
+	err := c.do(ctx, http.MethodPost, "/v1/certain", req, &out)
+	return out, err
+}
+
+// Enum streams CWA-solutions, invoking f per solution, and returns the
+// final summary line.
+func (c *Client) Enum(ctx context.Context, req api.EvalRequest, f func(api.EnumSolution) error) (api.EnumSummary, error) {
+	var summary api.EnumSummary
+	resp, err := c.roundTrip(ctx, http.MethodPost, "/v1/enum", req)
+	if err != nil {
+		return summary, err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return summary, err
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var sum api.EnumSummary
+		if json.Unmarshal(line, &sum) == nil && sum.Done {
+			summary = sum
+			continue
+		}
+		var sol api.EnumSolution
+		if err := json.Unmarshal(line, &sol); err != nil {
+			return summary, fmt.Errorf("client: bad NDJSON line %q: %w", line, err)
+		}
+		if f != nil {
+			if err := f(sol); err != nil {
+				return summary, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return summary, err
+	}
+	if !summary.Done {
+		return summary, fmt.Errorf("client: enum stream ended without a summary line")
+	}
+	return summary, nil
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (api.Health, error) {
+	var out api.Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}
+
+// Metrics fetches the raw /metricsz text dump.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	resp, err := c.roundTrip(ctx, http.MethodGet, "/metricsz", nil)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return "", err
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}

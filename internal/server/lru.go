@@ -1,0 +1,116 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// lru is a mutex-guarded least-recently-used map with a fixed capacity.
+// It bounds the registry's resident scenarios and the result cache; every
+// eviction is counted in metrics.ServerEvictions.
+type lru struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent; values are *lruEntry
+	m   map[string]*list.Element
+
+	// onEvict, when set, observes evicted values (the registry uses it to
+	// drop a scenario's cached results alongside the scenario).
+	onEvict func(key string, value any)
+}
+
+type lruEntry struct {
+	key   string
+	value any
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the value and marks the key most recently used.
+func (c *lru) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).value, true
+}
+
+// put inserts or refreshes the key, evicting the least recently used entry
+// when over capacity.
+func (c *lru) put(key string, value any) {
+	var evicted []*lruEntry
+	c.mu.Lock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*lruEntry).value = value
+		c.ll.MoveToFront(el)
+	} else {
+		c.m[key] = c.ll.PushFront(&lruEntry{key: key, value: value})
+		for c.ll.Len() > c.cap {
+			back := c.ll.Back()
+			e := back.Value.(*lruEntry)
+			c.ll.Remove(back)
+			delete(c.m, e.key)
+			evicted = append(evicted, e)
+		}
+	}
+	c.mu.Unlock()
+	for _, e := range evicted {
+		metrics.ServerEvictions.Inc()
+		if c.onEvict != nil {
+			c.onEvict(e.key, e.value)
+		}
+	}
+}
+
+// remove deletes the key if present, without counting an eviction.
+func (c *lru) remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.m, key)
+	return true
+}
+
+// removeIf deletes every entry whose key satisfies pred.
+func (c *lru) removeIf(pred func(key string) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*lruEntry)
+		if pred(e.key) {
+			c.ll.Remove(el)
+			delete(c.m, e.key)
+		}
+		el = next
+	}
+}
+
+// len returns the number of resident entries.
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// keysMRU returns the keys from most to least recently used.
+func (c *lru) keysMRU() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*lruEntry).key)
+	}
+	return out
+}

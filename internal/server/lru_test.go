@@ -1,0 +1,64 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	var evicted []string
+	c := newLRU(2)
+	c.onEvict = func(key string, _ any) { evicted = append(evicted, key) }
+
+	c.put("a", 1)
+	c.put("b", 2)
+	c.get("a") // refresh a; b is now least recent
+	c.put("c", 3)
+
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted = %v, want [b]", evicted)
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b still resident after eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%s missing", k)
+		}
+	}
+}
+
+func TestLRURemoveIf(t *testing.T) {
+	c := newLRU(10)
+	for i := 0; i < 6; i++ {
+		prefix := "x"
+		if i%2 == 0 {
+			prefix = "y"
+		}
+		c.put(fmt.Sprintf("%s%d", prefix, i), i)
+	}
+	c.removeIf(func(key string) bool { return key[0] == 'y' })
+	if got := c.len(); got != 3 {
+		t.Fatalf("len after removeIf = %d, want 3", got)
+	}
+	for _, k := range c.keysMRU() {
+		if k[0] == 'y' {
+			t.Fatalf("key %s survived removeIf", k)
+		}
+	}
+}
+
+func TestLRUPutRefreshesExisting(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	c.put("a", 10) // refresh, no eviction
+	c.put("c", 3)  // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	v, ok := c.get("a")
+	if !ok || v.(int) != 10 {
+		t.Fatalf("a = %v/%v, want 10", v, ok)
+	}
+}

@@ -1,0 +1,253 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/chase"
+	"repro/internal/cwa"
+	"repro/internal/dependency"
+	"repro/internal/instance"
+	"repro/internal/parser"
+	"repro/internal/score"
+	"repro/internal/status"
+)
+
+// errUnknownScenario is returned when a request names a scenario that is
+// not registered (or was evicted); the handler maps it to HTTP 404 with
+// code "unknown_scenario".
+var errUnknownScenario = errors.New("server: unknown scenario")
+
+// scenario is one registered (setting, source) pair. The parsed *Setting is
+// the plan cache: every tgd/egd lazily compiles and memoizes its body,
+// head, slot and delta plans on first use (dependency/plan.go), so keeping
+// the Setting resident amortizes compilation across every request that
+// names the scenario. Heavy derived artifacts (universal solution, core,
+// canonical solution) are memoized here under a per-scenario mutex: the
+// first request computes under its own deadline, later requests reuse the
+// result, and concurrent duplicates block on the mutex instead of
+// recomputing (single-flight).
+type scenario struct {
+	id string
+	// contentID identifies the scenario by content: a hash of the
+	// canonical setting text and the source's ContentKey. Result-cache
+	// entries key on it, so re-registering identical content (even under a
+	// new name, even after an eviction) keeps hitting the same cache
+	// lines.
+	contentID   string
+	settingText string // canonical form (parser.FormatSetting)
+	setting     *dependency.Setting
+	source      *instance.Instance
+	weakly      bool
+	richly      bool
+
+	mu sync.Mutex // single-flight guard for the memos below
+	// universal and chaseSteps are set once a chase succeeds (eagerly at
+	// registration for weakly acyclic settings, else by the first
+	// successful request).
+	universal  *instance.Instance
+	chaseSteps int
+	core       *instance.Instance
+	cansol     *instance.Instance
+}
+
+// chaseFor returns the scenario's standard-chase result, memoized on
+// success. The options carry the request's context and budget.
+func (sc *scenario) chaseFor(opt chase.Options) (universal *instance.Instance, steps int, err error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.universal != nil {
+		return sc.universal, sc.chaseSteps, nil
+	}
+	res, err := chase.Standard(sc.setting, sc.source, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	sc.universal = res.Target
+	sc.chaseSteps = res.Steps
+	return sc.universal, sc.chaseSteps, nil
+}
+
+// coreFor returns the minimal CWA-solution Core_D(S), memoized on success.
+func (sc *scenario) coreFor(opt chase.Options) (*instance.Instance, error) {
+	u, _, err := sc.chaseFor(opt)
+	if err != nil {
+		if chase.IsEgdFailure(err) {
+			err = fmt.Errorf("%w: %v", cwa.ErrNoSolution, err)
+		}
+		return nil, err
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.core == nil {
+		sc.core = score.Core(u)
+	}
+	return sc.core, nil
+}
+
+// cansolFor returns the canonical solution CanSol_D(S), memoized on
+// success.
+func (sc *scenario) cansolFor(opt chase.Options) (*instance.Instance, error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.cansol == nil {
+		can, err := cwa.CanSol(sc.setting, sc.source, opt)
+		if err != nil {
+			return nil, err
+		}
+		sc.cansol = can
+	}
+	return sc.cansol, nil
+}
+
+// chased reports whether a successful chase result is memoized.
+func (sc *scenario) chased() (steps, atoms int, ok bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.universal == nil {
+		return 0, 0, false
+	}
+	return sc.chaseSteps, sc.universal.Len(), true
+}
+
+// registry holds the resident scenarios (LRU-bounded) and the result cache
+// (serialized successful response bodies, LRU-bounded, keyed by content).
+type registry struct {
+	scenarios *lru // scenario ID -> *scenario
+	results   *lru // contentID + endpoint + params -> []byte response body
+
+	mu        sync.Mutex
+	byContent map[string]string // contentID -> scenario ID
+	nextID    int
+}
+
+func newRegistry(maxScenarios, maxResults int) *registry {
+	r := &registry{
+		scenarios: newLRU(maxScenarios),
+		results:   newLRU(maxResults),
+		byContent: make(map[string]string),
+	}
+	r.scenarios.onEvict = func(id string, v any) {
+		sc := v.(*scenario)
+		r.mu.Lock()
+		if r.byContent[sc.contentID] == id {
+			delete(r.byContent, sc.contentID)
+		}
+		r.mu.Unlock()
+	}
+	return r
+}
+
+// register parses and validates a setting and source, dedupes by content,
+// runs the registration chase for weakly acyclic settings, and stores the
+// scenario. The returned bool reports whether an existing content-identical
+// scenario was reused.
+func (r *registry) register(name, settingText, sourceText string, opt chase.Options) (*scenario, bool, error) {
+	s, err := parser.ParseSetting(settingText)
+	if err != nil {
+		return nil, false, status.WithKind(fmt.Errorf("parsing setting: %w", err), status.Usage)
+	}
+	src, err := parser.ParseInstance(sourceText)
+	if err != nil {
+		return nil, false, status.WithKind(fmt.Errorf("parsing source: %w", err), status.Usage)
+	}
+	if src.HasNulls() {
+		return nil, false, status.WithKind(fmt.Errorf("source instance must be null-free"), status.Usage)
+	}
+	canonical := parser.FormatSetting(s)
+	sum := sha256.Sum256([]byte(canonical + "\x00" + src.ContentKey()))
+	contentID := hex.EncodeToString(sum[:16])
+
+	r.mu.Lock()
+	if id, ok := r.byContent[contentID]; ok && (name == "" || name == id) {
+		if v, live := r.scenarios.get(id); live {
+			r.mu.Unlock()
+			return v.(*scenario), true, nil
+		}
+		delete(r.byContent, contentID)
+	}
+	if name == "" {
+		r.nextID++
+		name = fmt.Sprintf("s%d", r.nextID)
+	} else if v, ok := r.scenarios.get(name); ok {
+		existing := v.(*scenario)
+		if existing.contentID == contentID {
+			r.mu.Unlock()
+			return existing, true, nil
+		}
+		r.mu.Unlock()
+		return nil, false, status.WithKind(
+			fmt.Errorf("scenario %q already registered with different content; DELETE it first", name),
+			status.Usage)
+	}
+	r.mu.Unlock()
+
+	sc := &scenario{
+		id:          name,
+		contentID:   contentID,
+		settingText: canonical,
+		setting:     s,
+		source:      src,
+		weakly:      s.WeaklyAcyclic(),
+		richly:      s.RichlyAcyclic(),
+	}
+	// Registration chases only weakly acyclic settings, whose chase is
+	// guaranteed to terminate (Proposition 6.6); anything else — including
+	// Turing-complete settings like D_halt — defers chasing to requests,
+	// which carry their own deadlines and budgets. An egd failure here is
+	// not a registration error: the scenario is kept and evaluation
+	// endpoints report no_solution per request.
+	if sc.weakly {
+		sc.chaseFor(opt)
+	}
+
+	r.mu.Lock()
+	r.byContent[contentID] = name
+	r.mu.Unlock()
+	r.scenarios.put(name, sc)
+	return sc, false, nil
+}
+
+// lookup returns the named scenario, refreshing its LRU position.
+func (r *registry) lookup(id string) (*scenario, error) {
+	v, ok := r.scenarios.get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", errUnknownScenario, id)
+	}
+	return v.(*scenario), nil
+}
+
+// drop removes the named scenario and its cached results.
+func (r *registry) drop(id string) bool {
+	v, ok := r.scenarios.get(id)
+	if !ok {
+		return false
+	}
+	sc := v.(*scenario)
+	r.scenarios.remove(id)
+	r.mu.Lock()
+	if r.byContent[sc.contentID] == id {
+		delete(r.byContent, sc.contentID)
+	}
+	r.mu.Unlock()
+	prefix := sc.contentID + "\x00"
+	r.results.removeIf(func(key string) bool {
+		return len(key) >= len(prefix) && key[:len(prefix)] == prefix
+	})
+	return true
+}
+
+// resultKey builds a result-cache key. Operational knobs (deadline, budget,
+// workers) are deliberately excluded: they change whether a computation
+// finishes, never what a finished computation returns, so a result computed
+// under one budget serves requests carrying any other.
+func resultKey(sc *scenario, endpoint string, params ...string) string {
+	key := sc.contentID + "\x00" + endpoint
+	for _, p := range params {
+		key += "\x00" + p
+	}
+	return key
+}

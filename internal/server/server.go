@@ -1,0 +1,181 @@
+// Package server implements dxserver: a long-running HTTP/JSON service
+// that keeps data exchange scenarios resident and answers chase, core,
+// canonical-solution, existence, certain-answer and enumeration requests
+// over them.
+//
+// The design centers on amortization: a scenario (setting + source) is
+// POSTed once; the server parses it, validates acyclicity, compiles the
+// dependency and query plans (cached on the parsed Setting), chases weakly
+// acyclic settings eagerly, and memoizes the universal solution, core and
+// canonical solution. Successful response bodies are additionally cached
+// byte-for-byte in a content-keyed LRU, so identical requests are served
+// identically without re-evaluation (observable via the server_cache_hits
+// counter on /metricsz).
+//
+// Every evaluation request runs under a per-request deadline and chase
+// step budget, mapped to status codes by internal/status (timeout → 504,
+// budget → 422, size bounds → 413, no solution → 404), behind a
+// bounded-concurrency admission gate (worker slots + a bounded wait queue;
+// overflow → 503). Graceful shutdown first drains in-flight work, then
+// aborts whatever outlives the drain deadline through the contexts every
+// chase already honours.
+package server
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// sensible default.
+type Config struct {
+	// MaxConcurrent is the number of evaluation requests allowed to run
+	// simultaneously (default GOMAXPROCS).
+	MaxConcurrent int
+	// QueueDepth is how many additional requests may wait for a slot
+	// before the gate starts rejecting with 503 (0 = default
+	// 4×MaxConcurrent; negative = no queue, reject as soon as every slot
+	// is busy).
+	QueueDepth int
+	// DefaultDeadline is applied to requests that carry no deadline_ms
+	// (default 30s).
+	DefaultDeadline time.Duration
+	// MaxDeadline caps request deadlines (default 5m).
+	MaxDeadline time.Duration
+	// DefaultMaxSteps is the chase budget for requests that carry no
+	// max_steps (0 = the chase package default).
+	DefaultMaxSteps int
+	// MaxEnumSolutions caps (and defaults) the /v1/enum bound
+	// (default 256).
+	MaxEnumSolutions int
+	// MaxScenarios bounds the resident scenarios; least recently used
+	// scenarios are evicted (default 128).
+	MaxScenarios int
+	// MaxResults bounds the cached response bodies (default 4096).
+	MaxResults int
+	// Workers is the default evaluation parallelism for certain/enum
+	// requests that carry no workers field (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.MaxConcurrent
+	} else if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 5 * time.Minute
+	}
+	if c.MaxEnumSolutions <= 0 {
+		c.MaxEnumSolutions = 256
+	}
+	if c.MaxScenarios <= 0 {
+		c.MaxScenarios = 128
+	}
+	if c.MaxResults <= 0 {
+		c.MaxResults = 4096
+	}
+	return c
+}
+
+// Server is the dxserver HTTP handler. Create with New, serve with any
+// http.Server, shut down with BeginDrain (stop admitting) followed by
+// http.Server.Shutdown (drain), and Abort as the last resort for work that
+// outlives the drain deadline.
+type Server struct {
+	cfg  Config
+	reg  *registry
+	gate *gate
+	mux  *http.ServeMux
+
+	drainOnce sync.Once
+	draining  chan struct{}
+	abortOnce sync.Once
+	aborted   chan struct{}
+}
+
+// New builds a Server with the given configuration.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:      cfg.withDefaults(),
+		draining: make(chan struct{}),
+		aborted:  make(chan struct{}),
+	}
+	s.reg = newRegistry(s.cfg.MaxScenarios, s.cfg.MaxResults)
+	s.gate = newGate(s.cfg.MaxConcurrent, s.cfg.QueueDepth)
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// BeginDrain makes the server refuse new evaluation work (503) while
+// letting in-flight requests finish. Idempotent.
+func (s *Server) BeginDrain() {
+	s.drainOnce.Do(func() { close(s.draining) })
+}
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// Abort cancels the context of every in-flight evaluation (they fail fast
+// with the timeout mapping). Call after a drain deadline expires, before
+// giving up on http.Server.Shutdown. Idempotent.
+func (s *Server) Abort() {
+	s.abortOnce.Do(func() { close(s.aborted) })
+}
+
+// InFlight returns the number of admitted evaluation requests currently
+// executing.
+func (s *Server) InFlight() int {
+	return int(s.gate.inFlight.Load())
+}
+
+// Scenarios returns the number of resident scenarios.
+func (s *Server) Scenarios() int {
+	return s.reg.scenarios.len()
+}
+
+// evalContext derives the context an evaluation runs under: the request's
+// context (client disconnect), the request deadline capped by the server
+// maximum, and the server's abort switch. The returned cancel must be
+// called.
+func (s *Server) evalContext(r *http.Request, deadlineMillis int) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultDeadline
+	if deadlineMillis > 0 {
+		d = time.Duration(deadlineMillis) * time.Millisecond
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	go func() {
+		select {
+		case <-s.aborted:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, cancel
+}

@@ -1,0 +1,145 @@
+// Package status is the single error-mapping table shared by the process
+// boundaries: cmd/dxcli turns evaluation outcomes into exit codes, and
+// internal/server turns the same outcomes into HTTP status codes and JSON
+// error codes. Keeping one classification here guarantees that a script
+// driving dxcli and a client driving dxserver observe the same taxonomy:
+//
+//	kind          exit  HTTP  meaning
+//	OK            0     200   the run succeeded
+//	NoSolution    1     404   no (CWA-)solution exists: the chase failed on an egd
+//	Usage         2     400   bad input: parse error, unknown flag/semantics, missing argument
+//	Timeout       3     504   the run's deadline expired (chase.ErrCanceled)
+//	Budget        3     422   the deterministic step budget was exhausted (chase.ErrBudgetExceeded)
+//	TooLarge      3     413   a size bound refused the request (too many nulls, enumeration truncated)
+//	Internal      4     500   anything else
+package status
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/certain"
+	"repro/internal/chase"
+	"repro/internal/cwa"
+)
+
+// Kind is the canonical outcome class of an evaluation.
+type Kind int
+
+const (
+	// OK is a successful run.
+	OK Kind = iota
+	// NoSolution reports that no (CWA-)solution exists for the input.
+	NoSolution
+	// Usage reports malformed input: parse errors, unknown semantics,
+	// missing required arguments.
+	Usage
+	// Timeout reports a run aborted by deadline or cancellation.
+	Timeout
+	// Budget reports a run that exhausted its chase step budget.
+	Budget
+	// TooLarge reports a run refused or truncated by a size bound.
+	TooLarge
+	// Internal is every other failure.
+	Internal
+)
+
+// String returns the stable machine-readable code used in JSON error
+// bodies.
+func (k Kind) String() string {
+	switch k {
+	case OK:
+		return "ok"
+	case NoSolution:
+		return "no_solution"
+	case Usage:
+		return "usage"
+	case Timeout:
+		return "timeout"
+	case Budget:
+		return "budget_exceeded"
+	case TooLarge:
+		return "too_large"
+	}
+	return "internal"
+}
+
+// ExitCode returns the dxcli exit code for the kind (see the package
+// comment's table).
+func (k Kind) ExitCode() int {
+	switch k {
+	case OK:
+		return 0
+	case NoSolution:
+		return 1
+	case Usage:
+		return 2
+	case Timeout, Budget, TooLarge:
+		return 3
+	}
+	return 4
+}
+
+// HTTPStatus returns the HTTP status code dxserver sends for the kind.
+func (k Kind) HTTPStatus() int {
+	switch k {
+	case OK:
+		return 200
+	case NoSolution:
+		return 404
+	case Usage:
+		return 400
+	case Timeout:
+		return 504
+	case Budget:
+		return 422
+	case TooLarge:
+		return 413
+	}
+	return 500
+}
+
+// kindError attaches an explicit Kind to an error; Classify honours it
+// before consulting the sentinel table.
+type kindError struct {
+	kind Kind
+	err  error
+}
+
+func (e *kindError) Error() string { return e.err.Error() }
+func (e *kindError) Unwrap() error { return e.err }
+
+// WithKind returns err annotated with an explicit kind, for failure modes
+// the sentinel table cannot see (e.g. parse errors, which are plain
+// fmt.Errorf values from the parser). A nil err stays nil.
+func WithKind(err error, k Kind) error {
+	if err == nil {
+		return nil
+	}
+	return &kindError{kind: k, err: err}
+}
+
+// Classify maps an error to its Kind: explicit WithKind annotations first,
+// then the evaluation engine's sentinels, then Internal. A nil error is OK.
+func Classify(err error) Kind {
+	if err == nil {
+		return OK
+	}
+	var ke *kindError
+	switch {
+	case errors.As(err, &ke):
+		return ke.kind
+	case errors.Is(err, cwa.ErrNoSolution) || chase.IsEgdFailure(err):
+		return NoSolution
+	case errors.Is(err, chase.ErrCanceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return Timeout
+	case errors.Is(err, chase.ErrBudgetExceeded):
+		return Budget
+	case errors.Is(err, certain.ErrTooManyNulls),
+		errors.Is(err, cwa.ErrEnumerationTruncated):
+		return TooLarge
+	}
+	return Internal
+}

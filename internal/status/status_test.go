@@ -1,0 +1,72 @@
+package status
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/certain"
+	"repro/internal/chase"
+	"repro/internal/cwa"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Kind
+	}{
+		{nil, OK},
+		{cwa.ErrNoSolution, NoSolution},
+		{fmt.Errorf("wrapped: %w", cwa.ErrNoSolution), NoSolution},
+		{chase.ErrCanceled, Timeout},
+		{fmt.Errorf("run: %w", chase.ErrCanceled), Timeout},
+		{context.DeadlineExceeded, Timeout},
+		{chase.ErrBudgetExceeded, Budget},
+		{certain.ErrTooManyNulls, TooLarge},
+		{cwa.ErrEnumerationTruncated, TooLarge},
+		{errors.New("boom"), Internal},
+		{WithKind(errors.New("bad query"), Usage), Usage},
+		{fmt.Errorf("outer: %w", WithKind(errors.New("bad"), Usage)), Usage},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestExitAndHTTPTables(t *testing.T) {
+	type row struct {
+		kind Kind
+		exit int
+		http int
+		code string
+	}
+	rows := []row{
+		{OK, 0, 200, "ok"},
+		{NoSolution, 1, 404, "no_solution"},
+		{Usage, 2, 400, "usage"},
+		{Timeout, 3, 504, "timeout"},
+		{Budget, 3, 422, "budget_exceeded"},
+		{TooLarge, 3, 413, "too_large"},
+		{Internal, 4, 500, "internal"},
+	}
+	for _, r := range rows {
+		if got := r.kind.ExitCode(); got != r.exit {
+			t.Errorf("%v.ExitCode() = %d, want %d", r.kind, got, r.exit)
+		}
+		if got := r.kind.HTTPStatus(); got != r.http {
+			t.Errorf("%v.HTTPStatus() = %d, want %d", r.kind, got, r.http)
+		}
+		if got := r.kind.String(); got != r.code {
+			t.Errorf("%v.String() = %q, want %q", r.kind, got, r.code)
+		}
+	}
+}
+
+func TestWithKindNil(t *testing.T) {
+	if WithKind(nil, Usage) != nil {
+		t.Fatal("WithKind(nil) must stay nil")
+	}
+}

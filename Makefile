@@ -59,4 +59,14 @@ bench-json:
 		| $(GO) run ./cmd/benchjson $(if $(BENCH_BASELINE),-before $(BENCH_BASELINE)) \
 		> $(BENCH_OUT)
 
+# Incremental-maintenance benchmarks: the engine's delta chase
+# (single-tuple inserts, delete/re-insert round-trips) against a full
+# re-chase of the grown source, on the quickstart (Example 2.1) and genwl
+# (existential-chain) workloads. Committed as BENCH_5.json; compare the
+# delta and full rows per workload for the speedup.
+BENCH_INCR_OUT ?= BENCH_5.json
+bench-incr:
+	$(GO) test -run '^$$' -bench 'BenchmarkMutation' -benchmem ./internal/incr/ \
+		| $(GO) run ./cmd/benchjson > $(BENCH_INCR_OUT)
+
 ci: vet vet-shadow build race race-server serve-smoke bench-smoke

@@ -12,7 +12,16 @@
 //	dxcli check   -setting FILE -source FILE -target FILE
 //	dxcli certain -setting FILE -source FILE -query 'q(x) :- E(x,y).' [-sem certain-cap|certain-cup|maybe-cap|maybe-cup]
 //	dxcli enum    -setting FILE -source FILE [-max N]
+//	dxcli apply   -setting FILE -source FILE -mutations FILE [-crosscheck]
 //	dxcli info    -setting FILE
+//
+// apply replays a mutation script (lines of "+ A(a,b)." / "- B(c)." with
+// # comments) against the incremental-maintenance engine: the initial
+// source is chased once, then each line is applied as one batch — inserts
+// delta-chase, deletes retract through the justification graph — and the
+// final maintained solution is printed. With -crosscheck the result is
+// verified against a from-scratch chase of the mutated source
+// (hom-equivalence both ways plus core isomorphism).
 //
 // Every command also accepts -max-steps (chase step budget), -timeout
 // (wall-clock limit; the run aborts with ErrCanceled), -workers (goroutines
@@ -44,7 +53,10 @@ import (
 
 	"repro"
 	"repro/internal/cwa"
+	"repro/internal/hom"
+	"repro/internal/incr"
 	"repro/internal/metrics"
+	"repro/internal/score"
 	"repro/internal/status"
 )
 
@@ -104,6 +116,8 @@ func main() {
 	sourcePath := fs.String("source", "", "path to the source instance file")
 	targetPath := fs.String("target", "", "path to a target instance file (for check)")
 	queryText := fs.String("query", "", "query text (for certain)")
+	mutationsPath := fs.String("mutations", "", "path to a mutation script (for apply)")
+	crosscheck := fs.Bool("crosscheck", false, "verify the maintained result against a from-scratch chase (for apply)")
 	semName := fs.String("sem", "certain-cap", "semantics: certain-cap, certain-cup, maybe-cap, maybe-cup")
 	maxSteps := fs.Int("max-steps", 0, "chase step budget (0 = default)")
 	maxSols := fs.Int("max", 0, "maximum solutions to enumerate (0 = unbounded)")
@@ -237,11 +251,72 @@ func main() {
 		}
 		cwa.SortBySize(sols)
 		fmt.Print(cwa.DescribeSpace(sols))
+	case "apply":
+		src := loadInstance(*sourcePath)
+		runApply(s, src, *mutationsPath, *crosscheck, opt)
 	default:
 		usage()
 	}
 	stopProfiles()
 	reportMetrics()
+}
+
+// runApply implements the apply command: replay a mutation script against
+// the incremental engine, one script line per batch, then print (and
+// optionally crosscheck) the maintained solution.
+func runApply(s *repro.Setting, src *repro.Instance, path string, crosscheck bool, opt repro.ChaseOptions) {
+	if path == "" {
+		fatal(status.WithKind(fmt.Errorf("-mutations is required"), status.Usage))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(status.WithKind(err, status.Usage))
+	}
+	muts, err := incr.ParseScript(string(data))
+	if err != nil {
+		fatal(status.WithKind(err, status.Usage))
+	}
+	eng, err := incr.New(s, src, opt)
+	if err != nil {
+		if errors.Is(err, incr.ErrNotIncremental) {
+			err = status.WithKind(err, status.Usage)
+		}
+		fatal(err)
+	}
+	res, err := eng.Apply(muts, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("applied: +%d -%d (version %d", res.Inserted, res.Deleted, res.Version)
+	if res.Fallback {
+		fmt.Print(", full re-chase")
+	} else {
+		fmt.Printf(", %d delta steps", res.Steps)
+	}
+	fmt.Println(")")
+	if res.NoSolution {
+		// Surface the recorded egd failure with the standard exit code.
+		_, err := eng.Solution(opt)
+		fatal(err)
+	}
+	sol, err := eng.Solution(opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("maintained solution: %v\n", sol)
+	if crosscheck {
+		scratch, err := repro.Chase(s, eng.SourceSnapshot(), opt)
+		if err != nil {
+			fatal(fmt.Errorf("crosscheck chase: %w", err))
+		}
+		if !hom.Exists(sol, scratch.Target) || !hom.Exists(scratch.Target, sol) {
+			fatal(fmt.Errorf("crosscheck failed: maintained solution is not hom-equivalent to a from-scratch chase"))
+		}
+		if !hom.Isomorphic(score.Core(sol), score.Core(scratch.Target)) {
+			fatal(fmt.Errorf("crosscheck failed: cores are not isomorphic"))
+		}
+		fmt.Println("crosscheck: ok (hom-equivalent, isomorphic cores)")
+	}
 }
 
 // reportMetrics prints the counter snapshot to stderr when -metrics is set.
@@ -295,7 +370,7 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dxcli <chase|alpha|core|cansol|exists|check|certain|enum|info> [flags]
+	fmt.Fprintln(os.Stderr, `usage: dxcli <chase|alpha|core|cansol|exists|check|certain|enum|apply|info> [flags]
 run "dxcli <cmd> -h" for flags`)
 	os.Exit(2)
 }

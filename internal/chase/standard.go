@@ -75,48 +75,19 @@ type Result struct {
 // polynomially many steps and its target reduct is a universal solution
 // (when no egd fails).
 func Standard(s *dependency.Setting, src *instance.Instance, opt Options) (*Result, error) {
-	if src.HasNulls() {
-		return nil, fmt.Errorf("chase: source instance must be null-free")
+	r, err := NewResumable(s, src, opt, nil)
+	if r == nil {
+		// Egd failure or invalid source: no partial state to expose.
+		return nil, err
 	}
-	cur := src.Clone()
-	nulls := instance.NewNullSource(0)
-	res := &Result{}
-	budget := opt.maxSteps()
-	tracker := &deltaTracker{full: true}
-	stc := &stCache{}
-
-	for {
-		if err := opt.err(); err != nil {
-			// Like the budget case, expose the partial result.
-			res.Instance = cur
-			res.Target = cur.Reduct(s.Target)
-			return res, err
-		}
-		if res.Steps >= budget {
-			// Expose the partial result so callers can observe how far a
-			// non-terminating chase got (experiment E8).
-			res.Instance = cur
-			res.Target = cur.Reduct(s.Target)
-			return res, ErrBudgetExceeded
-		}
-		// Egds first: keeping the instance egd-consistent before firing tgds
-		// avoids deriving atoms that an identification would merge anyway.
-		// An egd application rewrites values throughout the instance, so the
-		// semi-naive delta is invalidated.
-		if applied, err := standardEgdPass(s, cur, res, opt); err != nil {
-			return nil, err
-		} else if applied {
-			tracker.invalidate()
-			continue
-		}
-		if applied := standardTgdPass(s, cur, nulls, res, opt, tracker, stc); applied {
-			continue
-		}
-		break
-	}
-	res.Instance = cur
-	res.Target = cur.Reduct(s.Target)
-	return res, nil
+	// On budget/cancel errors the partial result is exposed so callers can
+	// observe how far a non-terminating chase got (experiment E8).
+	return &Result{
+		Instance: r.cur,
+		Target:   r.cur.Reduct(s.Target),
+		Steps:    r.steps,
+		Trace:    r.trace,
+	}, err
 }
 
 func standardEgdPass(s *dependency.Setting, cur *instance.Instance, res *Result, opt Options) (bool, error) {
@@ -190,116 +161,6 @@ func (c *stCache) foEnvs(s *dependency.Setting, d *dependency.TGD, cur *instance
 	}
 	c.fo[d] = envs
 	return envs
-}
-
-// standardTgdPass fires all currently violating tgd bindings. Enumeration
-// is semi-naive: on delta passes, only target-tgd matches touching an atom
-// added by the previous pass are considered (s-t tgd bodies live on the
-// never-changing σ-reduct and cannot gain matches, and their matches are
-// all satisfied after the initial full pass). Every candidate binding is
-// re-checked before firing, so duplicate candidates are harmless.
-//
-// Conjunctive bodies run entirely on the slot-based compiled-plan path:
-// body environments are []instance.Value keyed by the body plan's slots,
-// head checks seed HeadSlotsPlan directly, and firing instantiates the
-// compiled head templates. Only general FO bodies (some s-t tgds) still go
-// through Bindings.
-func standardTgdPass(s *dependency.Setting, cur *instance.Instance, nulls *instance.NullSource, res *Result, opt Options, tracker *deltaTracker, stc *stCache) bool {
-	budget := opt.maxSteps()
-	fired := false
-	fullScan := tracker.needsFullScan()
-	delta := tracker.delta()
-	tracker.reset()
-
-	for _, d := range s.AllTGDs() {
-		isst := isST(s, d)
-		if !fullScan && isst {
-			continue // σ-reduct unchanged: no new s-t matches
-		}
-
-		if d.BodyAtoms == nil {
-			// General FO body (s-t tgds only): Binding-based path.
-			var pending []query.Binding
-			for _, env := range stc.foEnvs(s, d, cur) {
-				if !headSatisfied(d, cur, env) {
-					pending = append(pending, env.Clone())
-				}
-			}
-			for _, env := range pending {
-				if res.Steps >= budget || opt.err() != nil {
-					return true // budget/cancel check happens at loop top in Standard
-				}
-				if headSatisfied(d, cur, env) {
-					continue
-				}
-				for _, z := range d.Exists {
-					env[z] = nulls.Fresh()
-				}
-				added := headAtomsUnder(d, env)
-				for _, a := range added {
-					if cur.Add(a) {
-						tracker.add(a)
-					}
-				}
-				res.Steps++
-				metrics.ChaseSteps.Inc()
-				fired = true
-				if opt.Trace {
-					res.Trace = append(res.Trace, Step{Dep: d.Name, Kind: "tgd", Added: added})
-				}
-			}
-			continue
-		}
-
-		// Slot-based path.
-		var pending [][]instance.Value
-		collect := func(env []instance.Value) bool {
-			if !headSatisfiedSlots(d, cur, env) {
-				pending = append(pending, append([]instance.Value(nil), env...))
-			}
-			return true
-		}
-		switch {
-		case isst:
-			for _, env := range stc.conjEnvs(s, d, cur) {
-				collect(env)
-			}
-		case fullScan:
-			d.BodyPlan().Eval(cur, nil, collect)
-		default:
-			deltaBodyEnvs(d, cur, delta, collect)
-		}
-
-		hp := d.HeadSlotsPlan()
-		tmpl := d.HeadTemplates()
-		existsSlots := d.ExistsSlots()
-		for _, benv := range pending {
-			if res.Steps >= budget || opt.err() != nil {
-				return true // budget/cancel check happens at loop top in Standard
-			}
-			if headSatisfiedSlots(d, cur, benv) {
-				continue
-			}
-			full := make([]instance.Value, hp.NumSlots())
-			copy(full, benv)
-			for _, sl := range existsSlots {
-				full[sl] = nulls.Fresh()
-			}
-			added := tmpl.Instantiate(full)
-			for _, a := range added {
-				if cur.Add(a) {
-					tracker.add(a)
-				}
-			}
-			res.Steps++
-			metrics.ChaseSteps.Inc()
-			fired = true
-			if opt.Trace {
-				res.Trace = append(res.Trace, Step{Dep: d.Name, Kind: "tgd", Added: added})
-			}
-		}
-	}
-	return fired
 }
 
 // isST reports whether the tgd belongs to Σst.

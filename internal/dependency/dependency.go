@@ -55,6 +55,7 @@ type TGD struct {
 	slotsOnce   sync.Once
 	headSlots   *query.Plan
 	headTmpl    *query.AtomTemplates
+	bodyTmpl    *query.AtomTemplates
 	existsSlots []int
 	xSlots      []int
 	ySlots      []int

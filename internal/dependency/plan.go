@@ -150,6 +150,7 @@ func (d *TGD) ensureSlots() {
 		// can seed head evaluation directly, with no name translation.
 		d.headSlots = query.Compile(d.Head, bp.VarNames())
 		d.headTmpl = query.NewAtomTemplates(d.Head, d.headSlots)
+		d.bodyTmpl = query.NewAtomTemplates(d.BodyAtoms, bp)
 		d.existsSlots = make([]int, len(d.Exists))
 		for i, z := range d.Exists {
 			d.existsSlots[i] = d.headSlots.Slot(z)
@@ -178,6 +179,15 @@ func (d *TGD) HeadSlotsPlan() *query.Plan {
 func (d *TGD) HeadTemplates() *query.AtomTemplates {
 	d.ensureSlots()
 	return d.headTmpl
+}
+
+// BodyTemplates returns the body atoms compiled against BodyPlan's slot
+// space, so a body result env instantiates the ground body atoms of a match
+// map-free (the justification graph records firings this way). Conjunctive
+// bodies only.
+func (d *TGD) BodyTemplates() *query.AtomTemplates {
+	d.ensureSlots()
+	return d.bodyTmpl
 }
 
 // ExistsSlots returns the HeadSlotsPlan slots of the existential variables.

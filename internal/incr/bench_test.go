@@ -1,0 +1,161 @@
+package incr
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/dependency"
+	"repro/internal/genwl"
+	"repro/internal/instance"
+)
+
+// The mutation benchmarks compare the two ways of keeping a chase result
+// current across a single-tuple insert: the delta chase of a persistent
+// Engine (Apply seeds the semi-naive pass with just the new tuple) versus a
+// full re-chase of the grown source (what a stateless service does). Both
+// sides process the same mutation sequence, so the instances grow
+// identically; the delta side's per-op cost stays proportional to the new
+// tuple's consequences while the full side re-derives everything. The
+// compared cost is maintenance: the delta side's fixpoint lives inside the
+// engine, so materializing a solution snapshot (an O(instance) clone,
+// identical for both sides) happens once outside the timed loop.
+
+// quickstartWorkload is the paper's running example (Example 2.1, the same
+// setting the quickstart walks through) over a generated source with
+// distinct x-values so inserts fire d1/d2 without egd interaction.
+func quickstartWorkload(n int) (*dependency.Setting, *instance.Instance) {
+	s := genwl.Example21()
+	src := instance.New()
+	for i := 0; i < n; i++ {
+		x := instance.Const(fmt.Sprintf("a%d", i))
+		src.Add(instance.NewAtom("M", x, instance.Const(fmt.Sprintf("b%d", i))))
+		src.Add(instance.NewAtom("N", x, instance.Const(fmt.Sprintf("c%d", i))))
+	}
+	return s, src
+}
+
+// genwlWorkload is the chase-scaling family: a depth-6 existential chain
+// where every source edge drags six derived atoms behind it, over a random
+// edge set.
+func genwlWorkload(n int) (*dependency.Setting, *instance.Instance) {
+	return genwl.WeaklyAcyclicChain(6), genwl.RandomEdges("R0", n, 1)
+}
+
+// freshAtomFn returns a generator of never-before-seen source atoms for the
+// workload, so every benchmark iteration inserts a genuinely new tuple.
+func freshAtomFn(name string) func(i int) []instance.Mutation {
+	switch name {
+	case "quickstart":
+		return func(i int) []instance.Mutation {
+			x := instance.Const(fmt.Sprintf("nx%d", i))
+			return []instance.Mutation{{Insert: true, Atom: instance.NewAtom("N", x, instance.Const(fmt.Sprintf("ny%d", i)))}}
+		}
+	case "genwl":
+		return func(i int) []instance.Mutation {
+			return []instance.Mutation{{Insert: true, Atom: instance.NewAtom("R0",
+				instance.Const(fmt.Sprintf("fx%d", i)), instance.Const(fmt.Sprintf("fy%d", i)))}}
+		}
+	}
+	panic("unknown workload " + name)
+}
+
+func BenchmarkMutationInsert(b *testing.B) {
+	workloads := []struct {
+		name string
+		gen  func(n int) (*dependency.Setting, *instance.Instance)
+		n    int
+	}{
+		{"quickstart", quickstartWorkload, 128},
+		{"genwl", genwlWorkload, 256},
+	}
+	for _, w := range workloads {
+		fresh := freshAtomFn(w.name)
+		b.Run(w.name+"/delta", func(b *testing.B) {
+			s, src := w.gen(w.n)
+			e, err := New(s, src, chase.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Solution(chase.Options{}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Apply(fresh(i), chase.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if _, err := e.Solution(chase.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		})
+		b.Run(w.name+"/full", func(b *testing.B) {
+			s, src := w.gen(w.n)
+			if _, err := chase.Standard(s, src, chase.Options{}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src.Add(fresh(i)[0].Atom)
+				if _, err := chase.Standard(s, src, chase.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMutationDelete measures the retraction path: each op deletes a
+// base atom (cascading through the justification graph) and re-inserts it.
+// The full side re-chases from scratch after each of the two mutations,
+// matching what Apply's round-trip replaces.
+func BenchmarkMutationDelete(b *testing.B) {
+	const n = 256
+	b.Run("genwl/delta", func(b *testing.B) {
+		s, src := genwlWorkload(n)
+		e, err := New(s, src, chase.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Solution(chase.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		atoms := e.SourceSnapshot().Atoms()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := atoms[i%len(atoms)]
+			if _, err := e.Apply([]instance.Mutation{{Insert: false, Atom: a}}, chase.Options{}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Apply([]instance.Mutation{{Insert: true, Atom: a}}, chase.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if _, err := e.Solution(chase.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("genwl/full", func(b *testing.B) {
+		s, src := genwlWorkload(n)
+		atoms := src.Atoms()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := atoms[i%len(atoms)]
+			src.Remove(a)
+			if _, err := chase.Standard(s, src, chase.Options{}); err != nil {
+				b.Fatal(err)
+			}
+			src.Add(a)
+			if _, err := chase.Standard(s, src, chase.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,275 @@
+package incr
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/certain"
+	"repro/internal/chase"
+	"repro/internal/cwa"
+	"repro/internal/dependency"
+	"repro/internal/genwl"
+	"repro/internal/hom"
+	"repro/internal/instance"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/score"
+)
+
+// The randomized crosscheck: for random mutation sequences over weakly
+// acyclic settings, the incrementally maintained state must match a
+// from-scratch chase of the mutated source. "Match" is the semantic
+// relation that is actually invariant — chase results are firing-order
+// dependent, so the instances need not be isomorphic atom-for-atom:
+//
+//   - the maintained source equals the mutated source exactly;
+//   - egd failure (no solution) happens on both sides or neither;
+//   - the maintained instance is a universal solution, hom-equivalent to
+//     the from-scratch chase result;
+//   - the cores are isomorphic (up to null renaming). By Theorem 7.1 the
+//     four semantics certain⊓/certain⊔/maybe⊓/maybe⊔ are functions of the
+//     core and the canonical solution, so isomorphic cores (and, for the
+//     restricted classes, isomorphic CanSols) force all four answer sets
+//     to agree — which Box/Diamond evaluation on both cores additionally
+//     spot-checks whenever the null count keeps enumeration cheap.
+type fixture struct {
+	name string
+	s    *dependency.Setting
+	q    query.UCQ
+	// rels lists the source relations (name, arity) in sorted order.
+	rels []relSpec
+}
+
+type relSpec struct {
+	name  string
+	arity int
+}
+
+func newFixture(t testing.TB, name string, s *dependency.Setting, ucq string) fixture {
+	t.Helper()
+	q, err := parser.ParseUCQ(ucq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rels []relSpec
+	for rel, ar := range s.Source {
+		rels = append(rels, relSpec{rel, ar})
+	}
+	sort.Slice(rels, func(i, j int) bool { return rels[i].name < rels[j].name })
+	return fixture{name: name, s: s, q: q, rels: rels}
+}
+
+func crosscheckFixtures(t testing.TB) []fixture {
+	return []fixture{
+		newFixture(t, "example21", genwl.Example21(), `q(x,y) :- E(x,y).`),
+		newFixture(t, "chain", genwl.WeaklyAcyclicChain(2), `q(x) :- T1(x,y). q(x) :- T2(x,y).`),
+		newFixture(t, "layered-egd", genwl.RandomRichlyAcyclic(7, true), `q(x) :- L0(x,y). q(x) :- L2(x,y).`),
+		newFixture(t, "layered", genwl.RandomRichlyAcyclic(3, false), `q(x) :- L2(x,y).`),
+		newFixture(t, "egdonly", genwl.EgdOnly(), `q(x,y) :- F(x,y).`),
+		newFixture(t, "fulltgds", genwl.FullTgds(), `q(x,y) :- T(x,y).`),
+		newFixture(t, "copying", genwl.Copying(), `q(x,y) :- Ep(x,y).`),
+	}
+}
+
+const crosscheckPool = 4 // constant pool size; small → collisions and merges
+
+func randomAtom(rng *rand.Rand, fx fixture) instance.Atom {
+	r := fx.rels[rng.Intn(len(fx.rels))]
+	args := make([]instance.Value, r.arity)
+	for i := range args {
+		args[i] = instance.Const(fmt.Sprintf("u%d", rng.Intn(crosscheckPool)))
+	}
+	return instance.Atom{Rel: r.name, Args: args}
+}
+
+// randomMutation prefers inserts but deletes live atoms often enough to
+// exercise retraction; cur is the mutated-so-far source mirror.
+func randomMutation(rng *rand.Rand, fx fixture, cur *instance.Instance) instance.Mutation {
+	atoms := cur.Atoms()
+	if len(atoms) > 0 && rng.Intn(100) < 40 {
+		return instance.Mutation{Insert: false, Atom: atoms[rng.Intn(len(atoms))]}
+	}
+	return instance.Mutation{Insert: true, Atom: randomAtom(rng, fx)}
+}
+
+// maxCrosscheckNulls bounds the cores on which the Box/Diamond spot-check
+// runs (representative enumeration is exponential in the null count).
+const maxCrosscheckNulls = 5
+
+func crosscheckState(t *testing.T, fx fixture, e *Engine, mirror *instance.Instance, checkSemantics bool) {
+	t.Helper()
+	snap := e.SourceSnapshot()
+	if !snap.Equal(mirror) {
+		t.Fatalf("maintained source diverged:\nengine %v\nmirror %v", snap.Atoms(), mirror.Atoms())
+	}
+	scratch, scratchErr := chase.Standard(fx.s, mirror, chase.Options{})
+	sol, solErr := e.Solution(chase.Options{})
+	if chase.IsEgdFailure(scratchErr) != chase.IsEgdFailure(solErr) {
+		t.Fatalf("egd-failure disagreement: scratch=%v engine=%v", scratchErr, solErr)
+	}
+	if chase.IsEgdFailure(scratchErr) {
+		return // both sides agree there is no solution
+	}
+	if scratchErr != nil {
+		t.Fatal(scratchErr)
+	}
+	if solErr != nil {
+		t.Fatal(solErr)
+	}
+	if !chase.IsSolution(fx.s, mirror, sol) {
+		t.Fatalf("maintained instance is not a solution:\nsource %v\ntarget %v", mirror.Atoms(), sol.Atoms())
+	}
+	if !hom.Exists(sol, scratch.Target) || !hom.Exists(scratch.Target, sol) {
+		t.Fatalf("not hom-equivalent to from-scratch chase:\nincr    %v\nscratch %v", sol.Atoms(), scratch.Target.Atoms())
+	}
+	coreIncr, coreScratch := score.Core(sol), score.Core(scratch.Target)
+	if !hom.Isomorphic(coreIncr, coreScratch) {
+		t.Fatalf("cores not isomorphic:\nincr    %v\nscratch %v", coreIncr.Atoms(), coreScratch.Atoms())
+	}
+	if !checkSemantics {
+		return
+	}
+	// CanSol exists for the restricted classes (Proposition 5.4); its
+	// isomorphism pins down certain⊓/maybe⊔ there.
+	if fx.s.EgdsOnly() || fx.s.FullAndEgds() {
+		ci, err1 := cwa.CanSol(fx.s, snap, chase.Options{})
+		cs, err2 := cwa.CanSol(fx.s, mirror, chase.Options{})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("CanSol disagreement: %v vs %v", err1, err2)
+		}
+		if err1 == nil && !hom.Isomorphic(ci, cs) {
+			t.Fatalf("CanSols not isomorphic:\nincr    %v\nscratch %v", ci.Atoms(), cs.Atoms())
+		}
+	}
+	// Box/Diamond over the cores decide certain⊔ and maybe⊓ (Theorem
+	// 7.1); evaluate both sides when the enumeration is small enough.
+	if len(coreIncr.Nulls()) > maxCrosscheckNulls || len(coreScratch.Nulls()) > maxCrosscheckNulls {
+		return
+	}
+	opt := certain.Options{Workers: 1}
+	bi, err := certain.Box(fx.s, fx.q, coreIncr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := certain.Box(fx.s, fx.q, coreScratch, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !answersEquivalent(bi, bs) {
+		t.Fatalf("certain⊔ (Box over core) diverged: %v vs %v", bi, bs)
+	}
+	di, err := certain.Diamond(fx.s, fx.q, coreIncr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := certain.Diamond(fx.s, fx.q, coreScratch, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !answersEquivalent(di, ds) {
+		t.Fatalf("maybe⊓ (Diamond over core) diverged: %v vs %v", di, ds)
+	}
+}
+
+// answersEquivalent compares two Box/Diamond answer sets up to renaming of
+// the reserved fresh constants (~i). The certain package numbers fresh
+// constants canonically in the instance's null order, so isomorphic cores
+// whose nulls merely occur in different orders produce answer sets whose
+// fresh-constant tuples differ both in naming and in multiplicity: a null
+// sitting later in one core's order may range over ~0..~k while its image
+// in the other core, sitting first, only ever takes ~0 — yielding e.g.
+// {(u,~0),(u,~1),(u,~2)} vs {(u,~0),(u,~1)} for the same generic answer
+// class (u, <fresh>). Fresh constants are unmentioned by query and
+// dependencies, so a tuple's meaning is its pattern: which positions hold
+// which named constants and which positions hold equal/distinct generic
+// values. Canonicalizing each tuple independently (relabeling its fresh
+// constants in first-occurrence order) and comparing the resulting sets is
+// therefore the comparison that is actually invariant across isomorphic
+// cores.
+func answersEquivalent(a, b *query.TupleSet) bool {
+	canon := func(s *query.TupleSet) *query.TupleSet {
+		out := query.NewTupleSet()
+		for _, tup := range s.Tuples() {
+			seen := make(map[instance.Value]instance.Value)
+			ct := make(query.Tuple, len(tup))
+			for i, v := range tup {
+				if v.IsConst() && strings.HasPrefix(instance.ConstName(v), "~") {
+					if _, err := strconv.ParseInt(instance.ConstName(v)[1:], 10, 64); err == nil {
+						r, ok := seen[v]
+						if !ok {
+							r = instance.Const(fmt.Sprintf("~%d", len(seen)))
+							seen[v] = r
+						}
+						ct[i] = r
+						continue
+					}
+				}
+				ct[i] = v
+			}
+			out.Add(ct)
+		}
+		return out
+	}
+	return canon(a).Equal(canon(b))
+}
+
+func runSequence(t *testing.T, fx fixture, seed int64, batches int) {
+	rng := rand.New(rand.NewSource(seed))
+	src := instance.New()
+	for i, n := 0, 2+rng.Intn(6); i < n; i++ {
+		src.Add(randomAtom(rng, fx))
+	}
+	e, err := New(fx.s, src, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror := src.Clone()
+	for b := 0; b < batches; b++ {
+		n := 1 + rng.Intn(3)
+		muts := make([]instance.Mutation, 0, n)
+		for i := 0; i < n; i++ {
+			m := randomMutation(rng, fx, mirror)
+			muts = append(muts, m)
+			if m.Insert {
+				mirror.Add(m.Atom)
+			} else {
+				mirror.Remove(m.Atom)
+			}
+		}
+		if _, err := e.Apply(muts, chase.Options{}); err != nil {
+			t.Fatalf("batch %d %v: %v", b, muts, err)
+		}
+		// The full semantic check (CanSol + Box/Diamond) runs on the last
+		// batch of each sequence; the structural checks (source equality,
+		// failure agreement, hom-equivalence, core isomorphism) on all.
+		crosscheckState(t, fx, e, mirror, b == batches-1)
+	}
+}
+
+// TestCrosscheckRandomMutationSequences is the acceptance gate: ≥200
+// random mutation sequences across the weakly acyclic fixture settings,
+// each sequence interleaving inserts and deletes and validating the
+// maintained state against a from-scratch chase after every batch.
+func TestCrosscheckRandomMutationSequences(t *testing.T) {
+	perFixture, batches := 30, 6
+	if testing.Short() {
+		perFixture, batches = 6, 4
+	}
+	fixtures := crosscheckFixtures(t)
+	if !testing.Short() && perFixture*len(fixtures) < 200 {
+		t.Fatalf("only %d sequences configured, acceptance needs ≥200", perFixture*len(fixtures))
+	}
+	for _, fx := range fixtures {
+		fx := fx
+		t.Run(fx.name, func(t *testing.T) {
+			t.Parallel()
+			for i := 0; i < perFixture; i++ {
+				runSequence(t, fx, int64(1000*i+7), batches)
+			}
+		})
+	}
+}

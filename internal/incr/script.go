@@ -1,0 +1,49 @@
+package incr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/instance"
+	"repro/internal/parser"
+)
+
+// ParseScript parses a mutation script: one mutation per line, a `+` or
+// `-` sign followed by atoms in the instance syntax (`+ A(a,b).`,
+// `- B(c).`). A line's sign applies to every atom on it. Blank lines and
+// `#` comments are skipped. Atom order is preserved — dxcli's apply mode
+// and tests replay scripts as ordered batches.
+func ParseScript(text string) ([]instance.Mutation, error) {
+	var muts []instance.Mutation
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var insert bool
+		switch line[0] {
+		case '+':
+			insert = true
+		case '-':
+			insert = false
+		default:
+			return nil, fmt.Errorf("incr: line %d: mutation must start with + or -: %q", ln+1, line)
+		}
+		rest := strings.TrimSpace(line[1:])
+		if rest == "" {
+			return nil, fmt.Errorf("incr: line %d: missing atom after %q", ln+1, string(line[0]))
+		}
+		ins, err := parser.ParseInstance(rest)
+		if err != nil {
+			return nil, fmt.Errorf("incr: line %d: %v", ln+1, err)
+		}
+		atoms := ins.Atoms()
+		if len(atoms) == 0 {
+			return nil, fmt.Errorf("incr: line %d: no atoms in %q", ln+1, rest)
+		}
+		for _, a := range atoms {
+			muts = append(muts, instance.Mutation{Insert: insert, Atom: a})
+		}
+	}
+	return muts, nil
+}

@@ -26,6 +26,12 @@ type Instance struct {
 	// rel() (rather than lazily on read) so that read-only methods stay
 	// side-effect-free and safe for concurrent readers.
 	names []string
+
+	// version counts content changes (see Version); journal optionally
+	// records them (see EnableJournal). Both live in mutation.go.
+	version   uint64
+	journalOn bool
+	journal   []Mutation
 }
 
 type relation struct {
@@ -113,6 +119,7 @@ func (ins *Instance) Add(a Atom) bool {
 	for i, v := range cp {
 		r.byPos[i][v] = append(r.byPos[i][v], idx)
 	}
+	ins.noteInsert(a.Rel, cp)
 	return true
 }
 
@@ -478,9 +485,12 @@ func (r *relation) clone() *relation {
 	return cp
 }
 
-// Clone returns a deep copy with identical iteration order.
+// Clone returns a deep copy with identical iteration order. The version
+// counter carries over (the copy identifies the same content state); the
+// journal does not.
 func (ins *Instance) Clone() *Instance {
 	cp := New()
+	cp.version = ins.version
 	ins.eachRel(func(r *relation) {
 		if len(r.tuples) == 0 {
 			return
@@ -495,6 +505,7 @@ func (ins *Instance) Clone() *Instance {
 // belongs to the schema (the σ-reduct I|σ of the paper).
 func (ins *Instance) Reduct(s Schema) *Instance {
 	out := New()
+	out.version = ins.version
 	ins.eachRel(func(r *relation) {
 		if !s.Has(r.name) || len(r.tuples) == 0 {
 			return
@@ -611,6 +622,8 @@ func (ins *Instance) removeTuples(rel string, idxs []int) {
 	for i, t := range r.tuples {
 		if _, gone := drop[i]; !gone {
 			kept = append(kept, t)
+		} else {
+			ins.noteRemove(r.name, t)
 		}
 	}
 	r.tuples = kept

@@ -1,0 +1,63 @@
+package instance
+
+import "fmt"
+
+// Mutation is one source-instance change: the insertion or deletion of a
+// single ground atom. Mutations are the unit of the incremental-maintenance
+// subsystem (internal/incr): the server's mutation endpoints, the dxcli
+// apply mode and the instance journal all speak in terms of them.
+type Mutation struct {
+	// Insert distinguishes an insertion (true) from a deletion (false).
+	Insert bool
+	// Atom is the affected atom.
+	Atom Atom
+}
+
+func (m Mutation) String() string {
+	if m.Insert {
+		return fmt.Sprintf("+ %v", m.Atom)
+	}
+	return fmt.Sprintf("- %v", m.Atom)
+}
+
+// Version returns the instance's monotone mutation counter: it starts at
+// zero for an empty instance and increases by one for every atom actually
+// inserted or removed (duplicate inserts and absent-atom removals do not
+// count). Clone and Reduct carry the counter over, so a snapshot's version
+// identifies the content state it was taken at. ReplaceValue advances the
+// counter through its removals and re-insertions.
+func (ins *Instance) Version() uint64 { return ins.version }
+
+// EnableJournal makes the instance record every subsequent content change
+// (atom inserted, atom removed) as a Mutation, in the order it happened.
+// Value replacement (egd application) journals as the removals and
+// re-insertions it is implemented with. The journal is not copied by Clone.
+func (ins *Instance) EnableJournal() { ins.journalOn = true }
+
+// Journal returns the mutations recorded since EnableJournal (or the last
+// ResetJournal). The slice is owned by the instance; callers must copy what
+// they retain across further mutations.
+func (ins *Instance) Journal() []Mutation { return ins.journal }
+
+// ResetJournal discards the recorded mutations while leaving journaling
+// enabled (if it was).
+func (ins *Instance) ResetJournal() { ins.journal = nil }
+
+// noteInsert records a successful atom insertion: the version counter
+// always advances; the journal only when enabled. args is the instance's
+// own (already copied) tuple storage, shared with the stored tuple — safe
+// because stored tuples are immutable.
+func (ins *Instance) noteInsert(rel string, args []Value) {
+	ins.version++
+	if ins.journalOn {
+		ins.journal = append(ins.journal, Mutation{Insert: true, Atom: Atom{Rel: rel, Args: args}})
+	}
+}
+
+// noteRemove records an atom removal; see noteInsert.
+func (ins *Instance) noteRemove(rel string, args []Value) {
+	ins.version++
+	if ins.journalOn {
+		ins.journal = append(ins.journal, Mutation{Insert: false, Atom: Atom{Rel: rel, Args: args}})
+	}
+}

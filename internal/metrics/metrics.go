@@ -69,9 +69,28 @@ var (
 	// ServerRejected counts requests refused by the admission gate because
 	// every worker slot was busy and the wait queue was full.
 	ServerRejected = register("server_rejected")
+	// ServerMutations counts mutation batches that changed a scenario's
+	// source via the mutation endpoints.
+	ServerMutations = register("server_mutations")
 	// ServerEvictions counts scenarios and cached results dropped by the
 	// registry's LRU bounds.
 	ServerEvictions = register("server_evictions")
+
+	// IncrMutations counts source mutation batches applied by the
+	// incremental-maintenance engine (internal/incr).
+	IncrMutations = register("incr_mutations")
+	// IncrDeltaFirings counts chase steps performed by incremental delta
+	// chases (the Extend/ReSaturate work after a mutation, as opposed to
+	// initial full chases).
+	IncrDeltaFirings = register("incr_delta_firings")
+	// IncrRetractions counts derived target atoms removed by walking the
+	// justification graph after a source deletion.
+	IncrRetractions = register("incr_retractions")
+	// IncrFallbackRechase counts mutations the engine could not maintain
+	// incrementally (egd merges implicated, non-monotone s-t bodies, or a
+	// dirty state after an interrupted run) and resolved by a full
+	// re-chase.
+	IncrFallbackRechase = register("incr_fallback_rechase")
 )
 
 var registry []*Counter

@@ -43,6 +43,13 @@ type ScenarioInfo struct {
 	// content (same setting text, same source atom set) and returned it
 	// instead of creating a duplicate.
 	Existing bool `json:"existing,omitempty"`
+	// Version is the scenario's source version. It advances by one for
+	// every source atom a mutation actually inserts or removes; mutation
+	// requests may pin it via base_version for optimistic concurrency.
+	Version uint64 `json:"version"`
+	// Incremental reports that source mutations are maintained by the
+	// incremental delta-chase engine rather than by full re-chase.
+	Incremental bool `json:"incremental,omitempty"`
 }
 
 // ScenarioList is the GET /v1/scenarios response.
@@ -123,6 +130,49 @@ type EnumSummary struct {
 	Done      bool `json:"done"`
 	Count     int  `json:"count"`
 	Truncated bool `json:"truncated"`
+}
+
+// MutateRequest is the body of the mutation endpoints
+// (POST /v1/scenarios/{id}/source/tuples inserts the tuples,
+// DELETE /v1/scenarios/{id}/source/tuples removes them).
+type MutateRequest struct {
+	// Tuples is the instance text of the source atoms to insert or remove
+	// (e.g. "M(a,b). N(a,c)."). Atoms must be null-free and over source
+	// relations.
+	Tuples string `json:"tuples"`
+	// BaseVersion, when non-zero, is the scenario version this mutation
+	// was prepared against. A mismatch with the current version rejects
+	// the batch with HTTP 409 (code "conflict") and applies nothing; zero
+	// applies unconditionally.
+	BaseVersion uint64 `json:"base_version,omitempty"`
+	// DeadlineMillis and MaxSteps bound the maintenance chase the mutation
+	// triggers, like their EvalRequest counterparts.
+	DeadlineMillis int `json:"deadline_ms,omitempty"`
+	MaxSteps       int `json:"max_steps,omitempty"`
+}
+
+// MutateResponse reports what a mutation batch did.
+type MutateResponse struct {
+	Scenario string `json:"scenario"`
+	// Version is the scenario version after the batch.
+	Version uint64 `json:"version"`
+	// Inserted and Deleted count the source atoms actually changed (net of
+	// duplicates and absent deletions).
+	Inserted int `json:"inserted"`
+	Deleted  int `json:"deleted"`
+	// Fallback reports that the batch was resolved by a full re-chase
+	// instead of incremental maintenance (egd merges, non-conjunctive
+	// s-t bodies, or a scenario without an engine).
+	Fallback bool `json:"fallback,omitempty"`
+	// NoSolution reports that the mutated source has no solution (an egd
+	// failed). The mutation is applied regardless; evaluation endpoints
+	// return no_solution until a later mutation repairs the source.
+	NoSolution bool `json:"no_solution,omitempty"`
+	// Steps counts the chase steps the maintenance cost (delta steps when
+	// incremental, the full re-chase when Fallback).
+	Steps int `json:"steps,omitempty"`
+	// Atoms is the maintained universal solution's size after the batch.
+	Atoms int `json:"atoms,omitempty"`
 }
 
 // Health is the GET /healthz response.

@@ -126,6 +126,22 @@ func (c *Client) Delete(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/scenarios/"+id, nil, nil)
 }
 
+// Insert adds source tuples to a live scenario (delta-chased
+// incrementally when the scenario's setting allows it).
+func (c *Client) Insert(ctx context.Context, id string, req api.MutateRequest) (api.MutateResponse, error) {
+	var out api.MutateResponse
+	err := c.do(ctx, http.MethodPost, "/v1/scenarios/"+id+"/source/tuples", req, &out)
+	return out, err
+}
+
+// Remove deletes source tuples from a live scenario (retracting their
+// derived consequences via the justification graph when possible).
+func (c *Client) Remove(ctx context.Context, id string, req api.MutateRequest) (api.MutateResponse, error) {
+	var out api.MutateResponse
+	err := c.do(ctx, http.MethodDelete, "/v1/scenarios/"+id+"/source/tuples", req, &out)
+	return out, err
+}
+
 // Chase runs (or serves the cached) standard chase.
 func (c *Client) Chase(ctx context.Context, req api.EvalRequest) (api.ChaseResponse, error) {
 	var out api.ChaseResponse

@@ -10,6 +10,7 @@ import (
 	"repro/internal/certain"
 	"repro/internal/chase"
 	"repro/internal/cwa"
+	"repro/internal/instance"
 	"repro/internal/metrics"
 	"repro/internal/parser"
 	"repro/internal/query"
@@ -22,6 +23,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleListScenarios)
 	s.mux.HandleFunc("GET /v1/scenarios/{id}", s.handleGetScenario)
 	s.mux.HandleFunc("DELETE /v1/scenarios/{id}", s.handleDeleteScenario)
+	s.mux.HandleFunc("POST /v1/scenarios/{id}/source/tuples", s.handleMutate(true))
+	s.mux.HandleFunc("DELETE /v1/scenarios/{id}/source/tuples", s.handleMutate(false))
 	s.mux.HandleFunc("POST /v1/chase", s.handleChase)
 	s.mux.HandleFunc("POST /v1/core", s.handleCore)
 	s.mux.HandleFunc("POST /v1/cansol", s.handleCanSol)
@@ -173,7 +176,9 @@ func (s *Server) scenarioInfo(sc *scenario) api.ScenarioInfo {
 		ID:            sc.id,
 		WeaklyAcyclic: sc.weakly,
 		RichlyAcyclic: sc.richly,
-		SourceAtoms:   sc.source.Len(),
+		SourceAtoms:   sc.src().Len(),
+		Version:       sc.version(),
+		Incremental:   sc.engine != nil && sc.engine.Maintainable(),
 	}
 	if steps, atoms, ok := sc.chased(); ok {
 		info.Chased = true
@@ -211,6 +216,69 @@ func (s *Server) handleDeleteScenario(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// handleMutate serves the source-mutation endpoints: POST inserts the
+// request's tuples, DELETE removes them. The batch runs under the admission
+// gate and a request deadline like any evaluation (an insert triggers a
+// delta chase; a delete walks the justification graph or falls back to a
+// re-chase), bumps the scenario version, and precisely invalidates cached
+// results — entries for older versions can never serve the new state
+// because the version is part of every result key.
+func (s *Server) handleMutate(insert bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req api.MutateRequest
+		if err := decode(r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		sc, err := s.reg.lookup(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		ins, err := parser.ParseInstance(req.Tuples)
+		if err != nil {
+			writeError(w, status.WithKind(fmt.Errorf("parsing tuples: %w", err), status.Usage))
+			return
+		}
+		atoms := ins.Atoms()
+		if len(atoms) == 0 {
+			writeError(w, status.WithKind(fmt.Errorf("no tuples in request"), status.Usage))
+			return
+		}
+		muts := make([]instance.Mutation, len(atoms))
+		for i, a := range atoms {
+			muts[i] = instance.Mutation{Insert: insert, Atom: a}
+		}
+		release, err := s.admit(r)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		defer release()
+		ctx, cancel := s.evalContext(r, req.DeadlineMillis)
+		defer cancel()
+		opt := chase.Options{MaxSteps: req.MaxSteps, Ctx: ctx}
+		if opt.MaxSteps <= 0 {
+			opt.MaxSteps = s.cfg.DefaultMaxSteps
+		}
+		res, err := s.reg.mutate(sc, muts, req.BaseVersion, opt)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, api.MutateResponse{
+			Scenario:   sc.id,
+			Version:    res.Version,
+			Inserted:   res.Inserted,
+			Deleted:    res.Deleted,
+			Fallback:   res.Fallback,
+			NoSolution: res.NoSolution,
+			Steps:      res.Steps,
+			Atoms:      res.Atoms,
+		})
+	}
 }
 
 // eval is the shared preamble of the evaluation endpoints: decode, admit,
@@ -306,7 +374,7 @@ func (s *Server) handleExists(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cleanup()
 	s.cached(w, resultKey(sc, "exists"), func() (any, error) {
-		exists, err := cwa.Exists(sc.setting, sc.source, opt)
+		exists, err := cwa.Exists(sc.setting, sc.src(), opt)
 		if err != nil {
 			return nil, err
 		}
@@ -355,7 +423,7 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 		workers = s.cfg.Workers
 	}
 	s.cached(w, resultKey(sc, "certain", semName, req.Query), func() (any, error) {
-		ans, err := certain.Answers(sc.setting, q, sc.source, sem,
+		ans, err := certain.Answers(sc.setting, q, sc.src(), sem,
 			certain.Options{Chase: opt, Workers: workers})
 		if err != nil {
 			return nil, err
@@ -410,7 +478,7 @@ func (s *Server) handleEnum(w http.ResponseWriter, r *http.Request) {
 	if workers <= 0 {
 		workers = s.cfg.Workers
 	}
-	sols, err := cwa.Enumerate(sc.setting, sc.source, cwa.EnumOptions{
+	sols, err := cwa.Enumerate(sc.setting, sc.src(), cwa.EnumOptions{
 		MaxSolutions: maxSols,
 		ChaseOptions: opt,
 		Workers:      workers,

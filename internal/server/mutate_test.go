@@ -1,0 +1,346 @@
+package server_test
+
+// End-to-end tests of the live-mutation surface: POST/DELETE
+// /v1/scenarios/{id}/source/tuples maintain the scenario's chase result
+// incrementally, bump the version, invalidate exactly the stale cached
+// results, reject version conflicts with 409, and stay data-race-free
+// while /v1/enum streams concurrently.
+
+import (
+	"context"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/hom"
+	"repro/internal/parser"
+	"repro/internal/server"
+	"repro/internal/server/api"
+)
+
+func TestMutateEndToEnd(t *testing.T) {
+	_, _, c := newTestServer(t, server.Config{})
+	ctx := context.Background()
+
+	info := registerQuickstart(t, c, "live")
+	if !info.Incremental {
+		t.Fatalf("quickstart scenario should be incrementally maintainable: %+v", info)
+	}
+	if info.Version == 0 {
+		t.Fatalf("fresh scenario has version 0: %+v", info)
+	}
+
+	before, err := c.Certain(ctx, api.EvalRequest{
+		Scenario: "live", Query: `q(x,y) :- E(x,y).`, Semantics: "certain-cup",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Answers) != 1 {
+		t.Fatalf("certain⊔ before mutation = %v", before.Answers)
+	}
+
+	// Insert a new M edge: the delta chase derives E(c,d) without a full
+	// re-chase, and the version advances by exactly the one atom.
+	mut, err := c.Insert(ctx, "live", api.MutateRequest{Tuples: `M(c,d).`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mut.Inserted != 1 || mut.Deleted != 0 || mut.Version != info.Version+1 {
+		t.Fatalf("insert = %+v, want 1 insert at version %d", mut, info.Version+1)
+	}
+	if mut.Fallback {
+		t.Fatalf("single insert fell back to full re-chase: %+v", mut)
+	}
+
+	after, err := c.Certain(ctx, api.EvalRequest{
+		Scenario: "live", Query: `q(x,y) :- E(x,y).`, Semantics: "certain-cup",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Answers) != 2 {
+		t.Fatalf("certain⊔ after insert = %v, want the new edge too", after.Answers)
+	}
+
+	// Deleting the inserted atom restores the original state (modulo null
+	// names): the justification graph retracts the derived E(c,d).
+	mut, err = c.Remove(ctx, "live", api.MutateRequest{Tuples: `M(c,d).`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mut.Deleted != 1 || mut.Inserted != 0 {
+		t.Fatalf("remove = %+v, want 1 delete", mut)
+	}
+	core, err := c.Core(ctx, api.EvalRequest{Scenario: "live"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := parser.ParseInstance(core.Instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := parser.ParseInstance(`E(a,b). F(a,_1). G(_1,_2).`)
+	if !hom.Isomorphic(got, want) {
+		t.Fatalf("core after insert+delete round-trip = %s", core.Instance)
+	}
+
+	// Mutating an atom that is already present / absent is a no-op that
+	// does not advance the version.
+	v := mut.Version
+	mut, err = c.Insert(ctx, "live", api.MutateRequest{Tuples: `M(a,b).`})
+	if err != nil || mut.Inserted != 0 || mut.Version != v {
+		t.Fatalf("duplicate insert = %+v, %v; want no-op at version %d", mut, err, v)
+	}
+}
+
+func TestMutateVersionConflict409(t *testing.T) {
+	_, _, c := newTestServer(t, server.Config{})
+	ctx := context.Background()
+	info := registerQuickstart(t, c, "cas")
+
+	// Correct base version succeeds; the stale one is rejected with 409
+	// and applies nothing.
+	mut, err := c.Insert(ctx, "cas", api.MutateRequest{Tuples: `M(x1,y1).`, BaseVersion: info.Version})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Insert(ctx, "cas", api.MutateRequest{Tuples: `M(x2,y2).`, BaseVersion: info.Version})
+	wantAPIError(t, err, "conflict", 409)
+	cur, err := c.Scenario(ctx, "cas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Version != mut.Version {
+		t.Fatalf("rejected mutation moved the version: %d != %d", cur.Version, mut.Version)
+	}
+}
+
+func TestMutateBadRequests(t *testing.T) {
+	_, _, c := newTestServer(t, server.Config{})
+	ctx := context.Background()
+	registerQuickstart(t, c, "bad")
+
+	for name, tuples := range map[string]string{
+		"unknown relation": `Zed(a).`,
+		"target relation":  `E(a,b).`,
+		"wrong arity":      `M(a).`,
+		"nulls":            `M(a,_1).`,
+	} {
+		_, err := c.Insert(ctx, "bad", api.MutateRequest{Tuples: tuples})
+		if err == nil {
+			t.Fatalf("%s: accepted %q", name, tuples)
+		}
+		wantAPIError(t, err, "usage", 400)
+	}
+	// A rejected batch must not have touched the scenario.
+	info, err := c.Scenario(ctx, "bad")
+	if err != nil || info.SourceAtoms != 3 {
+		t.Fatalf("scenario after rejected batches = %+v, %v", info, err)
+	}
+	_, err = c.Insert(ctx, "ghost", api.MutateRequest{Tuples: `M(a,b).`})
+	wantAPIError(t, err, "unknown_scenario", 404)
+}
+
+// TestMutateCacheInvalidation is the satellite acceptance: result-cache
+// keys carry the source version, so a mutation makes every stale entry
+// unreachable — the same request that hit before the mutation misses after
+// it and returns the new state.
+func TestMutateCacheInvalidation(t *testing.T) {
+	_, ts, c := newTestServer(t, server.Config{})
+	ctx := context.Background()
+	registerQuickstart(t, c, "inv")
+
+	const body = `{"scenario":"inv"}`
+	post := func() (string, string) {
+		resp, err := ts.Client().Post(ts.URL+"/v1/chase", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, b)
+		}
+		return resp.Header.Get("X-Cache"), string(b)
+	}
+
+	cache1, body1 := post()
+	cache2, body2 := post()
+	if cache1 != "miss" || cache2 != "hit" || body1 != body2 {
+		t.Fatalf("pre-mutation X-Cache sequence = %q, %q", cache1, cache2)
+	}
+	if _, err := c.Insert(ctx, "inv", api.MutateRequest{Tuples: `N(q,r).`}); err != nil {
+		t.Fatal(err)
+	}
+	cache3, body3 := post()
+	if cache3 != "miss" {
+		t.Fatalf("post-mutation request served from cache: %q", cache3)
+	}
+	if body3 == body1 {
+		t.Fatalf("post-mutation chase identical to pre-mutation:\n%s", body3)
+	}
+	cache4, body4 := post()
+	if cache4 != "hit" || body4 != body3 {
+		t.Fatalf("new version not cached: %q", cache4)
+	}
+}
+
+// TestMutateNoSolutionRoundTrip drives a scenario into and out of the
+// no-solution state: inserting tuples that make an egd merge two constants
+// flips evaluation to 404/no_solution, removing one repairs it.
+func TestMutateNoSolutionRoundTrip(t *testing.T) {
+	_, _, c := newTestServer(t, server.Config{})
+	ctx := context.Background()
+	_, err := c.Register(ctx, api.RegisterRequest{
+		Name: "egd",
+		Setting: `
+source W/2.
+target F/2.
+st:
+  s1: W(x,y) -> F(x,y).
+target-deps:
+  e1: F(x,y) & F(x,z) -> y = z.
+`,
+		Source: `W(k,a).`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut, err := c.Insert(ctx, "egd", api.MutateRequest{Tuples: `W(k,b).`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mut.NoSolution {
+		t.Fatalf("conflicting insert = %+v, want no_solution", mut)
+	}
+	_, err = c.Chase(ctx, api.EvalRequest{Scenario: "egd"})
+	wantAPIError(t, err, "no_solution", 404)
+
+	mut, err = c.Remove(ctx, "egd", api.MutateRequest{Tuples: `W(k,b).`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mut.NoSolution {
+		t.Fatalf("repairing delete = %+v, still no_solution", mut)
+	}
+	chase, err := c.Chase(ctx, api.EvalRequest{Scenario: "egd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chase.Atoms != 1 {
+		t.Fatalf("repaired chase = %+v, want the single F atom", chase)
+	}
+}
+
+// TestMutateNonIncrementalScenario covers settings outside the engine's
+// reach (not weakly acyclic): mutations still apply and bump the version,
+// reported as fallback, with the chase deferred to later requests.
+func TestMutateNonIncrementalScenario(t *testing.T) {
+	_, _, c := newTestServer(t, server.Config{})
+	ctx := context.Background()
+	info, err := c.Register(ctx, api.RegisterRequest{
+		Name: "cyclic",
+		Setting: `
+source R/2.
+target T/2.
+st:
+  s1: R(x,y) -> T(x,y).
+target-deps:
+  t1: T(x,y) -> exists z : T(y,z).
+`,
+		Source: `R(a,b).`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.WeaklyAcyclic || info.Incremental || info.Chased {
+		t.Fatalf("cyclic scenario info = %+v", info)
+	}
+	mut, err := c.Insert(ctx, "cyclic", api.MutateRequest{Tuples: `R(b,c).`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mut.Fallback || mut.Inserted != 1 || mut.Version != info.Version+1 {
+		t.Fatalf("non-incremental mutation = %+v", mut)
+	}
+	got, err := c.Scenario(ctx, "cyclic")
+	if err != nil || got.SourceAtoms != 2 {
+		t.Fatalf("scenario after mutation = %+v, %v", got, err)
+	}
+}
+
+// TestMutateRegisterInteraction: once mutated, a scenario no longer
+// answers for its registered content — re-registering the original content
+// must create a fresh scenario, not return the mutated one.
+func TestMutateRegisterInteraction(t *testing.T) {
+	_, _, c := newTestServer(t, server.Config{})
+	ctx := context.Background()
+	registerQuickstart(t, c, "orig")
+	if _, err := c.Insert(ctx, "orig", api.MutateRequest{Tuples: `M(zz,ww).`}); err != nil {
+		t.Fatal(err)
+	}
+	again, err := c.Register(ctx, api.RegisterRequest{Setting: quickstartSetting, Source: quickstartSource})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Existing || again.ID == "orig" {
+		t.Fatalf("registration after mutation returned the mutated scenario: %+v", again)
+	}
+	// Registering the mutated name with the original content is a content
+	// mismatch now.
+	_, err = c.Register(ctx, api.RegisterRequest{Name: "orig", Setting: quickstartSetting, Source: quickstartSource})
+	wantAPIError(t, err, "usage", 400)
+}
+
+// TestMutateWhileEnumStreams races mutation batches against streaming
+// /v1/enum and /v1/certain evaluation. Run under -race (make race-server)
+// this verifies the snapshot discipline: evaluations work off immutable
+// source/solution snapshots while mutations swap pointers underneath.
+func TestMutateWhileEnumStreams(t *testing.T) {
+	_, _, c := newTestServer(t, server.Config{})
+	ctx := context.Background()
+	registerQuickstart(t, c, "race")
+
+	// Mutations stick to M tuples: d1 copies them verbatim, so the null
+	// count (and with it the enum/certain enumeration cost) stays flat
+	// while the chase state still churns every round.
+	const rounds = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, 3*rounds)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if _, err := c.Insert(ctx, "race", api.MutateRequest{Tuples: `M(r1,r2). M(r3,r4).`}); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := c.Remove(ctx, "race", api.MutateRequest{Tuples: `M(r1,r2). M(r3,r4).`}); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if _, err := c.Enum(ctx, api.EvalRequest{Scenario: "race", Max: 8}, nil); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := c.Certain(ctx, api.EvalRequest{
+				Scenario: "race", Query: `q(x,y) :- E(x,y).`, Semantics: "maybe-cup",
+			}); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

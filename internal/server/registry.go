@@ -5,12 +5,16 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/chase"
 	"repro/internal/cwa"
 	"repro/internal/dependency"
+	"repro/internal/incr"
 	"repro/internal/instance"
+	"repro/internal/metrics"
 	"repro/internal/parser"
 	"repro/internal/score"
 	"repro/internal/status"
@@ -40,11 +44,27 @@ type scenario struct {
 	contentID   string
 	settingText string // canonical form (parser.FormatSetting)
 	setting     *dependency.Setting
-	source      *instance.Instance
 	weakly      bool
 	richly      bool
+	// engine incrementally maintains the chase result under source
+	// mutations (weakly acyclic settings only; nil otherwise). It owns its
+	// own copy of the source; sc.source mirrors its latest snapshot.
+	engine *incr.Engine
+	// initVersion is the source version at registration. A scenario whose
+	// current version differs has been mutated: its content no longer
+	// matches contentID, so it leaves the content-dedup map and its result
+	// keys move to a per-scenario namespace.
+	initVersion uint64
 
-	mu sync.Mutex // single-flight guard for the memos below
+	// mutMu serializes mutation batches (version check through cache
+	// purge), single-flighting concurrent mutators.
+	mutMu sync.Mutex
+
+	mu sync.Mutex // guards source and the memos below
+	// source is the current source instance. The pointer is swapped (never
+	// mutated in place) so readers can use a snapshot without locking
+	// beyond the accessor.
+	source *instance.Instance
 	// universal and chaseSteps are set once a chase succeeds (eagerly at
 	// registration for weakly acyclic settings, else by the first
 	// successful request).
@@ -54,12 +74,47 @@ type scenario struct {
 	cansol     *instance.Instance
 }
 
+// src returns the current source instance. The returned instance is
+// treated as immutable: mutations swap the pointer.
+func (sc *scenario) src() *instance.Instance {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.source
+}
+
+// version returns the scenario's current source version (monotone: +1 per
+// source atom actually inserted or removed).
+func (sc *scenario) version() uint64 {
+	if sc.engine != nil {
+		return sc.engine.Version()
+	}
+	return sc.src().Version()
+}
+
+// mutated reports whether any mutation batch has changed the source since
+// registration (versions only move forward, so equality means pristine).
+func (sc *scenario) mutated() bool {
+	return sc.version() != sc.initVersion
+}
+
 // chaseFor returns the scenario's standard-chase result, memoized on
-// success. The options carry the request's context and budget.
+// success. Engine-backed scenarios delegate to the incremental engine —
+// the maintained fixpoint is the chase result — so a request after a
+// mutation pays only the delta the mutation left behind, not a re-chase.
+// The options carry the request's context and budget.
 func (sc *scenario) chaseFor(opt chase.Options) (universal *instance.Instance, steps int, err error) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	if sc.universal != nil {
+		return sc.universal, sc.chaseSteps, nil
+	}
+	if sc.engine != nil {
+		u, err := sc.engine.Solution(opt)
+		if err != nil {
+			return nil, 0, err
+		}
+		sc.universal = u
+		sc.chaseSteps = sc.engine.Steps()
 		return sc.universal, sc.chaseSteps, nil
 	}
 	res, err := chase.Standard(sc.setting, sc.source, opt)
@@ -174,7 +229,7 @@ func (r *registry) register(name, settingText, sourceText string, opt chase.Opti
 		name = fmt.Sprintf("s%d", r.nextID)
 	} else if v, ok := r.scenarios.get(name); ok {
 		existing := v.(*scenario)
-		if existing.contentID == contentID {
+		if existing.contentID == contentID && !existing.mutated() {
 			r.mu.Unlock()
 			return existing, true, nil
 		}
@@ -193,14 +248,22 @@ func (r *registry) register(name, settingText, sourceText string, opt chase.Opti
 		source:      src,
 		weakly:      s.WeaklyAcyclic(),
 		richly:      s.RichlyAcyclic(),
+		initVersion: src.Version(),
 	}
 	// Registration chases only weakly acyclic settings, whose chase is
 	// guaranteed to terminate (Proposition 6.6); anything else — including
 	// Turing-complete settings like D_halt — defers chasing to requests,
 	// which carry their own deadlines and budgets. An egd failure here is
 	// not a registration error: the scenario is kept and evaluation
-	// endpoints report no_solution per request.
+	// endpoints report no_solution per request. Weakly acyclic scenarios
+	// get an incremental engine: it runs this registration chase and then
+	// keeps the result maintained across source mutations.
 	if sc.weakly {
+		// A budget/deadline expiry here still returns a (dirty) engine,
+		// which re-saturates under the first request's own budget.
+		if eng, _ := incr.New(s, src, opt); eng != nil {
+			sc.engine = eng
+		}
 		sc.chaseFor(opt)
 	}
 
@@ -233,19 +296,144 @@ func (r *registry) drop(id string) bool {
 		delete(r.byContent, sc.contentID)
 	}
 	r.mu.Unlock()
-	prefix := sc.contentID + "\x00"
+	contentPrefix, mutatedPrefix := sc.contentID+"\x00", mutatedNamespace(sc.id)
 	r.results.removeIf(func(key string) bool {
-		return len(key) >= len(prefix) && key[:len(prefix)] == prefix
+		return strings.HasPrefix(key, contentPrefix) || strings.HasPrefix(key, mutatedPrefix)
 	})
 	return true
+}
+
+// mutate applies a mutation batch to the scenario: version precondition,
+// source update (incrementally maintained when the engine can), memo reset
+// and stale-result purge, all under the scenario's mutation lock so
+// concurrent mutators are single-flighted. baseVersion 0 means
+// unconditional; any other value must match the current version or the
+// batch is rejected with status.Conflict (the caller maps it to HTTP 409).
+func (r *registry) mutate(sc *scenario, muts []instance.Mutation, baseVersion uint64, opt chase.Options) (incr.ApplyResult, error) {
+	sc.mutMu.Lock()
+	defer sc.mutMu.Unlock()
+
+	cur := sc.version()
+	if baseVersion != 0 && baseVersion != cur {
+		return incr.ApplyResult{}, status.WithKind(
+			fmt.Errorf("base_version %d does not match current version %d", baseVersion, cur),
+			status.Conflict)
+	}
+	wasPristine := cur == sc.initVersion
+
+	var res incr.ApplyResult
+	var applyErr error
+	if sc.engine != nil {
+		res, applyErr = sc.engine.Apply(muts, opt)
+		if applyErr != nil && res.Version == 0 {
+			// Validation failure: nothing was applied.
+			return res, status.WithKind(applyErr, status.Usage)
+		}
+	} else {
+		var err error
+		if res, err = applyWithoutEngine(sc, muts); err != nil {
+			return res, status.WithKind(err, status.Usage)
+		}
+	}
+
+	changed := res.Inserted+res.Deleted > 0
+	if changed {
+		metrics.ServerMutations.Inc()
+		// Swap in the new source and invalidate the derived memos; the
+		// result cache keys on the version, so entries for the old version
+		// can never be served again — the purge below only reclaims their
+		// space.
+		sc.mu.Lock()
+		if sc.engine != nil {
+			sc.source = sc.engine.SourceSnapshot()
+		}
+		sc.universal = nil
+		sc.chaseSteps = 0
+		sc.core = nil
+		sc.cansol = nil
+		sc.mu.Unlock()
+
+		if wasPristine {
+			// First mutation: the content no longer matches contentID, so
+			// content-dedup must stop resolving to this scenario.
+			r.mu.Lock()
+			if r.byContent[sc.contentID] == sc.id {
+				delete(r.byContent, sc.contentID)
+			}
+			r.mu.Unlock()
+		}
+		contentPrefix, mutatedPrefix := sc.contentID+"\x00", mutatedNamespace(sc.id)
+		r.results.removeIf(func(key string) bool {
+			return strings.HasPrefix(key, mutatedPrefix) ||
+				(wasPristine && strings.HasPrefix(key, contentPrefix))
+		})
+	}
+	// applyErr here is a chase-level failure (budget, deadline) with the
+	// mutation already applied — the engine is dirty and will recover; the
+	// caller reports the error with the new version.
+	return res, applyErr
+}
+
+// applyWithoutEngine is the mutation path for scenarios without an
+// incremental engine (settings that are not weakly acyclic): validate,
+// apply to a fresh clone, swap. Derived results are recomputed from
+// scratch by the next request, under that request's own budget.
+func applyWithoutEngine(sc *scenario, muts []instance.Mutation) (incr.ApplyResult, error) {
+	for _, m := range muts {
+		arity, ok := sc.setting.Source[m.Atom.Rel]
+		if !ok {
+			return incr.ApplyResult{}, fmt.Errorf("%s is not a source relation", m.Atom.Rel)
+		}
+		if len(m.Atom.Args) != arity {
+			return incr.ApplyResult{}, fmt.Errorf("%s has arity %d, got %d arguments", m.Atom.Rel, arity, len(m.Atom.Args))
+		}
+		for _, v := range m.Atom.Args {
+			if !v.IsConst() {
+				return incr.ApplyResult{}, fmt.Errorf("source atom %v must be null-free", m.Atom)
+			}
+		}
+	}
+	next := sc.src().Clone()
+	var res incr.ApplyResult
+	for _, m := range muts {
+		if m.Insert {
+			if next.Add(m.Atom) {
+				res.Inserted++
+			}
+		} else {
+			if next.Remove(m.Atom) {
+				res.Deleted++
+			}
+		}
+	}
+	res.Version = next.Version()
+	res.Fallback = true
+	sc.mu.Lock()
+	sc.source = next
+	sc.mu.Unlock()
+	return res, nil
+}
+
+// mutatedNamespace is the result-key namespace of a scenario that has
+// diverged from its registered content. Keying by scenario identity (not
+// content) keeps two same-content scenarios that mutate differently from
+// ever sharing cache lines.
+func mutatedNamespace(id string) string {
+	return "m!" + id + "\x00"
 }
 
 // resultKey builds a result-cache key. Operational knobs (deadline, budget,
 // workers) are deliberately excluded: they change whether a computation
 // finishes, never what a finished computation returns, so a result computed
-// under one budget serves requests carrying any other.
+// under one budget serves requests carrying any other. The source version
+// is always part of the key, so a mutation precisely invalidates: requests
+// against the new version can never be served a result computed before it.
 func resultKey(sc *scenario, endpoint string, params ...string) string {
-	key := sc.contentID + "\x00" + endpoint
+	ns := sc.contentID
+	if sc.mutated() {
+		ns = mutatedNamespace(sc.id) + sc.contentID
+	}
+	key := ns + "\x00v" + strconv.FormatUint(sc.version(), 10) + "\x00" + endpoint
 	for _, p := range params {
 		key += "\x00" + p
 	}

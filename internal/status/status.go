@@ -11,6 +11,7 @@
 //	Timeout       3     504   the run's deadline expired (chase.ErrCanceled)
 //	Budget        3     422   the deterministic step budget was exhausted (chase.ErrBudgetExceeded)
 //	TooLarge      3     413   a size bound refused the request (too many nulls, enumeration truncated)
+//	Conflict      5     409   a mutation raced a concurrent update (base version mismatch)
 //	Internal      4     500   anything else
 package status
 
@@ -40,6 +41,9 @@ const (
 	Budget
 	// TooLarge reports a run refused or truncated by a size bound.
 	TooLarge
+	// Conflict reports a mutation that lost a race: its base version no
+	// longer matches the scenario (someone else mutated it first).
+	Conflict
 	// Internal is every other failure.
 	Internal
 )
@@ -60,6 +64,8 @@ func (k Kind) String() string {
 		return "budget_exceeded"
 	case TooLarge:
 		return "too_large"
+	case Conflict:
+		return "conflict"
 	}
 	return "internal"
 }
@@ -76,6 +82,8 @@ func (k Kind) ExitCode() int {
 		return 2
 	case Timeout, Budget, TooLarge:
 		return 3
+	case Conflict:
+		return 5
 	}
 	return 4
 }
@@ -95,6 +103,8 @@ func (k Kind) HTTPStatus() int {
 		return 422
 	case TooLarge:
 		return 413
+	case Conflict:
+		return 409
 	}
 	return 500
 }

@@ -27,6 +27,7 @@ func TestClassify(t *testing.T) {
 		{cwa.ErrEnumerationTruncated, TooLarge},
 		{errors.New("boom"), Internal},
 		{WithKind(errors.New("bad query"), Usage), Usage},
+		{WithKind(errors.New("version moved"), Conflict), Conflict},
 		{fmt.Errorf("outer: %w", WithKind(errors.New("bad"), Usage)), Usage},
 	}
 	for _, c := range cases {
@@ -50,6 +51,7 @@ func TestExitAndHTTPTables(t *testing.T) {
 		{Timeout, 3, 504, "timeout"},
 		{Budget, 3, 422, "budget_exceeded"},
 		{TooLarge, 3, 413, "too_large"},
+		{Conflict, 5, 409, "conflict"},
 		{Internal, 4, 500, "internal"},
 	}
 	for _, r := range rows {

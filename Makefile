@@ -4,7 +4,7 @@ GO ?= go
 BENCH_OUT ?= BENCH_2.json
 BENCH_BASELINE ?=
 
-.PHONY: all build vet vet-shadow test race race-server serve-smoke bench-smoke bench-json ci
+.PHONY: all build vet vet-shadow test race race-server serve-smoke bench-smoke bench-json bench-incr bench-columnar bench-columnar-smoke ci
 
 all: build
 
@@ -69,4 +69,26 @@ bench-incr:
 	$(GO) test -run '^$$' -bench 'BenchmarkMutation' -benchmem ./internal/incr/ \
 		| $(GO) run ./cmd/benchjson > $(BENCH_INCR_OUT)
 
-ci: vet vet-shadow build race race-server serve-smoke bench-smoke
+# Columnar-instance benchmark gate: the hot paths the columnar refactor
+# targets (AlphaChase, CWASolution, the Enumerate benches, incr inserts),
+# diffed against the committed pre-columnar baseline (bench/pr6_baseline.txt,
+# the map-of-relations storage before PR 6). Committed as BENCH_6.json.
+BENCH_COLUMNAR_OUT ?= BENCH_6.json
+BENCH_COLUMNAR_BASELINE ?= bench/pr6_baseline.txt
+BENCH_COLUMNAR_PAT := BenchmarkAlphaChase|BenchmarkCWASolution|BenchmarkEnumerate_Workers|BenchmarkExample53_Enumeration
+bench-columnar:
+	{ $(GO) test -run '^$$' -bench '$(BENCH_COLUMNAR_PAT)' -benchmem . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkMutationInsert' -benchmem ./internal/incr/ ; } \
+		| $(GO) run ./cmd/benchjson -before $(BENCH_COLUMNAR_BASELINE) \
+		> $(BENCH_COLUMNAR_OUT)
+
+# One-iteration pass over the same benches: ci proves the gate itself still
+# runs (bench code and baseline parse) without paying for real timings, so
+# future PRs can't silently bit-rot the instance-layer benchmarks.
+bench-columnar-smoke:
+	{ $(GO) test -run '^$$' -bench '$(BENCH_COLUMNAR_PAT)' -benchtime 1x . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkMutationInsert' -benchtime 1x ./internal/incr/ ; } \
+		| $(GO) run ./cmd/benchjson -before $(BENCH_COLUMNAR_BASELINE) \
+		> /dev/null
+
+ci: vet vet-shadow build race race-server serve-smoke bench-smoke bench-columnar-smoke

@@ -142,6 +142,7 @@ func AlphaChase(s *dependency.Setting, src *instance.Instance, a Alpha, opt Opti
 	cur := src.Clone()
 	res := &AlphaResult{}
 	budget := opt.maxSteps()
+	stc := &stCache{}
 
 	for {
 		if err := opt.err(); err != nil {
@@ -155,7 +156,7 @@ func AlphaChase(s *dependency.Setting, src *instance.Instance, a Alpha, opt Opti
 		} else if applied {
 			continue
 		}
-		if applied := alphaTgdPass(s, cur, a, &res.Result, opt); applied {
+		if applied := alphaTgdPass(s, cur, a, &res.Result, opt, stc); applied {
 			continue
 		}
 		break
@@ -167,7 +168,8 @@ func AlphaChase(s *dependency.Setting, src *instance.Instance, a Alpha, opt Opti
 }
 
 // alphaApplicable reports whether d can be α-applied with the binding:
-// the head under ᾱ(d, ū, v̄) is not fully present.
+// the head under ᾱ(d, ū, v̄) is not fully present. Binding-based slow path,
+// used only for general FO bodies (s-t tgds).
 func alphaApplicable(d *dependency.TGD, cur *instance.Instance, a Alpha, env query.Binding) ([]instance.Atom, bool) {
 	full := env.Clone()
 	for z, v := range alphaTuple(a, d, env) {
@@ -184,26 +186,121 @@ func alphaApplicable(d *dependency.TGD, cur *instance.Instance, a Alpha, env que
 	return atoms, missing
 }
 
-func alphaTgdPass(s *dependency.Setting, cur *instance.Instance, a Alpha, res *Result, opt Options) bool {
+// alphaValuesSlots computes ᾱ(d, ū, v̄) for a body slot environment, in
+// d.Exists order, appending into out. FreshAlpha — the canonical hot path —
+// is served through its memo directly, with keys assembled from the slot
+// environment: justificationKeySlots emits byte-for-byte the prefix of
+// Justification.Key, so the memo stays interchangeable with Key()-based
+// lookups (callers read alpha.Memo by Justification.Key after Canonical).
+func alphaValuesSlots(a Alpha, d *dependency.TGD, env []instance.Value, out []instance.Value) []instance.Value {
+	out = out[:0]
+	if fa, ok := a.(*FreshAlpha); ok {
+		base := justificationKeySlots(d, env)
+		for _, z := range d.Exists {
+			k := base + z
+			v, ok := fa.Memo[k]
+			if !ok {
+				v = fa.Nulls.Fresh()
+				fa.Memo[k] = v
+			}
+			out = append(out, v)
+		}
+		return out
+	}
+	xs, ys := d.XSlots(), d.YSlots()
+	u := make([]instance.Value, len(xs))
+	for i, sl := range xs {
+		u[i] = env[sl]
+	}
+	v := make([]instance.Value, len(ys))
+	for i, sl := range ys {
+		v[i] = env[sl]
+	}
+	for _, z := range d.Exists {
+		out = append(out, a.Value(Justification{Dep: d.Name, U: u, V: v, Z: z}))
+	}
+	return out
+}
+
+// alphaTgdPass fires every α-applicable tgd binding once. Conjunctive bodies
+// run on the slot path: body environments come from the compiled body plan
+// (s-t tgds from the stCache — their σ-reduct matches never change during a
+// run), α-values fill the existential slots directly, and the applicability
+// test is a template presence check with no atom materialization. Only
+// general FO bodies (s-t tgds) still go through Bindings.
+func alphaTgdPass(s *dependency.Setting, cur *instance.Instance, a Alpha, res *Result, opt Options, stc *stCache) bool {
 	budget := opt.maxSteps()
 	fired := false
+	var vals, full []instance.Value
 	for _, d := range s.AllTGDs() {
-		bodyInst := tgdBodyInstance(s, d, cur)
-		var pending []query.Binding
-		bodyBindings(d, bodyInst, func(env query.Binding) bool {
-			if _, applicable := alphaApplicable(d, cur, a, env); applicable {
-				pending = append(pending, env.Clone())
+		if d.BodyAtoms == nil {
+			var pending []query.Binding
+			for _, env := range stc.foEnvs(s, d, cur) {
+				if _, applicable := alphaApplicable(d, cur, a, env); applicable {
+					pending = append(pending, env)
+				}
 			}
-			return true
-		})
+			for _, env := range pending {
+				if res.Steps >= budget || opt.err() != nil {
+					return true
+				}
+				atoms, applicable := alphaApplicable(d, cur, a, env)
+				if !applicable {
+					continue
+				}
+				for _, at := range atoms {
+					cur.Add(at)
+				}
+				res.Steps++
+				metrics.ChaseSteps.Inc()
+				fired = true
+				if opt.Trace {
+					res.Trace = append(res.Trace, Step{Dep: d.Name, Kind: "tgd", Added: atoms})
+				}
+			}
+			continue
+		}
+
+		hp := d.HeadSlotsPlan()
+		if cap(full) < hp.NumSlots() {
+			full = make([]instance.Value, hp.NumSlots())
+		}
+		fullEnv := full[:hp.NumSlots()]
+		tmpl := d.HeadTemplates()
+		zslots := d.ExistsSlots()
+		// applicable leaves fullEnv holding env extended with the α-values,
+		// ready for Instantiate when the caller fires.
+		applicable := func(env []instance.Value) bool {
+			vals = alphaValuesSlots(a, d, env, vals)
+			copy(fullEnv, env)
+			for i, sl := range zslots {
+				fullEnv[sl] = vals[i]
+			}
+			return !tmpl.AllPresent(cur, fullEnv)
+		}
+		var pending [][]instance.Value
+		if isST(s, d) {
+			for _, env := range stc.conjEnvs(s, d, cur) {
+				if applicable(env) {
+					pending = append(pending, env)
+				}
+			}
+		} else {
+			d.BodyPlan().Eval(cur, nil, func(env []instance.Value) bool {
+				if applicable(env) {
+					pending = append(pending, append([]instance.Value(nil), env...))
+				}
+				return true
+			})
+		}
 		for _, env := range pending {
 			if res.Steps >= budget || opt.err() != nil {
 				return true
 			}
-			atoms, applicable := alphaApplicable(d, cur, a, env)
-			if !applicable {
+			if !applicable(env) {
 				continue
 			}
+			atoms := tmpl.Instantiate(fullEnv)
 			for _, at := range atoms {
 				cur.Add(at)
 			}
@@ -242,6 +339,11 @@ func Canonical(s *dependency.Setting, src *instance.Instance, opt Options) (*Alp
 	alpha := NewFreshAlpha(instance.NewNullSource(0))
 	budget := opt.maxSteps()
 	totalSteps := 0
+	// One stCache across all restarts: every restart clones the same source,
+	// and σ-atoms never change during a run (heads are over τ; egds only
+	// replace nulls, which the null-free source atoms never mention), so the
+	// σ-reduct and the s-t body matches are constants of the whole loop.
+	stc := &stCache{}
 
 	for {
 		cur := src.Clone()
@@ -278,7 +380,7 @@ func Canonical(s *dependency.Setting, src *instance.Instance, opt Options) (*Alp
 				}
 				continue run
 			}
-			if alphaTgdPass(s, cur, alpha, &res.Result, opt) {
+			if alphaTgdPass(s, cur, alpha, &res.Result, opt, stc) {
 				continue
 			}
 			break

@@ -27,56 +27,92 @@ func deltaBodyEnvs(d *dependency.TGD, cur *instance.Instance, delta []instance.A
 	})
 }
 
+// deltaState is the per-call scratch shared by the delta drivers: slot
+// buffers sized to the body plan and the justification-key dedup set.
+type deltaState struct {
+	buf  []instance.Value // delta result in body slot order
+	init []instance.Value // unified pre-bound slots (prefix used)
+	seen map[string]bool
+}
+
+func newDeltaState(d *dependency.TGD) *deltaState {
+	if d.BodyAtoms == nil {
+		panic("chase: deltaBodyEnvs requires a conjunctive body")
+	}
+	n := d.BodyPlan().NumSlots()
+	return &deltaState{
+		buf:  make([]instance.Value, n),
+		init: make([]instance.Value, n),
+		seen: make(map[string]bool),
+	}
+}
+
+// deltaAtomEnvs seeds the tgd's body join with one delta atom and reports
+// whether enumeration may continue (false: f stopped it).
+func deltaAtomEnvs(d *dependency.TGD, cur *instance.Instance, st *deltaState, da instance.Atom, f func(env []instance.Value, key string) bool) bool {
+	for i, ba := range d.BodyAtoms {
+		if ba.Rel != da.Rel || len(ba.Terms) != len(da.Args) {
+			continue
+		}
+		if !d.DeltaUnifierFor(i).Unify(da.Args, st.init) {
+			continue
+		}
+		perm := d.DeltaPerm(i)
+		stopped := !d.DeltaPlan(i).Eval(cur, st.init, func(env []instance.Value) bool {
+			for j, s := range perm {
+				st.buf[s] = env[j]
+			}
+			k := justificationKeySlots(d, st.buf)
+			if st.seen[k] {
+				return true
+			}
+			st.seen[k] = true
+			return f(st.buf, k)
+		})
+		if stopped {
+			return false
+		}
+	}
+	return true
+}
+
+// DeltaBodyEnvsKeyedBetween is DeltaBodyEnvsKeyed with the delta given as a
+// watermark interval over cur's insertion log instead of a copied atom
+// slice: the delta atoms are exactly those added between the two marks, in
+// insertion order (instance.EachAddedBetween). Both marks must be valid on
+// cur. Atoms of relations not mentioned in the body (e.g. source atoms in
+// the interval when d is a target tgd) unify with nothing and are skipped.
+// The env passed to f is reused — copy what you keep. f must not mutate cur.
+func DeltaBodyEnvsKeyedBetween(d *dependency.TGD, cur *instance.Instance, from, to instance.Mark, f func(env []instance.Value, key string) bool) {
+	st := newDeltaState(d)
+	cur.EachAddedBetween(from, to, func(da instance.Atom) bool {
+		return deltaAtomEnvs(d, cur, st, da, f)
+	})
+}
+
 // DeltaBodyEnvsKeyed is deltaBodyEnvs with the justification key (already
 // computed for the dedup) passed alongside each environment, for callers
 // that key their own bookkeeping by justification (cwa's enumeration closes
 // states under chosen justifications this way). The env passed to f is
 // reused — copy what you keep. f must not mutate cur.
 func DeltaBodyEnvsKeyed(d *dependency.TGD, cur *instance.Instance, delta []instance.Atom, f func(env []instance.Value, key string) bool) {
-	if d.BodyAtoms == nil {
-		panic("chase: deltaBodyEnvs requires a conjunctive body")
-	}
-	n := d.BodyPlan().NumSlots()
-	buf := make([]instance.Value, n)  // delta result in body slot order
-	init := make([]instance.Value, n) // unified pre-bound slots (prefix used)
-	seen := make(map[string]bool)
+	st := newDeltaState(d)
 	for _, da := range delta {
-		for i, ba := range d.BodyAtoms {
-			if ba.Rel != da.Rel || len(ba.Terms) != len(da.Args) {
-				continue
-			}
-			if !d.DeltaUnifierFor(i).Unify(da.Args, init) {
-				continue
-			}
-			perm := d.DeltaPerm(i)
-			stopped := !d.DeltaPlan(i).Eval(cur, init, func(env []instance.Value) bool {
-				for j, s := range perm {
-					buf[s] = env[j]
-				}
-				k := justificationKeySlots(d, buf)
-				if seen[k] {
-					return true
-				}
-				seen[k] = true
-				return f(buf, k)
-			})
-			if stopped {
-				return
-			}
+		if !deltaAtomEnvs(d, cur, st, da, f) {
+			return
 		}
 	}
 }
 
-// deltaTracker accumulates the atoms added since the last tgd pass.
+// deltaTracker tracks the insertion-log position of the last tgd pass: the
+// next pass's delta is the watermark interval [mark, now) — a view over the
+// instance's own log, with no copied atom sets.
 type deltaTracker struct {
-	atoms []instance.Atom
+	mark instance.Mark
 	// full forces the next pass to re-enumerate everything (set after egd
-	// applications, which rewrite values and invalidate the delta).
+	// applications, which rewrite values and invalidate the delta; a stale
+	// mark — removals bumped the epoch — forces the same fallback).
 	full bool
 }
 
-func (t *deltaTracker) add(a instance.Atom)    { t.atoms = append(t.atoms, a) }
-func (t *deltaTracker) invalidate()            { t.full = true; t.atoms = nil }
-func (t *deltaTracker) reset()                 { t.full = false; t.atoms = nil }
-func (t *deltaTracker) needsFullScan() bool    { return t.full }
-func (t *deltaTracker) delta() []instance.Atom { return t.atoms }
+func (t *deltaTracker) invalidate() { t.full = true }

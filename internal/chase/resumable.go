@@ -268,9 +268,14 @@ func (r *Resumable) egdPass(opt Options) (bool, error) {
 func (r *Resumable) tgdPass(opt Options, start int) bool {
 	budget := opt.maxSteps()
 	fired := false
-	fullScan := r.tracker.needsFullScan()
-	delta := r.tracker.delta()
-	r.tracker.reset()
+	// The delta is the watermark interval since the previous pass. A stale
+	// mark (removals bumped the instance epoch) degrades to a full scan, as
+	// does an explicit invalidation. Atoms inserted by this pass land after
+	// `to` in the log and so form the next pass's delta.
+	fullScan := r.tracker.full || !r.cur.MarkValid(r.tracker.mark)
+	from, to := r.tracker.mark, r.cur.Mark()
+	r.tracker.full = false
+	r.tracker.mark = to
 
 	for _, d := range r.s.AllTGDs() {
 		isst := r.stSet[d]
@@ -308,11 +313,8 @@ func (r *Resumable) tgdPass(opt Options, start int) bool {
 				added := headAtomsUnder(d, env)
 				var inserted []instance.Atom
 				for _, a := range added {
-					if r.cur.Add(a) {
-						r.tracker.add(a)
-						if r.obs != nil {
-							inserted = append(inserted, a)
-						}
+					if r.cur.Add(a) && r.obs != nil {
+						inserted = append(inserted, a)
 					}
 				}
 				r.steps++
@@ -348,7 +350,9 @@ func (r *Resumable) tgdPass(opt Options, start int) bool {
 		case fullScan:
 			d.BodyPlan().Eval(r.cur, nil, collect)
 		default:
-			deltaBodyEnvs(d, r.cur, delta, collect)
+			DeltaBodyEnvsKeyedBetween(d, r.cur, from, to, func(env []instance.Value, _ string) bool {
+				return collect(env)
+			})
 		}
 
 		hp := d.HeadSlotsPlan()
@@ -369,11 +373,8 @@ func (r *Resumable) tgdPass(opt Options, start int) bool {
 			added := tmpl.Instantiate(full)
 			var inserted []instance.Atom
 			for _, a := range added {
-				if r.cur.Add(a) {
-					r.tracker.add(a)
-					if r.obs != nil {
-						inserted = append(inserted, a)
-					}
+				if r.cur.Add(a) && r.obs != nil {
+					inserted = append(inserted, a)
 				}
 			}
 			r.steps++

@@ -149,7 +149,7 @@ func Enumerate(s *dependency.Setting, src *instance.Instance, opt EnumOptions) (
 	// clones, reducts and content keys. The source active domain still
 	// contributes witness candidates, via srcDom.
 	e.srcDom = src.Dom()
-	e.walk(instance.New(), map[string]query.Binding{}, 0)
+	e.walk(instance.New(), map[string]query.Binding{}, 0, nil, nil)
 	e.wg.Wait()
 
 	sort.Slice(e.found, func(i, j int) bool { return e.found[i].key < e.found[j].key })
@@ -186,6 +186,18 @@ type foundSol struct {
 type stMatch struct {
 	env  query.Binding    // FO body match (nil when senv is set)
 	senv []instance.Value // conjunctive body match, BodyPlan slot order
+	key  string
+}
+
+// openMatch is one body match at a state's closure fixpoint: the potential
+// justification (d, ū, v̄) identified by key, with the match kept as a slot
+// environment (conjunctive bodies) or a Binding (FO s-t bodies). Fixpoint
+// match lists are inherited by child states read-only: a child's instance is
+// its parent's plus one new firing, so only the delta rounds differ.
+type openMatch struct {
+	d    *dependency.TGD
+	senv []instance.Value // body match, BodyPlan slot order (nil for FO s-t)
+	env  query.Binding    // FO s-t body match (nil when senv is set)
 	key  string
 }
 
@@ -236,18 +248,19 @@ func (e *enumerator) stopped() bool {
 }
 
 // spawnOrWalk explores the state on a fresh goroutine when a worker slot is
-// free, inline otherwise. cur and alpha must be private to the callee.
-func (e *enumerator) spawnOrWalk(cur *instance.Instance, alpha map[string]query.Binding, nextNull int64) {
+// free, inline otherwise. cur and alpha must be private to the callee;
+// inherited and fire are shared read-only (see walk).
+func (e *enumerator) spawnOrWalk(cur *instance.Instance, alpha map[string]query.Binding, nextNull int64, inherited []openMatch, fire *openMatch) {
 	select {
 	case e.sem <- struct{}{}:
 		e.wg.Add(1)
 		metrics.GoroutinesSpawned.Inc()
 		go func() {
 			defer func() { <-e.sem; e.wg.Done() }()
-			e.walk(cur, alpha, nextNull)
+			e.walk(cur, alpha, nextNull, inherited, fire)
 		}()
 	default:
-		e.walk(cur, alpha, nextNull)
+		e.walk(cur, alpha, nextNull, inherited, fire)
 	}
 }
 
@@ -307,10 +320,17 @@ func (e *enumerator) nfound() int {
 // of the per-state clones; all dependencies fired here are over τ): fire
 // chosen justifications to closure, prune on egd violations, then branch on
 // the first unresolved justification. nextNull is the next fresh null label
-// for canonical naming. cur and alpha are owned by this call; everything
-// else reached through e is either read-only (s, src, universal) or
-// synchronized.
-func (e *enumerator) walk(cur *instance.Instance, alpha map[string]query.Binding, nextNull int64) {
+// for canonical naming. cur and alpha are owned by this call.
+//
+// inherited, when non-nil, is the parent state's fixpoint match list and
+// fire the single newly resolved match: cur already contains every atom the
+// parent fired, so instead of re-enumerating all tgd bodies from scratch the
+// walk fires just the new justification and lets the semi-naive delta rounds
+// discover the consequences. The inherited entries (and their environments)
+// are shared read-only across sibling branches and goroutines; appends stay
+// private because the slice is capacity-trimmed at hand-off. A nil inherited
+// (the root state) builds the list with a full enumeration.
+func (e *enumerator) walk(cur *instance.Instance, alpha map[string]query.Binding, nextNull int64, inherited []openMatch, fire *openMatch) {
 	if err := chase.ContextErr(e.opt.ChaseOptions.Ctx); err != nil {
 		e.canceled.Store(true)
 		return
@@ -329,87 +349,106 @@ func (e *enumerator) walk(cur *instance.Instance, alpha map[string]query.Binding
 		return
 	}
 
-	// Close under already-chosen justifications, semi-naively: the first
-	// round enumerates every body in full; later rounds only join the atoms
-	// added by the previous round against each target tgd (a new match of a
-	// monotone conjunctive body must use a new atom). The accumulated match
-	// list — deduplicated by justification key — is exactly the matches at
-	// the fixpoint, reused by the first-unresolved scan below. s-t tgds use
-	// their precomputed (constant) Binding matches and can only fire in the
-	// first round; target tgds (always conjunctive) stay on the slot path.
-	type open struct {
-		d    *dependency.TGD
-		senv []instance.Value // body match, BodyPlan slot order (nil for FO s-t)
-		key  string
-	}
-	var matches []open
-	var delta []instance.Atom
-	for _, d := range e.allTGDs {
-		if ms, ok := e.stMatches[d]; ok {
-			for i := range ms {
-				m := &ms[i]
-				matches = append(matches, open{d: d, senv: m.senv, key: m.key})
-				w, chosen := alpha[m.key]
+	// Close under already-chosen justifications, semi-naively. An inherited
+	// state starts from its parent's fixpoint: cur already holds every
+	// previously fired atom, so only the one newly resolved justification is
+	// fired and the delta rounds take it from there. The root state builds
+	// the match list with a full enumeration and fires every chosen match.
+	// Later rounds only join the atoms added by the previous round against
+	// each target tgd (a new match of a monotone conjunctive body must use a
+	// new atom); the delta is a watermark interval over cur's insertion log —
+	// no copied atom sets; cur only grows during the closure, so marks stay
+	// valid throughout. The accumulated match list — deduplicated by
+	// justification key — is exactly the matches at the fixpoint, reused by
+	// the first-unresolved scan below. s-t tgds use their precomputed
+	// (constant) matches and can only fire in the first round; target tgds
+	// (always conjunctive) stay on the slot path.
+	var matches []openMatch
+	mStart := cur.Mark()
+	if inherited != nil {
+		matches = inherited
+		w := alpha[fire.key]
+		var atoms []instance.Atom
+		if fire.senv != nil {
+			atoms = chase.HeadAtomsSlots(fire.d, fire.senv, w)
+		} else {
+			full := fire.env.Clone()
+			for z, v := range w {
+				full[z] = v
+			}
+			atoms = chase.HeadAtoms(fire.d, full)
+		}
+		for _, a := range atoms {
+			cur.Add(a)
+		}
+	} else {
+		for _, d := range e.allTGDs {
+			if ms, ok := e.stMatches[d]; ok {
+				for i := range ms {
+					m := &ms[i]
+					matches = append(matches, openMatch{d: d, senv: m.senv, env: m.env, key: m.key})
+					w, chosen := alpha[m.key]
+					if !chosen {
+						continue
+					}
+					var atoms []instance.Atom
+					if m.senv != nil {
+						atoms = chase.HeadAtomsSlots(d, m.senv, w)
+					} else {
+						full := m.env.Clone()
+						for z, v := range w {
+							full[z] = v
+						}
+						atoms = chase.HeadAtoms(d, full)
+					}
+					for _, a := range atoms {
+						cur.Add(a)
+					}
+				}
+				continue
+			}
+			envs, keys := chase.BodyEnvsKeyed(d, cur)
+			for i, senv := range envs {
+				key := keys[i]
+				matches = append(matches, openMatch{d: d, senv: senv, key: key})
+				w, chosen := alpha[key]
 				if !chosen {
 					continue
 				}
-				var atoms []instance.Atom
-				if m.senv != nil {
-					atoms = chase.HeadAtomsSlots(d, m.senv, w)
-				} else {
-					full := m.env.Clone()
-					for z, v := range w {
-						full[z] = v
-					}
-					atoms = chase.HeadAtoms(d, full)
-				}
-				for _, a := range atoms {
-					if cur.Add(a) {
-						delta = append(delta, a)
-					}
-				}
-			}
-			continue
-		}
-		envs, keys := chase.BodyEnvsKeyed(d, cur)
-		for i, senv := range envs {
-			key := keys[i]
-			matches = append(matches, open{d: d, senv: senv, key: key})
-			w, chosen := alpha[key]
-			if !chosen {
-				continue
-			}
-			for _, a := range chase.HeadAtomsSlots(d, senv, w) {
-				if cur.Add(a) {
-					delta = append(delta, a)
+				for _, a := range chase.HeadAtomsSlots(d, senv, w) {
+					cur.Add(a)
 				}
 			}
 		}
 	}
 	var seenKeys map[string]bool
-	for len(delta) > 0 {
+	for {
+		mEnd := cur.Mark()
+		if mEnd == mStart {
+			break // previous round added nothing: fixpoint
+		}
 		if seenKeys == nil {
 			seenKeys = make(map[string]bool, len(matches))
 			for i := range matches {
 				seenKeys[matches[i].key] = true
 			}
 		}
-		var fresh []open
+		var fresh []openMatch
 		for _, d := range e.allTGDs {
 			if _, ok := e.stMatches[d]; ok {
 				continue
 			}
-			chase.DeltaBodyEnvsKeyed(d, cur, delta, func(env []instance.Value, key string) bool {
+			chase.DeltaBodyEnvsKeyedBetween(d, cur, mStart, mEnd, func(env []instance.Value, key string) bool {
 				if seenKeys[key] {
 					return true
 				}
 				seenKeys[key] = true
 				senv := append([]instance.Value(nil), env...)
-				fresh = append(fresh, open{d: d, senv: senv, key: key})
+				fresh = append(fresh, openMatch{d: d, senv: senv, key: key})
 				return true
 			})
 		}
-		delta = delta[:0]
+		mStart = mEnd
 		for _, m := range fresh {
 			matches = append(matches, m)
 			w, chosen := alpha[m.key]
@@ -417,9 +456,7 @@ func (e *enumerator) walk(cur *instance.Instance, alpha map[string]query.Binding
 				continue
 			}
 			for _, a := range chase.HeadAtomsSlots(m.d, m.senv, w) {
-				if cur.Add(a) {
-					delta = append(delta, a)
-				}
+				cur.Add(a)
 			}
 		}
 	}
@@ -447,7 +484,7 @@ func (e *enumerator) walk(cur *instance.Instance, alpha map[string]query.Binding
 
 	// Find the first unresolved justification, deterministically, among the
 	// fixpoint matches collected above.
-	var first *open
+	var first *openMatch
 	for i := range matches {
 		cand := &matches[i]
 		if _, chosen := alpha[cand.key]; chosen {
@@ -469,7 +506,10 @@ func (e *enumerator) walk(cur *instance.Instance, alpha map[string]query.Binding
 	// existential variable takes an existing domain value (source or target)
 	// or a fresh null; fresh nulls are introduced in canonical order to cut
 	// symmetry. Each complete witness explores its subtree on a free worker
-	// if available.
+	// if available. Children inherit this state's fixpoint match list
+	// (capacity-trimmed so sibling appends never share a backing slot) and
+	// fire only the justification resolved here.
+	handoff := matches[:len(matches):len(matches)]
 	dom := mergeDom(e.srcDom, cur.Dom())
 	d := first.d
 	k := len(d.Exists)
@@ -489,7 +529,7 @@ func (e *enumerator) walk(cur *instance.Instance, alpha map[string]query.Binding
 				alpha2[kk] = vv
 			}
 			alpha2[first.key] = w
-			e.spawnOrWalk(cur.Clone(), alpha2, nextNull+freshUsed)
+			e.spawnOrWalk(cur.Clone(), alpha2, nextNull+freshUsed, handoff, first)
 			return
 		}
 		for _, v := range dom {

@@ -102,7 +102,7 @@ func findRef(from, to *instance.Instance, opts ...Option) (Mapping, bool) {
 			f.used[c] = true
 		}
 	}
-	atoms := orderAtoms(from)
+	atoms := orderAtoms(from.AtomsShared())
 	if !f.search(atoms) {
 		return nil, false
 	}
@@ -225,16 +225,16 @@ func FindOnto(from, to *instance.Instance, maxHoms int) (Mapping, bool) {
 	return found, found != nil
 }
 
-// orderAtoms returns from's atoms ordered so that atoms sharing nulls are
+// orderAtoms returns the atoms ordered so that atoms sharing nulls are
 // adjacent (grouped by connected component, most-constrained first). A static
 // greedy order: repeatedly pick the atom with the fewest unseen nulls.
-func orderAtoms(from *instance.Instance) []instance.Atom {
+// The input slice is left unmodified.
+func orderAtoms(atoms []instance.Atom) []instance.Atom {
 	// Greedy fewest-unseen-nulls-first, first minimum wins. Scores are
 	// maintained incrementally (decremented at every occurrence of a null the
 	// moment it becomes seen), which picks the exact same sequence as
 	// re-scoring every remaining atom per round: the scan below visits alive
 	// atoms in original order, just as the splice-based remaining list did.
-	atoms := from.AtomsShared()
 	n := len(atoms)
 	score := make([]int, n)
 	occs := make(map[instance.Value][]int)

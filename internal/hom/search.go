@@ -19,9 +19,9 @@ import (
 // The source instance must not be mutated while a Search compiled from it is
 // in use.
 type Search struct {
-	from   *instance.Instance
 	nulls  []instance.Value // slot → null
 	slotOf map[instance.Value]int
+	consts []instance.Value // distinct constants of the source atoms
 	atoms  []searchAtom
 	occs   [][]searchOcc // per slot: distinct (rel,pos) occurrences in from
 	pool   sync.Pool     // *searchState
@@ -66,12 +66,24 @@ type searchState struct {
 // searches. The traversal order and candidate order are identical to the
 // interpreted finder's, so Find results are unchanged.
 func CompileSource(from *instance.Instance) *Search {
-	atoms := orderAtoms(from)
+	return CompileAtoms(from.AtomsShared())
+}
+
+// CompileAtoms compiles an explicit atom list — a source that never needs to
+// be materialized as an Instance (core computation compiles each Gaifman
+// block's atoms directly). The atoms are reordered by the same
+// fewest-unseen-nulls heuristic as CompileSource, so for an atom list equal
+// to an instance's (sorted-relation, insertion-order) enumeration the
+// compiled search is identical. The atoms' Args must stay unmodified while
+// the Search is in use.
+func CompileAtoms(src []instance.Atom) *Search {
+	atoms := orderAtoms(src)
 	total := 0
 	for _, a := range atoms {
 		total += len(a.Args)
 	}
-	s := &Search{from: from, slotOf: make(map[instance.Value]int, total)}
+	s := &Search{slotOf: make(map[instance.Value]int, total)}
+	constSeen := make(map[instance.Value]bool)
 	s.atoms = make([]searchAtom, 0, len(atoms))
 	// One flat backing for every atom's pattern, bound, ops and fills
 	// slices; each atom gets a capacity-bounded disjoint region, so the
@@ -98,6 +110,10 @@ func CompileSource(from *instance.Instance) *Search {
 			if v.IsConst() {
 				sa.pattern[i] = v
 				sa.bound[i] = true
+				if !constSeen[v] {
+					constSeen[v] = true
+					s.consts = append(s.consts, v)
+				}
 				continue
 			}
 			if slot, ok := s.slotOf[v]; ok {
@@ -206,7 +222,7 @@ func (s *Search) Find(to *instance.Instance, opts ...Option) (Mapping, bool) {
 	}
 	if o.injective {
 		// Constants are fixed, so they occupy their own images.
-		for _, c := range s.from.Consts() {
+		for _, c := range s.consts {
 			if st.used[c] {
 				// A forced null already maps onto this constant.
 				return nil, false
@@ -306,37 +322,54 @@ func (s *Search) search(to *instance.Instance, st *searchState, lvl int) bool {
 	for _, fr := range a.fills {
 		pat[fr.pos] = st.env[fr.slot]
 	}
-	tuples, idxs, ok := to.MatchCandidates(a.rel, pat, a.bound)
+	rel, ok := to.Relation(a.rel, len(a.pattern))
 	if !ok {
 		return false
 	}
-	if idxs == nil {
-		for _, t := range tuples {
-			if done, found := s.step(to, st, lvl, a, pat, t); done {
+	cols := rel.Cols()
+	best := -1
+	var bestList []int32
+	for i, b := range a.bound {
+		if !b {
+			continue
+		}
+		l := rel.Postings(i, pat[i])
+		if best == -1 || len(l) < len(bestList) {
+			best, bestList = i, l
+		}
+	}
+	if best >= 0 {
+		for _, row := range bestList {
+			if done, found := s.step(to, st, lvl, a, pat, cols, row); done {
 				return found
 			}
 		}
 		return false
 	}
-	for _, i := range idxs {
-		if done, found := s.step(to, st, lvl, a, pat, tuples[i]); done {
+	n := rel.Rows()
+	dead := rel.HasDead()
+	for row := int32(0); row < n; row++ {
+		if dead && !rel.Alive(row) {
+			continue
+		}
+		if done, found := s.step(to, st, lvl, a, pat, cols, row); done {
 			return found
 		}
 	}
 	return false
 }
 
-// step tries one candidate tuple at the given level. done reports that the
+// step tries one candidate row at the given level. done reports that the
 // whole search finished (found true: keep bindings and unwind).
-func (s *Search) step(to *instance.Instance, st *searchState, lvl int, a *searchAtom, pat, t []instance.Value) (done, found bool) {
+func (s *Search) step(to *instance.Instance, st *searchState, lvl int, a *searchAtom, pat []instance.Value, cols [][]instance.Value, row int32) (done, found bool) {
 	for i, b := range a.bound {
-		if b && t[i] != pat[i] {
+		if b && cols[i][row] != pat[i] {
 			return false, false
 		}
 	}
 	if st.hasAvoid {
-		for _, v := range t {
-			if v == st.avoid {
+		for _, col := range cols {
+			if col[row] == st.avoid {
 				return false, false
 			}
 		}
@@ -345,13 +378,13 @@ func (s *Search) step(to *instance.Instance, st *searchState, lvl int, a *search
 	ok := true
 	for _, op := range a.ops {
 		if op.check {
-			if t[op.pos] != st.env[op.slot] {
+			if cols[op.pos][row] != st.env[op.slot] {
 				ok = false
 				break
 			}
 			continue
 		}
-		v := t[op.pos]
+		v := cols[op.pos][row]
 		if st.forcedSet[op.slot] {
 			// The forced image is already reserved; only equality matters.
 			if v != st.forced[op.slot] {
@@ -412,29 +445,46 @@ func (s *Search) searchAll(to *instance.Instance, st *searchState, lvl int, emit
 	for _, fr := range a.fills {
 		pat[fr.pos] = st.env[fr.slot]
 	}
-	tuples, idxs, ok := to.MatchCandidates(a.rel, pat, a.bound)
+	rel, ok := to.Relation(a.rel, len(a.pattern))
 	if !ok {
 		return true
 	}
-	if idxs == nil {
-		for _, t := range tuples {
-			if !s.stepAll(to, st, lvl, a, pat, t, emit) {
+	cols := rel.Cols()
+	best := -1
+	var bestList []int32
+	for i, b := range a.bound {
+		if !b {
+			continue
+		}
+		l := rel.Postings(i, pat[i])
+		if best == -1 || len(l) < len(bestList) {
+			best, bestList = i, l
+		}
+	}
+	if best >= 0 {
+		for _, row := range bestList {
+			if !s.stepAll(to, st, lvl, a, pat, cols, row, emit) {
 				return false
 			}
 		}
 		return true
 	}
-	for _, i := range idxs {
-		if !s.stepAll(to, st, lvl, a, pat, tuples[i], emit) {
+	n := rel.Rows()
+	dead := rel.HasDead()
+	for row := int32(0); row < n; row++ {
+		if dead && !rel.Alive(row) {
+			continue
+		}
+		if !s.stepAll(to, st, lvl, a, pat, cols, row, emit) {
 			return false
 		}
 	}
 	return true
 }
 
-func (s *Search) stepAll(to *instance.Instance, st *searchState, lvl int, a *searchAtom, pat, t []instance.Value, emit func(Mapping) bool) bool {
+func (s *Search) stepAll(to *instance.Instance, st *searchState, lvl int, a *searchAtom, pat []instance.Value, cols [][]instance.Value, row int32, emit func(Mapping) bool) bool {
 	for i, b := range a.bound {
-		if b && t[i] != pat[i] {
+		if b && cols[i][row] != pat[i] {
 			return true
 		}
 	}
@@ -442,13 +492,13 @@ func (s *Search) stepAll(to *instance.Instance, st *searchState, lvl int, a *sea
 	ok := true
 	for _, op := range a.ops {
 		if op.check {
-			if t[op.pos] != st.env[op.slot] {
+			if cols[op.pos][row] != st.env[op.slot] {
 				ok = false
 				break
 			}
 			continue
 		}
-		st.env[op.slot] = t[op.pos]
+		st.env[op.slot] = cols[op.pos][row]
 		nBinds++
 	}
 	cont := true

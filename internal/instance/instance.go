@@ -7,9 +7,12 @@ import (
 )
 
 // Instance is a finite set of atoms over a fixed domain of constants and
-// labeled nulls. It maintains per-relation tuple stores with a hash index
-// for O(1) membership and per-position value indexes to support joins and
-// homomorphism search.
+// labeled nulls. Tuples are stored column-major: each relation keeps one
+// flat []Value per position, a presence bitmap over row slots (removal
+// clears a bit instead of reindexing), a hash index for O(1) membership and
+// per-position posting lists of row ids to support joins and homomorphism
+// search. Posting lists hold live rows only, in ascending row order, so
+// index-backed scans enumerate candidates in insertion order.
 //
 // All iteration over relations is in sorted relation-name order (via a
 // name slice maintained on insertion), never over the rels map directly:
@@ -26,6 +29,16 @@ type Instance struct {
 	// rel() (rather than lazily on read) so that read-only methods stay
 	// side-effect-free and safe for concurrent readers.
 	names []string
+	// byID holds the relations in creation order; seq entries refer to
+	// relations by this index so the insertion log stays name-free.
+	byID []*relation
+	// seq is the global insertion log: one entry per successful Add, in
+	// order. Watermark deltas (Mark/EachAddedBetween) are views over it.
+	seq []rowRef
+	// epoch invalidates watermarks: any removal or value rewrite bumps it,
+	// since row ids referenced by older marks may no longer identify the
+	// same (or any) atom.
+	epoch uint64
 
 	// version counts content changes (see Version); journal optionally
 	// records them (see EnableJournal). Both live in mutation.go.
@@ -34,12 +47,34 @@ type Instance struct {
 	journal   []Mutation
 }
 
+// rowRef locates one inserted row: the relation (by creation index) and its
+// row slot.
+type rowRef struct{ rel, row int32 }
+
 type relation struct {
-	name   string
-	arity  int
-	tuples [][]Value
-	byKey  map[string]int    // encoded tuple -> index into tuples
-	byPos  []map[Value][]int // position -> value -> tuple indexes
+	name  string
+	arity int
+	id    int32 // index into Instance.byID
+	nRows int   // row slots in use, including dead ones
+	nLive int   // live rows
+	cols  [][]Value           // column-major storage: cols[pos][row]
+	live  []uint64            // presence bitmap over row slots
+	byKey map[string]int32    // encoded live tuple -> row
+	byPos []map[Value][]int32 // position -> value -> ascending live row ids
+}
+
+func (r *relation) alive(row int32) bool {
+	return r.live[row>>6]&(1<<(uint(row)&63)) != 0
+}
+
+func (r *relation) hasDead() bool { return r.nLive != r.nRows }
+
+// gather fills buf with the values of the given row. buf must have length
+// arity.
+func (r *relation) gather(row int32, buf []Value) {
+	for p, col := range r.cols {
+		buf[p] = col[row]
+	}
 }
 
 // appendTuple appends the fixed-width encoding of args to buf. Callers on
@@ -56,6 +91,16 @@ func appendTuple(buf []byte, args []Value) []byte {
 
 func encodeTuple(args []Value) string {
 	return string(appendTuple(make([]byte, 0, len(args)*8), args))
+}
+
+// appendRow appends the fixed-width encoding of the row's values.
+func (r *relation) appendRow(buf []byte, row int32) []byte {
+	var tmp [8]byte
+	for _, col := range r.cols {
+		binary.LittleEndian.PutUint64(tmp[:], uint64(col[row]))
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
 }
 
 // New returns an empty instance.
@@ -76,13 +121,16 @@ func (ins *Instance) rel(name string, arity int) *relation {
 		r = &relation{
 			name:  name,
 			arity: arity,
-			byKey: make(map[string]int),
-			byPos: make([]map[Value][]int, arity),
+			id:    int32(len(ins.byID)),
+			cols:  make([][]Value, arity),
+			byKey: make(map[string]int32),
+			byPos: make([]map[Value][]int32, arity),
 		}
 		for i := range r.byPos {
-			r.byPos[i] = make(map[Value][]int)
+			r.byPos[i] = make(map[Value][]int32)
 		}
 		ins.rels[name] = r
+		ins.byID = append(ins.byID, r)
 		i := sort.SearchStrings(ins.names, name)
 		ins.names = append(ins.names, "")
 		copy(ins.names[i+1:], ins.names[i:])
@@ -111,26 +159,39 @@ func (ins *Instance) Add(a Atom) bool {
 	if _, ok := r.byKey[string(buf)]; ok {
 		return false
 	}
-	idx := len(r.tuples)
-	cp := make([]Value, len(a.Args))
-	copy(cp, a.Args)
-	r.tuples = append(r.tuples, cp)
-	r.byKey[string(buf)] = idx
-	for i, v := range cp {
-		r.byPos[i][v] = append(r.byPos[i][v], idx)
+	row := int32(r.nRows)
+	r.nRows++
+	r.nLive++
+	for i, v := range a.Args {
+		r.cols[i] = append(r.cols[i], v)
+		r.byPos[i][v] = append(r.byPos[i][v], row)
 	}
-	ins.noteInsert(a.Rel, cp)
+	if w := int(row >> 6); w >= len(r.live) {
+		r.live = append(r.live, 0)
+	}
+	r.live[row>>6] |= 1 << (uint(row) & 63)
+	r.byKey[string(buf)] = row
+	ins.seq = append(ins.seq, rowRef{rel: r.id, row: row})
+	ins.noteInsert(a.Rel, a.Args)
 	return true
 }
 
 // AddAll inserts every atom of other and reports how many were new.
 func (ins *Instance) AddAll(other *Instance) int {
 	added := 0
-	for _, a := range other.Atoms() {
-		if ins.Add(a) {
-			added++
+	buf := make([]Value, 0, 8)
+	other.eachRel(func(r *relation) {
+		args := append(buf, make([]Value, r.arity)...)
+		for row := int32(0); row < int32(r.nRows); row++ {
+			if !r.alive(row) {
+				continue
+			}
+			r.gather(row, args)
+			if ins.Add(Atom{Rel: r.name, Args: args}) {
+				added++
+			}
 		}
-	}
+	})
 	return added
 }
 
@@ -149,7 +210,7 @@ func (ins *Instance) Has(a Atom) bool {
 func (ins *Instance) Len() int {
 	n := 0
 	for _, r := range ins.rels {
-		n += len(r.tuples)
+		n += r.nLive
 	}
 	return n
 }
@@ -165,14 +226,14 @@ func (ins *Instance) RelLen(rel string) int {
 	if !ok {
 		return 0
 	}
-	return len(r.tuples)
+	return r.nLive
 }
 
 // Relations returns the names of all nonempty relations in sorted order.
 func (ins *Instance) Relations() []string {
 	names := make([]string, 0, len(ins.names))
 	for _, n := range ins.names {
-		if len(ins.rels[n].tuples) > 0 {
+		if ins.rels[n].nLive > 0 {
 			names = append(names, n)
 		}
 	}
@@ -191,105 +252,152 @@ func (ins *Instance) Arity(rel string) int {
 // Atoms returns all atoms in a deterministic order (relation name, then
 // insertion order). The returned atoms share no storage with the instance.
 func (ins *Instance) Atoms() []Atom {
-	out := make([]Atom, 0, ins.Len())
-	ins.eachRel(func(r *relation) {
-		for _, t := range r.tuples {
-			out = append(out, NewAtom(r.name, t...))
-		}
-	})
-	return out
+	return ins.atoms(false)
 }
 
-// AtomsShared is Atoms without the defensive copies: the returned atoms'
-// Args slices are the instance's own tuple storage. Callers must treat them
-// as read-only and must not retain them across mutations of the instance.
+// AtomsShared is Atoms with all Args carved out of one flat backing array
+// instead of one allocation per atom. The arguments are snapshots — they
+// stay valid across later mutations — but the backing is shared between the
+// returned atoms, so callers must treat them as read-only.
 // Iteration order is identical to Atoms.
 func (ins *Instance) AtomsShared() []Atom {
+	return ins.atoms(true)
+}
+
+func (ins *Instance) atoms(shared bool) []Atom {
 	out := make([]Atom, 0, ins.Len())
+	var flat []Value
+	if shared {
+		total := 0
+		for _, r := range ins.rels {
+			total += r.nLive * r.arity
+		}
+		flat = make([]Value, 0, total)
+	}
 	ins.eachRel(func(r *relation) {
-		for _, t := range r.tuples {
-			out = append(out, Atom{Rel: r.name, Args: t})
+		for row := int32(0); row < int32(r.nRows); row++ {
+			if !r.alive(row) {
+				continue
+			}
+			var args []Value
+			if shared {
+				start := len(flat)
+				for _, col := range r.cols {
+					flat = append(flat, col[row])
+				}
+				args = flat[start:len(flat):len(flat)]
+			} else {
+				args = make([]Value, r.arity)
+				r.gather(row, args)
+			}
+			out = append(out, Atom{Rel: r.name, Args: args})
 		}
 	})
 	return out
 }
 
 // Tuples calls f for each tuple of the named relation. The slice passed to f
-// is owned by the instance and must not be modified or retained. Iteration
+// is a shared scratch buffer: it must not be modified or retained. Iteration
 // stops early if f returns false.
 func (ins *Instance) Tuples(rel string, f func(args []Value) bool) {
 	r, ok := ins.rels[rel]
 	if !ok {
 		return
 	}
-	for _, t := range r.tuples {
-		if !f(t) {
+	args := make([]Value, r.arity)
+	for row := int32(0); row < int32(r.nRows); row++ {
+		if !r.alive(row) {
+			continue
+		}
+		r.gather(row, args)
+		if !f(args) {
 			return
 		}
 	}
 }
 
 // MatchTuples calls f for every tuple of rel that agrees with pattern at
-// every position where bound is true. It uses the position index on the
-// most selective bound position. The slice passed to f must not be retained.
+// every position where bound is true. It uses the posting list on the most
+// selective bound position. The slice passed to f is a shared scratch buffer
+// and must not be retained.
 func (ins *Instance) MatchTuples(rel string, pattern []Value, bound []bool, f func(args []Value) bool) {
-	tuples, idxs, ok := ins.MatchCandidates(rel, pattern, bound)
-	if !ok {
+	r, ok := ins.rels[rel]
+	if !ok || r.arity != len(pattern) {
 		return
 	}
-	try := func(t []Value) bool {
+	args := make([]Value, r.arity)
+	try := func(row int32) bool {
 		for i, b := range bound {
-			if b && t[i] != pattern[i] {
+			if b && r.cols[i][row] != pattern[i] {
 				return true
 			}
 		}
-		return f(t)
+		r.gather(row, args)
+		return f(args)
 	}
-	if idxs == nil {
-		for _, t := range tuples {
-			if !try(t) {
+	best, bestList := -1, []int32(nil)
+	for i, b := range bound {
+		if !b {
+			continue
+		}
+		l := r.byPos[i][pattern[i]]
+		if best == -1 || len(l) < len(bestList) {
+			best, bestList = i, l
+		}
+	}
+	if best == -1 {
+		for row := int32(0); row < int32(r.nRows); row++ {
+			if !r.alive(row) {
+				continue
+			}
+			if !try(row) {
 				return
 			}
 		}
 		return
 	}
-	for _, idx := range idxs {
-		if !try(tuples[idx]) {
+	for _, row := range bestList {
+		if !try(row) {
 			return
 		}
 	}
 }
 
-// MatchCandidates returns the candidate tuples for a pattern match on rel:
-// the relation's tuple store plus the posting list of the most selective
-// bound position (idxs == nil means "scan all tuples"). Candidates are a
-// superset of the matches — callers must still verify every bound position.
-// ok is false when the relation is absent or the arity differs.
-//
-// The returned slices are the instance's own storage: they must not be
-// modified or retained past the next mutation. This is the allocation-free
-// access path used by compiled query plans (query.Plan) and homomorphism
-// search, which loop over candidates without a callback closure.
-func (ins *Instance) MatchCandidates(rel string, pattern []Value, bound []bool) (tuples [][]Value, idxs []int, ok bool) {
-	r, present := ins.rels[rel]
-	if !present || r.arity != len(pattern) {
-		return nil, nil, false
+// Rel is a read-only handle on one relation's columnar storage, the
+// allocation-free access path used by compiled query plans (query.Plan) and
+// homomorphism search. All accessors are O(1); the returned slices are the
+// instance's own storage and must not be modified or retained past the next
+// mutation.
+type Rel struct{ r *relation }
+
+// Relation returns a handle on the named relation, or ok=false when it is
+// absent or its arity differs.
+func (ins *Instance) Relation(name string, arity int) (Rel, bool) {
+	r, ok := ins.rels[name]
+	if !ok || r.arity != arity {
+		return Rel{}, false
 	}
-	best, bestSize := -1, 0
-	for i, b := range bound {
-		if !b {
-			continue
-		}
-		size := len(r.byPos[i][pattern[i]])
-		if best == -1 || size < bestSize {
-			best, bestSize = i, size
-		}
-	}
-	if best == -1 {
-		return r.tuples, nil, true
-	}
-	return r.tuples, r.byPos[best][pattern[best]], true
+	return Rel{r: r}, true
 }
+
+// Rows returns the number of row slots, including dead ones: the iteration
+// bound for full scans. Callers must skip rows for which Alive is false
+// (cheap to elide when HasDead reports false).
+func (h Rel) Rows() int32 { return int32(h.r.nRows) }
+
+// Cols returns the column slices (cols[pos][row]).
+func (h Rel) Cols() [][]Value { return h.r.cols }
+
+// Postings returns the ascending row ids carrying v at the given position.
+// The list contains live rows only.
+func (h Rel) Postings(pos int, v Value) []int32 { return h.r.byPos[pos][v] }
+
+// HasDead reports whether any row slot is dead, i.e. whether full scans
+// need the Alive filter.
+func (h Rel) HasDead() bool { return h.r.hasDead() }
+
+// Alive reports whether the row slot holds a live tuple.
+func (h Rel) Alive(row int32) bool { return h.r.alive(row) }
 
 // PosDistinct returns the number of distinct values occurring at the given
 // position of rel, or 0 if the relation is absent or the position is out of
@@ -327,6 +435,56 @@ func (ins *Instance) EachPosValue(rel string, pos int, f func(v Value, count int
 	}
 }
 
+// Mark is a watermark into the instance's insertion log: the delta between
+// two marks is the exact sequence of atoms added between them, in insertion
+// order. Marks are only meaningful on the instance they were taken from and
+// are invalidated by removals and value rewrites (check MarkValid); Clone
+// and Reduct reset the log, so marks do not carry over to copies.
+type Mark struct {
+	epoch uint64
+	seq   int
+}
+
+// Mark returns a watermark for the current state of the insertion log.
+func (ins *Instance) Mark() Mark { return Mark{epoch: ins.epoch, seq: len(ins.seq)} }
+
+// MarkValid reports whether the mark still identifies a valid log position:
+// false after any removal or value rewrite since the mark was taken, in
+// which case delta consumers must fall back to a full scan.
+func (ins *Instance) MarkValid(m Mark) bool {
+	return m.epoch == ins.epoch && m.seq <= len(ins.seq)
+}
+
+// EachAddedBetween calls f with every atom added between the two marks
+// (from inclusive, to exclusive), in exact insertion order — the order
+// matters downstream because chase firing order determines fresh-null
+// labels. Both marks must be valid (MarkValid) and from must not be after
+// to. The atom's Args slice is a shared scratch buffer: copy what you keep.
+// Iteration stops early if f returns false; the return value reports
+// whether the sweep ran to completion.
+func (ins *Instance) EachAddedBetween(from, to Mark, f func(a Atom) bool) bool {
+	if from.seq >= to.seq {
+		return true
+	}
+	buf := make([]Value, 0, 8)
+	for _, ref := range ins.seq[from.seq:to.seq] {
+		r := ins.byID[ref.rel]
+		if !r.alive(ref.row) {
+			continue
+		}
+		args := buf
+		if r.arity > cap(args) {
+			args = make([]Value, r.arity)
+		}
+		args = args[:r.arity]
+		r.gather(ref.row, args)
+		if !f(Atom{Rel: r.name, Args: args}) {
+			return false
+		}
+	}
+	return true
+}
+
 // ContentKey returns a compact byte-string key with the property that two
 // instances hold exactly the same atom set iff their keys are equal,
 // regardless of insertion order. It is cheaper than String() (no name
@@ -337,14 +495,14 @@ func (ins *Instance) ContentKey() string {
 	var b strings.Builder
 	total := 0
 	ins.eachRel(func(r *relation) {
-		if len(r.tuples) == 0 {
+		if r.nLive == 0 {
 			return
 		}
-		total += len(r.name) + 2 + 8*r.arity*len(r.tuples)
+		total += len(r.name) + 2 + 8*r.arity*r.nLive
 	})
 	b.Grow(total)
 	ins.eachRel(func(r *relation) {
-		if len(r.tuples) == 0 {
+		if r.nLive == 0 {
 			return
 		}
 		b.WriteString(r.name)
@@ -365,16 +523,41 @@ func (ins *Instance) ContentKey() string {
 	return b.String()
 }
 
-// Dom returns the active domain of the instance in sorted order.
-func (ins *Instance) Dom() []Value {
-	seen := make(map[Value]struct{})
+// eachValue calls f with every value of every live tuple (with multiplicity).
+// Stops early when f returns false.
+func (ins *Instance) eachValue(f func(v Value) bool) {
 	for _, r := range ins.rels {
-		for _, t := range r.tuples {
-			for _, v := range t {
-				seen[v] = struct{}{}
+		if r.nLive == 0 {
+			continue
+		}
+		for _, col := range r.cols {
+			if !r.hasDead() {
+				for _, v := range col {
+					if !f(v) {
+						return
+					}
+				}
+				continue
+			}
+			for row := int32(0); row < int32(r.nRows); row++ {
+				if !r.alive(row) {
+					continue
+				}
+				if !f(col[row]) {
+					return
+				}
 			}
 		}
 	}
+}
+
+// Dom returns the active domain of the instance in sorted order.
+func (ins *Instance) Dom() []Value {
+	seen := make(map[Value]struct{})
+	ins.eachValue(func(v Value) bool {
+		seen[v] = struct{}{}
+		return true
+	})
 	out := make([]Value, 0, len(seen))
 	for v := range seen {
 		out = append(out, v)
@@ -387,15 +570,12 @@ func (ins *Instance) Dom() []Value {
 // without the sort of Nulls (bound checks on hot paths only need the count).
 func (ins *Instance) NullCount() int {
 	seen := make(map[Value]struct{})
-	for _, r := range ins.rels {
-		for _, t := range r.tuples {
-			for _, v := range t {
-				if v.IsNull() {
-					seen[v] = struct{}{}
-				}
-			}
+	ins.eachValue(func(v Value) bool {
+		if v.IsNull() {
+			seen[v] = struct{}{}
 		}
-	}
+		return true
+	})
 	return len(seen)
 }
 
@@ -423,62 +603,60 @@ func (ins *Instance) Consts() []Value {
 
 // HasNulls reports whether any atom mentions a null.
 func (ins *Instance) HasNulls() bool {
-	for _, r := range ins.rels {
-		for _, t := range r.tuples {
-			for _, v := range t {
-				if v.IsNull() {
-					return true
-				}
-			}
+	has := false
+	ins.eachValue(func(v Value) bool {
+		if v.IsNull() {
+			has = true
+			return false
 		}
-	}
-	return false
+		return true
+	})
+	return has
 }
 
 // MaxNullLabel returns the largest null label occurring in the instance,
 // or -1 if the instance is null-free. Use it to seed a NullSource.
 func (ins *Instance) MaxNullLabel() int64 {
 	max := int64(-1)
-	for _, r := range ins.rels {
-		for _, t := range r.tuples {
-			for _, v := range t {
-				if v.IsNull() && v.NullLabel() > max {
-					max = v.NullLabel()
-				}
-			}
+	ins.eachValue(func(v Value) bool {
+		if v.IsNull() && v.NullLabel() > max {
+			max = v.NullLabel()
 		}
-	}
+		return true
+	})
 	return max
 }
 
-// clone copies a relation without re-encoding keys or rehashing: maps are
-// copied with exact size hints and posting lists into one flat backing per
-// position. The inner tuple slices are shared — they are immutable once
-// stored (Add copies its argument, ReplaceValue rewrites into fresh copies,
-// removeTuples only compacts the outer slice) — but everything a mutation
-// can touch (the outer tuples slice, byKey, the byPos maps and their index
-// slices) is fresh. Posting lists are full-capacity sub-slices of the flat
-// backing, so an append on either copy reallocates instead of clobbering a
-// neighbor.
-func (r *relation) clone() *relation {
+// clone copies a relation without re-encoding keys, rehashing values or
+// copying any tuple data: the column slices and posting lists are shared
+// with their capacities trimmed to their lengths, so an append on either
+// copy reallocates instead of clobbering the other (in-place writes never
+// happen — removal replaces posting lists wholesale and clears bits in the
+// bitmap, which is copied). Only byKey, byPos (the maps themselves) and the
+// bitmap are materialized fresh.
+func (r *relation) clone(id int32) *relation {
 	cp := &relation{
-		name:   r.name,
-		arity:  r.arity,
-		tuples: make([][]Value, len(r.tuples)),
-		byKey:  make(map[string]int, len(r.byKey)),
-		byPos:  make([]map[Value][]int, r.arity),
+		name:  r.name,
+		arity: r.arity,
+		id:    id,
+		nRows: r.nRows,
+		nLive: r.nLive,
+		cols:  make([][]Value, r.arity),
+		live:  make([]uint64, len(r.live)),
+		byKey: make(map[string]int32, len(r.byKey)),
+		byPos: make([]map[Value][]int32, r.arity),
 	}
-	copy(cp.tuples, r.tuples)
+	for p, col := range r.cols {
+		cp.cols[p] = col[:len(col):len(col)]
+	}
+	copy(cp.live, r.live)
 	for k, v := range r.byKey {
 		cp.byKey[k] = v
 	}
 	for p, m := range r.byPos {
-		nm := make(map[Value][]int, len(m))
-		flat := make([]int, 0, len(r.tuples))
+		nm := make(map[Value][]int32, len(m))
 		for v, idxs := range m {
-			start := len(flat)
-			flat = append(flat, idxs...)
-			nm[v] = flat[start:len(flat):len(flat)]
+			nm[v] = idxs[:len(idxs):len(idxs)]
 		}
 		cp.byPos[p] = nm
 	}
@@ -487,15 +665,17 @@ func (r *relation) clone() *relation {
 
 // Clone returns a deep copy with identical iteration order. The version
 // counter carries over (the copy identifies the same content state); the
-// journal does not.
+// journal and the insertion log do not (marks never survive a Clone).
 func (ins *Instance) Clone() *Instance {
 	cp := New()
 	cp.version = ins.version
 	ins.eachRel(func(r *relation) {
-		if len(r.tuples) == 0 {
+		if r.nLive == 0 {
 			return
 		}
-		cp.rels[r.name] = r.clone()
+		nr := r.clone(int32(len(cp.byID)))
+		cp.rels[r.name] = nr
+		cp.byID = append(cp.byID, nr)
 		cp.names = append(cp.names, r.name)
 	})
 	return cp
@@ -507,10 +687,12 @@ func (ins *Instance) Reduct(s Schema) *Instance {
 	out := New()
 	out.version = ins.version
 	ins.eachRel(func(r *relation) {
-		if !s.Has(r.name) || len(r.tuples) == 0 {
+		if !s.Has(r.name) || r.nLive == 0 {
 			return
 		}
-		out.rels[r.name] = r.clone()
+		nr := r.clone(int32(len(out.byID)))
+		out.rels[r.name] = nr
+		out.byID = append(out.byID, nr)
 		out.names = append(out.names, r.name)
 	})
 	return out
@@ -529,8 +711,19 @@ func (ins *Instance) Equal(other *Instance) bool {
 		return false
 	}
 	for _, r := range ins.rels {
-		for _, t := range r.tuples {
-			if !other.Has(Atom{Rel: r.name, Args: t}) {
+		if r.nLive == 0 {
+			continue
+		}
+		o, ok := other.rels[r.name]
+		if !ok || o.arity != r.arity || o.nLive != r.nLive {
+			return false
+		}
+		var kb [8 * 8]byte
+		for row := int32(0); row < int32(r.nRows); row++ {
+			if !r.alive(row) {
+				continue
+			}
+			if _, ok := o.byKey[string(r.appendRow(kb[:0], row))]; !ok {
 				return false
 			}
 		}
@@ -545,98 +738,189 @@ func (ins *Instance) Map(h map[Value]Value) *Instance {
 	out := New()
 	args := make([]Value, 0, 8)
 	ins.eachRel(func(r *relation) {
-		for _, t := range r.tuples {
+		for row := int32(0); row < int32(r.nRows); row++ {
+			if !r.alive(row) {
+				continue
+			}
 			args = args[:0]
-			for _, v := range t {
+			for _, col := range r.cols {
+				v := col[row]
 				if w, ok := h[v]; ok {
 					args = append(args, w)
 				} else {
 					args = append(args, v)
 				}
 			}
-			out.Add(NewAtom(r.name, args...))
+			out.Add(Atom{Rel: r.name, Args: args})
 		}
 	})
 	return out
 }
 
 // ReplaceValue substitutes new for every occurrence of old, in place.
-// It is the primitive used by egd application.
+// It is the primitive used by egd application. Rewritten tuples are
+// re-inserted after the untouched ones, preserving the established
+// enumeration order contract.
 func (ins *Instance) ReplaceValue(old, new Value) {
 	if old == new {
 		return
 	}
 	ins.eachRel(func(r *relation) {
-		idxs, ok := findTuplesWith(r, old)
-		if !ok {
+		rows := rowsWith(r, old)
+		if len(rows) == 0 {
 			return
 		}
 		// Collect affected tuples, remove them, re-add rewritten.
-		var rewritten [][]Value
-		for _, i := range idxs {
-			t := r.tuples[i]
-			cp := make([]Value, len(t))
-			for j, v := range t {
+		rewritten := make([][]Value, len(rows))
+		for i, row := range rows {
+			cp := make([]Value, r.arity)
+			r.gather(row, cp)
+			for j, v := range cp {
 				if v == old {
 					cp[j] = new
-				} else {
-					cp[j] = v
 				}
 			}
-			rewritten = append(rewritten, cp)
+			rewritten[i] = cp
 		}
-		ins.removeTuples(r.name, idxs)
+		for _, row := range rows {
+			ins.removeRow(r, row)
+		}
+		ins.maybeCompact(r)
 		for _, t := range rewritten {
 			ins.Add(Atom{Rel: r.name, Args: t})
 		}
 	})
 }
 
-func findTuplesWith(r *relation, v Value) ([]int, bool) {
-	seen := make(map[int]struct{})
+// rowsWith returns the live rows mentioning v, ascending: the merged union
+// of v's posting lists across all positions.
+func rowsWith(r *relation, v Value) []int32 {
+	var out []int32
 	for pos := 0; pos < r.arity; pos++ {
-		for _, i := range r.byPos[pos][v] {
-			seen[i] = struct{}{}
+		l := r.byPos[pos][v]
+		if len(l) == 0 {
+			continue
 		}
+		if out == nil {
+			out = append(out, l...)
+			continue
+		}
+		out = mergeRows(out, l)
 	}
-	if len(seen) == 0 {
-		return nil, false
-	}
-	out := make([]int, 0, len(seen))
-	for i := range seen {
-		out = append(out, i)
-	}
-	sort.Ints(out)
-	return out, true
+	return out
 }
 
-// removeTuples deletes the tuples at the given indexes and rebuilds the
-// relation's indexes. Indexes must be valid and sorted ascending.
-func (ins *Instance) removeTuples(rel string, idxs []int) {
-	r := ins.rels[rel]
-	drop := make(map[int]struct{}, len(idxs))
-	for _, i := range idxs {
-		drop[i] = struct{}{}
-	}
-	kept := r.tuples[:0]
-	for i, t := range r.tuples {
-		if _, gone := drop[i]; !gone {
-			kept = append(kept, t)
-		} else {
-			ins.noteRemove(r.name, t)
+// mergeRows merges two ascending row lists, deduplicating.
+func mergeRows(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
 		}
 	}
-	r.tuples = kept
-	r.byKey = make(map[string]int, len(kept))
-	for i := range r.byPos {
-		r.byPos[i] = make(map[Value][]int)
-	}
-	for i, t := range kept {
-		r.byKey[encodeTuple(t)] = i
-		for p, v := range t {
-			r.byPos[p][v] = append(r.byPos[p][v], i)
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// removePosting deletes row from the posting list of v at position pos.
+// The replacement list is freshly allocated (never shifted in place)
+// because clones share posting backings.
+func removePosting(m map[Value][]int32, v Value, row int32) {
+	idxs := m[v]
+	n := len(idxs)
+	if n == 1 {
+		if idxs[0] == row {
+			delete(m, v)
 		}
+		return
 	}
+	i := sort.Search(n, func(k int) bool { return idxs[k] >= row })
+	if i >= n || idxs[i] != row {
+		return
+	}
+	nw := make([]int32, n-1)
+	copy(nw, idxs[:i])
+	copy(nw[i:], idxs[i+1:])
+	m[v] = nw
+}
+
+// removeRow deletes one live row: drops its key, removes it from every
+// posting list, clears its presence bit, bumps the epoch (watermarks no
+// longer identify a consistent log) and journals the removal.
+func (ins *Instance) removeRow(r *relation, row int32) {
+	var kb [8 * 8]byte
+	key := r.appendRow(kb[:0], row)
+	delete(r.byKey, string(key))
+	var args []Value
+	if ins.journalOn {
+		args = make([]Value, r.arity)
+	}
+	for p, col := range r.cols {
+		v := col[row]
+		if args != nil {
+			args[p] = v
+		}
+		removePosting(r.byPos[p], v, row)
+	}
+	r.live[row>>6] &^= 1 << (uint(row) & 63)
+	r.nLive--
+	// Any removal invalidates all outstanding watermarks; dropping the log
+	// keeps stale marks from ever indexing rebuilt (compacted) storage and
+	// bounds the log's memory between removals.
+	ins.epoch++
+	ins.seq = ins.seq[:0]
+	ins.noteRemove(r.name, args)
+}
+
+// maybeCompact rebuilds the relation's storage when dead row slots dominate,
+// reclaiming space and restoring dense scans. Row ids change, so it must
+// only run at points where no caller holds row references; the epoch bumped
+// by the removals that made compaction necessary already invalidated all
+// watermarks.
+func (ins *Instance) maybeCompact(r *relation) {
+	dead := r.nRows - r.nLive
+	if dead < 32 || dead <= r.nLive {
+		return
+	}
+	cols := make([][]Value, r.arity)
+	for p := range cols {
+		cols[p] = make([]Value, 0, r.nLive)
+	}
+	live := make([]uint64, (r.nLive+63)/64)
+	byKey := make(map[string]int32, r.nLive)
+	byPos := make([]map[Value][]int32, r.arity)
+	for p := range byPos {
+		byPos[p] = make(map[Value][]int32, len(r.byPos[p]))
+	}
+	next := int32(0)
+	var kb [8 * 8]byte
+	for row := int32(0); row < int32(r.nRows); row++ {
+		if !r.alive(row) {
+			continue
+		}
+		for p, col := range r.cols {
+			v := col[row]
+			cols[p] = append(cols[p], v)
+			byPos[p][v] = append(byPos[p][v], next)
+		}
+		byKey[string(r.appendRow(kb[:0], row))] = next
+		live[next>>6] |= 1 << (uint(next) & 63)
+		next++
+	}
+	r.cols, r.live, r.byKey, r.byPos = cols, live, byKey, byPos
+	r.nRows = int(next)
+	ins.epoch++
 }
 
 // Remove deletes the atom if present and reports whether it was present.
@@ -645,11 +929,13 @@ func (ins *Instance) Remove(a Atom) bool {
 	if !ok || r.arity != len(a.Args) {
 		return false
 	}
-	idx, ok := r.byKey[encodeTuple(a.Args)]
+	var kb [8 * 8]byte
+	row, ok := r.byKey[string(appendTuple(kb[:0], a.Args))]
 	if !ok {
 		return false
 	}
-	ins.removeTuples(a.Rel, []int{idx})
+	ins.removeRow(r, row)
+	ins.maybeCompact(r)
 	return true
 }
 

@@ -44,13 +44,15 @@ func (ins *Instance) Journal() []Mutation { return ins.journal }
 func (ins *Instance) ResetJournal() { ins.journal = nil }
 
 // noteInsert records a successful atom insertion: the version counter
-// always advances; the journal only when enabled. args is the instance's
-// own (already copied) tuple storage, shared with the stored tuple — safe
-// because stored tuples are immutable.
+// always advances; the journal only when enabled. args may be a caller's
+// scratch buffer (columnar storage keeps no per-row slice), so the journal
+// entry copies it.
 func (ins *Instance) noteInsert(rel string, args []Value) {
 	ins.version++
 	if ins.journalOn {
-		ins.journal = append(ins.journal, Mutation{Insert: true, Atom: Atom{Rel: rel, Args: args}})
+		cp := make([]Value, len(args))
+		copy(cp, args)
+		ins.journal = append(ins.journal, Mutation{Insert: true, Atom: Atom{Rel: rel, Args: cp}})
 	}
 }
 

@@ -75,6 +75,9 @@ var (
 	// ServerEvictions counts scenarios and cached results dropped by the
 	// registry's LRU bounds.
 	ServerEvictions = register("server_evictions")
+	// ServerStreamAborts counts NDJSON streams cut short because the client
+	// went away (request context canceled) or a line failed to encode.
+	ServerStreamAborts = register("server_stream_aborts")
 
 	// IncrMutations counts source mutation batches applied by the
 	// incremental-maintenance engine (internal/incr).

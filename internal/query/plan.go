@@ -102,41 +102,68 @@ func (p *Plan) run(ins *instance.Instance, st *evalState, lvl int, f func([]inst
 	for _, fr := range a.fills {
 		pat[fr.pos] = st.env[fr.slot]
 	}
-	tuples, idxs, ok := ins.MatchCandidates(a.rel, pat, a.bound)
+	rel, ok := ins.Relation(a.rel, len(a.pattern))
 	if !ok {
 		return true
 	}
-	if idxs == nil {
-		for _, t := range tuples {
-			if !p.step(ins, st, lvl, a, pat, t, f) {
+	cols := rel.Cols()
+	// Bind the most selective bound position: probe each bound position's
+	// posting list and scan the shortest. Posting lists hold live rows in
+	// insertion order, so index-backed enumeration matches full-scan order.
+	best := -1
+	var bestList []int32
+	for i, b := range a.bound {
+		if !b {
+			continue
+		}
+		l := rel.Postings(i, pat[i])
+		if best == -1 || len(l) < len(bestList) {
+			best, bestList = i, l
+		}
+	}
+	if best >= 0 {
+		for _, row := range bestList {
+			if !p.step(ins, st, lvl, a, pat, cols, row, f) {
 				return false
 			}
 		}
 		return true
 	}
-	for _, i := range idxs {
-		if !p.step(ins, st, lvl, a, pat, tuples[i], f) {
+	n := rel.Rows()
+	if rel.HasDead() {
+		for row := int32(0); row < n; row++ {
+			if !rel.Alive(row) {
+				continue
+			}
+			if !p.step(ins, st, lvl, a, pat, cols, row, f) {
+				return false
+			}
+		}
+		return true
+	}
+	for row := int32(0); row < n; row++ {
+		if !p.step(ins, st, lvl, a, pat, cols, row, f) {
 			return false
 		}
 	}
 	return true
 }
 
-// step verifies one candidate tuple against the pattern, executes the atom's
+// step verifies one candidate row against the pattern, executes the atom's
 // bind/check ops, and recurses. It returns false to stop the enumeration.
-func (p *Plan) step(ins *instance.Instance, st *evalState, lvl int, a *planAtom, pat, t []instance.Value, f func([]instance.Value) bool) bool {
+func (p *Plan) step(ins *instance.Instance, st *evalState, lvl int, a *planAtom, pat []instance.Value, cols [][]instance.Value, row int32, f func([]instance.Value) bool) bool {
 	for i, b := range a.bound {
-		if b && t[i] != pat[i] {
+		if b && cols[i][row] != pat[i] {
 			return true
 		}
 	}
 	for _, op := range a.ops {
 		if op.check {
-			if t[op.pos] != st.env[op.slot] {
+			if cols[op.pos][row] != st.env[op.slot] {
 				return true
 			}
 		} else {
-			st.env[op.slot] = t[op.pos]
+			st.env[op.slot] = cols[op.pos][row]
 		}
 	}
 	return p.run(ins, st, lvl+1, f)

@@ -46,6 +46,31 @@ func NewAtomTemplates(atoms []Atom, p *Plan) *AtomTemplates {
 	return ts
 }
 
+// AllPresent reports whether every templated atom, instantiated under the
+// environment, is present in ins — Instantiate followed by Has checks, but
+// without materializing the atom list (the α-chase applicability test runs
+// it once per body match per pass).
+func (ts *AtomTemplates) AllPresent(ins *instance.Instance, env []instance.Value) bool {
+	var buf [8]instance.Value
+	for _, t := range ts.atoms {
+		args := buf[:0]
+		if len(t.args) > cap(buf) {
+			args = make([]instance.Value, 0, len(t.args))
+		}
+		for j, slot := range t.slots {
+			if slot >= 0 {
+				args = append(args, env[slot])
+			} else {
+				args = append(args, t.args[j])
+			}
+		}
+		if !ins.Has(instance.Atom{Rel: t.rel, Args: args}) {
+			return false
+		}
+	}
+	return true
+}
+
 // Instantiate returns the atoms under the environment. The returned atoms
 // use freshly allocated argument slices.
 func (ts *AtomTemplates) Instantiate(env []instance.Value) []instance.Atom {

@@ -62,7 +62,7 @@ func IsCore(t *instance.Instance) bool {
 	blks, atoms := blocksWithAtoms(t)
 	for i, block := range blks {
 		// One compiled search per block, probed once per null of the block.
-		s := hom.CompileSource(atoms[i])
+		s := hom.CompileAtoms(atoms[i])
 		for _, n := range block {
 			if _, ok := s.Find(t, hom.Avoiding(n)); ok {
 				return false
@@ -79,7 +79,7 @@ func dropSomeNullBlockwise(cur **instance.Instance) bool {
 	for i, block := range blks {
 		// One compiled search per block, reused across the droppable-null
 		// loop: only the avoided value changes between probes.
-		s := hom.CompileSource(atoms[i])
+		s := hom.CompileAtoms(atoms[i])
 		for _, n := range block {
 			m, ok := s.Find(*cur, hom.Avoiding(n))
 			if !ok {
@@ -113,7 +113,7 @@ func blocks(t *instance.Instance) [][]instance.Value {
 		return r
 	}
 	union := func(a, b instance.Value) { parent[find(a)] = find(b) }
-	for _, a := range t.Atoms() {
+	for _, a := range t.AtomsShared() {
 		var prev instance.Value
 		hasPrev := false
 		for _, v := range a.Args {
@@ -142,31 +142,13 @@ func blocks(t *instance.Instance) [][]instance.Value {
 	return out
 }
 
-// blockAtoms returns the atoms of t mentioning at least one null of the
-// block.
-func blockAtoms(t *instance.Instance, block []instance.Value) *instance.Instance {
-	in := make(map[instance.Value]bool, len(block))
-	for _, n := range block {
-		in[n] = true
-	}
-	out := instance.New()
-	for _, a := range t.Atoms() {
-		for _, v := range a.Args {
-			if in[v] {
-				out.Add(a)
-				break
-			}
-		}
-	}
-	return out
-}
-
 // blocksWithAtoms returns the Gaifman blocks of t (as blocks does) paired
-// with, for each block, the sub-instance of atoms mentioning one of its
-// nulls. A single pass over the atoms replaces the per-block scans of
-// blockAtoms, which dominated the blockwise core loop on instances with
-// many blocks.
-func blocksWithAtoms(t *instance.Instance) ([][]instance.Value, []*instance.Instance) {
+// with, for each block, the atoms mentioning one of its nulls — plain atom
+// lists (hom.CompileAtoms compiles them directly), partitioned in a single
+// pass. The lists preserve t's deterministic enumeration order, so compiling
+// a block's list is identical to compiling a materialized sub-instance of
+// the same atoms; the shared Args stay valid for the lifetime of t.
+func blocksWithAtoms(t *instance.Instance) ([][]instance.Value, [][]instance.Atom) {
 	blks := blocks(t)
 	idx := make(map[instance.Value]int) // null -> block index
 	for i, block := range blks {
@@ -174,14 +156,11 @@ func blocksWithAtoms(t *instance.Instance) ([][]instance.Value, []*instance.Inst
 			idx[n] = i
 		}
 	}
-	atoms := make([]*instance.Instance, len(blks))
-	for i := range atoms {
-		atoms[i] = instance.New()
-	}
-	for _, a := range t.Atoms() {
+	atoms := make([][]instance.Atom, len(blks))
+	for _, a := range t.AtomsShared() {
 		for _, v := range a.Args {
 			if i, ok := idx[v]; ok {
-				atoms[i].Add(a)
+				atoms[i] = append(atoms[i], a)
 				break
 			}
 		}

@@ -493,13 +493,28 @@ func (s *Server) handleEnum(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
+	ctx := r.Context()
 	for _, sol := range sols {
-		enc.Encode(api.EnumSolution{Solution: parser.FormatInstance(sol), Atoms: sol.Len()})
+		// A disconnected client never sees further lines; stop streaming
+		// instead of encoding into a dead connection. Encode errors mean the
+		// same thing (the ResponseWriter surfaces the broken pipe).
+		select {
+		case <-ctx.Done():
+			metrics.ServerStreamAborts.Inc()
+			return
+		default:
+		}
+		if err := enc.Encode(api.EnumSolution{Solution: parser.FormatInstance(sol), Atoms: sol.Len()}); err != nil {
+			metrics.ServerStreamAborts.Inc()
+			return
+		}
 		if flusher != nil {
 			flusher.Flush()
 		}
 	}
-	enc.Encode(api.EnumSummary{Done: true, Count: len(sols), Truncated: truncated})
+	if err := enc.Encode(api.EnumSummary{Done: true, Count: len(sols), Truncated: truncated}); err != nil {
+		metrics.ServerStreamAborts.Inc()
+	}
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

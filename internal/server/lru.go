@@ -9,15 +9,18 @@ import (
 
 // lru is a mutex-guarded least-recently-used map with a fixed capacity.
 // It bounds the registry's resident scenarios and the result cache; every
-// eviction is counted in metrics.ServerEvictions.
+// capacity eviction is counted in metrics.ServerEvictions.
 type lru struct {
 	mu  sync.Mutex
 	cap int
 	ll  *list.List // front = most recent; values are *lruEntry
 	m   map[string]*list.Element
 
-	// onEvict, when set, observes evicted values (the registry uses it to
-	// drop a scenario's cached results alongside the scenario).
+	// onEvict, when set, observes every entry leaving the cache — capacity
+	// evictions, remove and removeIf alike (the registry uses it to drop a
+	// scenario's cached results alongside the scenario, whichever path
+	// removed it). Invoked outside the lru lock; it must not call back into
+	// the same lru.
 	onEvict func(key string, value any)
 }
 
@@ -69,31 +72,45 @@ func (c *lru) put(key string, value any) {
 	}
 }
 
-// remove deletes the key if present, without counting an eviction.
+// remove deletes the key if present and hands it to onEvict. The removal was
+// requested rather than forced by capacity, so no eviction is counted.
 func (c *lru) remove(key string) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	el, ok := c.m[key]
 	if !ok {
+		c.mu.Unlock()
 		return false
 	}
+	e := el.Value.(*lruEntry)
 	c.ll.Remove(el)
 	delete(c.m, key)
+	c.mu.Unlock()
+	if c.onEvict != nil {
+		c.onEvict(e.key, e.value)
+	}
 	return true
 }
 
-// removeIf deletes every entry whose key satisfies pred.
+// removeIf deletes every entry whose key satisfies pred, handing each removed
+// entry to onEvict once the lock is released.
 func (c *lru) removeIf(pred func(key string) bool) {
+	var removed []*lruEntry
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	for el := c.ll.Front(); el != nil; {
 		next := el.Next()
 		e := el.Value.(*lruEntry)
 		if pred(e.key) {
 			c.ll.Remove(el)
 			delete(c.m, e.key)
+			removed = append(removed, e)
 		}
 		el = next
+	}
+	c.mu.Unlock()
+	if c.onEvict != nil {
+		for _, e := range removed {
+			c.onEvict(e.key, e.value)
+		}
 	}
 }
 

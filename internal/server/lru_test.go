@@ -48,6 +48,29 @@ func TestLRURemoveIf(t *testing.T) {
 	}
 }
 
+func TestLRURemoveInvokesOnEvict(t *testing.T) {
+	var evicted []string
+	c := newLRU(10)
+	c.onEvict = func(key string, _ any) { evicted = append(evicted, key) }
+	c.put("a", 1)
+	c.put("b", 2)
+
+	if !c.remove("a") {
+		t.Fatal("remove(a) = false")
+	}
+	if c.remove("missing") {
+		t.Fatal("remove(missing) = true")
+	}
+	c.removeIf(func(key string) bool { return key == "b" })
+
+	if len(evicted) != 2 || evicted[0] != "a" || evicted[1] != "b" {
+		t.Fatalf("onEvict saw %v, want [a b]", evicted)
+	}
+	if got := c.len(); got != 0 {
+		t.Fatalf("len = %d, want 0", got)
+	}
+}
+
 func TestLRUPutRefreshesExisting(t *testing.T) {
 	c := newLRU(2)
 	c.put("a", 1)

@@ -185,6 +185,14 @@ func newRegistry(maxScenarios, maxResults int) *registry {
 		results:   newLRU(maxResults),
 		byContent: make(map[string]string),
 	}
+	// Every path a scenario leaves by — capacity eviction, DELETE, removeIf —
+	// runs this hook: the content-dedup entry goes, and so do the scenario's
+	// mutated-namespace results. Those key on scenario identity plus a version
+	// counter that a later same-name scenario restarts from scratch, so a
+	// stale entry could answer for different content; they can never be
+	// served safely once the scenario is gone. Content-keyed results stay:
+	// they are pure functions of (content, version) and deliberately survive
+	// evictions so re-registered content keeps hitting them.
 	r.scenarios.onEvict = func(id string, v any) {
 		sc := v.(*scenario)
 		r.mu.Lock()
@@ -192,6 +200,10 @@ func newRegistry(maxScenarios, maxResults int) *registry {
 			delete(r.byContent, sc.contentID)
 		}
 		r.mu.Unlock()
+		mutatedPrefix := mutatedNamespace(id)
+		r.results.removeIf(func(key string) bool {
+			return strings.HasPrefix(key, mutatedPrefix)
+		})
 	}
 	return r
 }
@@ -283,7 +295,10 @@ func (r *registry) lookup(id string) (*scenario, error) {
 	return v.(*scenario), nil
 }
 
-// drop removes the named scenario and its cached results.
+// drop removes the named scenario and its cached results. The eviction hook
+// handles the content-dedup entry and the mutated-namespace results; an
+// explicit DELETE additionally clears the content-keyed results, which
+// capacity evictions keep.
 func (r *registry) drop(id string) bool {
 	v, ok := r.scenarios.get(id)
 	if !ok {
@@ -291,14 +306,9 @@ func (r *registry) drop(id string) bool {
 	}
 	sc := v.(*scenario)
 	r.scenarios.remove(id)
-	r.mu.Lock()
-	if r.byContent[sc.contentID] == id {
-		delete(r.byContent, sc.contentID)
-	}
-	r.mu.Unlock()
-	contentPrefix, mutatedPrefix := sc.contentID+"\x00", mutatedNamespace(sc.id)
+	contentPrefix := sc.contentID + "\x00"
 	r.results.removeIf(func(key string) bool {
-		return strings.HasPrefix(key, contentPrefix) || strings.HasPrefix(key, mutatedPrefix)
+		return strings.HasPrefix(key, contentPrefix)
 	})
 	return true
 }

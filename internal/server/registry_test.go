@@ -1,0 +1,80 @@
+package server
+
+// Regression tests for the registry's result-cache hygiene: every path a
+// scenario leaves by must clean up after it. Deleting a scenario used to
+// bypass the eviction hook (lru.remove/removeIf skipped onEvict), which
+// could leave mutated-namespace result entries behind; a later scenario
+// re-registered under the same name restarts the version counter, so a
+// stale entry could answer for different content.
+
+import (
+	"testing"
+
+	"repro/internal/chase"
+)
+
+const tinySetting = `
+source S/1.
+target T/1.
+st:
+  d1: S(x) -> T(x).
+`
+
+func TestDropPurgesResultCache(t *testing.T) {
+	r := newRegistry(4, 16)
+	sc, reused, err := r.register("s", tinySetting, `S(a).`, chase.Options{})
+	if err != nil || reused {
+		t.Fatalf("register: reused=%v err=%v", reused, err)
+	}
+
+	contentKey := resultKey(sc, "core")
+	mutKey := mutatedNamespace(sc.id) + sc.contentID + "\x00v9\x00core"
+	otherKey := "othercontent\x00v1\x00core"
+	r.results.put(contentKey, []byte("cached"))
+	r.results.put(mutKey, []byte("stale"))
+	r.results.put(otherKey, []byte("keep"))
+
+	if !r.drop("s") {
+		t.Fatal("drop reported the scenario missing")
+	}
+	if _, err := r.lookup("s"); err == nil {
+		t.Fatal("scenario still resident after drop")
+	}
+	if _, ok := r.results.get(contentKey); ok {
+		t.Fatal("content-keyed result survived an explicit DELETE")
+	}
+	if _, ok := r.results.get(mutKey); ok {
+		t.Fatal("mutated-namespace result survived an explicit DELETE")
+	}
+	if _, ok := r.results.get(otherKey); !ok {
+		t.Fatal("unrelated result was purged by drop")
+	}
+}
+
+func TestCapacityEvictionPurgesMutatedNamespace(t *testing.T) {
+	r := newRegistry(1, 16) // one resident scenario: the next register evicts
+	sc, _, err := r.register("a", tinySetting, `S(a).`, chase.Options{})
+	if err != nil {
+		t.Fatalf("register a: %v", err)
+	}
+	contentKey := resultKey(sc, "core")
+	mutKey := mutatedNamespace("a") + sc.contentID + "\x00v9\x00core"
+	r.results.put(contentKey, []byte("cached"))
+	r.results.put(mutKey, []byte("stale"))
+
+	// Same content under a different name: a fresh scenario that evicts "a".
+	if _, _, err := r.register("b", tinySetting, `S(a).`, chase.Options{}); err != nil {
+		t.Fatalf("register b: %v", err)
+	}
+	if _, err := r.lookup("a"); err == nil {
+		t.Fatal("a still resident after capacity eviction")
+	}
+	if _, ok := r.results.get(mutKey); ok {
+		t.Fatal("mutated-namespace result survived the eviction")
+	}
+	// Content-keyed results are pure functions of (content, version) and
+	// deliberately outlive the scenario, so re-registered content re-hits.
+	if _, ok := r.results.get(contentKey); !ok {
+		t.Fatal("content-keyed result should survive a capacity eviction")
+	}
+}

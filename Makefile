@@ -4,7 +4,7 @@ GO ?= go
 BENCH_OUT ?= BENCH_2.json
 BENCH_BASELINE ?=
 
-.PHONY: all build vet vet-shadow test race race-server serve-smoke bench-smoke bench-json bench-incr bench-columnar bench-columnar-smoke ci
+.PHONY: all build vet vet-shadow test race race-server serve-smoke bench-smoke bench-json bench-incr bench-columnar bench-columnar-smoke bench-enum bench-enum-smoke ci
 
 all: build
 
@@ -91,4 +91,24 @@ bench-columnar-smoke:
 		| $(GO) run ./cmd/benchjson -before $(BENCH_COLUMNAR_BASELINE) \
 		> /dev/null
 
-ci: vet vet-shadow build race race-server serve-smoke bench-smoke bench-columnar-smoke
+# Enumeration benchmark gate: the paths the incremental universality check
+# targets (the Enumerate walk and the core computation), diffed against the
+# committed pre-incremental baseline (bench/pr7_baseline.txt, captured before
+# PR 7's hom.Search.Extend / arc-consistency prefilter). Committed as
+# BENCH_7.json.
+BENCH_ENUM_OUT ?= BENCH_7.json
+BENCH_ENUM_BASELINE ?= bench/pr7_baseline.txt
+BENCH_ENUM_PAT := BenchmarkEnumerate_Workers|BenchmarkExample53_Enumeration|BenchmarkCWASolution_WeaklyAcyclic|BenchmarkCore_Blocks|BenchmarkCore_Naive
+bench-enum:
+	$(GO) test -run '^$$' -bench '$(BENCH_ENUM_PAT)' -benchmem . \
+		| $(GO) run ./cmd/benchjson -before $(BENCH_ENUM_BASELINE) \
+		> $(BENCH_ENUM_OUT)
+
+# One-iteration pass over the same benches, like bench-columnar-smoke: keeps
+# the gate runnable (bench code and baseline parse) without real timings.
+bench-enum-smoke:
+	$(GO) test -run '^$$' -bench '$(BENCH_ENUM_PAT)' -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -before $(BENCH_ENUM_BASELINE) \
+		> /dev/null
+
+ci: vet vet-shadow build race race-server serve-smoke bench-smoke bench-columnar-smoke bench-enum-smoke

@@ -9,7 +9,11 @@
 //	dxserver [-addr :8080] [-max-concurrent N] [-queue-depth N]
 //	         [-default-deadline 30s] [-max-deadline 5m] [-max-steps N]
 //	         [-max-enum N] [-max-scenarios N] [-max-results N]
-//	         [-drain-timeout 10s]
+//	         [-drain-timeout 10s] [-pprof addr]
+//
+// -pprof serves net/http/pprof profiling endpoints on a separate listener
+// (e.g. -pprof localhost:6060 → /debug/pprof/). Off by default; bind it to
+// loopback — the profile endpoints are unauthenticated.
 //
 // On SIGINT/SIGTERM the server stops admitting new work (503), drains
 // in-flight requests for -drain-timeout, then aborts whatever is left via
@@ -30,6 +34,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints on the -pprof listener's DefaultServeMux
 	"os"
 	"os/signal"
 	"strings"
@@ -52,8 +57,21 @@ func main() {
 	maxScenarios := flag.Int("max-scenarios", 0, "resident scenario bound (0 = default 128)")
 	maxResults := flag.Int("max-results", 0, "cached response bound (0 = default 4096)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled; keep it loopback)")
 	smoke := flag.Bool("smoke", false, "start on a loopback port, run a scripted request burst, and exit")
 	flag.Parse()
+
+	// The profiler gets its own listener and the default mux (where the
+	// net/http/pprof import registered itself), so the API handler never
+	// exposes /debug/pprof/ and the profile port can stay loopback-only.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("dxserver: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("dxserver: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	cfg := server.Config{
 		MaxConcurrent:    *maxConcurrent,

@@ -112,6 +112,7 @@ func Enumerate(s *dependency.Setting, src *instance.Instance, opt EnumOptions) (
 		src:       src,
 		universal: u,
 		opt:       opt,
+		univCache: newUnivMemo(univCacheCap),
 		sem:       make(chan struct{}, workers-1),
 	}
 	// s-t tgd bodies are evaluated on the σ-reduct, which never changes
@@ -149,7 +150,7 @@ func Enumerate(s *dependency.Setting, src *instance.Instance, opt EnumOptions) (
 	// clones, reducts and content keys. The source active domain still
 	// contributes witness candidates, via srcDom.
 	e.srcDom = src.Dom()
-	e.walk(instance.New(), map[string]query.Binding{}, 0, nil, nil)
+	e.walk(instance.New(), map[string]query.Binding{}, 0, nil, nil, nil, nil)
 	e.wg.Wait()
 
 	sort.Slice(e.found, func(i, j int) bool { return e.found[i].key < e.found[j].key })
@@ -218,8 +219,9 @@ type enumerator struct {
 	// whether a hom into the universal solution exists is a pure function of
 	// the reduct's atom set, and sibling branches frequently reach identical
 	// reducts. Sound because reducts are fresh instances never mutated after
-	// the check.
-	univCache sync.Map // ContentKey -> bool
+	// the check. LRU-bounded at univCacheCap so adversarial settings cannot
+	// grow it without limit; an eviction only costs a recomputation.
+	univCache *univMemo
 
 	sem chan struct{} // bounds extra walker goroutines (cap workers-1)
 	wg  sync.WaitGroup
@@ -248,19 +250,19 @@ func (e *enumerator) stopped() bool {
 }
 
 // spawnOrWalk explores the state on a fresh goroutine when a worker slot is
-// free, inline otherwise. cur and alpha must be private to the callee;
-// inherited and fire are shared read-only (see walk).
-func (e *enumerator) spawnOrWalk(cur *instance.Instance, alpha map[string]query.Binding, nextNull int64, inherited []openMatch, fire *openMatch) {
+// free, inline otherwise. cur, alpha and fireAtoms must be private to the
+// callee; inherited, base and pending are shared read-only (see walk).
+func (e *enumerator) spawnOrWalk(cur *instance.Instance, alpha map[string]query.Binding, nextNull int64, inherited []openMatch, fireAtoms []instance.Atom, base *hom.Search, pending []instance.Atom) {
 	select {
 	case e.sem <- struct{}{}:
 		e.wg.Add(1)
 		metrics.GoroutinesSpawned.Inc()
 		go func() {
 			defer func() { <-e.sem; e.wg.Done() }()
-			e.walk(cur, alpha, nextNull, inherited, fire)
+			e.walk(cur, alpha, nextNull, inherited, fireAtoms, base, pending)
 		}()
 	default:
-		e.walk(cur, alpha, nextNull, inherited, fire)
+		e.walk(cur, alpha, nextNull, inherited, fireAtoms, base, pending)
 	}
 }
 
@@ -297,15 +299,38 @@ func (e *enumerator) emit(t *instance.Instance, ck string) {
 	}
 }
 
-// universal reports whether the target reduct (with the given content key)
-// maps homomorphically into the universal solution, memoized by content.
-func (e *enumerator) universalByKey(t *instance.Instance, ck string) bool {
-	if v, ok := e.univCache.Load(ck); ok {
-		return v.(bool)
+// universality decides whether cur maps homomorphically into the universal
+// solution, incrementally: the parent state's compiled search (base) is
+// extended by the atoms added since it was compiled (pending, accumulated
+// across memoized ancestors, plus this state's own additions since mBase)
+// instead of recompiling cur from scratch; only the root state (base nil)
+// compiles from scratch. The extended search runs in ExistsAC decision mode:
+// the posting-list arc-consistency pass over the compiled occurrence lists
+// refutes or confirms most states outright, and only genuinely ambiguous
+// ones pay for backtracking. The materialized search is returned for the
+// state's children to extend in turn.
+func (e *enumerator) universality(cur *instance.Instance, base *hom.Search, pending []instance.Atom, mBase instance.Mark) (bool, *hom.Search) {
+	var s *hom.Search
+	if base == nil {
+		s = hom.CompileSource(cur)
+	} else {
+		s = base.Extend(appendDelta(pending, cur, mBase))
 	}
-	ex := hom.Exists(t, e.universal)
-	e.univCache.Store(ck, ex)
-	return ex
+	return s.ExistsAC(e.universal), s
+}
+
+// appendDelta returns pending plus the atoms cur gained since the mark, with
+// owned Args copies (EachAddedBetween hands out a shared scratch buffer).
+// pending itself is never written: hand-off capacity-trimming makes the
+// append reallocate, so sibling states sharing one pending list stay
+// independent.
+func appendDelta(pending []instance.Atom, cur *instance.Instance, since instance.Mark) []instance.Atom {
+	out := pending
+	cur.EachAddedBetween(since, cur.Mark(), func(a instance.Atom) bool {
+		out = append(out, instance.Atom{Rel: a.Rel, Args: append([]instance.Value(nil), a.Args...)})
+		return true
+	})
+	return out
 }
 
 // nfound returns the current number of isomorphism classes found.
@@ -323,14 +348,23 @@ func (e *enumerator) nfound() int {
 // for canonical naming. cur and alpha are owned by this call.
 //
 // inherited, when non-nil, is the parent state's fixpoint match list and
-// fire the single newly resolved match: cur already contains every atom the
-// parent fired, so instead of re-enumerating all tgd bodies from scratch the
-// walk fires just the new justification and lets the semi-naive delta rounds
-// discover the consequences. The inherited entries (and their environments)
-// are shared read-only across sibling branches and goroutines; appends stay
+// fireAtoms the head atoms of the single newly resolved justification
+// (instantiated by the parent's branch step, which already needed them for
+// the pre-spawn refute): cur already contains every atom the parent fired,
+// so instead of re-enumerating all tgd bodies from scratch the walk adds
+// just the new firing's atoms and lets the semi-naive delta rounds discover
+// the consequences. The inherited entries (and their environments) are
+// shared read-only across sibling branches and goroutines; appends stay
 // private because the slice is capacity-trimmed at hand-off. A nil inherited
 // (the root state) builds the list with a full enumeration.
-func (e *enumerator) walk(cur *instance.Instance, alpha map[string]query.Binding, nextNull int64, inherited []openMatch, fire *openMatch) {
+//
+// base and pending thread the incremental universality check: base is the
+// compiled hom search of the nearest ancestor state that materialized one,
+// pending the atoms added between that compile and this state's clone point
+// (states whose check was memoized or decided by the prefilter never
+// compile, so their deltas accumulate). Both are shared read-only across
+// siblings, pending under the same capacity-trim discipline as inherited.
+func (e *enumerator) walk(cur *instance.Instance, alpha map[string]query.Binding, nextNull int64, inherited []openMatch, fireAtoms []instance.Atom, base *hom.Search, pending []instance.Atom) {
 	if err := chase.ContextErr(e.opt.ChaseOptions.Ctx); err != nil {
 		e.canceled.Store(true)
 		return
@@ -365,20 +399,12 @@ func (e *enumerator) walk(cur *instance.Instance, alpha map[string]query.Binding
 	// (always conjunctive) stay on the slot path.
 	var matches []openMatch
 	mStart := cur.Mark()
+	// The clone-point watermark: everything added from here to the fixpoint
+	// is this state's delta over the atoms base already has compiled.
+	mBase := mStart
 	if inherited != nil {
 		matches = inherited
-		w := alpha[fire.key]
-		var atoms []instance.Atom
-		if fire.senv != nil {
-			atoms = chase.HeadAtomsSlots(fire.d, fire.senv, w)
-		} else {
-			full := fire.env.Clone()
-			for z, v := range w {
-				full[z] = v
-			}
-			atoms = chase.HeadAtoms(fire.d, full)
-		}
-		for _, a := range atoms {
+		for _, a := range fireAtoms {
 			cur.Add(a)
 		}
 	} else {
@@ -475,11 +501,27 @@ func (e *enumerator) walk(cur *instance.Instance, alpha map[string]query.Binding
 	// target instance already has no homomorphism into the universal
 	// solution, no superset can have one (restrict the hom), so the whole
 	// subtree contains no CWA-solution (Theorem 4.8). The check is memoized
-	// by content: sibling branches frequently reach the same instance.
+	// by content (sibling branches frequently reach the same instance); on a
+	// miss it runs incrementally off the ancestor's compiled search — see
+	// universality.
 	ck := cur.ContentKey()
-	if !e.universalByKey(cur, ck) {
+	univ, cached := e.univCache.get(ck)
+	var search *hom.Search
+	if !cached {
+		univ, search = e.universality(cur, base, pending, mBase)
+		e.univCache.put(ck, univ)
+	}
+	if !univ {
 		e.prunedUniv.Add(1)
 		return
+	}
+	// Hand the children the freshest compiled search: the one materialized
+	// here (its delta is spent), or the ancestor's plus this state's delta.
+	if search != nil {
+		base, pending = search, nil
+	} else {
+		pending = appendDelta(pending, cur, mBase)
+		pending = pending[:len(pending):len(pending)]
 	}
 
 	// Find the first unresolved justification, deterministically, among the
@@ -524,12 +566,35 @@ func (e *enumerator) walk(cur *instance.Instance, alpha map[string]query.Binding
 			for j, z := range d.Exists {
 				w[z] = assign[j]
 			}
+			// The head atoms this witness would fire. Instantiated here —
+			// before the clone — so the delta-only refute below can discard
+			// the child without ever materializing it; survivors carry the
+			// atoms along instead of re-instantiating in walk.
+			var atoms []instance.Atom
+			if first.senv != nil {
+				atoms = chase.HeadAtomsSlots(d, first.senv, w)
+			} else {
+				full := first.env.Clone()
+				for z, v := range w {
+					full[z] = v
+				}
+				atoms = chase.HeadAtoms(d, full)
+			}
+			// Pre-spawn prune: the fired atoms are a subset of every instance
+			// in the child's subtree, and universality is antitone in the atom
+			// set, so if they alone cannot embed into the universal solution
+			// (posting-list arc consistency) the subtree holds no CWA-solution
+			// — skip the clone, the closure and the state entirely.
+			if hom.PrecheckRefute(atoms, e.universal) {
+				e.prunedUniv.Add(1)
+				return
+			}
 			alpha2 := make(map[string]query.Binding, len(alpha)+1)
 			for kk, vv := range alpha {
 				alpha2[kk] = vv
 			}
 			alpha2[first.key] = w
-			e.spawnOrWalk(cur.Clone(), alpha2, nextNull+freshUsed, handoff, first)
+			e.spawnOrWalk(cur.Clone(), alpha2, nextNull+freshUsed, handoff, atoms, base, pending)
 			return
 		}
 		for _, v := range dom {

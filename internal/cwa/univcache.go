@@ -1,0 +1,71 @@
+package cwa
+
+import (
+	"container/list"
+	"sync"
+)
+
+// univCacheCap bounds the per-Enumerate universality memo. Adversarial
+// settings can drive the walk through an unbounded stream of distinct target
+// reducts; before the bound the memo (a sync.Map) grew with every one of
+// them for the lifetime of the run. Eviction only ever costs a recomputation
+// (the memoized answer is a pure function of the reduct's content), so the
+// solution set is unaffected.
+const univCacheCap = 1 << 16
+
+// univMemo is a mutex-guarded, capacity-bounded LRU memo from target-reduct
+// content keys to universality verdicts — the internal/server lru eviction
+// discipline, without the eviction callback and metrics the enumerator does
+// not need. Safe for concurrent walkers.
+type univMemo struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type univEntry struct {
+	key string
+	val bool
+}
+
+func newUnivMemo(capacity int) *univMemo {
+	return &univMemo{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the memoized verdict and marks the key most recently used.
+func (c *univMemo) get(key string) (val, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.m[key]
+	if !found {
+		return false, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*univEntry).val, true
+}
+
+// put inserts or refreshes the key, evicting least-recently-used entries
+// while over capacity.
+func (c *univMemo) put(key string, val bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, found := c.m[key]; found {
+		el.Value.(*univEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&univEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.m, back.Value.(*univEntry).key)
+	}
+}
+
+// len returns the number of resident entries.
+func (c *univMemo) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,81 @@
+package cwa
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestUnivMemoCapHolds drives far more distinct keys than the capacity
+// through the memo and checks the bound is never exceeded, eviction is LRU,
+// and a get refreshes recency.
+func TestUnivMemoCapHolds(t *testing.T) {
+	const capacity = 8
+	c := newUnivMemo(capacity)
+	for i := 0; i < 10*capacity; i++ {
+		c.put(fmt.Sprintf("k%d", i), i%2 == 0)
+		if got := c.len(); got > capacity {
+			t.Fatalf("after %d puts: %d resident entries, cap %d", i+1, got, capacity)
+		}
+	}
+	if got := c.len(); got != capacity {
+		t.Fatalf("memo not full after overflow: len=%d, cap %d", got, capacity)
+	}
+	// The last `capacity` keys survive, older ones were evicted.
+	for i := 0; i < 10*capacity; i++ {
+		_, ok := c.get(fmt.Sprintf("k%d", i))
+		if want := i >= 9*capacity; ok != want {
+			t.Fatalf("key k%d resident=%v, want %v (LRU eviction)", i, ok, want)
+		}
+	}
+
+	// A get refreshes recency: touch the oldest resident key, overflow by
+	// one, and the touched key must survive while its successor is evicted.
+	oldest := fmt.Sprintf("k%d", 9*capacity)
+	second := fmt.Sprintf("k%d", 9*capacity+1)
+	if _, ok := c.get(oldest); !ok {
+		t.Fatalf("setup: %s should be resident", oldest)
+	}
+	c.put("fresh", true)
+	if _, ok := c.get(oldest); !ok {
+		t.Fatalf("%s was evicted despite being most recently used", oldest)
+	}
+	if _, ok := c.get(second); ok {
+		t.Fatalf("%s survived although it was the least recently used", second)
+	}
+
+	// Re-putting an existing key updates in place, without growth.
+	before := c.len()
+	c.put("fresh", false)
+	if v, ok := c.get("fresh"); !ok || v {
+		t.Fatalf("re-put did not update value: v=%v ok=%v", v, ok)
+	}
+	if got := c.len(); got != before {
+		t.Fatalf("re-put changed residency: len %d → %d", before, got)
+	}
+}
+
+// TestUnivMemoConcurrent hammers the memo from many goroutines (a -race
+// workload mirroring concurrent Enumerate walkers); the bound must hold
+// throughout.
+func TestUnivMemoConcurrent(t *testing.T) {
+	const capacity = 32
+	c := newUnivMemo(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i%64)
+				if _, ok := c.get(key); !ok {
+					c.put(key, i%2 == 0)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.len(); got > capacity {
+		t.Fatalf("after concurrent load: %d resident entries, cap %d", got, capacity)
+	}
+}

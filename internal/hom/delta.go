@@ -1,0 +1,292 @@
+package hom
+
+// Incremental homomorphism existence. cwa.Enumerate's universality prune and
+// score.Core's per-block probes ask hom-existence questions whose sources
+// differ from an earlier question by a small delta of atoms (one
+// justification firing, one block-local retraction). Two tools exploit that
+// structure instead of recompiling each source from scratch:
+//
+//   - Search.Extend appends compiled atoms and slots for the delta onto an
+//     existing Search, sharing the parent's compiled prefix. The parent stays
+//     immutable, so sibling extensions of one parent are safe, including
+//     concurrently.
+//
+//   - Precheck runs posting-list arc consistency over a raw atom list,
+//     refuting or confirming existence without compiling anything at all:
+//     an empty candidate domain refutes, and when unit propagation leaves
+//     every null a single candidate the forced mapping decides the question.
+//
+// Both preserve the answers of the from-scratch path exactly (pinned by the
+// randomized crosscheck in delta_test.go); only the work to reach them
+// changes.
+
+import (
+	"repro/internal/instance"
+	"repro/internal/metrics"
+)
+
+// Extend returns the compiled search for the parent's source plus the delta
+// atoms, reusing the parent's compiled atoms, slots and occurrence lists
+// instead of re-running CompileAtoms over the whole source. The delta atoms
+// are appended after the parent's (ordered among themselves by the usual
+// fewest-unseen-nulls heuristic, with the parent's nulls counting as seen),
+// so every parent slot is bound before any delta atom runs and delta
+// occurrences of parent nulls compile to pattern fills.
+//
+// The parent is not modified and remains valid: shared slices are
+// capacity-trimmed on hand-off, so sibling Extend calls on one parent —
+// including concurrent ones — never clobber each other. Like CompileAtoms,
+// the delta atoms' Args must stay unmodified while the result is in use.
+//
+// The extended search's answers are identical to compiling parent+delta from
+// scratch; only the atom traversal order (and hence backtracking effort) may
+// differ.
+func (s *Search) Extend(delta []instance.Atom) *Search {
+	if len(delta) == 0 {
+		return s
+	}
+	metrics.HomExtends.Inc()
+	atoms := orderAtomsSeen(delta, s.slotOf)
+	total := 0
+	for _, a := range atoms {
+		total += len(a.Args)
+	}
+	child := &Search{
+		nulls:  s.nulls[:len(s.nulls):len(s.nulls)],
+		consts: s.consts[:len(s.consts):len(s.consts)],
+		atoms:  s.atoms[:len(s.atoms):len(s.atoms)],
+		occs:   make([][]searchOcc, len(s.occs), len(s.occs)+total),
+		slotOf: make(map[instance.Value]int, len(s.slotOf)+total),
+	}
+	for i, l := range s.occs {
+		child.occs[i] = l[:len(l):len(l)]
+	}
+	for k, v := range s.slotOf {
+		child.slotOf[k] = v
+	}
+	constSeen := make(map[instance.Value]bool, len(s.consts))
+	for _, c := range s.consts {
+		constSeen[c] = true
+	}
+	// Same flat-backing discipline as CompileAtoms, sized for the delta only.
+	patFlat := make([]instance.Value, total)
+	boundFlat := make([]bool, total)
+	opsFlat := make([]searchOp, 0, total)
+	fillsFlat := make([]searchFill, 0, total)
+	// First-binding atom (absolute index) of the slots the delta introduces.
+	// Parent slots are bound strictly before every delta atom, so a lookup
+	// miss means "bound earlier" and compiles to a fill.
+	slotAtom := make(map[int]int, total)
+	off := 0
+	for ai, a := range atoms {
+		abs := len(s.atoms) + ai
+		sa := searchAtom{
+			rel:     a.Rel,
+			pattern: patFlat[off : off+len(a.Args) : off+len(a.Args)],
+			bound:   boundFlat[off : off+len(a.Args) : off+len(a.Args)],
+			ops:     opsFlat[off : off : off+len(a.Args)],
+			fills:   fillsFlat[off : off : off+len(a.Args)],
+		}
+		off += len(a.Args)
+		for i, v := range a.Args {
+			if v.IsConst() {
+				sa.pattern[i] = v
+				sa.bound[i] = true
+				if !constSeen[v] {
+					constSeen[v] = true
+					child.consts = append(child.consts, v)
+				}
+				continue
+			}
+			if slot, ok := child.slotOf[v]; ok {
+				child.addOcc(slot, a.Rel, i)
+				if ba, fresh := slotAtom[slot]; fresh && ba == abs {
+					sa.ops = append(sa.ops, searchOp{pos: i, slot: slot, check: true})
+					continue
+				}
+				sa.bound[i] = true
+				sa.fills = append(sa.fills, searchFill{pos: i, slot: slot})
+				continue
+			}
+			slot := len(child.nulls)
+			child.slotOf[v] = slot
+			child.nulls = append(child.nulls, v)
+			slotAtom[slot] = abs
+			child.occs = append(child.occs, []searchOcc{{rel: a.Rel, pos: i}})
+			sa.ops = append(sa.ops, searchOp{pos: i, slot: slot})
+		}
+		child.atoms = append(child.atoms, sa)
+	}
+	return child
+}
+
+// ACVerdict is the outcome of the posting-list arc-consistency prefilter.
+type ACVerdict int
+
+const (
+	// ACUnknown: the prefilter could not decide; run the compiled search.
+	ACUnknown ACVerdict = iota
+	// ACRefuted: no homomorphism exists (some atom or null cannot embed).
+	ACRefuted
+	// ACConfirmed: a homomorphism exists; unit propagation forced it.
+	ACConfirmed
+)
+
+// Precheck decides homomorphism existence from atoms into to using only the
+// target's per-position posting indexes, without compiling a search:
+//
+//   - ACRefuted when some ground atom is absent, some constant never occurs
+//     at a position it must map to, or some null's candidate domain (the
+//     values occurring at every position the null occupies) is empty — the
+//     same emptiness condition as the compiled search's arc-consistency
+//     pass, plus the ground-atom checks the search would discover by
+//     scanning.
+//
+//   - ACConfirmed when every null's candidate domain is a singleton: the
+//     mapping is forced, and it embeds every atom. The returned Mapping is
+//     that homomorphism (it covers exactly the nulls occurring in atoms).
+//
+//   - ACUnknown otherwise; a subsequent compiled Find's arc-consistency
+//     pass is then provably redundant (pass NoACPrune).
+//
+// Decisive outcomes are counted in metrics.HomACRefutes/HomACConfirms.
+func Precheck(atoms []instance.Atom, to *instance.Instance) (ACVerdict, Mapping) {
+	return precheck(atoms, to, 0, false, false)
+}
+
+// PrecheckAvoiding is Precheck under the Avoiding(avoid) option: existence
+// of a homomorphism whose image mentions avoid nowhere. Candidate domains
+// exclude avoid, and a confirmed mapping's image atoms are checked to avoid
+// it — matching Find(..., Avoiding(avoid)) exactly.
+func PrecheckAvoiding(atoms []instance.Atom, to *instance.Instance, avoid instance.Value) (ACVerdict, Mapping) {
+	return precheck(atoms, to, avoid, true, false)
+}
+
+// PrecheckRefute reports that no homomorphism from atoms into to exists,
+// by arc consistency alone (Precheck's ACRefuted outcome; false means
+// undecided, not existence). It never attempts the confirm side, so domain
+// scans stop at the first survivor — the cheap embeddability filter
+// cwa.Enumerate runs on a candidate firing's head atoms before materializing
+// the child state: the head atoms are a subset of every instance in the
+// child's subtree, so their non-embeddability into the universal solution
+// refutes universality for the whole subtree.
+func PrecheckRefute(atoms []instance.Atom, to *instance.Instance) bool {
+	v, _ := precheck(atoms, to, 0, false, true)
+	return v == ACRefuted
+}
+
+func precheck(atoms []instance.Atom, to *instance.Instance, avoid instance.Value, hasAvoid, refuteOnly bool) (ACVerdict, Mapping) {
+	refute := func() (ACVerdict, Mapping) {
+		metrics.HomACRefutes.Inc()
+		return ACRefuted, nil
+	}
+	// Gather each null's distinct (rel,pos) occurrences, in first-occurrence
+	// order, and refute on the spot for constants and missing relations.
+	occs := make(map[instance.Value][]searchOcc)
+	var order []instance.Value
+	for _, a := range atoms {
+		if to.Arity(a.Rel) != len(a.Args) || to.RelLen(a.Rel) == 0 {
+			return refute()
+		}
+		for i, v := range a.Args {
+			if v.IsConst() {
+				if hasAvoid && v == avoid {
+					return refute()
+				}
+				if !to.PosHasValue(a.Rel, i, v) {
+					return refute()
+				}
+				continue
+			}
+			l, seen := occs[v]
+			if !seen {
+				order = append(order, v)
+			}
+			dup := false
+			for _, o := range l {
+				if o.rel == a.Rel && o.pos == i {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				occs[v] = append(l, searchOcc{rel: a.Rel, pos: i})
+			}
+		}
+	}
+	// Per-null candidate domains, counted up to two survivors: zero refutes,
+	// one forces the image, two or more leaves the question to the search.
+	// A refute-only caller stops at the first survivor and never confirms.
+	enough := 2
+	if refuteOnly {
+		enough = 1
+	}
+	var forced Mapping
+	if !refuteOnly {
+		forced = make(Mapping, len(order))
+	}
+	undecided := false
+	for _, n := range order {
+		os := occs[n]
+		base := os[0]
+		for _, o := range os[1:] {
+			if to.PosDistinct(o.rel, o.pos) < to.PosDistinct(base.rel, base.pos) {
+				base = o
+			}
+		}
+		survivors := 0
+		var single instance.Value
+		to.EachPosValue(base.rel, base.pos, func(v instance.Value, _ int) bool {
+			if hasAvoid && v == avoid {
+				return true
+			}
+			for _, o := range os {
+				if o == base {
+					continue
+				}
+				if !to.PosHasValue(o.rel, o.pos, v) {
+					return true
+				}
+			}
+			survivors++
+			single = v
+			return survivors < enough
+		})
+		if survivors == 0 {
+			return refute()
+		}
+		if refuteOnly {
+			continue
+		}
+		if survivors >= 2 {
+			undecided = true
+			continue
+		}
+		forced[n] = single
+	}
+	if refuteOnly || undecided {
+		return ACUnknown, nil
+	}
+	// Every domain is a singleton (vacuously for ground sources): the only
+	// candidate homomorphism is forced, so presence of its image atoms
+	// decides existence either way.
+	buf := make([]instance.Value, 0, 8)
+	for _, a := range atoms {
+		args := buf[:0]
+		for _, v := range a.Args {
+			args = append(args, forced.Apply(v))
+		}
+		if hasAvoid {
+			for _, v := range args {
+				if v == avoid {
+					return refute()
+				}
+			}
+		}
+		if !to.Has(instance.Atom{Rel: a.Rel, Args: args}) {
+			return refute()
+		}
+	}
+	metrics.HomACConfirms.Inc()
+	return ACConfirmed, forced
+}

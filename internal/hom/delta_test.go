@@ -1,0 +1,198 @@
+package hom
+
+// Randomized crosscheck of the incremental paths against the from-scratch
+// compile: a Search built by CompileAtoms on a prefix and Extend on the rest
+// (in one or two stages) must answer exactly like CompileSource on the whole
+// instance, for Exists, ExistsAC and Find alike; and the Precheck prefilter
+// may only refute when no homomorphism exists and only confirm when one does
+// (with the forced mapping actually being one). Run under -race by
+// `make ci`, where the concurrent-siblings test doubles as a race workload
+// for the capacity-trimmed sharing of a parent's compiled prefix.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/genwl"
+	"repro/internal/instance"
+)
+
+// randomPair draws a (from, to) instance pair with enough nulls on the
+// source side for real search choice points.
+func randomPair(rng *rand.Rand, nextNull *int64) (*instance.Instance, *instance.Instance) {
+	from := withRandomNulls(genwl.RandomEdges("E", 2+rng.Intn(6), rng.Int63()), rng, 0.7, nextNull)
+	to := withRandomNulls(genwl.RandomEdges("E", 4+rng.Intn(8), rng.Int63()), rng, 0.2, nextNull)
+	return from, to
+}
+
+func TestExtendCrosscheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var nextNull int64
+	found := 0
+	const cases = 300
+	for i := 0; i < cases; i++ {
+		from, to := randomPair(rng, &nextNull)
+		atoms := from.Atoms()
+		cut := rng.Intn(len(atoms) + 1)
+		s := CompileAtoms(atoms[:cut])
+		if rng.Intn(2) == 0 {
+			// Two-stage extension: grandparent → parent → child.
+			cut2 := cut + rng.Intn(len(atoms)-cut+1)
+			s = s.Extend(atoms[cut:cut2]).Extend(atoms[cut2:])
+		} else {
+			s = s.Extend(atoms[cut:])
+		}
+		fresh := CompileSource(from)
+		want := fresh.Exists(to)
+		if got := s.Exists(to); got != want {
+			t.Fatalf("case %d (cut %d/%d): extended Exists=%v, fresh Exists=%v\nfrom: %v\nto:   %v",
+				i, cut, len(atoms), got, want, from, to)
+		}
+		if got := s.ExistsAC(to); got != want {
+			t.Fatalf("case %d (cut %d/%d): extended ExistsAC=%v, fresh Exists=%v\nfrom: %v\nto:   %v",
+				i, cut, len(atoms), got, want, from, to)
+		}
+		m, ok := s.Find(to)
+		if ok != want {
+			t.Fatalf("case %d: extended Find ok=%v, fresh Exists=%v", i, ok, want)
+		}
+		if ok {
+			isHom(t, m, from, to)
+			found++
+		}
+	}
+	if found == 0 || found == cases {
+		t.Fatalf("degenerate workload: %d/%d cases had a homomorphism; want a mix", found, cases)
+	}
+}
+
+func TestPrecheckCrosscheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	var nextNull int64
+	refuted, confirmed, unknown := 0, 0, 0
+	for i := 0; i < 400; i++ {
+		from, to := randomPair(rng, &nextNull)
+		if i%3 == 0 {
+			// A near-singleton target forces singleton candidate domains,
+			// exercising the confirm path (rare against dense targets).
+			to = withRandomNulls(genwl.RandomEdges("E", 1+rng.Intn(2), rng.Int63()), rng, 0.2, &nextNull)
+		}
+		atoms := from.Atoms()
+		exists := Exists(from, to)
+		verdict, m := Precheck(atoms, to)
+		switch verdict {
+		case ACRefuted:
+			if exists {
+				t.Fatalf("case %d: Precheck refuted but a homomorphism exists\nfrom: %v\nto:   %v", i, from, to)
+			}
+			refuted++
+		case ACConfirmed:
+			if !exists {
+				t.Fatalf("case %d: Precheck confirmed but no homomorphism exists\nfrom: %v\nto:   %v", i, from, to)
+			}
+			isHom(t, m, from, to)
+			confirmed++
+		default:
+			unknown++
+		}
+		if PrecheckRefute(atoms, to) {
+			if exists {
+				t.Fatalf("case %d: PrecheckRefute refuted but a homomorphism exists", i)
+			}
+			if verdict != ACRefuted {
+				t.Fatalf("case %d: PrecheckRefute refuted but Precheck said %v", i, verdict)
+			}
+		}
+
+		// Avoiding variants, against Find(..., Avoiding(avoid)).
+		dom := to.Dom()
+		avoid := dom[rng.Intn(len(dom))]
+		_, aExists := Find(from, to, Avoiding(avoid))
+		fm, fok := CompileSource(from).FindAvoidingAC(to, avoid)
+		if fok != aExists {
+			t.Fatalf("case %d: FindAvoidingAC(%v)=%v, Find(Avoiding)=%v", i, avoid, fok, aExists)
+		}
+		if fok {
+			isHom(t, fm, from, to)
+			for _, a := range fm.ApplyInstance(from).Atoms() {
+				for _, v := range a.Args {
+					if v == avoid {
+						t.Fatalf("case %d: FindAvoidingAC mapping mentions the avoided value %v in image atom %v", i, avoid, a)
+					}
+				}
+			}
+		}
+		aVerdict, am := PrecheckAvoiding(atoms, to, avoid)
+		switch aVerdict {
+		case ACRefuted:
+			if aExists {
+				t.Fatalf("case %d: PrecheckAvoiding(%v) refuted but an avoiding homomorphism exists", i, avoid)
+			}
+		case ACConfirmed:
+			if !aExists {
+				t.Fatalf("case %d: PrecheckAvoiding(%v) confirmed but no avoiding homomorphism exists", i, avoid)
+			}
+			isHom(t, am, from, to)
+			for _, a := range am.ApplyInstance(from).Atoms() {
+				for _, v := range a.Args {
+					if v == avoid {
+						t.Fatalf("case %d: confirmed avoiding mapping mentions the avoided value %v in image atom %v", i, avoid, a)
+					}
+				}
+			}
+		}
+	}
+	if refuted == 0 || confirmed == 0 || unknown == 0 {
+		t.Fatalf("degenerate workload: refuted=%d confirmed=%d unknown=%d; want all three outcomes", refuted, confirmed, unknown)
+	}
+}
+
+// TestExtendSiblingsConcurrent extends one parent Search by many different
+// deltas from concurrent goroutines — the Enumerate walk's sharing pattern,
+// where sibling states extend their common ancestor's compiled search. Every
+// sibling must still answer like a from-scratch compile of its own atom set.
+func TestExtendSiblingsConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	var nextNull int64
+	from, to := randomPair(rng, &nextNull)
+	for from.Len() < 4 {
+		from, to = randomPair(rng, &nextNull)
+	}
+	atoms := from.Atoms()
+	cut := len(atoms) / 2
+	parent := CompileAtoms(atoms[:cut])
+
+	// Each sibling appends a different (shuffled) subset of the remaining
+	// atoms; expected answers come from fresh compiles, computed up front.
+	const siblings = 16
+	deltas := make([][]instance.Atom, siblings)
+	want := make([]bool, siblings)
+	for g := range deltas {
+		rest := append([]instance.Atom(nil), atoms[cut:]...)
+		rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+		rest = rest[:rng.Intn(len(rest)+1)]
+		deltas[g] = rest
+		want[g] = CompileAtoms(append(append([]instance.Atom(nil), atoms[:cut]...), rest...)).Exists(to)
+	}
+
+	var wg sync.WaitGroup
+	got := make([]bool, siblings)
+	gotAC := make([]bool, siblings)
+	for g := 0; g < siblings; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := parent.Extend(deltas[g])
+			got[g] = s.Exists(to)
+			gotAC[g] = s.ExistsAC(to)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < siblings; g++ {
+		if got[g] != want[g] || gotAC[g] != want[g] {
+			t.Fatalf("sibling %d: Exists=%v ExistsAC=%v, fresh compile says %v (delta of %d atoms)",
+				g, got[g], gotAC[g], want[g], len(deltas[g]))
+		}
+	}
+}

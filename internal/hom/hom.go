@@ -40,6 +40,7 @@ type options struct {
 	forced    Mapping
 	avoid     instance.Value
 	hasAvoid  bool
+	skipAC    bool
 }
 
 // Option customises Find.
@@ -57,6 +58,12 @@ func Forced(m Mapping) Option { return func(o *options) { o.forced = m } }
 func Avoiding(v instance.Value) Option {
 	return func(o *options) { o.avoid = v; o.hasAvoid = true }
 }
+
+// NoACPrune skips Find's arc-consistency prepass. Sound only when the caller
+// has already established that no candidate domain is empty — e.g. a
+// Precheck over the same source atoms, target and avoided value returned
+// ACUnknown, whose emptiness test subsumes the prepass exactly.
+func NoACPrune() Option { return func(o *options) { o.skipAC = true } }
 
 // Find searches for a homomorphism from one instance to another. It returns
 // the mapping restricted to the nulls of from (constants are implicitly
@@ -115,6 +122,7 @@ func findRef(from, to *instance.Instance, opts ...Option) (Mapping, bool) {
 
 // Exists reports whether a homomorphism from → to exists.
 func Exists(from, to *instance.Instance) bool {
+	metrics.HomExists.Inc()
 	_, ok := Find(from, to)
 	return ok
 }
@@ -230,6 +238,14 @@ func FindOnto(from, to *instance.Instance, maxHoms int) (Mapping, bool) {
 // greedy order: repeatedly pick the atom with the fewest unseen nulls.
 // The input slice is left unmodified.
 func orderAtoms(atoms []instance.Atom) []instance.Atom {
+	return orderAtomsSeen(atoms, nil)
+}
+
+// orderAtomsSeen is orderAtoms with the nulls keyed by preBound counting as
+// seen from the start: Search.Extend orders delta atoms with the parent's
+// slots pre-bound, since every parent slot is bound before any delta atom
+// runs.
+func orderAtomsSeen(atoms []instance.Atom, preBound map[instance.Value]int) []instance.Atom {
 	// Greedy fewest-unseen-nulls-first, first minimum wins. Scores are
 	// maintained incrementally (decremented at every occurrence of a null the
 	// moment it becomes seen), which picks the exact same sequence as
@@ -241,6 +257,9 @@ func orderAtoms(atoms []instance.Atom) []instance.Atom {
 	for i, a := range atoms {
 		for _, v := range a.Args {
 			if v.IsNull() {
+				if _, pre := preBound[v]; pre {
+					continue
+				}
 				score[i]++ // per occurrence, as the rescan counted
 				occs[v] = append(occs[v], i)
 			}

@@ -77,6 +77,7 @@ func CompileSource(from *instance.Instance) *Search {
 // compiled search is identical. The atoms' Args must stay unmodified while
 // the Search is in use.
 func CompileAtoms(src []instance.Atom) *Search {
+	metrics.HomCompiles.Inc()
 	atoms := orderAtoms(src)
 	total := 0
 	for _, a := range atoms {
@@ -154,6 +155,144 @@ func (s *Search) addOcc(slot int, rel string, pos int) {
 // Nulls returns the slot → null table (the search's own storage).
 func (s *Search) Nulls() []instance.Value { return s.nulls }
 
+// Exists reports whether a homomorphism from the compiled source into to
+// exists, honouring the same options as Find.
+func (s *Search) Exists(to *instance.Instance, opts ...Option) bool {
+	metrics.HomExists.Inc()
+	_, ok := s.Find(to, opts...)
+	return ok
+}
+
+// ExistsAC decides homomorphism existence into to like Exists (with no
+// options), but runs the arc-consistency pass in decision mode over the
+// compiled occurrence lists first: an empty candidate domain refutes
+// outright, and when every slot's domain is a singleton the forced
+// assignment is the only candidate homomorphism, so verifying its image
+// atoms decides the question either way — no backtracking at all. Only when
+// some domain keeps two or more survivors does the backtracking search run
+// (with its own arc-consistency pass skipped; the decision pass subsumes
+// it). This is Precheck over the compiled form: same outcomes, but reusing
+// the search's slot and occurrence tables instead of re-deriving them from
+// raw atoms. Decisive outcomes are counted in
+// metrics.HomACRefutes/HomACConfirms.
+func (s *Search) ExistsAC(to *instance.Instance) bool {
+	metrics.HomExists.Inc()
+	st := s.state()
+	defer s.release(st)
+	switch s.acDecide(to, st) {
+	case ACRefuted:
+		return false
+	case ACConfirmed:
+		return true
+	}
+	return s.search(to, st, 0)
+}
+
+// FindAvoidingAC is Find(to, Avoiding(avoid)) with the decision-mode
+// arc-consistency pass of ExistsAC: probes whose per-slot candidate domains
+// (excluding avoid) empty out are refuted without backtracking, and probes
+// where every domain is a singleton return the forced mapping immediately —
+// the common cases of score.Core's per-null droppability probes, which call
+// this once per null against the same compiled block.
+func (s *Search) FindAvoidingAC(to *instance.Instance, avoid instance.Value) (Mapping, bool) {
+	metrics.HomExists.Inc()
+	st := s.state()
+	defer s.release(st)
+	st.avoid, st.hasAvoid = avoid, true
+	switch s.acDecide(to, st) {
+	case ACRefuted:
+		return nil, false
+	case ACUnknown:
+		if !s.search(to, st, 0) {
+			return nil, false
+		}
+	}
+	out := make(Mapping, len(s.nulls))
+	for slot, n := range s.nulls {
+		out[n] = st.env[slot]
+	}
+	return out, true
+}
+
+// acDecide runs the decision-mode arc-consistency pass for ExistsAC and
+// FindAvoidingAC, recording singleton domains into st.env (on ACConfirmed,
+// st.env holds the complete forced assignment). Stale env entries are
+// harmless on ACUnknown: the subsequent search rebinds every slot at its
+// binding atom before any fill reads it.
+func (s *Search) acDecide(to *instance.Instance, st *searchState) ACVerdict {
+	allSingle := true
+	for slot, occs := range s.occs {
+		if len(occs) == 0 {
+			continue
+		}
+		base := occs[0]
+		for _, o := range occs[1:] {
+			if to.PosDistinct(o.rel, o.pos) < to.PosDistinct(base.rel, base.pos) {
+				base = o
+			}
+		}
+		survivors := 0
+		var single instance.Value
+		to.EachPosValue(base.rel, base.pos, func(v instance.Value, _ int) bool {
+			if st.hasAvoid && v == st.avoid {
+				return true
+			}
+			for _, o := range occs {
+				if o == base {
+					continue
+				}
+				if !to.PosHasValue(o.rel, o.pos, v) {
+					return true
+				}
+			}
+			survivors++
+			single = v
+			return survivors < 2
+		})
+		if survivors == 0 {
+			metrics.HomACRefutes.Inc()
+			return ACRefuted
+		}
+		if survivors >= 2 {
+			allSingle = false
+			continue
+		}
+		st.env[slot] = single
+	}
+	if !allSingle {
+		return ACUnknown
+	}
+	// Every domain is a singleton (vacuously for ground sources): presence of
+	// the forced assignment's image atoms decides existence either way.
+	for i := range s.atoms {
+		a := &s.atoms[i]
+		pat := st.patterns[i]
+		copy(pat, a.pattern)
+		for _, fr := range a.fills {
+			pat[fr.pos] = st.env[fr.slot]
+		}
+		for _, op := range a.ops {
+			pat[op.pos] = st.env[op.slot]
+		}
+		if st.hasAvoid {
+			// Slot images exclude avoid by domain construction, but a
+			// constant position could still mention it.
+			for _, v := range pat {
+				if v == st.avoid {
+					metrics.HomACRefutes.Inc()
+					return ACRefuted
+				}
+			}
+		}
+		if !to.Has(instance.Atom{Rel: a.rel, Args: pat}) {
+			metrics.HomACRefutes.Inc()
+			return ACRefuted
+		}
+	}
+	metrics.HomACConfirms.Inc()
+	return ACConfirmed
+}
+
 func (s *Search) state() *searchState {
 	if st, ok := s.pool.Get().(*searchState); ok {
 		return st
@@ -230,7 +369,7 @@ func (s *Search) Find(to *instance.Instance, opts ...Option) (Mapping, bool) {
 			st.used[c] = true
 		}
 	}
-	if s.pruned(to, st) {
+	if !o.skipAC && s.pruned(to, st) {
 		return nil, false
 	}
 	if !s.search(to, st, 0) {

@@ -45,6 +45,27 @@ var (
 	// occurring at every position the null occupies in the source) is empty.
 	// Only these deterministic empty-domain events are counted.
 	HomPrunes = register("hom_prunes")
+	// HomCompiles counts from-scratch source compilations
+	// (hom.CompileSource/CompileAtoms) — the cost the incremental
+	// Search.Extend path avoids. Together with HomExists it makes the
+	// compile-vs-search split of the universality check visible without a
+	// profiler.
+	HomCompiles = register("hom_compiles")
+	// HomExtends counts incremental search extensions (hom.Search.Extend):
+	// child searches built by appending compiled delta atoms to a parent
+	// instead of recompiling the whole source.
+	HomExtends = register("hom_extends")
+	// HomExists counts homomorphism-existence queries (hom.Exists and
+	// Search.Exists), the universality checks of cwa.Enumerate among them.
+	HomExists = register("hom_exists")
+	// HomACRefutes counts existence checks refuted by the posting-list
+	// arc-consistency prefilter (hom.Precheck) without compiling a search:
+	// some atom or null of the source provably cannot embed into the target.
+	HomACRefutes = register("hom_ac_refutes")
+	// HomACConfirms counts existence checks confirmed by the prefilter
+	// without search: unit propagation left every null a single candidate
+	// and the forced mapping embeds every atom.
+	HomACConfirms = register("hom_ac_confirms")
 	// RepCandidates counts null valuations materialised by
 	// certain.ForEachRep (before the Σt membership filter).
 	RepCandidates = register("rep_candidates")

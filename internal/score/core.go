@@ -46,25 +46,46 @@ func CoreNaive(t *instance.Instance) *instance.Instance {
 	}
 }
 
-// Core computes the core via block-local retractions.
+// Core computes the core via block-local retractions, in a single sweep:
+// the instance is decomposed into Gaifman blocks once, and each block is
+// driven to its own fixpoint (no null of it droppable) before moving on.
+// That one sweep suffices because retractions cannot interfere across
+// blocks in either direction:
+//
+//   - Retracting a block leaves every other block's atom list untouched. A
+//     retraction's image atoms already exist in the instance (they are hom
+//     images), so the instance only loses atoms — and the lost atoms all
+//     belong to the retracted block, since no atom mentions nulls of two
+//     different blocks.
+//
+//   - A shrinking target can only lose homomorphisms, never gain them
+//     (restrict the hom), so a null found undroppable stays undroppable
+//     after any later retraction. Earlier blocks therefore never need
+//     re-probing.
+//
+// Each probe runs the compiled search's decision-mode arc-consistency pass
+// first (hom.Search.FindAvoidingAC): undroppable nulls whose candidate
+// domains empty out are refuted, and forced retractions (every domain a
+// singleton) are confirmed with their mapping — both without any
+// backtracking; only genuinely ambiguous probes search.
 func Core(t *instance.Instance) *instance.Instance {
 	cur := t.Clone()
-	for {
-		if !dropSomeNullBlockwise(&cur) {
-			return cur
-		}
+	blks, atoms := blocksWithAtoms(cur)
+	for i, block := range blks {
+		dropBlockNulls(&cur, block, atoms[i])
 	}
+	return cur
 }
 
 // IsCore reports whether no null of t can be dropped. By the block
-// decomposition this is checked block-locally.
+// decomposition this is checked block-locally, with the same compiled
+// decision-mode probes as Core's passes.
 func IsCore(t *instance.Instance) bool {
 	blks, atoms := blocksWithAtoms(t)
 	for i, block := range blks {
-		// One compiled search per block, probed once per null of the block.
 		s := hom.CompileAtoms(atoms[i])
 		for _, n := range block {
-			if _, ok := s.Find(t, hom.Avoiding(n)); ok {
+			if _, ok := s.FindAvoidingAC(t, n); ok {
 				return false
 			}
 		}
@@ -72,28 +93,68 @@ func IsCore(t *instance.Instance) bool {
 	return true
 }
 
-// dropSomeNullBlockwise looks for a droppable null block-locally, applies
-// the block-extended endomorphism, and reports whether it made progress.
-func dropSomeNullBlockwise(cur **instance.Instance) bool {
-	blks, atoms := blocksWithAtoms(*cur)
-	for i, block := range blks {
-		// One compiled search per block, reused across the droppable-null
-		// loop: only the avoided value changes between probes.
-		s := hom.CompileAtoms(atoms[i])
-		for _, n := range block {
-			m, ok := s.Find(*cur, hom.Avoiding(n))
-			if !ok {
-				continue
-			}
-			full := hom.Mapping{}
-			for _, b := range block {
-				full[b] = m.Apply(b)
-			}
-			*cur = full.ApplyInstance(*cur)
-			return true
-		}
+// dropBlockNulls drives one Gaifman block to its local fixpoint: while some
+// null of the block is droppable, the block-extended endomorphism is applied
+// and the block-local view (atom list and null set) is rewritten through the
+// retraction, without rescanning the instance. It reports whether any null
+// was dropped.
+//
+// The rewritten view stays exact: after a retraction, the instance's atoms
+// mentioning a surviving block null are precisely the retraction images of
+// the old block atoms that still mention one (atoms outside the block never
+// mention block nulls, and an image atom mentioning a block null was itself
+// a block atom — no atom spans two blocks). Images that only mention foreign
+// nulls or constants leave the block's view; they already existed in the
+// instance and belong to other blocks' probes. The block may also split into
+// disconnected components — probing from the coarser union stays sound, as
+// the components not containing the avoided null embed by the identity.
+func dropBlockNulls(cur **instance.Instance, block []instance.Value, atoms []instance.Atom) bool {
+	progress := false
+	own := make(map[instance.Value]bool, len(block))
+	for _, b := range block {
+		own[b] = true
 	}
-	return false
+	for len(block) > 0 {
+		// One compiled search per retraction round, shared by every probe:
+		// only the avoided null changes between probes.
+		s := hom.CompileAtoms(atoms)
+		var m hom.Mapping
+		found := false
+		for _, n := range block {
+			if fm, ok := s.FindAvoidingAC(*cur, n); ok {
+				m, found = fm, true
+				break
+			}
+		}
+		if !found {
+			return progress
+		}
+		full := hom.Mapping{}
+		for _, b := range block {
+			full[b] = m.Apply(b)
+		}
+		*cur = full.ApplyInstance(*cur)
+		progress = true
+		// Rewrite the block-local view through the retraction; the scratch
+		// instance dedups coinciding images and owns the new Args.
+		tmp := instance.New()
+		for _, a := range atoms {
+			args := make([]instance.Value, len(a.Args))
+			hasOwn := false
+			for i, v := range a.Args {
+				args[i] = full.Apply(v)
+				if own[args[i]] {
+					hasOwn = true
+				}
+			}
+			if hasOwn {
+				tmp.Add(instance.Atom{Rel: a.Rel, Args: args})
+			}
+		}
+		atoms = tmp.AtomsShared()
+		block = tmp.Nulls()
+	}
+	return progress
 }
 
 // blocks partitions the nulls of t into Gaifman components: two nulls are

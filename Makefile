@@ -4,7 +4,7 @@ GO ?= go
 BENCH_OUT ?= BENCH_2.json
 BENCH_BASELINE ?=
 
-.PHONY: all build vet vet-shadow test race race-server serve-smoke bench-smoke bench-json bench-incr bench-columnar bench-columnar-smoke bench-enum bench-enum-smoke ci
+.PHONY: all build vet vet-shadow test race race-server serve-smoke store-smoke bench-smoke bench-json bench-incr bench-columnar bench-columnar-smoke bench-enum bench-enum-smoke bench-store bench-store-smoke ci
 
 all: build
 
@@ -111,4 +111,30 @@ bench-enum-smoke:
 		| $(GO) run ./cmd/benchjson -before $(BENCH_ENUM_BASELINE) \
 		> /dev/null
 
-ci: vet vet-shadow build race race-server serve-smoke bench-smoke bench-columnar-smoke bench-enum-smoke
+# Durable-store smoke (fsync off): register + mutate against a temp-dir
+# store, clean restart (zero WAL replay, identical answers, base_version
+# conflict preserved), crash restart (WAL tail replayed). See
+# cmd/dxserver -smoke-store.
+store-smoke:
+	$(GO) run ./cmd/dxserver -smoke-store
+
+# Durability benchmarks: cold-start recovery over a 10k-scenario genwl
+# catalog (WAL-only vs snapshot-backed), the cold Load a paged query pays,
+# the WAL append a registration pays before its 2xx, and paged vs resident
+# query latency through the registry. Committed as BENCH_8.json.
+BENCH_STORE_OUT ?= BENCH_8.json
+BENCH_STORE_PAT := BenchmarkColdStart10k|BenchmarkLoadCold|BenchmarkWALAppendRegister
+BENCH_STORE_SRV_PAT := BenchmarkQueryResident|BenchmarkQueryPaged
+bench-store:
+	{ $(GO) test -run '^$$' -bench '$(BENCH_STORE_PAT)' -benchmem ./internal/store/ ; \
+	  $(GO) test -run '^$$' -bench '$(BENCH_STORE_SRV_PAT)' -benchmem ./internal/server/ ; } \
+		| $(GO) run ./cmd/benchjson > $(BENCH_STORE_OUT)
+
+# One-iteration pass over the same benches: keeps the gate runnable without
+# real timings.
+bench-store-smoke:
+	{ $(GO) test -run '^$$' -bench '$(BENCH_STORE_PAT)' -benchtime 1x ./internal/store/ ; \
+	  $(GO) test -run '^$$' -bench '$(BENCH_STORE_SRV_PAT)' -benchtime 1x ./internal/server/ ; } \
+		| $(GO) run ./cmd/benchjson > /dev/null
+
+ci: vet vet-shadow build race race-server serve-smoke store-smoke bench-smoke bench-columnar-smoke bench-enum-smoke bench-store-smoke

@@ -10,6 +10,19 @@
 //	         [-default-deadline 30s] [-max-deadline 5m] [-max-steps N]
 //	         [-max-enum N] [-max-scenarios N] [-max-results N]
 //	         [-drain-timeout 10s] [-pprof addr]
+//	         [-data-dir DIR] [-fsync always|interval|off]
+//	         [-fsync-interval 100ms] [-snapshot-interval 5m]
+//
+// -data-dir enables the durable scenario store (internal/store): every
+// registration and mutation is journaled to a write-ahead log in DIR before
+// it is acknowledged, snapshots compact the log every -snapshot-interval
+// (0 disables the ticker), scenarios evicted from RAM page to disk, and a
+// restart recovers the full catalog — resuming incremental engines from
+// persisted chase fixpoints instead of re-chasing. -fsync picks the WAL
+// durability mode: always (fsync per append; acknowledged writes survive
+// power loss), interval (background fsync every -fsync-interval; bounded
+// loss window), off (no explicit fsync; survives process kills, not power
+// loss). Without -data-dir the server is memory-only, exactly as before.
 //
 // -pprof serves net/http/pprof profiling endpoints on a separate listener
 // (e.g. -pprof localhost:6060 → /debug/pprof/). Off by default; bind it to
@@ -23,7 +36,11 @@
 // request burst through the Go client (register, chase, core, certain
 // twice to exercise the result cache, enum, a deliberately timed-out
 // request, health and metrics), verifies every response, and exits 0/1 —
-// the `make serve-smoke` target.
+// the `make serve-smoke` target. dxserver -smoke-store does the same for
+// the durable store (fsync off): register and mutate against a temp
+// directory, restart cleanly (zero WAL replay), verify recovered answers
+// and the base_version conflict, crash-restart, verify again — the
+// `make store-smoke` target.
 package main
 
 import (
@@ -44,6 +61,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/server/api"
 	"repro/internal/server/client"
+	"repro/internal/store"
 )
 
 func main() {
@@ -58,7 +76,12 @@ func main() {
 	maxResults := flag.Int("max-results", 0, "cached response bound (0 = default 4096)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled; keep it loopback)")
+	dataDir := flag.String("data-dir", "", "durable store directory (empty = memory-only)")
+	fsyncMode := flag.String("fsync", "always", "WAL sync mode: always, interval or off")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background WAL fsync period under -fsync interval")
+	snapshotInterval := flag.Duration("snapshot-interval", 5*time.Minute, "store snapshot/compaction period (0 = only at shutdown)")
 	smoke := flag.Bool("smoke", false, "start on a loopback port, run a scripted request burst, and exit")
+	smokeStore := flag.Bool("smoke-store", false, "run the durable-store smoke (register, restart, crash-restart) against a temp dir and exit")
 	flag.Parse()
 
 	// The profiler gets its own listener and the default mux (where the
@@ -92,12 +115,55 @@ func main() {
 		fmt.Println("dxserver -smoke: PASS")
 		return
 	}
+	if *smokeStore {
+		if err := runStoreSmoke(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "dxserver -smoke-store: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("dxserver -smoke-store: PASS")
+		return
+	}
+
+	if *dataDir != "" {
+		mode, err := store.ParseSyncMode(*fsyncMode)
+		if err != nil {
+			log.Fatalf("dxserver: %v", err)
+		}
+		st, err := store.Open(*dataDir, store.Options{Fsync: mode, FsyncInterval: *fsyncInterval})
+		if err != nil {
+			log.Fatalf("dxserver: opening store: %v", err)
+		}
+		stats := st.Stats()
+		log.Printf("dxserver: store %s: %d scenarios, %d WAL records replayed",
+			*dataDir, stats.Scenarios, stats.Replayed)
+		cfg.Store = st
+	}
 
 	srv := server.New(cfg)
 	hs := &http.Server{Addr: *addr, Handler: srv}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("dxserver: listening on %s", *addr)
+
+	// Periodic snapshots bound both recovery time and WAL disk usage; the
+	// final snapshot at drain below makes clean restarts replay nothing.
+	snapStop := make(chan struct{})
+	if cfg.Store != nil && *snapshotInterval > 0 {
+		go func() {
+			t := time.NewTicker(*snapshotInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-snapStop:
+					return
+				case <-t.C:
+					if err := srv.SnapshotNow(); err != nil {
+						log.Printf("dxserver: snapshot: %v", err)
+					}
+				}
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -112,6 +178,7 @@ func main() {
 	// drain window, then abort stragglers through their contexts so
 	// Shutdown can complete.
 	srv.BeginDrain()
+	close(snapStop)
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	shutdownDone := make(chan error, 1)
@@ -126,6 +193,14 @@ func main() {
 		srv.Abort()
 		if err := <-shutdownDone; err != nil {
 			log.Printf("dxserver: shutdown after abort: %v", err)
+		}
+	}
+	// The store is finalized after the HTTP server has drained: a last
+	// snapshot captures every resident fixpoint, so the next boot recovers
+	// from the snapshot alone and replays zero WAL records.
+	if cfg.Store != nil {
+		if err := srv.CloseStore(); err != nil {
+			log.Printf("dxserver: closing store: %v", err)
 		}
 	}
 	log.Printf("dxserver: bye")
@@ -289,6 +364,153 @@ target-deps:
 		var apiErr *client.APIError
 		if _, err := c.Core(ctx, api.EvalRequest{Scenario: "nope"}); !errors.As(err, &apiErr) || apiErr.Code != "unknown_scenario" {
 			return fmt.Errorf("lookup of unknown scenario: want unknown_scenario, got %v", err)
+		}
+		return nil
+	})
+}
+
+// runStoreSmoke is the durable-store smoke behind `make store-smoke`:
+// register and mutate against a temp-dir store (fsync off), restart
+// cleanly and verify zero WAL replay plus identical answers and the
+// optimistic-concurrency conflict, then crash-restart and verify the WAL
+// tail carries the post-snapshot work.
+func runStoreSmoke(cfg server.Config) error {
+	dir, err := os.MkdirTemp("", "dxserver-store-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const setting = `
+source M/2, N/2.
+target E/2, F/2, G/2.
+st:
+  d1: M(x1,x2) -> E(x1,x2).
+  d2: N(x,y) -> exists z1,z2 : E(x,z1) & F(x,z2).
+target-deps:
+  d3: F(y,x) -> exists z : G(x,z).
+  d4: F(x,y) & F(x,z) -> y = z.
+`
+	const source = `M(a,b). N(a,b). N(a,c).`
+
+	step := func(name string, f func() error) error {
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("  ok: %s\n", name)
+		return nil
+	}
+
+	// start spins up a server over a freshly opened store and returns the
+	// pieces plus a closer that does NOT finalize the store (crash-style).
+	start := func() (*server.Server, *http.Server, *client.Client, *store.Store, func(), error) {
+		st, err := store.Open(dir, store.Options{Fsync: store.SyncOff})
+		if err != nil {
+			return nil, nil, nil, nil, nil, err
+		}
+		scfg := cfg
+		scfg.Store = st
+		srv := server.New(scfg)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, nil, nil, nil, err
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln)
+		return srv, hs, client.New("http://" + ln.Addr().String()), st, func() { hs.Close() }, nil
+	}
+
+	srv1, _, c1, _, kill1, err := start()
+	if err != nil {
+		return err
+	}
+	var firstChase api.ChaseResponse
+	var version uint64
+	if err := step("register + mutate", func() error {
+		if _, err := c1.Register(ctx, api.RegisterRequest{Name: "smoke", Setting: setting, Source: source}); err != nil {
+			return err
+		}
+		res, err := c1.Insert(ctx, "smoke", api.MutateRequest{Tuples: "M(x1,y1)."})
+		if err != nil {
+			return err
+		}
+		version = res.Version
+		firstChase, err = c1.Chase(ctx, api.EvalRequest{Scenario: "smoke"})
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := step("clean shutdown (final snapshot)", func() error {
+		srv1.BeginDrain()
+		kill1()
+		return srv1.CloseStore()
+	}); err != nil {
+		return err
+	}
+
+	_, _, c2, st2, kill2, err := start()
+	if err != nil {
+		return err
+	}
+	if err := step("clean restart replays zero WAL records", func() error {
+		if r := st2.Stats().Replayed; r != 0 {
+			return fmt.Errorf("replayed %d records", r)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("recovered scenario answers identically", func() error {
+		res, err := c2.Chase(ctx, api.EvalRequest{Scenario: "smoke"})
+		if err != nil {
+			return err
+		}
+		if res.Universal != firstChase.Universal {
+			return fmt.Errorf("chase diverged:\n%s\nvs\n%s", res.Universal, firstChase.Universal)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("stale base_version still conflicts", func() error {
+		var apiErr *client.APIError
+		_, err := c2.Insert(ctx, "smoke", api.MutateRequest{Tuples: "M(q,r).", BaseVersion: version - 1})
+		if !errors.As(err, &apiErr) || apiErr.Code != "conflict" {
+			return fmt.Errorf("want conflict, got %v", err)
+		}
+		_, err = c2.Insert(ctx, "smoke", api.MutateRequest{Tuples: "M(q,r).", BaseVersion: version})
+		return err
+	}); err != nil {
+		return err
+	}
+	// Crash: abandon the server without CloseStore; the WAL tail alone must
+	// carry the post-snapshot mutation.
+	kill2()
+
+	_, _, c3, st3, kill3, err := start()
+	if err != nil {
+		return err
+	}
+	defer kill3()
+	return step("crash restart recovers the WAL tail", func() error {
+		if st3.Stats().Replayed == 0 {
+			return fmt.Errorf("expected replayed WAL records after crash")
+		}
+		info, err := c3.Scenario(ctx, "smoke")
+		if err != nil {
+			return err
+		}
+		if info.Version != version+1 {
+			return fmt.Errorf("recovered version %d, want %d", info.Version, version+1)
+		}
+		h, err := c3.Health(ctx)
+		if err != nil {
+			return err
+		}
+		if !h.Durable || h.StoreScenarios != 1 {
+			return fmt.Errorf("healthz misreports the store: %+v", h)
 		}
 		return nil
 	})

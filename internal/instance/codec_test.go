@@ -1,0 +1,192 @@
+package instance
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// roundTrip encodes ins and decodes the result, failing the test on error.
+func roundTrip(t *testing.T, ins *Instance) *Instance {
+	t.Helper()
+	buf := ins.AppendBinary(nil)
+	got, n, err := DecodeBinary(buf)
+	if err != nil {
+		t.Fatalf("DecodeBinary: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("DecodeBinary consumed %d of %d bytes", n, len(buf))
+	}
+	return got
+}
+
+// assertSame checks that got reproduces want exactly: same atom set, same
+// iteration order, same version counter, same index answers.
+func assertSame(t *testing.T, want, got *Instance) {
+	t.Helper()
+	if !want.Equal(got) || !got.Equal(want) {
+		t.Fatalf("atom sets differ:\n want %v\n got  %v", want, got)
+	}
+	if got.Version() != want.Version() {
+		t.Fatalf("version = %d, want %d", got.Version(), want.Version())
+	}
+	wa, ga := want.Atoms(), got.Atoms()
+	if len(wa) != len(ga) {
+		t.Fatalf("atom count %d != %d", len(ga), len(wa))
+	}
+	for i := range wa {
+		if !wa[i].Equal(ga[i]) {
+			t.Fatalf("iteration order diverges at %d: %v vs %v", i, wa[i], ga[i])
+		}
+	}
+	if want.ContentKey() != got.ContentKey() {
+		t.Fatal("content keys differ")
+	}
+	for _, rel := range want.Relations() {
+		for pos := 0; pos < want.Arity(rel); pos++ {
+			if want.PosDistinct(rel, pos) != got.PosDistinct(rel, pos) {
+				t.Fatalf("PosDistinct(%s, %d) differs", rel, pos)
+			}
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	ins := New()
+	ins.Add(NewAtom("E", Const("a"), Const("b")))
+	ins.Add(NewAtom("E", Const("b"), Null(0)))
+	ins.Add(NewAtom("F", Null(3), Null(0), Const("a")))
+	ins.Add(NewAtom("P", Const("lonely")))
+	assertSame(t, ins, roundTrip(t, ins))
+}
+
+func TestCodecEmpty(t *testing.T) {
+	assertSame(t, New(), roundTrip(t, New()))
+}
+
+func TestCodecDeadRows(t *testing.T) {
+	// Removals leave dead row slots (below the compaction threshold); the
+	// encoding must carry them so row ids and iteration order survive.
+	ins := New()
+	for i := 0; i < 10; i++ {
+		ins.Add(NewAtom("E", Const(fmt.Sprintf("x%d", i)), Null(int64(i))))
+	}
+	ins.Remove(NewAtom("E", Const("x3"), Null(3)))
+	ins.Remove(NewAtom("E", Const("x7"), Null(7)))
+	got := roundTrip(t, ins)
+	assertSame(t, ins, got)
+	// The decoded instance must keep accepting mutations.
+	if !got.Add(NewAtom("E", Const("x3"), Null(3))) {
+		t.Fatal("re-adding a removed atom must succeed")
+	}
+	if got.Add(NewAtom("E", Const("x0"), Null(0))) {
+		t.Fatal("duplicate add must be refused after decode")
+	}
+	if !got.Remove(NewAtom("E", Const("x5"), Null(5))) {
+		t.Fatal("removing a live atom must succeed after decode")
+	}
+}
+
+func TestCodecRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		ins := New()
+		nRel := 1 + rng.Intn(4)
+		var added []Atom
+		for i := 0; i < 5+rng.Intn(120); i++ {
+			rel := fmt.Sprintf("R%d", rng.Intn(nRel))
+			arity := 1 + (len(rel)+rng.Intn(2))%3
+			args := make([]Value, arity)
+			for p := range args {
+				if rng.Intn(3) == 0 {
+					args[p] = Null(int64(rng.Intn(20)))
+				} else {
+					args[p] = Const(fmt.Sprintf("c%d", rng.Intn(15)))
+				}
+			}
+			a := Atom{Rel: fmt.Sprintf("%s_%d", rel, arity), Args: args}
+			if ins.Add(a) {
+				added = append(added, a)
+			}
+		}
+		for i := 0; i < rng.Intn(10) && len(added) > 0; i++ {
+			j := rng.Intn(len(added))
+			ins.Remove(added[j])
+			added = append(added[:j], added[j+1:]...)
+		}
+		assertSame(t, ins, roundTrip(t, ins))
+	}
+}
+
+func TestCodecTruncationAndCorruption(t *testing.T) {
+	ins := New()
+	ins.Add(NewAtom("E", Const("a"), Const("b")))
+	ins.Add(NewAtom("F", Null(0), Const("c")))
+	buf := ins.AppendBinary(nil)
+	// Every strict prefix must fail cleanly, never panic.
+	for n := 0; n < len(buf); n++ {
+		if _, _, err := DecodeBinary(buf[:n]); err == nil {
+			t.Fatalf("decoding %d-byte prefix of %d succeeded", n, len(buf))
+		}
+	}
+	// Bad magic.
+	bad := bytes.Clone(buf)
+	bad[0] ^= 0xff
+	if _, _, err := DecodeBinary(bad); err == nil {
+		t.Fatal("decoding with corrupt magic succeeded")
+	}
+}
+
+func TestCodecConsumesExactly(t *testing.T) {
+	// Two concatenated encodings decode back-to-back.
+	a := New()
+	a.Add(NewAtom("E", Const("a"), Const("b")))
+	b := New()
+	b.Add(NewAtom("P", Null(7)))
+	buf := b.AppendBinary(a.AppendBinary(nil))
+	first, n, err := DecodeBinary(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, m, err := DecodeBinary(buf[n:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n+m != len(buf) {
+		t.Fatalf("consumed %d+%d of %d", n, m, len(buf))
+	}
+	assertSame(t, a, first)
+	assertSame(t, b, second)
+}
+
+func TestMutationCodecRoundTrip(t *testing.T) {
+	muts := []Mutation{
+		{Insert: true, Atom: NewAtom("M", Const("a"), Const("b"))},
+		{Insert: false, Atom: NewAtom("N", Const("x"))},
+		{Insert: true, Atom: NewAtom("W", Null(4), Const("y"), Null(0))},
+	}
+	buf := AppendMutations(nil, muts)
+	got, n, err := DecodeMutations(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if len(got) != len(muts) {
+		t.Fatalf("decoded %d mutations, want %d", len(got), len(muts))
+	}
+	for i := range muts {
+		if got[i].Insert != muts[i].Insert || !got[i].Atom.Equal(muts[i].Atom) {
+			t.Fatalf("mutation %d: got %v, want %v", i, got[i], muts[i])
+		}
+	}
+	for n := 0; n < len(buf); n++ {
+		if _, _, err := DecodeMutations(buf[:n]); err == nil {
+			// An empty prefix legitimately decodes zero mutations only if
+			// the count byte is intact; all other prefixes must fail.
+			t.Fatalf("decoding %d-byte prefix of %d succeeded", n, len(buf))
+		}
+	}
+}

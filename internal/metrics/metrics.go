@@ -115,6 +115,26 @@ var (
 	// dirty state after an interrupted run) and resolved by a full
 	// re-chase.
 	IncrFallbackRechase = register("incr_fallback_rechase")
+
+	// StoreWALAppends counts records appended to the durable store's
+	// write-ahead log (registrations, mutation batches, drops).
+	StoreWALAppends = register("store_wal_appends")
+	// StoreWALBytes counts bytes written to the write-ahead log, frames
+	// included.
+	StoreWALBytes = register("store_wal_bytes")
+	// StoreSnapshots counts snapshot files successfully written (periodic
+	// and drain-time).
+	StoreSnapshots = register("store_snapshots")
+	// StoreRecoveryReplayed counts WAL records replayed at boot — records
+	// acknowledged after the snapshot the recovery started from. A clean
+	// shutdown leaves this at zero.
+	StoreRecoveryReplayed = register("store_recovery_replayed")
+	// StorePageIns counts scenario states loaded back from disk (boot-time
+	// rehydration and LRU page-ins alike).
+	StorePageIns = register("store_page_ins")
+	// StorePageOuts counts scenario states written to page files when the
+	// LRU evicted them from RAM.
+	StorePageOuts = register("store_page_outs")
 )
 
 var registry []*Counter

@@ -185,6 +185,18 @@ type Health struct {
 	// Draining reports that the server is shutting down and rejecting new
 	// work.
 	Draining bool `json:"draining"`
+	// Durable reports that a durable store backs the server; the fields
+	// below are only meaningful when it is true.
+	Durable bool `json:"durable,omitempty"`
+	// StoreScenarios is the durable catalog size — every registered
+	// scenario, resident in RAM or paged to disk.
+	StoreScenarios int `json:"store_scenarios,omitempty"`
+	// Replayed is the number of WAL records replayed at the last boot; 0
+	// after a clean shutdown.
+	Replayed int `json:"replayed,omitempty"`
+	// Recovering reports that boot-time rehydration is still warming the
+	// resident set. Requests are served throughout.
+	Recovering bool `json:"recovering,omitempty"`
 }
 
 // Error is the JSON error envelope every non-2xx response carries.

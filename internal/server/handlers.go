@@ -522,12 +522,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		st = "draining"
 	}
-	writeJSON(w, http.StatusOK, api.Health{
+	h := api.Health{
 		Status:    st,
 		Scenarios: s.Scenarios(),
 		InFlight:  s.InFlight(),
 		Draining:  s.Draining(),
-	})
+	}
+	if stats, ok := s.StoreStats(); ok {
+		h.Durable = true
+		h.StoreScenarios = stats.Scenarios
+		h.Replayed = stats.Replayed
+		h.Recovering = stats.Recovering
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

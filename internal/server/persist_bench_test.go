@@ -1,0 +1,77 @@
+package server
+
+// Paged vs resident query latency for BENCH_8.json: what a request pays
+// when its scenario is resident (memoized fixpoint) versus paged out
+// (page-in: disk read, decode, engine resume — no re-chase).
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/store"
+)
+
+const benchChainSetting = `
+source R0/2.
+target T1/2, T2/2, T3/2.
+st:
+  R0(x,y) -> T1(x,y).
+target-deps:
+  T1(x,y) -> exists z : T2(y,z).
+  T2(x,y) -> exists z : T3(y,z).
+`
+
+func benchSource(i int) string {
+	return fmt.Sprintf("R0(a%d,b%d). R0(b%d,c%d).", i, i, i, i)
+}
+
+func newBenchRegistry(b *testing.B, maxResident, n int) *registry {
+	b.Helper()
+	st, err := store.Open(b.TempDir(), store.Options{Fsync: store.SyncOff})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
+	r := newRegistry(maxResident, 4096, st)
+	for i := 0; i < n; i++ {
+		if _, _, err := r.register(fmt.Sprintf("b%d", i), benchChainSetting, benchSource(i), chase.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return r
+}
+
+// BenchmarkQueryResident: the scenario is in RAM with its chase result
+// memoized — a lookup plus a memo read.
+func BenchmarkQueryResident(b *testing.B) {
+	const n = 16
+	r := newBenchRegistry(b, n+1, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, err := r.lookup(fmt.Sprintf("b%d", i%n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := sc.chaseFor(chase.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryPaged: residency 1, so every lookup of the alternating
+// pair evicts the other (page-out) and rehydrates from disk (page-in,
+// resuming the persisted fixpoint instead of re-chasing).
+func BenchmarkQueryPaged(b *testing.B) {
+	r := newBenchRegistry(b, 1, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, err := r.lookup(fmt.Sprintf("b%d", i%2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := sc.chaseFor(chase.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/score"
 	"repro/internal/status"
+	"repro/internal/store"
 )
 
 // errUnknownScenario is returned when a request names a scenario that is
@@ -174,27 +175,45 @@ type registry struct {
 	scenarios *lru // scenario ID -> *scenario
 	results   *lru // contentID + endpoint + params -> []byte response body
 
+	// store, when non-nil, makes the registry durable: registrations and
+	// mutations are journaled before acknowledgement, capacity evictions
+	// page state to disk instead of forgetting it, and lookup misses
+	// rehydrate from the catalog (persist.go).
+	store *store.Store
+
 	mu        sync.Mutex
 	byContent map[string]string // contentID -> scenario ID
+	loads     map[string]*load  // in-flight rehydrations, single-flighted
 	nextID    int
 }
 
-func newRegistry(maxScenarios, maxResults int) *registry {
+func newRegistry(maxScenarios, maxResults int, st *store.Store) *registry {
 	r := &registry{
 		scenarios: newLRU(maxScenarios),
 		results:   newLRU(maxResults),
+		store:     st,
 		byContent: make(map[string]string),
+		loads:     make(map[string]*load),
 	}
 	// Every path a scenario leaves by — capacity eviction, DELETE, removeIf —
-	// runs this hook: the content-dedup entry goes, and so do the scenario's
-	// mutated-namespace results. Those key on scenario identity plus a version
-	// counter that a later same-name scenario restarts from scratch, so a
-	// stale entry could answer for different content; they can never be
-	// served safely once the scenario is gone. Content-keyed results stay:
-	// they are pure functions of (content, version) and deliberately survive
-	// evictions so re-registered content keeps hitting them.
+	// runs this hook. A store-backed scenario that is still cataloged is only
+	// losing residency, not identity: its full state (fixpoint included) is
+	// paged out so the next lookup rehydrates without re-chasing, and the
+	// content-dedup entry and cached results stay — the version they key on
+	// persists with it. Otherwise the scenario is gone for good: the
+	// content-dedup entry goes, and so do the scenario's mutated-namespace
+	// results. Those key on scenario identity plus a version counter that a
+	// later same-name scenario restarts from scratch, so a stale entry could
+	// answer for different content; they can never be served safely once the
+	// scenario is gone. Content-keyed results stay: they are pure functions
+	// of (content, version) and deliberately survive evictions so
+	// re-registered content keeps hitting them.
 	r.scenarios.onEvict = func(id string, v any) {
 		sc := v.(*scenario)
+		if r.store != nil && r.store.Has(id) {
+			r.store.PageOut(sc.persistState())
+			return
+		}
 		r.mu.Lock()
 		if r.byContent[sc.contentID] == id {
 			delete(r.byContent, sc.contentID)
@@ -234,6 +253,15 @@ func (r *registry) register(name, settingText, sourceText string, opt chase.Opti
 			r.mu.Unlock()
 			return v.(*scenario), true, nil
 		}
+		if r.store != nil && r.store.Has(id) {
+			// Identical content, paged out: rehydrate it instead of
+			// registering a duplicate.
+			r.mu.Unlock()
+			if sc, err := r.rehydrate(id); err == nil {
+				return sc, true, nil
+			}
+			r.mu.Lock()
+		}
 		delete(r.byContent, contentID)
 	}
 	if name == "" {
@@ -246,6 +274,21 @@ func (r *registry) register(name, settingText, sourceText string, opt chase.Opti
 			return existing, true, nil
 		}
 		r.mu.Unlock()
+		return nil, false, status.WithKind(
+			fmt.Errorf("scenario %q already registered with different content; DELETE it first", name),
+			status.Usage)
+	} else if r.store != nil && r.store.Has(name) {
+		// The name is cataloged but not resident. Same pristine content
+		// reuses it (rehydrated); anything else is a conflict, exactly as if
+		// it were resident.
+		r.mu.Unlock()
+		existing, err := r.rehydrate(name)
+		if err != nil {
+			return nil, false, err
+		}
+		if existing.contentID == contentID && !existing.mutated() {
+			return existing, true, nil
+		}
 		return nil, false, status.WithKind(
 			fmt.Errorf("scenario %q already registered with different content; DELETE it first", name),
 			status.Usage)
@@ -279,6 +322,15 @@ func (r *registry) register(name, settingText, sourceText string, opt chase.Opti
 		sc.chaseFor(opt)
 	}
 
+	// Durability before acknowledgement: the registration record must be in
+	// the WAL before the scenario becomes visible (and before the handler
+	// sends the 2xx). A journaling failure refuses the registration.
+	if r.store != nil {
+		if err := r.store.Register(sc.persistState()); err != nil {
+			return nil, false, status.WithKind(fmt.Errorf("journaling registration: %w", err), status.Internal)
+		}
+	}
+
 	r.mu.Lock()
 	r.byContent[contentID] = name
 	r.mu.Unlock()
@@ -286,10 +338,15 @@ func (r *registry) register(name, settingText, sourceText string, opt chase.Opti
 	return sc, false, nil
 }
 
-// lookup returns the named scenario, refreshing its LRU position.
+// lookup returns the named scenario, refreshing its LRU position. With a
+// store, a residency miss falls through to the catalog: a paged-out or
+// recovered-but-cold scenario is rehydrated from disk (single-flight).
 func (r *registry) lookup(id string) (*scenario, error) {
 	v, ok := r.scenarios.get(id)
 	if !ok {
+		if r.store != nil && r.store.Has(id) {
+			return r.rehydrate(id)
+		}
 		return nil, fmt.Errorf("%w: %q", errUnknownScenario, id)
 	}
 	return v.(*scenario), nil
@@ -300,13 +357,40 @@ func (r *registry) lookup(id string) (*scenario, error) {
 // explicit DELETE additionally clears the content-keyed results, which
 // capacity evictions keep.
 func (r *registry) drop(id string) bool {
-	v, ok := r.scenarios.get(id)
-	if !ok {
+	v, resident := r.scenarios.get(id)
+	var contentID string
+	if resident {
+		contentID = v.(*scenario).contentID
+	} else if r.store != nil {
+		meta, stored := r.store.GetMeta(id)
+		if !stored {
+			return false
+		}
+		contentID = meta.ContentID
+	} else {
 		return false
 	}
-	sc := v.(*scenario)
-	r.scenarios.remove(id)
-	contentPrefix := sc.contentID + "\x00"
+	// Journal the drop first: onEvict then sees the scenario is no longer
+	// cataloged and runs the full-cleanup path rather than paging it out.
+	if r.store != nil {
+		r.store.Drop(id)
+	}
+	if resident {
+		r.scenarios.remove(id)
+	} else {
+		// Not resident, so no eviction hook fires: clean up identity state
+		// and mutated-namespace results directly.
+		r.mu.Lock()
+		if r.byContent[contentID] == id {
+			delete(r.byContent, contentID)
+		}
+		r.mu.Unlock()
+		mutatedPrefix := mutatedNamespace(id)
+		r.results.removeIf(func(key string) bool {
+			return strings.HasPrefix(key, mutatedPrefix)
+		})
+	}
+	contentPrefix := contentID + "\x00"
 	r.results.removeIf(func(key string) bool {
 		return strings.HasPrefix(key, contentPrefix)
 	})
@@ -347,6 +431,17 @@ func (r *registry) mutate(sc *scenario, muts []instance.Mutation, baseVersion ui
 	}
 
 	changed := res.Inserted+res.Deleted > 0
+	if changed && r.store != nil {
+		// Append-before-acknowledge: the batch is journaled (as submitted,
+		// with the version it produced) before the handler can send the 2xx.
+		// The in-memory apply already happened; a journaling failure reports
+		// the mutation as not acknowledged — replaying the WAL without it
+		// reconstructs the pre-batch state, which is exactly what an
+		// unacknowledged request is allowed to mean.
+		if serr := r.store.Mutate(sc.id, res.Version, muts); serr != nil {
+			return res, status.WithKind(fmt.Errorf("journaling mutation: %w", serr), status.Internal)
+		}
+	}
 	if changed {
 		metrics.ServerMutations.Inc()
 		// Swap in the new source and invalidate the derived memos; the

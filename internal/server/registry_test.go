@@ -21,7 +21,7 @@ st:
 `
 
 func TestDropPurgesResultCache(t *testing.T) {
-	r := newRegistry(4, 16)
+	r := newRegistry(4, 16, nil)
 	sc, reused, err := r.register("s", tinySetting, `S(a).`, chase.Options{})
 	if err != nil || reused {
 		t.Fatalf("register: reused=%v err=%v", reused, err)
@@ -52,7 +52,7 @@ func TestDropPurgesResultCache(t *testing.T) {
 }
 
 func TestCapacityEvictionPurgesMutatedNamespace(t *testing.T) {
-	r := newRegistry(1, 16) // one resident scenario: the next register evicts
+	r := newRegistry(1, 16, nil) // one resident scenario: the next register evicts
 	sc, _, err := r.register("a", tinySetting, `S(a).`, chase.Options{})
 	if err != nil {
 		t.Fatalf("register a: %v", err)

@@ -27,6 +27,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/store"
 )
 
 // Config tunes a Server. The zero value is usable: every field has a
@@ -59,6 +61,12 @@ type Config struct {
 	// Workers is the default evaluation parallelism for certain/enum
 	// requests that carry no workers field (0 = GOMAXPROCS).
 	Workers int
+	// Store, when non-nil, makes the server durable: registrations and
+	// mutations are journaled to its WAL before acknowledgement, capacity
+	// evictions page scenario state to disk, and lookups rehydrate from the
+	// catalog. The caller owns opening it (store.Open) and the server closes
+	// it in Shutdown. Nil keeps today's memory-only behavior on every path.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -111,11 +119,35 @@ func New(cfg Config) *Server {
 		draining: make(chan struct{}),
 		aborted:  make(chan struct{}),
 	}
-	s.reg = newRegistry(s.cfg.MaxScenarios, s.cfg.MaxResults)
+	s.reg = newRegistry(s.cfg.MaxScenarios, s.cfg.MaxResults, s.cfg.Store)
+	s.reg.seedFromStore()
 	s.gate = newGate(s.cfg.MaxConcurrent, s.cfg.QueueDepth)
 	s.mux = http.NewServeMux()
 	s.routes()
+	if s.cfg.Store != nil {
+		// Background warm-up: rehydrate up to a residency's worth of
+		// recovered scenarios so the first requests after a restart do not
+		// all pay a page-in. /healthz reports recovering=true until it
+		// finishes; requests are served (lazily rehydrating) throughout.
+		s.cfg.Store.SetRecovering(true)
+		go s.warmStore()
+	}
 	return s
+}
+
+// warmStore rehydrates recovered scenarios (in id order, up to the
+// resident bound) and then clears the recovery flag.
+func (s *Server) warmStore() {
+	defer s.cfg.Store.SetRecovering(false)
+	n := 0
+	for _, id := range s.cfg.Store.IDs() {
+		if n >= s.cfg.MaxScenarios || s.Draining() {
+			return
+		}
+		if _, err := s.reg.lookup(id); err == nil {
+			n++
+		}
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -144,6 +176,41 @@ func (s *Server) Draining() bool {
 // giving up on http.Server.Shutdown. Idempotent.
 func (s *Server) Abort() {
 	s.abortOnce.Do(func() { close(s.aborted) })
+}
+
+// SnapshotNow writes a durable-store snapshot of the full catalog —
+// resident scenarios contribute their live state — and compacts the WAL
+// behind it. No-op without a store.
+func (s *Server) SnapshotNow() error {
+	return s.reg.snapshotNow()
+}
+
+// CloseStore finalizes the durable store at shutdown: a last snapshot
+// (capturing every resident scenario's fixpoint) followed by a flush and
+// close. After it returns, a restart recovers from the snapshot alone and
+// replays zero WAL records. Call after the HTTP server has drained; no-op
+// without a store.
+func (s *Server) CloseStore() error {
+	if s.cfg.Store == nil {
+		return nil
+	}
+	snapErr := s.reg.snapshotNow()
+	if err := s.cfg.Store.Flush(); err != nil && snapErr == nil {
+		snapErr = err
+	}
+	if err := s.cfg.Store.Close(); err != nil && snapErr == nil {
+		snapErr = err
+	}
+	return snapErr
+}
+
+// StoreStats reports the durable store's health summary, and false when
+// the server runs memory-only.
+func (s *Server) StoreStats() (store.Stats, bool) {
+	if s.cfg.Store == nil {
+		return store.Stats{}, false
+	}
+	return s.cfg.Store.Stats(), true
 }
 
 // InFlight returns the number of admitted evaluation requests currently

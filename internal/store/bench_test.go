@@ -1,0 +1,150 @@
+package store
+
+// Durability benchmarks for BENCH_8.json: cold-start recovery over a
+// 10k-scenario catalog (WAL-only and snapshot-backed), and the page-in
+// path a query pays for a cold scenario. The catalog holds metadata only —
+// recovery never decodes an instance — which these numbers demonstrate.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/genwl"
+	"repro/internal/instance"
+	"repro/internal/parser"
+)
+
+const benchScenarios = 10_000
+
+// mkGenwlState fabricates the durable form of one chased genwl
+// existential-chain scenario: a small distinct source and the chain
+// fixpoint it would chase to (nulls included), without paying 10k chases
+// in benchmark setup.
+func mkGenwlState(settingText string, i int) *State {
+	src := instance.New()
+	a := instance.Const(fmt.Sprintf("a%d", i))
+	b := instance.Const(fmt.Sprintf("b%d", i))
+	c := instance.Const(fmt.Sprintf("c%d", i))
+	src.Add(instance.NewAtom("R0", a, b))
+	src.Add(instance.NewAtom("R0", b, c))
+	fix := src.Clone()
+	null := int64(0)
+	for _, row := range [][2]instance.Value{{a, b}, {b, c}} {
+		prev := row[1]
+		fix.Add(instance.NewAtom("T1", row[0], row[1]))
+		for d := 2; d <= 3; d++ {
+			next := instance.Null(null)
+			null++
+			fix.Add(instance.NewAtom(fmt.Sprintf("T%d", d), prev, next))
+			prev = next
+		}
+	}
+	return &State{
+		ID:          fmt.Sprintf("s%d", i+1),
+		ContentID:   fmt.Sprintf("genwl-%08d", i),
+		SettingText: settingText,
+		InitVersion: src.Version(),
+		Steps:       fix.Len() - src.Len(),
+		Source:      src,
+		Fixpoint:    fix,
+	}
+}
+
+// seedBenchStore registers benchScenarios scenarios into dir and returns
+// the store still open.
+func seedBenchStore(b *testing.B, dir string) *Store {
+	b.Helper()
+	settingText := parser.FormatSetting(genwl.WeaklyAcyclicChain(3))
+	s, err := Open(dir, Options{Fsync: SyncOff})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < benchScenarios; i++ {
+		if err := s.Register(mkGenwlState(settingText, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// BenchmarkColdStart10kWAL measures boot recovery when the whole catalog
+// lives in WAL registration records (the worst case: crash before any
+// snapshot).
+func BenchmarkColdStart10kWAL(b *testing.B) {
+	dir := b.TempDir()
+	seedBenchStore(b, dir).Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(dir, Options{Fsync: SyncOff})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Stats().Scenarios != benchScenarios {
+			b.Fatalf("recovered %d scenarios", s.Stats().Scenarios)
+		}
+		s.Close()
+	}
+	b.ReportMetric(benchScenarios, "scenarios")
+}
+
+// BenchmarkColdStart10kSnapshot measures boot recovery from a snapshot
+// (the steady state after a clean shutdown: zero WAL records to replay).
+func BenchmarkColdStart10kSnapshot(b *testing.B) {
+	dir := b.TempDir()
+	s := seedBenchStore(b, dir)
+	if err := s.Snapshot(func(string) *State { return nil }); err != nil {
+		b.Fatal(err)
+	}
+	s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(dir, Options{Fsync: SyncOff})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st := s.Stats(); st.Scenarios != benchScenarios || st.Replayed != 0 {
+			b.Fatalf("recovered %d scenarios, %d replayed", st.Scenarios, st.Replayed)
+		}
+		s.Close()
+	}
+	b.ReportMetric(benchScenarios, "scenarios")
+}
+
+// BenchmarkLoadCold is the disk half of a paged query: read and decode one
+// scenario's full state (source + fixpoint) out of a 10k snapshot.
+func BenchmarkLoadCold(b *testing.B) {
+	dir := b.TempDir()
+	s := seedBenchStore(b, dir)
+	if err := s.Snapshot(func(string) *State { return nil }); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := s.Load(fmt.Sprintf("s%d", i%benchScenarios+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Fixpoint == nil {
+			b.Fatal("fixpoint lost")
+		}
+	}
+}
+
+// BenchmarkWALAppendRegister is the durability cost a registration pays
+// before its 2xx (fsync off — the encode and write, not the disk sync).
+func BenchmarkWALAppendRegister(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir, Options{Fsync: SyncOff})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	settingText := parser.FormatSetting(genwl.WeaklyAcyclicChain(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Register(mkGenwlState(settingText, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A snapshot file snap-<N>.snap captures the full catalog as of WAL segment
+// N: replaying it and then the WAL records of segments >= N reconstructs
+// the acknowledged state, so segments below N can be deleted. The file is a
+// header frame (magic, covered-from segment, block count) followed by one
+// frame per scenario block. It is written to a temp file and renamed, so a
+// snapshot either exists completely or not at all; recovery additionally
+// verifies every frame and falls back to the previous snapshot on any
+// mismatch.
+
+const snapMagic = "DXSNAP1"
+
+func snapshotPath(dir string, seg uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%016d.snap", seg))
+}
+
+// listSnapshots returns the snapshot segment numbers present in dir, newest
+// first.
+func listSnapshots(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap"), 10, 64)
+		if err != nil {
+			continue
+		}
+		segs = append(segs, n)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] > segs[j] })
+	return segs, nil
+}
+
+// snapWriter streams a snapshot file: header first, then blocks, then an
+// fsynced rename into place.
+type snapWriter struct {
+	dir, tmp string
+	seg      uint64
+	f        *os.File
+	w        *bufio.Writer
+	off      int64
+}
+
+func newSnapWriter(dir string, seg uint64, count int) (*snapWriter, error) {
+	tmp := snapshotPath(dir, seg) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	sw := &snapWriter{dir: dir, tmp: tmp, seg: seg, f: f, w: bufio.NewWriterSize(f, 1<<16)}
+	hdr := appendUvarint([]byte(snapMagic), seg)
+	hdr = appendUvarint(hdr, uint64(count))
+	return sw, sw.writeFrame(hdr)
+}
+
+func (sw *snapWriter) writeFrame(payload []byte) error {
+	frame := appendFrame(nil, payload)
+	if _, err := sw.w.Write(frame); err != nil {
+		return err
+	}
+	sw.off += int64(len(frame))
+	return nil
+}
+
+// writeBlock appends one scenario block and returns the offset of its
+// frame in the finished file.
+func (sw *snapWriter) writeBlock(block []byte) (int64, error) {
+	off := sw.off
+	return off, sw.writeFrame(block)
+}
+
+// finish makes the snapshot durable and returns its final path.
+func (sw *snapWriter) finish() (string, error) {
+	if err := sw.w.Flush(); err != nil {
+		sw.abort()
+		return "", err
+	}
+	if err := sw.f.Sync(); err != nil {
+		sw.abort()
+		return "", err
+	}
+	if err := sw.f.Close(); err != nil {
+		os.Remove(sw.tmp)
+		return "", err
+	}
+	final := snapshotPath(sw.dir, sw.seg)
+	if err := os.Rename(sw.tmp, final); err != nil {
+		os.Remove(sw.tmp)
+		return "", err
+	}
+	return final, syncDir(sw.dir)
+}
+
+func (sw *snapWriter) abort() {
+	sw.f.Close()
+	os.Remove(sw.tmp)
+}
+
+// scanSnapshot verifies and walks a snapshot file, handing each block's
+// metadata, embedded pending batches, and frame offset to fn. Any framing
+// or decoding failure aborts the scan — the caller falls back to an older
+// snapshot.
+func scanSnapshot(path string, fn func(m blockMeta, pending []MutBatch, frameOff int64)) (walSeg uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := newFrameScanner(f)
+	hdr, _, err := sc.next()
+	if err != nil {
+		return 0, fmt.Errorf("store: snapshot %s: %w", path, err)
+	}
+	if len(hdr) < len(snapMagic) || string(hdr[:len(snapMagic)]) != snapMagic {
+		return 0, fmt.Errorf("store: snapshot %s: bad magic", path)
+	}
+	r := &reader{data: hdr, off: len(snapMagic)}
+	if walSeg, err = r.uvarint("snapshot wal segment"); err != nil {
+		return 0, err
+	}
+	count, err := r.uvarint("snapshot block count")
+	if err != nil {
+		return 0, err
+	}
+	for i := uint64(0); i < count; i++ {
+		block, off, err := sc.next()
+		if err != nil {
+			return 0, fmt.Errorf("store: snapshot %s: block %d: %w", path, i, err)
+		}
+		m, pending, err := decodeBlockMeta(block)
+		if err != nil {
+			return 0, fmt.Errorf("store: snapshot %s: block %d: %w", path, i, err)
+		}
+		fn(m, pending, off)
+	}
+	return walSeg, nil
+}

@@ -1,0 +1,294 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// SyncMode controls when WAL appends reach stable storage.
+type SyncMode int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged write survives
+	// power loss.
+	SyncAlways SyncMode = iota
+	// SyncInterval fsyncs in the background at a fixed interval (and at
+	// rotation and close): a crash loses at most the last interval.
+	SyncInterval
+	// SyncOff never fsyncs explicitly: a crash loses whatever the OS had
+	// not flushed. Process kills (as opposed to power loss) lose nothing —
+	// the page cache survives the process.
+	SyncOff
+)
+
+// ParseSyncMode maps the -fsync flag values.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync mode %q (want always, interval or off)", s)
+}
+
+func segmentPath(dir string, seg uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016d.log", seg))
+}
+
+// listSegments returns the WAL segment numbers present in dir, sorted.
+func listSegments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 10, 64)
+		if err != nil {
+			continue
+		}
+		segs = append(segs, n)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// wal is the write-ahead log: an append-only sequence of framed records
+// across numbered segment files. Appends are serialized by the Store's
+// lock; the wal adds only the interval-sync goroutine's synchronization.
+type wal struct {
+	dir      string
+	mode     SyncMode
+	segBytes int64
+
+	mu    sync.Mutex // guards f/seg/size/dirty against the interval syncer
+	f     *os.File
+	seg   uint64
+	size  int64
+	stop  chan struct{}
+	done  chan struct{}
+	fsErr error // first write/sync failure; the wal is poisoned after one
+}
+
+// openWAL opens segment seg for appending at offset size (creating it when
+// absent) and starts the interval syncer if the mode asks for one.
+func openWAL(dir string, seg uint64, size int64, mode SyncMode, interval time.Duration, segBytes int64) (*wal, error) {
+	f, err := os.OpenFile(segmentPath(dir, seg), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(size, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w := &wal{dir: dir, mode: mode, segBytes: segBytes, f: f, seg: seg, size: size}
+	if mode == SyncInterval {
+		if interval <= 0 {
+			interval = 100 * time.Millisecond
+		}
+		w.stop = make(chan struct{})
+		w.done = make(chan struct{})
+		go w.syncLoop(interval)
+	}
+	return w, nil
+}
+
+func (w *wal) syncLoop(interval time.Duration) {
+	defer close(w.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if w.f != nil && w.fsErr == nil {
+				if err := w.f.Sync(); err != nil {
+					w.fsErr = err
+				}
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// append frames payload onto the current segment, rotating first when the
+// segment is full, and syncs according to the mode. It returns the frame's
+// location.
+func (w *wal) append(payload []byte) (ref, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.fsErr != nil {
+		return ref{}, w.fsErr
+	}
+	if w.size > 0 && w.size+int64(len(payload))+frameHeaderLen > w.segBytes {
+		if err := w.rotateLocked(); err != nil {
+			w.fsErr = err
+			return ref{}, err
+		}
+	}
+	frame := appendFrame(nil, payload)
+	off := w.size
+	if _, err := w.f.Write(frame); err != nil {
+		w.fsErr = err
+		return ref{}, err
+	}
+	w.size += int64(len(frame))
+	if w.mode == SyncAlways {
+		if err := w.f.Sync(); err != nil {
+			w.fsErr = err
+			return ref{}, err
+		}
+	}
+	metrics.StoreWALAppends.Inc()
+	metrics.StoreWALBytes.Add(int64(len(frame)))
+	return ref{path: segmentPath(w.dir, w.seg), off: off, wal: true}, nil
+}
+
+// rotate closes the current segment and starts the next one, returning the
+// new segment's number. The closed segment is always fsynced — rotation is
+// a durability point in every mode, so snapshot coverage ("segments below N
+// are subsumed") never claims unsynced data.
+func (w *wal) rotate() (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.fsErr != nil {
+		return 0, w.fsErr
+	}
+	if err := w.rotateLocked(); err != nil {
+		w.fsErr = err
+		return 0, err
+	}
+	return w.seg, nil
+}
+
+func (w *wal) rotateLocked() error {
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.seg++
+	f, err := os.OpenFile(segmentPath(w.dir, w.seg), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	w.size = 0
+	return syncDir(w.dir)
+}
+
+// sync forces buffered appends to stable storage regardless of mode.
+func (w *wal) sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.fsErr != nil {
+		return w.fsErr
+	}
+	return w.f.Sync()
+}
+
+// close stops the interval syncer and fsyncs and closes the current
+// segment.
+func (w *wal) close() error {
+	if w.stop != nil {
+		close(w.stop)
+		<-w.done
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return w.fsErr
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	if w.fsErr == nil {
+		w.fsErr = fmt.Errorf("store: wal closed")
+	}
+	return err
+}
+
+// scanWAL replays every intact record of the segments numbered >= fromSeg,
+// in order, and repairs the log for appending: a torn or corrupt tail in
+// the last segment is truncated away (the expected crash residue), and any
+// record after a corrupt frame in an earlier segment is unreachable — the
+// scan stops there, truncates, and deletes the later segments, because
+// applying records across a hole would reorder acknowledged history.
+// Returns the segment and size the wal should append at.
+func scanWAL(dir string, fromSeg uint64, apply func(seg uint64, frameOff int64, payload []byte)) (seg uint64, size int64, err error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	live := segs[:0]
+	for _, s := range segs {
+		if s >= fromSeg {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 0 {
+		first := fromSeg
+		if first == 0 {
+			first = 1
+		}
+		f, err := os.OpenFile(segmentPath(dir, first), os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return 0, 0, err
+		}
+		f.Close()
+		return first, 0, nil
+	}
+	for i, s := range live {
+		f, err := os.Open(segmentPath(dir, s))
+		if err != nil {
+			return 0, 0, err
+		}
+		sc := newFrameScanner(f)
+		var stopAt int64 = -1
+		for {
+			payload, off, err := sc.next()
+			if err == nil {
+				apply(s, off, payload)
+				continue
+			}
+			if _, torn := err.(*errTorn); torn {
+				stopAt = off
+			}
+			break
+		}
+		f.Close()
+		if stopAt >= 0 {
+			if err := os.Truncate(segmentPath(dir, s), stopAt); err != nil {
+				return 0, 0, err
+			}
+			for _, later := range live[i+1:] {
+				os.Remove(segmentPath(dir, later))
+			}
+			return s, stopAt, nil
+		}
+		if i == len(live)-1 {
+			return s, sc.off, nil
+		}
+	}
+	panic("unreachable")
+}

@@ -4,7 +4,7 @@ GO ?= go
 BENCH_OUT ?= BENCH_2.json
 BENCH_BASELINE ?=
 
-.PHONY: all build vet vet-shadow test race race-server serve-smoke store-smoke bench-smoke bench-json bench-incr bench-columnar bench-columnar-smoke bench-enum bench-enum-smoke bench-store bench-store-smoke ci
+.PHONY: all build vet vet-shadow test race race-server serve-smoke store-smoke cluster-smoke bench-smoke bench-json bench-incr bench-columnar bench-columnar-smoke bench-enum bench-enum-smoke bench-store bench-store-smoke bench-cluster bench-cluster-smoke ci
 
 all: build
 
@@ -118,6 +118,13 @@ bench-enum-smoke:
 store-smoke:
 	$(GO) run ./cmd/dxserver -smoke-store
 
+# Cluster smoke: a three-node loopback cluster — register through one node,
+# byte-identical reads through every entry, replicated-cache revalidation,
+# optimistic-concurrency conflicts through non-owners, ring-consistent
+# health. See cmd/dxserver -smoke-cluster.
+cluster-smoke:
+	$(GO) run ./cmd/dxserver -smoke-cluster
+
 # Durability benchmarks: cold-start recovery over a 10k-scenario genwl
 # catalog (WAL-only vs snapshot-backed), the cold Load a paged query pays,
 # the WAL append a registration pays before its 2xx, and paged vs resident
@@ -137,4 +144,25 @@ bench-store-smoke:
 	  $(GO) test -run '^$$' -bench '$(BENCH_STORE_SRV_PAT)' -benchtime 1x ./internal/server/ ; } \
 		| $(GO) run ./cmd/benchjson > /dev/null
 
-ci: vet vet-shadow build race race-server serve-smoke store-smoke bench-smoke bench-columnar-smoke bench-enum-smoke bench-store-smoke
+# Cluster benchmarks: scenario throughput 1 vs 4 nodes on the genwl chain
+# working set (the capacity-scaling demonstration; compare the nodes=1 and
+# nodes=4 rows), plus the group-commit WAL appends diffed against the
+# committed pre-group-commit baseline (bench/pr9_wal_baseline.txt).
+# Committed as BENCH_9.json.
+BENCH_CLUSTER_OUT ?= BENCH_9.json
+BENCH_CLUSTER_BASELINE ?= bench/pr9_wal_baseline.txt
+bench-cluster:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkClusterThroughput' -benchmem ./internal/server/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkWALAppendFsyncAlways' -benchmem ./internal/store/ ; } \
+		| $(GO) run ./cmd/benchjson -before $(BENCH_CLUSTER_BASELINE) \
+		> $(BENCH_CLUSTER_OUT)
+
+# One-iteration pass over the same benches: keeps the gate runnable without
+# real timings.
+bench-cluster-smoke:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkClusterThroughput' -benchtime 1x ./internal/server/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkWALAppendFsyncAlways' -benchtime 1x ./internal/store/ ; } \
+		| $(GO) run ./cmd/benchjson -before $(BENCH_CLUSTER_BASELINE) \
+		> /dev/null
+
+ci: vet vet-shadow build race race-server serve-smoke store-smoke cluster-smoke bench-smoke bench-columnar-smoke bench-enum-smoke bench-store-smoke bench-cluster-smoke

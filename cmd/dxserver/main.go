@@ -12,6 +12,22 @@
 //	         [-drain-timeout 10s] [-pprof addr]
 //	         [-data-dir DIR] [-fsync always|interval|off]
 //	         [-fsync-interval 100ms] [-snapshot-interval 5m]
+//	         [-cluster URL,URL,...] [-cluster-self URL]
+//	         [-cluster-role auto|node|router]
+//
+// -cluster makes the process a member of a static sharded cluster: the
+// comma-separated list names the data nodes, and scenarios are distributed
+// across them by a consistent-hash ring keyed on scenario ID (internal/
+// cluster). -cluster-self is this process's advertised base URL; when it
+// appears in the peer list the process is a data node, otherwise a
+// stateless router — override with -cluster-role to fail fast on
+// misconfiguration. Every member serves the full API at any entry point:
+// requests for scenarios owned elsewhere are forwarded to the owner (with
+// retries, deadlines and a hop bound), forwarded read results are
+// replicated locally behind ETag revalidation, and a mutation anywhere
+// invalidates replicas everywhere by construction, because replicas
+// revalidate against the owner's version-keyed tags. See README.md
+// ("Running a cluster").
 //
 // -data-dir enables the durable scenario store (internal/store): every
 // registration and mutation is journaled to a write-ahead log in DIR before
@@ -40,7 +56,11 @@
 // the durable store (fsync off): register and mutate against a temp
 // directory, restart cleanly (zero WAL replay), verify recovered answers
 // and the base_version conflict, crash-restart, verify again — the
-// `make store-smoke` target.
+// `make store-smoke` target. dxserver -smoke-cluster boots a three-node
+// loopback cluster and drives register/mutate/query through different
+// entry nodes, checking byte-identical answers, the 409 on a stale
+// base_version through any entry, and the replicated-cache revalidation —
+// the `make cluster-smoke` target.
 package main
 
 import (
@@ -58,6 +78,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 	"repro/internal/server/api"
 	"repro/internal/server/client"
@@ -80,8 +101,12 @@ func main() {
 	fsyncMode := flag.String("fsync", "always", "WAL sync mode: always, interval or off")
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background WAL fsync period under -fsync interval")
 	snapshotInterval := flag.Duration("snapshot-interval", 5*time.Minute, "store snapshot/compaction period (0 = only at shutdown)")
+	clusterPeers := flag.String("cluster", "", "comma-separated data-node base URLs; enables cluster mode")
+	clusterSelf := flag.String("cluster-self", "", "this process's advertised base URL (required with -cluster)")
+	clusterRole := flag.String("cluster-role", "auto", "cluster role: auto, node or router")
 	smoke := flag.Bool("smoke", false, "start on a loopback port, run a scripted request burst, and exit")
 	smokeStore := flag.Bool("smoke-store", false, "run the durable-store smoke (register, restart, crash-restart) against a temp dir and exit")
+	smokeCluster := flag.Bool("smoke-cluster", false, "run the cluster smoke (3 loopback nodes, requests through every entry) and exit")
 	flag.Parse()
 
 	// The profiler gets its own listener and the default mux (where the
@@ -122,6 +147,34 @@ func main() {
 		}
 		fmt.Println("dxserver -smoke-store: PASS")
 		return
+	}
+	if *smokeCluster {
+		if err := runClusterSmoke(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "dxserver -smoke-cluster: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("dxserver -smoke-cluster: PASS")
+		return
+	}
+
+	if *clusterPeers != "" {
+		role, err := cluster.ParseRole(*clusterRole)
+		if err != nil {
+			log.Fatalf("dxserver: %v", err)
+		}
+		cl, err := cluster.New(cluster.Config{
+			Self:  *clusterSelf,
+			Peers: strings.Split(*clusterPeers, ","),
+			Role:  role,
+		})
+		if err != nil {
+			log.Fatalf("dxserver: %v", err)
+		}
+		log.Printf("dxserver: cluster %s %s, ring %s over %d nodes",
+			cl.Role(), cl.Self(), cl.RingVersion(), len(cl.Peers()))
+		cfg.Cluster = cl
+	} else if *clusterSelf != "" {
+		log.Fatalf("dxserver: -cluster-self requires -cluster")
 	}
 
 	if *dataDir != "" {

@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Role is what a cluster member does with requests it does not own.
+type Role int
+
+const (
+	// RoleAuto derives the role from the peer list: a node whose Self URL
+	// appears in Peers is a data node, anything else is a router.
+	RoleAuto Role = iota
+	// RoleNode owns a ring segment and serves its scenarios locally; like
+	// every member it forwards non-owned requests to their owner.
+	RoleNode
+	// RoleRouter owns nothing: a thin stateless gateway that forwards every
+	// scenario-scoped request to the owning node and replicates hot results
+	// in its local cache.
+	RoleRouter
+)
+
+// String returns the wire name of the role ("node" or "router").
+func (r Role) String() string {
+	if r == RoleRouter {
+		return "router"
+	}
+	return "node"
+}
+
+// ParseRole maps the -cluster-role flag values.
+func ParseRole(s string) (Role, error) {
+	switch s {
+	case "", "auto":
+		return RoleAuto, nil
+	case "node":
+		return RoleNode, nil
+	case "router":
+		return RoleRouter, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown role %q (want auto, node or router)", s)
+}
+
+// Config describes one member's view of the cluster. Every member must be
+// started with the same Peers list (and Replicas); ownership is derived
+// from it with no runtime coordination, so disagreeing peer lists mean
+// disagreeing rings — the forwarding hop bound turns that misconfiguration
+// into an error instead of a loop.
+type Config struct {
+	// Self is this process's advertised base URL (how peers reach it),
+	// e.g. "http://10.0.0.1:8080".
+	Self string
+	// Peers are the data nodes' base URLs — the ring members. Routers are
+	// deliberately not listed: they own nothing.
+	Peers []string
+	// Role is node, router, or auto (derive from Self ∈ Peers).
+	Role Role
+	// Replicas is the virtual-node count per peer (0 = DefaultReplicas).
+	Replicas int
+	// MaxHops bounds forwarding chains (0 = DefaultMaxHops). One hop
+	// resolves every request under agreeing rings; the bound exists to
+	// break loops under disagreeing ones.
+	MaxHops int
+}
+
+// DefaultMaxHops bounds a forwarding chain: entry node → owner is one hop;
+// anything longer means ring disagreement, and the third hop gives a
+// transitional cluster (a rolling peer-list change) one chance to land on
+// a node that answers before the loop is cut.
+const DefaultMaxHops = 3
+
+// Cluster is one member's immutable cluster state: the ring, its own
+// identity and role, and the configuration fingerprint. Safe for
+// concurrent use.
+type Cluster struct {
+	ring    *Ring
+	self    string
+	role    Role
+	version string
+	maxHops int
+}
+
+// NormalizeURL canonicalizes a member URL so equal addresses written
+// differently ("http://a:8080/", "http://a:8080") collapse to one ring
+// identity.
+func NormalizeURL(raw string) (string, error) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return "", fmt.Errorf("cluster: empty member URL")
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("cluster: member URL %q: %w", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("cluster: member URL %q must be http or https", raw)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("cluster: member URL %q has no host", raw)
+	}
+	u.Path = strings.TrimRight(u.Path, "/")
+	u.RawQuery, u.Fragment = "", ""
+	return u.String(), nil
+}
+
+// New validates the configuration and builds the member's cluster state.
+func New(cfg Config) (*Cluster, error) {
+	self, err := NormalizeURL(cfg.Self)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: self: %w", err)
+	}
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	peers := make([]string, 0, len(cfg.Peers))
+	for _, p := range cfg.Peers {
+		n, err := NormalizeURL(p)
+		if err != nil {
+			return nil, err
+		}
+		peers = append(peers, n)
+	}
+	ring := NewRing(peers, cfg.Replicas)
+	inRing := false
+	for _, n := range ring.Nodes() {
+		if n == self {
+			inRing = true
+			break
+		}
+	}
+	role := cfg.Role
+	if role == RoleAuto {
+		role = RoleNode
+		if !inRing {
+			role = RoleRouter
+		}
+	}
+	if role == RoleNode && !inRing {
+		return nil, fmt.Errorf("cluster: role node but self %s is not in the peer list %v", self, ring.Nodes())
+	}
+	if role == RoleRouter && inRing {
+		return nil, fmt.Errorf("cluster: role router but self %s is in the peer list (peers would forward to a node that owns nothing)", self)
+	}
+	maxHops := cfg.MaxHops
+	if maxHops <= 0 {
+		maxHops = DefaultMaxHops
+	}
+	return &Cluster{
+		ring:    ring,
+		self:    self,
+		role:    role,
+		version: ringVersion(ring),
+		maxHops: maxHops,
+	}, nil
+}
+
+// ringVersion fingerprints the ring configuration: equal peer sets (and
+// vnode counts) produce equal versions on every member, so /healthz
+// exposes a value operators can diff across nodes to catch peer-list
+// drift.
+func ringVersion(r *Ring) string {
+	h := sha256.New()
+	for _, n := range r.nodes {
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+	}
+	h.Write([]byte(strconv.Itoa(len(r.points))))
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}
+
+// Owner returns the base URL of the node owning the scenario identity key.
+func (c *Cluster) Owner(key string) string { return c.ring.Owner(key) }
+
+// Owns reports whether this member serves key locally. Routers own
+// nothing.
+func (c *Cluster) Owns(key string) bool {
+	return c.role == RoleNode && c.ring.Owner(key) == c.self
+}
+
+// Self returns this member's normalized base URL.
+func (c *Cluster) Self() string { return c.self }
+
+// Role returns this member's role.
+func (c *Cluster) Role() Role { return c.role }
+
+// RingVersion returns the configuration fingerprint shared by members with
+// identical peer lists.
+func (c *Cluster) RingVersion() string { return c.version }
+
+// MaxHops returns the forwarding hop bound.
+func (c *Cluster) MaxHops() int { return c.maxHops }
+
+// Peers returns the ring members, sorted.
+func (c *Cluster) Peers() []string { return c.ring.Nodes() }

@@ -1,0 +1,111 @@
+// Package cluster distributes dxserver scenarios across a static set of
+// nodes with a consistent-hash ring keyed on scenario identity.
+//
+// Every scenario has a stable identity string — its ID, which for
+// auto-named scenarios dxserver derives from the content hash of the
+// canonical setting text plus the source's content key, so placement is
+// content-addressed exactly where names are not chosen by the client.
+// Mutated scenarios keep their ID (their result-cache keys move to the
+// "m!" namespace, but their identity — and therefore their owner — does
+// not move), so the per-scenario single-flight and base_version
+// optimistic-concurrency machinery stays on one node and 409 semantics
+// hold no matter which entry node a mutation arrives through.
+//
+// The ring is pure computation: every node derives it from the same
+// static peer list, so equal configuration yields byte-identical
+// ownership on every node with no coordination protocol. Virtual nodes
+// (Replicas points per peer) smooth the key distribution, and consistent
+// hashing keeps rebalances minimal — adding or removing one of N peers
+// remaps only ~1/N of the identities.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the number of ring points per node when Config leaves
+// Replicas zero. 128 virtual nodes keep the per-node load within a few
+// percent of even for small clusters.
+const DefaultReplicas = 128
+
+// Ring is an immutable consistent-hash ring over a set of node names
+// (dxserver base URLs). Build with NewRing; all methods are safe for
+// concurrent use.
+type Ring struct {
+	points []point  // sorted by hash
+	nodes  []string // sorted, deduplicated
+}
+
+type point struct {
+	hash uint64
+	node int // index into nodes
+}
+
+// hash64 hashes s to a ring position. SHA-256 (truncated) rather than a
+// cheap mixer: ownership must be identical across every Go version,
+// platform and process — the ring is configuration, not a hash table.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring over nodes with the given number of virtual nodes
+// per peer (replicas <= 0 means DefaultReplicas). The input order does not
+// matter and duplicates collapse: equal node sets produce identical rings.
+func NewRing(nodes []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	uniq := make([]string, 0, len(nodes))
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{nodes: uniq, points: make([]point, 0, len(uniq)*replicas)}
+	for i, n := range uniq {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, point{hash: hash64(n + "#" + strconv.Itoa(v)), node: i})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Hash ties (vanishingly rare) break by node index so equal inputs
+		// still yield identical rings.
+		return a.node < b.node
+	})
+	return r
+}
+
+// Owner returns the node that owns key: the first ring point at or after
+// the key's hash, wrapping around. Empty rings own nothing ("").
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.nodes[r.points[i].node]
+}
+
+// Nodes returns the ring's members, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// Len returns the number of distinct nodes.
+func (r *Ring) Len() int { return len(r.nodes) }

@@ -122,6 +122,21 @@ var (
 	// StoreWALBytes counts bytes written to the write-ahead log, frames
 	// included.
 	StoreWALBytes = register("store_wal_bytes")
+	// StoreWALFsyncs counts explicit WAL fsyncs. Under -fsync always,
+	// comparing it with store_wal_appends shows the group-commit batching:
+	// concurrent appends share one sync, so fsyncs ≤ appends.
+	StoreWALFsyncs = register("store_wal_fsyncs")
+	// ClusterForwards counts requests this member forwarded to a peer
+	// because the consistent-hash ring placed the scenario elsewhere.
+	ClusterForwards = register("cluster_forwards")
+	// ClusterForwardErrors counts forwards that failed after retries —
+	// owner unreachable, forwarding loop cut by the hop bound, or a relay
+	// error while copying the peer's response.
+	ClusterForwardErrors = register("cluster_forward_errors")
+	// ClusterCacheHits counts forwarded reads served from the local
+	// replicated result cache after the owner revalidated the ETag (304).
+	ClusterCacheHits = register("cluster_cache_hits")
+
 	// StoreSnapshots counts snapshot files successfully written (periodic
 	// and drain-time).
 	StoreSnapshots = register("store_snapshots")

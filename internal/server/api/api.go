@@ -197,6 +197,35 @@ type Health struct {
 	// Recovering reports that boot-time rehydration is still warming the
 	// resident set. Requests are served throughout.
 	Recovering bool `json:"recovering,omitempty"`
+	// Cluster describes this member's cluster view; absent on single-node
+	// servers.
+	Cluster *ClusterHealth `json:"cluster,omitempty"`
+}
+
+// ClusterHealth is the cluster section of /healthz.
+type ClusterHealth struct {
+	// Role is "node" (owns a ring segment) or "router" (forwards
+	// everything).
+	Role string `json:"role"`
+	// Self is this member's advertised base URL.
+	Self string `json:"self"`
+	// RingVersion fingerprints the peer-list configuration; members with
+	// identical peer lists report identical versions, so a diff across
+	// nodes exposes configuration drift.
+	RingVersion string `json:"ring_version"`
+	// Peers reports each ring member's reachability, probed at request
+	// time. Probe sub-requests skip this section, so health checks do not
+	// cascade.
+	Peers []PeerStatus `json:"peers,omitempty"`
+}
+
+// PeerStatus is one peer's probed state.
+type PeerStatus struct {
+	URL       string `json:"url"`
+	Reachable bool   `json:"reachable"`
+	// RingVersion is the peer's own reported fingerprint; a mismatch with
+	// ours means disagreeing peer lists.
+	RingVersion string `json:"ring_version,omitempty"`
 }
 
 // Error is the JSON error envelope every non-2xx response carries.

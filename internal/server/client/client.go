@@ -14,6 +14,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/server/api"
 )
@@ -24,6 +25,9 @@ type Client struct {
 	BaseURL string
 	// HTTPClient is the transport; nil means http.DefaultClient.
 	HTTPClient *http.Client
+	// Timeout, when positive, bounds each request that arrives with no
+	// context deadline of its own. A caller-supplied deadline always wins.
+	Timeout time.Duration
 }
 
 // New returns a client for the server at baseURL.
@@ -49,8 +53,23 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// withDeadline applies the client's default Timeout when ctx carries no
+// deadline. The returned cancel must be called once the response body is
+// fully consumed.
+func (c *Client) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.Timeout <= 0 {
+		return ctx, func() {}
+	}
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, c.Timeout)
+}
+
 // do posts in (when non-nil) to path and decodes the response into out.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	ctx, cancel := c.withDeadline(ctx)
+	defer cancel()
 	resp, err := c.roundTrip(ctx, method, path, in)
 	if err != nil {
 		return err
@@ -82,7 +101,76 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, in any) (*h
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	return c.httpClient().Do(req)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		// Surface cancellation and deadline expiry as the context's own
+		// error so callers (and status.Classify) see context.Canceled /
+		// DeadlineExceeded instead of a transport-specific wrapper.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, fmt.Errorf("client: %s %s: %w", method, path, ctxErr)
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Forward relays a raw request to the server: cluster members use it to
+// hand a scenario-scoped request to its owning node without re-encoding
+// it. The response is returned verbatim — non-2xx statuses included, so
+// the peer's error envelope (a 409 on a stale base_version, say) passes
+// through to the original caller unchanged. Transport-level failures are
+// retried with backoff; HTTP responses never are. Close the response body
+// to release the request's deadline resources.
+func (c *Client) Forward(ctx context.Context, method, path string, header http.Header, body []byte) (*http.Response, error) {
+	ctx, cancel := c.withDeadline(ctx)
+	var lastErr error
+	for attempt := 0; attempt < forwardAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				cancel()
+				return nil, fmt.Errorf("client: forward %s %s: %w", method, path, ctx.Err())
+			case <-time.After(forwardBackoff << (attempt - 1)):
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		for k, vs := range header {
+			req.Header[k] = vs
+		}
+		resp, err := c.httpClient().Do(req)
+		if err == nil {
+			resp.Body = &cancelOnClose{ReadCloser: resp.Body, cancel: cancel}
+			return resp, nil
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			cancel()
+			return nil, fmt.Errorf("client: forward %s %s: %w", method, path, ctxErr)
+		}
+		lastErr = err
+	}
+	cancel()
+	return nil, fmt.Errorf("client: forward %s %s: %d attempts failed: %w", method, path, forwardAttempts, lastErr)
+}
+
+const forwardAttempts = 3
+
+const forwardBackoff = 25 * time.Millisecond
+
+// cancelOnClose ties a response body to the deadline context that produced
+// it, so the timer is released when the caller finishes reading.
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelOnClose) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
 }
 
 // checkStatus converts a non-2xx response into an *APIError, consuming the
@@ -181,6 +269,8 @@ func (c *Client) Certain(ctx context.Context, req api.EvalRequest) (api.CertainR
 // final summary line.
 func (c *Client) Enum(ctx context.Context, req api.EvalRequest, f func(api.EnumSolution) error) (api.EnumSummary, error) {
 	var summary api.EnumSummary
+	ctx, cancel := c.withDeadline(ctx)
+	defer cancel()
 	resp, err := c.roundTrip(ctx, http.MethodPost, "/v1/enum", req)
 	if err != nil {
 		return summary, err
@@ -229,6 +319,8 @@ func (c *Client) Health(ctx context.Context) (api.Health, error) {
 
 // Metrics fetches the raw /metricsz text dump.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
+	ctx, cancel := c.withDeadline(ctx)
+	defer cancel()
 	resp, err := c.roundTrip(ctx, http.MethodGet, "/metricsz", nil)
 	if err != nil {
 		return "", err

@@ -1,0 +1,171 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForwardRelaysVerbatim checks Forward passes method, path, headers and
+// body through unchanged and returns non-2xx responses rather than turning
+// them into errors — the owner's 409 envelope must reach the original
+// caller byte-for-byte.
+func TestForwardRelaysVerbatim(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/chase" {
+			t.Errorf("got %s %s", r.Method, r.URL.Path)
+		}
+		if got := r.Header.Get("X-Dx-Hops"); got != "2" {
+			t.Errorf("hop header = %q", got)
+		}
+		w.WriteHeader(http.StatusConflict)
+		fmt.Fprint(w, `{"error":{"code":"conflict","message":"stale"}}`)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	hdr := http.Header{}
+	hdr.Set("X-Dx-Hops", "2")
+	resp, err := c.Forward(context.Background(), http.MethodPost, "/v1/chase", hdr, []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status = %d, want 409 relayed", resp.StatusCode)
+	}
+}
+
+// TestForwardRetriesTransportErrors starts the backend only after the
+// first connection attempt has failed, so a successful Forward proves the
+// retry loop re-sent the (replayable) body.
+func TestForwardRetriesTransportErrors(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	// Grab the address, then close the listener so attempt 1 is refused.
+	addr := srv.Listener.Addr().String()
+	srv.Listener.Close()
+
+	c := New("http://" + addr)
+	done := make(chan error, 1)
+	go func() {
+		resp, err := c.Forward(context.Background(), http.MethodGet, "/healthz", nil, nil)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	// While Forward is backing off, bring the server up on the same port.
+	time.Sleep(5 * time.Millisecond)
+	srv2 := startServerAt(t, addr, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv2.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("forward did not recover across retries: %v", err)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("backend never saw the retried request")
+	}
+}
+
+func startServerAt(t *testing.T, addr string, h http.Handler) *httptest.Server {
+	t.Helper()
+	for i := 0; i < 50; i++ {
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		srv := httptest.NewUnstartedServer(h)
+		srv.Listener.Close()
+		srv.Listener = l
+		srv.Start()
+		return srv
+	}
+	t.Skip("could not rebind test port")
+	return nil
+}
+
+// TestForwardCanceledDoesNotLeak cancels a forward stuck on a slow backend
+// and checks the error surfaces as context.Canceled and that no goroutines
+// are left behind once the backend unblocks.
+func TestForwardCanceledDoesNotLeak(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	before := runtime.NumGoroutine()
+	c := New(srv.URL)
+	c.Timeout = time.Minute // default deadline must not mask the cancel
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Forward(ctx, http.MethodPost, "/v1/core", nil, []byte(`{}`))
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled forward never returned")
+	}
+	// The transport goroutines must wind down; poll briefly since the
+	// runtime reclaims them asynchronously.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestDefaultTimeoutApplies checks Timeout bounds requests whose context
+// has no deadline, surfacing context.DeadlineExceeded.
+func TestDefaultTimeoutApplies(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	c.Timeout = 30 * time.Millisecond
+	start := time.Now()
+	_, err := c.Health(context.Background())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout fired after %v, want ~30ms", elapsed)
+	}
+	// A caller deadline wins over the default.
+	c.Timeout = time.Hour
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := c.Health(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("caller deadline not honored: %v", err)
+	}
+}

@@ -1,0 +1,437 @@
+package server
+
+// Cluster routing: every member (node or router) serves the full HTTP API
+// at any entry point. Requests scoped to a scenario the consistent-hash
+// ring places elsewhere are forwarded verbatim to the owning node over the
+// ordinary client API, so the owner's single-flight memos and base_version
+// optimistic concurrency apply no matter where a request enters — a stale
+// mutation 409s identically through any member.
+//
+// The routing key is the scenario ID. Auto-named registrations get a
+// content-derived pinned name ("c" + contentID) assigned by the entry
+// member before routing, so unnamed scenarios are placed content-addressed
+// and re-registering the same content through any entry lands on the same
+// owner and dedupes there. Mutated scenarios keep their ID, hence their
+// owner.
+//
+// Forwarded read results are replicated: the owner tags every cacheable
+// response with an ETag derived from its result key (content identity +
+// version + endpoint + params), members cache {etag, body} in their local
+// result LRU, and later forwards revalidate with If-None-Match. A 304
+// serves the local copy (cluster_cache_hits); a mutation bumps the version
+// on the owner, changes the ETag, and the next revalidation replaces the
+// stale replica — no invalidation traffic exists or is needed.
+//
+// Loops cannot happen while members agree on the peer list; the hop-count
+// header bounds the damage when they do not (a rolling reconfiguration,
+// say): a request bouncing between disagreeing rings dies with 508
+// forward_loop instead of circulating.
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/server/api"
+	"repro/internal/server/client"
+	"repro/internal/status"
+)
+
+// hopHeader carries the forward count. Absent or zero on client requests;
+// each forward increments it, and a member that receives a request at the
+// ring's hop bound refuses it as a loop.
+const hopHeader = "X-Dx-Hops"
+
+// peerProbeTimeout bounds the /healthz reachability probes.
+const peerProbeTimeout = 2 * time.Second
+
+// maxReplicatedBody bounds the forwarded response bodies a member is
+// willing to buffer for its replicated cache; larger ones are streamed
+// through uncached.
+const maxReplicatedBody = 16 << 20
+
+// errForwardLoop is mapped to 508 (code "forward_loop") by internal/status.
+var errForwardLoop = status.WithKind(
+	fmt.Errorf("forwarding hop bound exceeded: cluster members disagree on the peer list"),
+	status.ForwardLoop)
+
+// clusterRoute decides whether this member serves r locally. It returns
+// true when it fully handled the request (forwarded it, aggregated it, or
+// rejected it); false hands the request to the local mux.
+func (s *Server) clusterRoute(w http.ResponseWriter, r *http.Request) bool {
+	hops, err := strconv.Atoi(r.Header.Get(hopHeader))
+	if err != nil {
+		hops = 0
+	}
+	if hops >= s.cluster.MaxHops() {
+		metrics.ClusterForwardErrors.Inc()
+		writeError(w, errForwardLoop)
+		return true
+	}
+	if r.URL.Path == "/v1/scenarios" && r.Method == http.MethodGet {
+		if hops > 0 {
+			return false // a peer's aggregation sub-request: answer locally
+		}
+		s.aggregateScenarios(w, r)
+		return true
+	}
+	key, body, cacheKey, ok := s.routingKey(w, r)
+	if !ok {
+		return true // routingKey already wrote the error
+	}
+	if key == "" {
+		return false // not scenario-scoped (healthz, metricsz, ...)
+	}
+	if body != nil {
+		r.Body = io.NopCloser(bytes.NewReader(body))
+	}
+	if s.cluster.Owns(key) {
+		return false
+	}
+	if s.Draining() {
+		writeError(w, fmt.Errorf("%w: draining", errOverloaded))
+		return true
+	}
+	s.forward(w, r, s.cluster.Owner(key), body, cacheKey, hops)
+	return true
+}
+
+// pinnedBody is a memoized routingKey rewrite for POST /v1/scenarios: the
+// routing name plus the body with that name pinned into it.
+type pinnedBody struct {
+	name string
+	body []byte
+}
+
+// routingKey extracts the scenario ID a request is scoped to, reading (and
+// returning) the body when the scenario is named there. A non-empty
+// cacheKey marks the request replicable: a deterministic read whose
+// forwarded body may be cached behind ETag revalidation. ok=false means an
+// error response was already written.
+func (s *Server) routingKey(w http.ResponseWriter, r *http.Request) (key string, body []byte, cacheKey string, ok bool) {
+	path := r.URL.Path
+	switch {
+	case path == "/v1/scenarios" && r.Method == http.MethodPost:
+		body, rerr := io.ReadAll(r.Body)
+		if rerr != nil {
+			writeError(w, status.WithKind(fmt.Errorf("reading request body: %w", rerr), status.Usage))
+			return "", nil, "", false
+		}
+		// The rewrite below is a pure function of the body, so a repeat
+		// registration (the cluster steady state: every entry sees the
+		// same storm) skips the parse entirely.
+		sum := sha256.Sum256(body)
+		memoKey := "pin!" + string(sum[:])
+		if v, ok := s.pinned.get(memoKey); ok {
+			p := v.(pinnedBody)
+			return p.name, p.body, "", true
+		}
+		var req api.RegisterRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, status.WithKind(fmt.Errorf("decoding request body: %w", err), status.Usage))
+			return "", nil, "", false
+		}
+		if req.Name == "" {
+			// Pin a content-derived name so the unnamed scenario routes
+			// content-addressed; the owner (and every later entry member)
+			// re-derives the same name from the same content.
+			_, _, _, contentID, err := canonicalContent(req.Setting, req.Source)
+			if err != nil {
+				writeError(w, err)
+				return "", nil, "", false
+			}
+			req.Name = "c" + contentID
+			body, err = json.Marshal(req)
+			if err != nil {
+				writeError(w, err)
+				return "", nil, "", false
+			}
+		}
+		s.pinned.put(memoKey, pinnedBody{name: req.Name, body: body})
+		return req.Name, body, "", true
+
+	case strings.HasPrefix(path, "/v1/scenarios/"):
+		id := strings.TrimPrefix(path, "/v1/scenarios/")
+		id = strings.TrimSuffix(id, "/source/tuples")
+		if id == "" || strings.Contains(id, "/") {
+			return "", nil, "", true // unknown route: let the mux 404 it
+		}
+		if r.Method == http.MethodGet && !strings.HasSuffix(path, "/source/tuples") {
+			return id, nil, "", true
+		}
+		b, rerr := io.ReadAll(r.Body)
+		if rerr != nil {
+			writeError(w, status.WithKind(fmt.Errorf("reading request body: %w", rerr), status.Usage))
+			return "", nil, "", false
+		}
+		return id, b, "", true
+
+	case path == "/v1/chase" || path == "/v1/core" || path == "/v1/cansol" ||
+		path == "/v1/exists" || path == "/v1/certain" || path == "/v1/enum":
+		b, rerr := io.ReadAll(r.Body)
+		if rerr != nil {
+			writeError(w, status.WithKind(fmt.Errorf("reading request body: %w", rerr), status.Usage))
+			return "", nil, "", false
+		}
+		var req api.EvalRequest
+		if err := json.Unmarshal(b, &req); err != nil || req.Scenario == "" {
+			// Let the local handler produce its usual usage error.
+			return "", b, "", true
+		}
+		if path != "/v1/enum" {
+			// Result-relevant parameters only: deadlines and budgets change
+			// whether a computation finishes, never its value, so they stay
+			// out of the replica key exactly as they stay out of the owner's
+			// result key.
+			cacheKey = "fwd!" + req.Scenario + "\x00" + path + "\x00" + req.Semantics + "\x00" + req.Query
+		}
+		return req.Scenario, b, cacheKey, true
+	}
+	return "", nil, "", true
+}
+
+// fwdEntry is a replicated result: the owner's response body plus the ETag
+// that revalidates it.
+type fwdEntry struct {
+	etag string
+	body []byte
+}
+
+// forward relays the request to owner and its response to the caller. For
+// replicable reads it first offers the cached replica's ETag; the owner's
+// 304 then serves the local copy without moving the body again.
+func (s *Server) forward(w http.ResponseWriter, r *http.Request, owner string, body []byte, cacheKey string, hops int) {
+	metrics.ClusterForwards.Inc()
+	hdr := make(http.Header)
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		hdr.Set("Content-Type", ct)
+	}
+	hdr.Set(hopHeader, strconv.Itoa(hops+1))
+	var replica *fwdEntry
+	if cacheKey != "" {
+		if v, ok := s.reg.results.get(cacheKey); ok {
+			replica = v.(*fwdEntry)
+			hdr.Set("If-None-Match", replica.etag)
+		}
+	}
+	resp, err := s.peerClient(owner).Forward(r.Context(), r.Method, r.URL.Path, hdr, body)
+	if err != nil {
+		metrics.ClusterForwardErrors.Inc()
+		if r.Context().Err() != nil {
+			writeError(w, err) // classifies as timeout
+			return
+		}
+		writeError(w, status.WithKind(
+			fmt.Errorf("owner %s unreachable: %w", owner, err), status.PeerUnavailable))
+		return
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode == http.StatusNotModified && replica != nil {
+		metrics.ClusterCacheHits.Inc()
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("ETag", replica.etag)
+		w.Header().Set("X-Cache", "cluster-hit")
+		w.WriteHeader(http.StatusOK)
+		w.Write(replica.body)
+		return
+	}
+
+	etag := resp.Header.Get("ETag")
+	if cacheKey != "" && etag != "" && resp.StatusCode == http.StatusOK &&
+		resp.ContentLength >= 0 && resp.ContentLength <= maxReplicatedBody {
+		b, rerr := io.ReadAll(io.LimitReader(resp.Body, maxReplicatedBody+1))
+		if rerr != nil {
+			metrics.ClusterForwardErrors.Inc()
+			writeError(w, status.WithKind(
+				fmt.Errorf("relaying response from %s: %w", owner, rerr), status.PeerUnavailable))
+			return
+		}
+		if len(b) <= maxReplicatedBody {
+			s.reg.results.put(cacheKey, &fwdEntry{etag: etag, body: b})
+		}
+		relayHeaders(w, resp)
+		w.WriteHeader(resp.StatusCode)
+		w.Write(b)
+		return
+	}
+
+	// Everything else — errors, mutations, NDJSON streams — relays through
+	// uncached, flushing as it goes so /v1/enum stays a stream.
+	relayHeaders(w, resp)
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32*1024)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				metrics.ServerStreamAborts.Inc()
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if rerr == io.EOF {
+			return
+		}
+		if rerr != nil {
+			metrics.ClusterForwardErrors.Inc()
+			return
+		}
+	}
+}
+
+func relayHeaders(w http.ResponseWriter, resp *http.Response) {
+	for _, h := range []string{"Content-Type", "ETag", "X-Cache"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+}
+
+// peerClient returns (lazily building) the client for a peer's base URL.
+// Clients share the configured transport; the default per-request timeout
+// caps forwards that would otherwise inherit an unbounded entry context.
+func (s *Server) peerClient(base string) *client.Client {
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	if c, ok := s.peers[base]; ok {
+		return c
+	}
+	c := client.New(base)
+	c.HTTPClient = s.cfg.PeerHTTPClient
+	c.Timeout = s.cfg.MaxDeadline + 10*time.Second
+	s.peers[base] = c
+	return c
+}
+
+// resultETag derives the ETag the owner attaches to a cacheable response.
+// The result key already embeds everything that determines the body —
+// content identity (or mutated-namespace identity), source version,
+// endpoint, parameters — and bodies are deterministic functions of it, so
+// equal tags imply byte-equal bodies even across owner restarts.
+func resultETag(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return `"` + hex.EncodeToString(sum[:16]) + `"`
+}
+
+// aggregateScenarios serves GET /v1/scenarios cluster-wide: the union of
+// every node's local list (the hop header marks the sub-requests so peers
+// answer locally instead of re-aggregating). Unreachable peers are skipped
+// — the listing is an operator convenience, not a consistency point.
+func (s *Server) aggregateScenarios(w http.ResponseWriter, r *http.Request) {
+	hdr := make(http.Header)
+	hdr.Set(hopHeader, "1")
+	var (
+		mu   sync.Mutex
+		all  []api.ScenarioInfo
+		seen = make(map[string]bool)
+		wg   sync.WaitGroup
+	)
+	add := func(infos []api.ScenarioInfo) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, info := range infos {
+			if !seen[info.ID] {
+				seen[info.ID] = true
+				all = append(all, info)
+			}
+		}
+	}
+	for _, peer := range s.cluster.Peers() {
+		if peer == s.cluster.Self() {
+			continue
+		}
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			resp, err := s.peerClient(peer).Forward(r.Context(), http.MethodGet, "/v1/scenarios", hdr, nil)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			var list api.ScenarioList
+			if json.NewDecoder(resp.Body).Decode(&list) == nil {
+				add(list.Scenarios)
+			}
+		}(peer)
+	}
+	if s.cluster.Role() == cluster.RoleNode {
+		ids := s.reg.scenarios.keysMRU()
+		local := make([]api.ScenarioInfo, 0, len(ids))
+		for _, id := range ids {
+			if v, ok := s.reg.scenarios.get(id); ok {
+				local = append(local, s.scenarioInfo(v.(*scenario)))
+			}
+		}
+		add(local)
+	}
+	wg.Wait()
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	writeJSON(w, http.StatusOK, api.ScenarioList{Scenarios: all})
+}
+
+// clusterHealth fills the /healthz cluster section. Entry requests probe
+// every peer concurrently (bounded by peerProbeTimeout); probe requests —
+// marked by the hop header — skip probing so health checks do not cascade.
+func (s *Server) clusterHealth(r *http.Request) *api.ClusterHealth {
+	ch := &api.ClusterHealth{
+		Role:        s.cluster.Role().String(),
+		Self:        s.cluster.Self(),
+		RingVersion: s.cluster.RingVersion(),
+	}
+	if h := r.Header.Get(hopHeader); h != "" && h != "0" {
+		return ch
+	}
+	hdr := make(http.Header)
+	hdr.Set(hopHeader, "1")
+	peers := s.cluster.Peers()
+	ch.Peers = make([]api.PeerStatus, len(peers))
+	var wg sync.WaitGroup
+	for i, peer := range peers {
+		ch.Peers[i].URL = peer
+		if peer == s.cluster.Self() {
+			ch.Peers[i].Reachable = true
+			ch.Peers[i].RingVersion = s.cluster.RingVersion()
+			continue
+		}
+		wg.Add(1)
+		go func(st *api.PeerStatus, peer string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), peerProbeTimeout)
+			defer cancel()
+			resp, err := s.peerClient(peer).Forward(ctx, http.MethodGet, "/healthz", hdr, nil)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			var h api.Health
+			if json.NewDecoder(resp.Body).Decode(&h) != nil {
+				return
+			}
+			st.Reachable = true
+			if h.Cluster != nil {
+				st.RingVersion = h.Cluster.RingVersion
+			}
+		}(&ch.Peers[i], peer)
+	}
+	wg.Wait()
+	return ch
+}

@@ -111,7 +111,24 @@ func (s *Server) opts(req api.EvalRequest) chase.Options {
 // serves it. Identical requests therefore return byte-identical bodies,
 // with the cache outcome visible in the X-Cache header and the
 // server_cache_hits / server_cache_misses counters.
-func (s *Server) cached(w http.ResponseWriter, key string, compute func() (any, error)) {
+//
+// Every response carries an ETag derived from the result key. Because the
+// key embeds everything that determines the body (content identity, source
+// version, endpoint, parameters) and bodies are deterministic functions of
+// it, an If-None-Match hit can answer 304 without computing anything: the
+// requester's cached body is the body this request would produce. Cluster
+// members revalidate their replicated copies this way, and a mutation —
+// which bumps the version inside the key — changes the tag, so stale
+// replicas miss and refresh themselves.
+func (s *Server) cached(w http.ResponseWriter, r *http.Request, key string, compute func() (any, error)) {
+	etag := resultETag(key)
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		metrics.ServerCacheHits.Inc()
+		w.Header().Set("X-Cache", "revalidated")
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	if body, ok := s.reg.results.get(key); ok {
 		metrics.ServerCacheHits.Inc()
 		w.Header().Set("Content-Type", "application/json")
@@ -315,7 +332,7 @@ func (s *Server) handleChase(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cleanup()
-	s.cached(w, resultKey(sc, "chase"), func() (any, error) {
+	s.cached(w, r, resultKey(sc, "chase"), func() (any, error) {
 		u, steps, err := sc.chaseFor(opt)
 		if err != nil {
 			return nil, err
@@ -335,7 +352,7 @@ func (s *Server) handleCore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cleanup()
-	s.cached(w, resultKey(sc, "core"), func() (any, error) {
+	s.cached(w, r, resultKey(sc, "core"), func() (any, error) {
 		core, err := sc.coreFor(opt)
 		if err != nil {
 			return nil, err
@@ -354,7 +371,7 @@ func (s *Server) handleCanSol(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cleanup()
-	s.cached(w, resultKey(sc, "cansol"), func() (any, error) {
+	s.cached(w, r, resultKey(sc, "cansol"), func() (any, error) {
 		can, err := sc.cansolFor(opt)
 		if err != nil {
 			return nil, err
@@ -373,7 +390,7 @@ func (s *Server) handleExists(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cleanup()
-	s.cached(w, resultKey(sc, "exists"), func() (any, error) {
+	s.cached(w, r, resultKey(sc, "exists"), func() (any, error) {
 		exists, err := cwa.Exists(sc.setting, sc.src(), opt)
 		if err != nil {
 			return nil, err
@@ -422,7 +439,7 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 	if workers <= 0 {
 		workers = s.cfg.Workers
 	}
-	s.cached(w, resultKey(sc, "certain", semName, req.Query), func() (any, error) {
+	s.cached(w, r, resultKey(sc, "certain", semName, req.Query), func() (any, error) {
 		ans, err := certain.Answers(sc.setting, q, sc.src(), sem,
 			certain.Options{Chase: opt, Workers: workers})
 		if err != nil {
@@ -533,6 +550,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		h.StoreScenarios = stats.Scenarios
 		h.Replayed = stats.Replayed
 		h.Recovering = stats.Recovering
+	}
+	if s.cluster != nil {
+		h.Cluster = s.clusterHealth(r)
 	}
 	writeJSON(w, http.StatusOK, h)
 }

@@ -42,7 +42,12 @@ type scenario struct {
 	// entries key on it, so re-registering identical content (even under a
 	// new name, even after an eviction) keeps hitting the same cache
 	// lines.
-	contentID   string
+	contentID string
+	// rawHash fingerprints the setting/source texts exactly as submitted
+	// at registration. A named re-registration with byte-identical texts
+	// is a dedup hit without re-parsing — the hot path for cluster members
+	// that see the same registration storm through every entry node.
+	rawHash     [32]byte
 	settingText string // canonical form (parser.FormatSetting)
 	setting     *dependency.Setting
 	weakly      bool
@@ -227,25 +232,52 @@ func newRegistry(maxScenarios, maxResults int, st *store.Store) *registry {
 	return r
 }
 
+// canonicalContent parses and validates a registration's setting and
+// source and derives the scenario's content identity: a hash of the
+// canonical setting text plus the source's content key. Registration and
+// the cluster routing layer (which pins content-derived names so placement
+// is content-addressed) must agree on it, so both call this.
+func canonicalContent(settingText, sourceText string) (s *dependency.Setting, src *instance.Instance, canonical, contentID string, err error) {
+	s, err = parser.ParseSetting(settingText)
+	if err != nil {
+		return nil, nil, "", "", status.WithKind(fmt.Errorf("parsing setting: %w", err), status.Usage)
+	}
+	src, err = parser.ParseInstance(sourceText)
+	if err != nil {
+		return nil, nil, "", "", status.WithKind(fmt.Errorf("parsing source: %w", err), status.Usage)
+	}
+	if src.HasNulls() {
+		return nil, nil, "", "", status.WithKind(fmt.Errorf("source instance must be null-free"), status.Usage)
+	}
+	canonical = parser.FormatSetting(s)
+	sum := sha256.Sum256([]byte(canonical + "\x00" + src.ContentKey()))
+	return s, src, canonical, hex.EncodeToString(sum[:16]), nil
+}
+
 // register parses and validates a setting and source, dedupes by content,
 // runs the registration chase for weakly acyclic settings, and stores the
 // scenario. The returned bool reports whether an existing content-identical
 // scenario was reused.
 func (r *registry) register(name, settingText, sourceText string, opt chase.Options) (*scenario, bool, error) {
-	s, err := parser.ParseSetting(settingText)
+	rawHash := sha256.Sum256([]byte(settingText + "\x00" + sourceText))
+	if name != "" {
+		// Byte-identical texts under the same name are a dedup hit without
+		// re-parsing. A raw mismatch proves nothing (formatting may differ)
+		// and falls through to the canonical comparison below.
+		r.mu.Lock()
+		if v, ok := r.scenarios.get(name); ok {
+			if existing := v.(*scenario); existing.rawHash == rawHash && !existing.mutated() {
+				r.mu.Unlock()
+				return existing, true, nil
+			}
+		}
+		r.mu.Unlock()
+	}
+
+	s, src, canonical, contentID, err := canonicalContent(settingText, sourceText)
 	if err != nil {
-		return nil, false, status.WithKind(fmt.Errorf("parsing setting: %w", err), status.Usage)
+		return nil, false, err
 	}
-	src, err := parser.ParseInstance(sourceText)
-	if err != nil {
-		return nil, false, status.WithKind(fmt.Errorf("parsing source: %w", err), status.Usage)
-	}
-	if src.HasNulls() {
-		return nil, false, status.WithKind(fmt.Errorf("source instance must be null-free"), status.Usage)
-	}
-	canonical := parser.FormatSetting(s)
-	sum := sha256.Sum256([]byte(canonical + "\x00" + src.ContentKey()))
-	contentID := hex.EncodeToString(sum[:16])
 
 	r.mu.Lock()
 	if id, ok := r.byContent[contentID]; ok && (name == "" || name == id) {
@@ -298,6 +330,7 @@ func (r *registry) register(name, settingText, sourceText string, opt chase.Opti
 	sc := &scenario{
 		id:          name,
 		contentID:   contentID,
+		rawHash:     rawHash,
 		settingText: canonical,
 		setting:     s,
 		source:      src,

@@ -28,6 +28,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/server/client"
 	"repro/internal/store"
 )
 
@@ -67,6 +69,15 @@ type Config struct {
 	// catalog. The caller owns opening it (store.Open) and the server closes
 	// it in Shutdown. Nil keeps today's memory-only behavior on every path.
 	Store *store.Store
+	// Cluster, when non-nil, makes the server a cluster member: requests
+	// for scenarios the consistent-hash ring places elsewhere are forwarded
+	// to the owning node (internal/server/cluster.go), and forwarded read
+	// results are replicated in the local result cache behind ETag
+	// revalidation. Nil keeps single-node behavior on every path.
+	Cluster *cluster.Cluster
+	// PeerHTTPClient is the transport used for peer forwards (nil =
+	// http.DefaultClient). Tests inject one to reach in-process peers.
+	PeerHTTPClient *http.Client
 }
 
 func (c Config) withDefaults() Config {
@@ -101,10 +112,20 @@ func (c Config) withDefaults() Config {
 // http.Server.Shutdown (drain), and Abort as the last resort for work that
 // outlives the drain deadline.
 type Server struct {
-	cfg  Config
-	reg  *registry
-	gate *gate
-	mux  *http.ServeMux
+	cfg     Config
+	reg     *registry
+	gate    *gate
+	mux     *http.ServeMux
+	cluster *cluster.Cluster
+
+	peerMu sync.Mutex
+	peers  map[string]*client.Client
+
+	// pinned memoizes the content-derived name rewrite for unnamed
+	// registrations (cluster mode only): raw body hash → rewritten body.
+	// The rewrite is a pure function of the body, so entries never go
+	// stale; the LRU only bounds memory.
+	pinned *lru
 
 	drainOnce sync.Once
 	draining  chan struct{}
@@ -116,8 +137,13 @@ type Server struct {
 func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg.withDefaults(),
+		cluster:  cfg.Cluster,
+		peers:    make(map[string]*client.Client),
 		draining: make(chan struct{}),
 		aborted:  make(chan struct{}),
+	}
+	if s.cluster != nil {
+		s.pinned = newLRU(256)
 	}
 	s.reg = newRegistry(s.cfg.MaxScenarios, s.cfg.MaxResults, s.cfg.Store)
 	s.reg.seedFromStore()
@@ -150,8 +176,13 @@ func (s *Server) warmStore() {
 	}
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. In cluster mode the routing layer
+// first forwards requests whose scenario lives on another node; everything
+// it declines is served locally.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.cluster != nil && s.clusterRoute(w, r) {
+		return
+	}
 	s.mux.ServeHTTP(w, r)
 }
 

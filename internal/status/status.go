@@ -12,6 +12,8 @@
 //	Budget        3     422   the deterministic step budget was exhausted (chase.ErrBudgetExceeded)
 //	TooLarge      3     413   a size bound refused the request (too many nulls, enumeration truncated)
 //	Conflict      5     409   a mutation raced a concurrent update (base version mismatch)
+//	PeerUnavailable 6   502   cluster: the owning node could not be reached after retries
+//	ForwardLoop   6     508   cluster: a forwarded request exceeded the hop bound (peer lists disagree)
 //	Internal      4     500   anything else
 package status
 
@@ -44,6 +46,12 @@ const (
 	// Conflict reports a mutation that lost a race: its base version no
 	// longer matches the scenario (someone else mutated it first).
 	Conflict
+	// PeerUnavailable reports a cluster forward that could not reach the
+	// scenario's owning node after retries.
+	PeerUnavailable
+	// ForwardLoop reports a forwarded request cut by the hop bound —
+	// members hold disagreeing peer lists, so no node accepts ownership.
+	ForwardLoop
 	// Internal is every other failure.
 	Internal
 )
@@ -66,6 +74,10 @@ func (k Kind) String() string {
 		return "too_large"
 	case Conflict:
 		return "conflict"
+	case PeerUnavailable:
+		return "peer_unavailable"
+	case ForwardLoop:
+		return "forward_loop"
 	}
 	return "internal"
 }
@@ -84,6 +96,8 @@ func (k Kind) ExitCode() int {
 		return 3
 	case Conflict:
 		return 5
+	case PeerUnavailable, ForwardLoop:
+		return 6
 	}
 	return 4
 }
@@ -105,6 +119,10 @@ func (k Kind) HTTPStatus() int {
 		return 413
 	case Conflict:
 		return 409
+	case PeerUnavailable:
+		return 502
+	case ForwardLoop:
+		return 508
 	}
 	return 500
 }

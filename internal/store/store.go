@@ -245,13 +245,15 @@ func (s *Store) applyRecord(path string, off int64, payload []byte) {
 
 // Register journals a newly registered scenario. It must be called before
 // the registration is acknowledged; an error means the scenario is not
-// durable and must not be admitted.
+// durable and must not be admitted. The WAL write happens under the store
+// lock; the fsync (under SyncAlways) is group-committed outside it, so
+// concurrent registrations share disk syncs.
 func (s *Store) Register(st *State) error {
 	payload := append([]byte{recRegister}, encodeBlock(nil, st, nil)...)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	r, err := s.w.append(payload)
+	r, end, err := s.w.append(payload)
 	if err != nil {
+		s.mu.Unlock()
 		return err
 	}
 	s.cat[st.ID] = &entry{
@@ -262,16 +264,19 @@ func (s *Store) Register(st *State) error {
 		blobVersion: st.Version(),
 		blob:        r,
 	}
-	return nil
+	s.mu.Unlock()
+	return s.w.commit(end)
 }
 
 // Mutate journals an applied mutation batch (as submitted, with the source
-// version it produced). Must be called before the mutation is acknowledged.
+// version it produced). Must be called before the mutation is acknowledged;
+// like Register, the fsync is group-committed outside the store lock.
 func (s *Store) Mutate(id string, endVersion uint64, muts []instance.Mutation) error {
 	payload := encodeMutateRecord(id, endVersion, muts)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, err := s.w.append(payload); err != nil {
+	_, end, err := s.w.append(payload)
+	if err != nil {
+		s.mu.Unlock()
 		return err
 	}
 	if e := s.cat[id]; e != nil && endVersion > e.blobVersion {
@@ -280,19 +285,24 @@ func (s *Store) Mutate(id string, endVersion uint64, muts []instance.Mutation) e
 			e.version = endVersion
 		}
 	}
-	return nil
+	s.mu.Unlock()
+	return s.w.commit(end)
 }
 
 // Drop journals a scenario deletion and forgets it.
 func (s *Store) Drop(id string) error {
 	payload := appendString([]byte{recDrop}, id)
 	s.mu.Lock()
-	if _, err := s.w.append(payload); err != nil {
+	_, end, err := s.w.append(payload)
+	if err != nil {
 		s.mu.Unlock()
 		return err
 	}
 	delete(s.cat, id)
 	s.mu.Unlock()
+	if err := s.w.commit(end); err != nil {
+		return err
+	}
 	os.Remove(s.pagePath(id))
 	return nil
 }

@@ -69,20 +69,31 @@ func listSegments(dir string) ([]uint64, error) {
 }
 
 // wal is the write-ahead log: an append-only sequence of framed records
-// across numbered segment files. Appends are serialized by the Store's
-// lock; the wal adds only the interval-sync goroutine's synchronization.
+// across numbered segment files. Writes are serialized by the Store's
+// lock; durability under SyncAlways is group-committed — commit(end)
+// callers queue on syncMu, the first one in fsyncs everything written so
+// far, and everyone the sync covered returns without touching the disk —
+// so concurrent registrations and mutations share one fsync instead of
+// paying ~one disk sync each.
 type wal struct {
 	dir      string
 	mode     SyncMode
 	segBytes int64
 
-	mu    sync.Mutex // guards f/seg/size/dirty against the interval syncer
-	f     *os.File
-	seg   uint64
-	size  int64
-	stop  chan struct{}
-	done  chan struct{}
-	fsErr error // first write/sync failure; the wal is poisoned after one
+	mu      sync.Mutex // guards f/seg/size/written/synced/fsErr
+	f       *os.File
+	seg     uint64
+	size    int64
+	written int64 // cumulative framed bytes written across all segments
+	synced  int64 // prefix of written known durable (fsync or rotation)
+	stop    chan struct{}
+	done    chan struct{}
+	fsErr   error // first write/sync failure; the wal is poisoned after one
+
+	// syncMu serializes group commits: the holder fsyncs on behalf of every
+	// append the sync covers. Lock order: syncMu before mu, never the
+	// reverse.
+	syncMu sync.Mutex
 }
 
 // openWAL opens segment seg for appending at offset size (creating it when
@@ -121,6 +132,8 @@ func (w *wal) syncLoop(interval time.Duration) {
 			if w.f != nil && w.fsErr == nil {
 				if err := w.f.Sync(); err != nil {
 					w.fsErr = err
+				} else {
+					w.synced = w.written
 				}
 			}
 			w.mu.Unlock()
@@ -129,36 +142,87 @@ func (w *wal) syncLoop(interval time.Duration) {
 }
 
 // append frames payload onto the current segment, rotating first when the
-// segment is full, and syncs according to the mode. It returns the frame's
-// location.
-func (w *wal) append(payload []byte) (ref, error) {
+// segment is full, and returns the frame's location plus the cumulative
+// byte position the record ends at. The write is buffered: durability is
+// the caller's commit(end), issued after releasing whatever lock the
+// caller serializes appends under, so concurrent commits can share fsyncs.
+func (w *wal) append(payload []byte) (ref, int64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.fsErr != nil {
-		return ref{}, w.fsErr
+		return ref{}, 0, w.fsErr
 	}
 	if w.size > 0 && w.size+int64(len(payload))+frameHeaderLen > w.segBytes {
 		if err := w.rotateLocked(); err != nil {
 			w.fsErr = err
-			return ref{}, err
+			return ref{}, 0, err
 		}
 	}
 	frame := appendFrame(nil, payload)
 	off := w.size
 	if _, err := w.f.Write(frame); err != nil {
 		w.fsErr = err
-		return ref{}, err
+		return ref{}, 0, err
 	}
 	w.size += int64(len(frame))
-	if w.mode == SyncAlways {
-		if err := w.f.Sync(); err != nil {
-			w.fsErr = err
-			return ref{}, err
-		}
-	}
+	w.written += int64(len(frame))
 	metrics.StoreWALAppends.Inc()
 	metrics.StoreWALBytes.Add(int64(len(frame)))
-	return ref{path: segmentPath(w.dir, w.seg), off: off, wal: true}, nil
+	return ref{path: segmentPath(w.dir, w.seg), off: off, wal: true}, w.written, nil
+}
+
+// commit makes the append that returned end durable according to the sync
+// mode: a no-op under interval/off, a group-committed fsync under
+// SyncAlways. Safe to call without holding the Store's lock — that is the
+// point: appenders serialize only the write, then share the sync.
+func (w *wal) commit(end int64) error {
+	if w.mode != SyncAlways {
+		return nil
+	}
+	return w.syncTo(end)
+}
+
+// syncTo ensures every byte up to end is durable. Callers queue on syncMu;
+// whoever holds it fsyncs the full written prefix, so by the time a waiter
+// gets the lock an earlier holder's sync usually already covers it
+// (group commit) and it returns without a disk operation.
+func (w *wal) syncTo(end int64) error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	if w.fsErr != nil {
+		err := w.fsErr
+		w.mu.Unlock()
+		return err
+	}
+	if w.synced >= end {
+		w.mu.Unlock()
+		return nil
+	}
+	f, target := w.f, w.written
+	w.mu.Unlock()
+	err := f.Sync()
+	metrics.StoreWALFsyncs.Inc()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err != nil {
+		// A concurrent rotation syncs and closes the segment we captured; if
+		// its durability point already covers this commit, the failed Sync on
+		// the closed handle is benign.
+		if w.synced >= end {
+			return nil
+		}
+		if w.fsErr == nil {
+			w.fsErr = err
+		}
+		return err
+	}
+	// Everything in target was either in f (just synced) or in a segment a
+	// rotation already made durable, so the full prefix is stable.
+	if target > w.synced {
+		w.synced = target
+	}
+	return nil
 }
 
 // rotate closes the current segment and starts the next one, returning the
@@ -182,6 +246,9 @@ func (w *wal) rotateLocked() error {
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
+	// Rotation is a durability point: everything written so far is stable,
+	// so pending group commits over the old segment are already satisfied.
+	w.synced = w.written
 	if err := w.f.Close(); err != nil {
 		return err
 	}
@@ -198,11 +265,14 @@ func (w *wal) rotateLocked() error {
 // sync forces buffered appends to stable storage regardless of mode.
 func (w *wal) sync() error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.fsErr != nil {
-		return w.fsErr
+		err := w.fsErr
+		w.mu.Unlock()
+		return err
 	}
-	return w.f.Sync()
+	end := w.written
+	w.mu.Unlock()
+	return w.syncTo(end)
 }
 
 // close stops the interval syncer and fsyncs and closes the current

@@ -4,7 +4,7 @@ GO ?= go
 BENCH_OUT ?= BENCH_2.json
 BENCH_BASELINE ?=
 
-.PHONY: all build vet vet-shadow test race race-server serve-smoke store-smoke cluster-smoke bench-smoke bench-json bench-incr bench-columnar bench-columnar-smoke bench-enum bench-enum-smoke bench-store bench-store-smoke bench-cluster bench-cluster-smoke ci
+.PHONY: all build vet vet-shadow test race race-server serve-smoke store-smoke cluster-smoke membership-smoke bench-smoke bench-json bench-incr bench-columnar bench-columnar-smoke bench-enum bench-enum-smoke bench-store bench-store-smoke bench-cluster bench-cluster-smoke ci
 
 all: build
 
@@ -125,6 +125,13 @@ store-smoke:
 cluster-smoke:
 	$(GO) run ./cmd/dxserver -smoke-cluster
 
+# Membership smoke: a three-node cluster under continuous traffic grows to
+# four (live join with scenario handoff) and shrinks back by drain-leave —
+# zero failed requests, and exactly the scenarios whose ring owner changed
+# transferred. See cmd/dxserver -smoke-membership.
+membership-smoke:
+	$(GO) run ./cmd/dxserver -smoke-membership
+
 # Durability benchmarks: cold-start recovery over a 10k-scenario genwl
 # catalog (WAL-only vs snapshot-backed), the cold Load a paged query pays,
 # the WAL append a registration pays before its 2xx, and paged vs resident
@@ -165,4 +172,4 @@ bench-cluster-smoke:
 		| $(GO) run ./cmd/benchjson -before $(BENCH_CLUSTER_BASELINE) \
 		> /dev/null
 
-ci: vet vet-shadow build race race-server serve-smoke store-smoke cluster-smoke bench-smoke bench-columnar-smoke bench-enum-smoke bench-store-smoke bench-cluster-smoke
+ci: vet vet-shadow build race race-server serve-smoke store-smoke cluster-smoke membership-smoke bench-smoke bench-columnar-smoke bench-enum-smoke bench-store-smoke bench-cluster-smoke

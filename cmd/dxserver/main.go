@@ -14,6 +14,7 @@
 //	         [-fsync-interval 100ms] [-snapshot-interval 5m]
 //	         [-cluster URL,URL,...] [-cluster-self URL]
 //	         [-cluster-role auto|node|router]
+//	         [-cluster-join URL] [-cluster-drain-leave]
 //
 // -cluster makes the process a member of a static sharded cluster: the
 // comma-separated list names the data nodes, and scenarios are distributed
@@ -28,6 +29,19 @@
 // invalidates replicas everywhere by construction, because replicas
 // revalidate against the owner's version-keyed tags. See README.md
 // ("Running a cluster").
+//
+// -cluster-join grows a running cluster instead: the process boots with an
+// empty ring, contacts the given seed member, and the cluster runs a live
+// two-phase transition — the proposed ring is broadcast, exactly the
+// scenarios whose owner changed stream to this node as DXB1 blocks while
+// both rings route requests, and the new epoch commits once every transfer
+// is acknowledged (internal/membership). It requires -cluster-self and is
+// exclusive with -cluster. -cluster-drain-leave makes SIGINT/SIGTERM run
+// the inverse transition before draining: every scenario this node owns is
+// handed off to the surviving members, so a planned shrink loses nothing.
+// Without it a killed node's scenarios are simply unreachable (502
+// peer_unavailable) until the node returns. See README.md ("Growing and
+// shrinking a cluster").
 //
 // -data-dir enables the durable scenario store (internal/store): every
 // registration and mutation is journaled to a write-ahead log in DIR before
@@ -60,7 +74,11 @@
 // loopback cluster and drives register/mutate/query through different
 // entry nodes, checking byte-identical answers, the 409 on a stale
 // base_version through any entry, and the replicated-cache revalidation —
-// the `make cluster-smoke` target.
+// the `make cluster-smoke` target. dxserver -smoke-membership boots a
+// three-node cluster, keeps traffic running, joins a fourth node live,
+// drains one member away, and verifies zero failed requests with exactly
+// the ring-moved scenarios transferred — the `make membership-smoke`
+// target.
 package main
 
 import (
@@ -104,9 +122,12 @@ func main() {
 	clusterPeers := flag.String("cluster", "", "comma-separated data-node base URLs; enables cluster mode")
 	clusterSelf := flag.String("cluster-self", "", "this process's advertised base URL (required with -cluster)")
 	clusterRole := flag.String("cluster-role", "auto", "cluster role: auto, node or router")
+	clusterJoin := flag.String("cluster-join", "", "seed member URL: join its cluster live (requires -cluster-self, exclusive with -cluster)")
+	clusterDrainLeave := flag.Bool("cluster-drain-leave", false, "hand owned scenarios off to the remaining members before shutting down")
 	smoke := flag.Bool("smoke", false, "start on a loopback port, run a scripted request burst, and exit")
 	smokeStore := flag.Bool("smoke-store", false, "run the durable-store smoke (register, restart, crash-restart) against a temp dir and exit")
 	smokeCluster := flag.Bool("smoke-cluster", false, "run the cluster smoke (3 loopback nodes, requests through every entry) and exit")
+	smokeMembership := flag.Bool("smoke-membership", false, "run the membership smoke (live join and drain under traffic) and exit")
 	flag.Parse()
 
 	// The profiler gets its own listener and the default mux (where the
@@ -156,6 +177,29 @@ func main() {
 		fmt.Println("dxserver -smoke-cluster: PASS")
 		return
 	}
+	if *smokeMembership {
+		if err := runMembershipSmoke(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "dxserver -smoke-membership: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("dxserver -smoke-membership: PASS")
+		return
+	}
+
+	if *clusterJoin != "" {
+		if *clusterPeers != "" {
+			log.Fatalf("dxserver: -cluster-join is exclusive with -cluster: a joiner learns the member list from the seed")
+		}
+		if *clusterSelf == "" {
+			log.Fatalf("dxserver: -cluster-join requires -cluster-self (the URL peers reach this process at)")
+		}
+		cl, err := cluster.NewJoining(*clusterSelf, 0, 0)
+		if err != nil {
+			log.Fatalf("dxserver: %v", err)
+		}
+		log.Printf("dxserver: joining cluster via %s as %s", *clusterJoin, cl.Self())
+		cfg.Cluster = cl
+	}
 
 	if *clusterPeers != "" {
 		role, err := cluster.ParseRole(*clusterRole)
@@ -173,8 +217,8 @@ func main() {
 		log.Printf("dxserver: cluster %s %s, ring %s over %d nodes",
 			cl.Role(), cl.Self(), cl.RingVersion(), len(cl.Peers()))
 		cfg.Cluster = cl
-	} else if *clusterSelf != "" {
-		log.Fatalf("dxserver: -cluster-self requires -cluster")
+	} else if *clusterSelf != "" && *clusterJoin == "" {
+		log.Fatalf("dxserver: -cluster-self requires -cluster or -cluster-join")
 	}
 
 	if *dataDir != "" {
@@ -197,6 +241,29 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("dxserver: listening on %s", *addr)
+
+	if *clusterJoin != "" {
+		// The seed proposes the new ring back to this process over HTTP, so
+		// the local listener must answer before the join protocol starts.
+		joinCtx, cancelJoin := context.WithTimeout(context.Background(), 2*time.Minute)
+		self := client.New(cfg.Cluster.Self())
+		for {
+			if _, err := self.Health(joinCtx); err == nil {
+				break
+			}
+			select {
+			case <-joinCtx.Done():
+				log.Fatalf("dxserver: own listener never became reachable at %s — is -cluster-self the URL peers see?", cfg.Cluster.Self())
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
+		if err := srv.JoinCluster(joinCtx, *clusterJoin); err != nil {
+			log.Fatalf("dxserver: joining via %s: %v", *clusterJoin, err)
+		}
+		cancelJoin()
+		cur := cfg.Cluster.Current()
+		log.Printf("dxserver: joined: epoch %d, %d members", cur.Epoch, len(cur.Members))
+	}
 
 	// Periodic snapshots bound both recovery time and WAL disk usage; the
 	// final snapshot at drain below makes clean restarts replay nothing.
@@ -225,6 +292,19 @@ func main() {
 		log.Fatalf("dxserver: %v", err)
 	case s := <-sig:
 		log.Printf("dxserver: %v: draining (max %v)", s, *drainTimeout)
+	}
+
+	// A planned shrink hands every owned scenario off to the surviving
+	// members before the drain, so nothing becomes unreachable. This runs
+	// while the listener still serves: the handoff needs the data plane.
+	if *clusterDrainLeave && cfg.Cluster != nil {
+		leaveCtx, cancelLeave := context.WithTimeout(context.Background(), time.Minute)
+		if err := srv.LeaveCluster(leaveCtx); err != nil {
+			log.Printf("dxserver: drain-leave failed (scenarios stay here): %v", err)
+		} else {
+			log.Printf("dxserver: left the cluster: owned scenarios handed off")
+		}
+		cancelLeave()
 	}
 
 	// Graceful shutdown: refuse new evaluations, give in-flight work the

@@ -1,0 +1,274 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/server/api"
+	"repro/internal/server/client"
+)
+
+// runMembershipSmoke is the dynamic-membership drill behind
+// `make membership-smoke`: boot a three-node loopback cluster, load it
+// with scenarios and continuous traffic, join a fourth node live, then
+// drain one member away — all while requiring zero failed requests and
+// that exactly the scenarios whose ring owner changed were transferred.
+func runMembershipSmoke(cfg server.Config) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	step := func(name string, f func() error) error {
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("  ok: %s\n", name)
+		return nil
+	}
+
+	const setting = `
+source M/2, N/2.
+target E/2, F/2, G/2.
+st:
+  d1: M(x1,x2) -> E(x1,x2).
+  d2: N(x,y) -> exists z1,z2 : E(x,z1) & F(x,z2).
+target-deps:
+  d3: F(y,x) -> exists z : G(x,z).
+  d4: F(x,y) & F(x,z) -> y = z.
+`
+
+	// Three static members on pre-bound loopback listeners.
+	const n = 3
+	listeners := make([]net.Listener, n)
+	peers := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		listeners[i] = l
+		peers[i] = "http://" + l.Addr().String()
+	}
+	srvs := make([]*server.Server, n)
+	clients := make([]*client.Client, n)
+	for i, l := range listeners {
+		cl, err := cluster.New(cluster.Config{Self: peers[i], Peers: peers})
+		if err != nil {
+			return err
+		}
+		ncfg := cfg
+		ncfg.Cluster = cl
+		srvs[i] = server.New(ncfg)
+		hs := &http.Server{Handler: srvs[i]}
+		go hs.Serve(l)
+		defer hs.Close()
+		clients[i] = client.New(peers[i])
+	}
+
+	// Load: two dozen distinct scenarios scattered over the ring.
+	const k = 24
+	ids := make([]string, 0, k)
+	if err := step(fmt.Sprintf("register %d scenarios through rotating entries", k), func() error {
+		for i := 0; i < k; i++ {
+			src := fmt.Sprintf("M(a%d,b%d). N(a%d,b%d). N(a%d,c%d).", i, i, i, i, i, i)
+			info, err := clients[i%n].Register(ctx, api.RegisterRequest{
+				Name: fmt.Sprintf("mem%02d", i), Setting: setting, Source: src,
+			})
+			if err != nil {
+				return err
+			}
+			ids = append(ids, info.ID)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Continuous traffic through every static entry: a reader and a writer
+	// with read-your-writes checks. Any error fails the smoke.
+	var (
+		mu       sync.Mutex
+		firstErr error
+		requests int
+		stop     = make(chan struct{})
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	count := func() {
+		mu.Lock()
+		requests++
+		mu.Unlock()
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := clients[i%n].Scenario(ctx, ids[i%k]); err != nil {
+				fail(fmt.Errorf("read %s: %w", ids[i%k], err))
+				return
+			}
+			count()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := ids[i%k]
+			res, err := clients[(i+1)%n].Insert(ctx, id, api.MutateRequest{
+				Tuples: fmt.Sprintf("M(w%d,w%d).", i, i+1),
+			})
+			if err != nil {
+				fail(fmt.Errorf("write to %s: %w", id, err))
+				return
+			}
+			count()
+			got, err := clients[(i+2)%n].Scenario(ctx, id)
+			if err != nil || got.Version < res.Version {
+				fail(fmt.Errorf("read-your-writes on %s: acked %d, read %d (%v)", id, res.Version, got.Version, err))
+				return
+			}
+			count()
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	// Join a fourth node while the traffic runs.
+	var joinerURL string
+	var joinerSrv *server.Server
+	var joinerCli *client.Client
+	before := metrics.Read()
+	if err := step("join a fourth node under traffic", func() error {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		joinerURL = "http://" + l.Addr().String()
+		jc, err := cluster.NewJoining(joinerURL, 0, 0)
+		if err != nil {
+			return err
+		}
+		jcfg := cfg
+		jcfg.Cluster = jc
+		joinerSrv = server.New(jcfg)
+		hs := &http.Server{Handler: joinerSrv}
+		go hs.Serve(l)
+		joinerCli = client.New(joinerURL)
+		return joinerSrv.JoinCluster(ctx, peers[0])
+	}); err != nil {
+		return err
+	}
+	grown := append(append([]string(nil), peers...), joinerURL)
+	movedJoin := movedKeys(ids, peers, grown)
+
+	if err := step("all four members committed epoch 2", func() error {
+		for i, c := range append(append([]*client.Client(nil), clients...), joinerCli) {
+			h, err := c.Health(ctx)
+			if err != nil {
+				return fmt.Errorf("member %d: %w", i, err)
+			}
+			if h.Cluster == nil || h.Cluster.Epoch != 2 {
+				return fmt.Errorf("member %d reports %+v, want epoch 2", i, h.Cluster)
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("only the scenarios whose owner changed were transferred", func() error {
+		d := metrics.Read().Diff(before)
+		if got := d["membership_transfers"]; got != int64(len(movedJoin)) {
+			return fmt.Errorf("transferred %d scenarios, ring moved %d", got, len(movedJoin))
+		}
+		if len(movedJoin) == 0 || len(movedJoin) >= k {
+			return fmt.Errorf("degenerate split: %d/%d moved", len(movedJoin), k)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Drain one original member away, still under traffic.
+	leaver := 2
+	shrunk := []string{peers[0], peers[1], joinerURL}
+	movedLeave := movedKeys(ids, grown, shrunk)
+	before = metrics.Read()
+	if err := step("drain-leave one member under traffic", func() error {
+		return srvs[leaver].LeaveCluster(ctx)
+	}); err != nil {
+		return err
+	}
+	if err := step("leaver handed off exactly what it owned", func() error {
+		d := metrics.Read().Diff(before)
+		if got := d["membership_transfers"]; got != int64(len(movedLeave)) {
+			return fmt.Errorf("transferred %d scenarios, leaver owned %d", got, len(movedLeave))
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	close(stop)
+	wg.Wait()
+	if err := step("zero failed requests across both transitions", func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil {
+			return firstErr
+		}
+		if requests == 0 {
+			return fmt.Errorf("traffic generator issued no requests")
+		}
+		fmt.Printf("    (%d requests)\n", requests)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	return step("every scenario answers through every surviving entry", func() error {
+		entries := []*client.Client{clients[0], clients[1], joinerCli, clients[leaver]}
+		for _, id := range ids {
+			for i, c := range entries {
+				if _, err := c.Scenario(ctx, id); err != nil {
+					return fmt.Errorf("%s via entry %d: %w", id, i, err)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// movedKeys returns the ids whose consistent-hash owner differs between
+// the two peer lists — the set a transition between them must transfer.
+func movedKeys(ids, oldPeers, newPeers []string) []string {
+	oldRing := cluster.NewRing(oldPeers, 0)
+	newRing := cluster.NewRing(newPeers, 0)
+	var moved []string
+	for _, id := range ids {
+		if oldRing.Owner(id) != newRing.Owner(id) {
+			moved = append(moved, id)
+		}
+	}
+	return moved
+}

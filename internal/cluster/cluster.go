@@ -5,8 +5,11 @@ import (
 	"encoding/hex"
 	"fmt"
 	"net/url"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Role is what a cluster member does with requests it does not own.
@@ -46,11 +49,10 @@ func ParseRole(s string) (Role, error) {
 	return 0, fmt.Errorf("cluster: unknown role %q (want auto, node or router)", s)
 }
 
-// Config describes one member's view of the cluster. Every member must be
-// started with the same Peers list (and Replicas); ownership is derived
-// from it with no runtime coordination, so disagreeing peer lists mean
-// disagreeing rings — the forwarding hop bound turns that misconfiguration
-// into an error instead of a loop.
+// Config describes one member's view of the cluster at boot. Members
+// started with the same Peers list (and Replicas) derive the same epoch-1
+// ring with no coordination; from there the membership protocol (package
+// membership) can move the view forward through proposed/committed epochs.
 type Config struct {
 	// Self is this process's advertised base URL (how peers reach it),
 	// e.g. "http://10.0.0.1:8080".
@@ -69,20 +71,80 @@ type Config struct {
 }
 
 // DefaultMaxHops bounds a forwarding chain: entry node → owner is one hop;
-// anything longer means ring disagreement, and the third hop gives a
-// transitional cluster (a rolling peer-list change) one chance to land on
-// a node that answers before the loop is cut.
+// anything longer means ring disagreement or a transfer window, and the
+// third hop gives transitional routing (old owner → new owner probes
+// during membership changes, rolling peer-list edits) one chance to land
+// on a node that answers before the loop is cut.
 const DefaultMaxHops = 3
 
-// Cluster is one member's immutable cluster state: the ring, its own
-// identity and role, and the configuration fingerprint. Safe for
-// concurrent use.
+// View is one committed (or proposed) cluster configuration: a monotone
+// epoch number plus the data-node member list it covers. Equal views
+// produce identical rings on every member.
+type View struct {
+	Epoch   uint64   `json:"epoch"`
+	Members []string `json:"members"`
+}
+
+// normalize sorts and deduplicates the member list in place-ish.
+func (v View) normalize() View {
+	uniq := make([]string, 0, len(v.Members))
+	seen := make(map[string]bool, len(v.Members))
+	for _, m := range v.Members {
+		if !seen[m] {
+			seen[m] = true
+			uniq = append(uniq, m)
+		}
+	}
+	sort.Strings(uniq)
+	return View{Epoch: v.Epoch, Members: uniq}
+}
+
+// equal reports whether two views describe the same epoch and member set.
+func (v View) equal(o View) bool {
+	if v.Epoch != o.Epoch || len(v.Members) != len(o.Members) {
+		return false
+	}
+	for i := range v.Members {
+		if v.Members[i] != o.Members[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Route is the routing decision for one key. Outside a transfer window
+// Moving is false and Owner is the (single) ring owner. During a window a
+// key whose owner differs between the current and the proposed ring is
+// Moving: Owner is the old owner (epoch N) and New the future one (epoch
+// N+1). Callers route moving keys to the old owner until the per-scenario
+// handoff lands there.
+type Route struct {
+	Owner  string
+	New    string
+	Moving bool
+}
+
+// views is the atomically-swapped routing state: the committed view (and
+// its ring) plus, during a transfer window, the proposed next view.
+type views struct {
+	cur      View
+	ring     *Ring
+	prop     *View
+	propRing *Ring
+	version  string // RingVersion fingerprint of cur
+}
+
+// Cluster is one member's cluster state: its identity, role, and the
+// epoched view(s) it routes with. Reads are lock-free; view transitions
+// (Propose/Commit/Abort) are serialized. Safe for concurrent use.
 type Cluster struct {
-	ring    *Ring
-	self    string
-	role    Role
-	version string
-	maxHops int
+	self     string
+	role     Role
+	replicas int
+	maxHops  int
+
+	mu sync.Mutex // serializes view writers
+	v  atomic.Pointer[views]
 }
 
 // NormalizeURL canonicalizes a member URL so equal addresses written
@@ -109,6 +171,9 @@ func NormalizeURL(raw string) (string, error) {
 }
 
 // New validates the configuration and builds the member's cluster state.
+// The static peer list becomes the committed epoch-1 view, so a fleet
+// booted the old way forms the same ring on every member with no
+// coordination — and can still grow later via the membership protocol.
 func New(cfg Config) (*Cluster, error) {
 	self, err := NormalizeURL(cfg.Self)
 	if err != nil {
@@ -150,13 +215,37 @@ func New(cfg Config) (*Cluster, error) {
 	if maxHops <= 0 {
 		maxHops = DefaultMaxHops
 	}
-	return &Cluster{
-		ring:    ring,
-		self:    self,
-		role:    role,
-		version: ringVersion(ring),
-		maxHops: maxHops,
-	}, nil
+	c := &Cluster{self: self, role: role, replicas: cfg.Replicas, maxHops: maxHops}
+	c.install(View{Epoch: 1, Members: ring.Nodes()}, ring, nil, nil)
+	return c, nil
+}
+
+// NewJoining builds the cluster state for a node booting with
+// -cluster-join: a data node that is not yet a member of anything. Its
+// view is the empty epoch-0 ring (it owns no keys and forwards nothing);
+// the join handshake installs the real view via Propose/Commit.
+func NewJoining(self string, replicas, maxHops int) (*Cluster, error) {
+	n, err := NormalizeURL(self)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: self: %w", err)
+	}
+	if maxHops <= 0 {
+		maxHops = DefaultMaxHops
+	}
+	c := &Cluster{self: n, role: RoleNode, replicas: replicas, maxHops: maxHops}
+	c.install(View{Epoch: 0}, NewRing(nil, replicas), nil, nil)
+	return c, nil
+}
+
+// install swaps the routing state (callers hold c.mu or are constructors).
+func (c *Cluster) install(cur View, ring *Ring, prop *View, propRing *Ring) {
+	if ring == nil {
+		ring = NewRing(cur.Members, c.replicas)
+	}
+	if prop != nil && propRing == nil {
+		propRing = NewRing(prop.Members, c.replicas)
+	}
+	c.v.Store(&views{cur: cur, ring: ring, prop: prop, propRing: propRing, version: ringVersion(ring)})
 }
 
 // ringVersion fingerprints the ring configuration: equal peer sets (and
@@ -173,13 +262,113 @@ func ringVersion(r *Ring) string {
 	return hex.EncodeToString(h.Sum(nil)[:8])
 }
 
-// Owner returns the base URL of the node owning the scenario identity key.
-func (c *Cluster) Owner(key string) string { return c.ring.Owner(key) }
+// Propose opens a transfer window: members route with both cur (epoch N)
+// and prop (epoch N+1) until Commit or Abort. If the member's committed
+// view is older than cur it catches up to cur first. Re-proposing the
+// identical window is a no-op; proposing over a different open window is
+// an error (one transition at a time, cluster-wide).
+func (c *Cluster) Propose(cur, prop View) error {
+	cur, prop = cur.normalize(), prop.normalize()
+	if prop.Epoch != cur.Epoch+1 {
+		return fmt.Errorf("cluster: proposed epoch %d is not current %d + 1", prop.Epoch, cur.Epoch)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := c.v.Load()
+	if v.prop != nil {
+		if v.prop.equal(prop) {
+			return nil
+		}
+		return fmt.Errorf("cluster: transition to epoch %d already in progress", v.prop.Epoch)
+	}
+	if v.cur.Epoch > cur.Epoch {
+		return fmt.Errorf("cluster: proposal for epoch %d is stale (committed epoch is %d)", prop.Epoch, v.cur.Epoch)
+	}
+	ring := v.ring
+	if !v.cur.equal(cur) {
+		ring = nil // recompute for the adopted base view
+	}
+	c.install(cur, ring, &prop, nil)
+	return nil
+}
 
-// Owns reports whether this member serves key locally. Routers own
-// nothing.
+// Commit makes epoch the committed view. If the matching proposal is open
+// it is promoted; otherwise (a member that missed the propose broadcast)
+// the view is adopted outright from the member list. Commits at or below
+// the committed epoch are no-ops.
+func (c *Cluster) Commit(epoch uint64, members []string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := c.v.Load()
+	if v.cur.Epoch >= epoch {
+		return nil
+	}
+	if v.prop != nil && v.prop.Epoch == epoch {
+		c.install(*v.prop, v.propRing, nil, nil)
+		return nil
+	}
+	if len(members) == 0 {
+		return fmt.Errorf("cluster: commit for unknown epoch %d carries no member list", epoch)
+	}
+	c.install(View{Epoch: epoch, Members: members}.normalize(), nil, nil, nil)
+	return nil
+}
+
+// Abort discards the proposed view with the given epoch (no-op if no such
+// proposal is open). The committed view keeps routing as before.
+func (c *Cluster) Abort(epoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := c.v.Load()
+	if v.prop != nil && v.prop.Epoch == epoch {
+		c.install(v.cur, v.ring, nil, nil)
+	}
+}
+
+// RouteKey resolves key against the epoched view(s): outside a window the
+// single committed owner; inside, both owners when the key is moving.
+func (c *Cluster) RouteKey(key string) Route {
+	v := c.v.Load()
+	o := v.ring.Owner(key)
+	if v.prop == nil {
+		return Route{Owner: o}
+	}
+	n := v.propRing.Owner(key)
+	if n == o {
+		return Route{Owner: o}
+	}
+	return Route{Owner: o, New: n, Moving: true}
+}
+
+// Epoch returns the committed view's epoch.
+func (c *Cluster) Epoch() uint64 { return c.v.Load().cur.Epoch }
+
+// Current returns the committed view.
+func (c *Cluster) Current() View {
+	cur := c.v.Load().cur
+	return View{Epoch: cur.Epoch, Members: append([]string(nil), cur.Members...)}
+}
+
+// Proposed returns the open proposal, if a transfer window is open.
+func (c *Cluster) Proposed() (View, bool) {
+	v := c.v.Load()
+	if v.prop == nil {
+		return View{}, false
+	}
+	return View{Epoch: v.prop.Epoch, Members: append([]string(nil), v.prop.Members...)}, true
+}
+
+// Transitioning reports whether a transfer window is open.
+func (c *Cluster) Transitioning() bool { return c.v.Load().prop != nil }
+
+// Owner returns the base URL of the node owning the scenario identity key
+// in the committed view.
+func (c *Cluster) Owner(key string) string { return c.v.Load().ring.Owner(key) }
+
+// Owns reports whether this member serves key locally in the committed
+// view. Routers own nothing.
 func (c *Cluster) Owns(key string) bool {
-	return c.role == RoleNode && c.ring.Owner(key) == c.self
+	return c.role == RoleNode && c.v.Load().ring.Owner(key) == c.self
 }
 
 // Self returns this member's normalized base URL.
@@ -188,12 +377,36 @@ func (c *Cluster) Self() string { return c.self }
 // Role returns this member's role.
 func (c *Cluster) Role() Role { return c.role }
 
-// RingVersion returns the configuration fingerprint shared by members with
-// identical peer lists.
-func (c *Cluster) RingVersion() string { return c.version }
+// RingVersion returns the committed view's configuration fingerprint:
+// equal member sets produce equal versions on every member.
+func (c *Cluster) RingVersion() string { return c.v.Load().version }
 
 // MaxHops returns the forwarding hop bound.
 func (c *Cluster) MaxHops() int { return c.maxHops }
 
-// Peers returns the ring members, sorted.
-func (c *Cluster) Peers() []string { return c.ring.Nodes() }
+// Replicas returns the configured virtual-node count (0 = default).
+func (c *Cluster) Replicas() int { return c.replicas }
+
+// Peers returns the committed view's members, sorted.
+func (c *Cluster) Peers() []string { return c.v.Load().ring.Nodes() }
+
+// AllMembers returns the union of committed and proposed members, sorted —
+// the peers that may hold data during a transfer window.
+func (c *Cluster) AllMembers() []string {
+	v := c.v.Load()
+	if v.prop == nil {
+		return v.ring.Nodes()
+	}
+	seen := make(map[string]bool, len(v.cur.Members)+len(v.prop.Members))
+	out := make([]string, 0, len(v.cur.Members)+len(v.prop.Members))
+	for _, lst := range [][]string{v.cur.Members, v.prop.Members} {
+		for _, m := range lst {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

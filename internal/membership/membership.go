@@ -1,0 +1,623 @@
+// Package membership turns the static consistent-hash cluster into a
+// living one: a join/leave protocol with live owner-to-owner scenario
+// handoff.
+//
+// A transition is a two-phase window coordinated by one member (the seed
+// a joiner contacted, or the leaver itself):
+//
+//  1. Propose — the coordinator broadcasts the current view (epoch N) and
+//     a proposed view (epoch N+1) to every member involved. Each member
+//     routes with both rings for the duration of the window: keys whose
+//     owner differs between the rings are "moving" and stay with their
+//     old owner until their individual handoff lands.
+//  2. Transfer — each member pushes every scenario it owns that moves,
+//     one at a time, to the scenario's new owner as a standalone DXB1
+//     scenario block (store.EncodeState on the source side, store
+//     register + incr.Resume on the receiving side — resident state
+//     transfers without re-chasing). The push happens under the
+//     scenario's mutation lock and the old owner marks it handed only
+//     after the new owner acknowledged, so no acknowledged write is ever
+//     lost and the base_version contract survives the move. When a
+//     member has nothing left to move it reports done to the
+//     coordinator.
+//  3. Commit — once every member reported done the coordinator
+//     broadcasts the commit; members promote epoch N+1 and old owners
+//     drop their handed-off scenarios (journaled through the durable
+//     store). On any failure or timeout the coordinator broadcasts an
+//     abort instead and the old ring keeps serving.
+//
+// Members that miss a broadcast converge by epoch comparison: every
+// forwarded request and response carries the sender's committed epoch,
+// and a member that sees a higher epoch fetches the view from that peer
+// (CatchUp) — this replaces the static cluster's RingVersion drift
+// detection.
+package membership
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+)
+
+// Protocol endpoints. The server mounts handlers for these paths; the
+// Transport reaches peers' handlers through them. None is scenario-scoped,
+// so cluster routing leaves them alone.
+const (
+	PathJoin     = "/v1/cluster/join"
+	PathPropose  = "/v1/cluster/propose"
+	PathTransfer = "/v1/cluster/transfer"
+	PathDone     = "/v1/cluster/done"
+	PathCommit   = "/v1/cluster/commit"
+	PathAbort    = "/v1/cluster/abort"
+	PathView     = "/v1/cluster/view"
+)
+
+// ErrBusy reports that a membership transition is already in progress;
+// clusters admit one at a time. The server maps it to 409.
+var ErrBusy = errors.New("membership: transition already in progress")
+
+// JoinRequest is what a joining node POSTs to any member's PathJoin.
+type JoinRequest struct {
+	Self string `json:"self"`
+}
+
+// ProposeRequest opens a transfer window on a member: route with both
+// views until commit or abort, and push owned moving scenarios to their
+// new owners, reporting done to the coordinator.
+type ProposeRequest struct {
+	Current     cluster.View `json:"current"`
+	Proposed    cluster.View `json:"proposed"`
+	Coordinator string       `json:"coordinator"`
+}
+
+// DoneRequest is a member's report that it has no scenarios left to move
+// for the proposed epoch (or that its transfers failed).
+type DoneRequest struct {
+	Epoch  uint64 `json:"epoch"`
+	Member string `json:"member"`
+	Err    string `json:"err,omitempty"`
+}
+
+// CommitRequest promotes the proposed epoch. Members carries the full
+// list so a member that missed the propose can adopt the view outright.
+type CommitRequest struct {
+	Epoch   uint64   `json:"epoch"`
+	Members []string `json:"members"`
+}
+
+// AbortRequest discards the proposed epoch.
+type AbortRequest struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// ViewResponse is the answer to GET PathView: the member's committed
+// view plus, during a window, the open proposal — everything a lagging
+// peer needs to catch up.
+type ViewResponse struct {
+	Epoch       uint64        `json:"epoch"`
+	Members     []string      `json:"members"`
+	Transition  string        `json:"transition"` // "stable" or "proposed"
+	Proposed    *cluster.View `json:"proposed,omitempty"`
+	Coordinator string        `json:"coordinator,omitempty"`
+}
+
+// Host is the server's side of a handoff: enumerating local scenarios,
+// pushing one to its new owner under the scenario's mutation lock, and
+// the commit/abort cleanup of handed-off state.
+type Host interface {
+	// ScenarioIDs lists every scenario present on this member (resident
+	// or paged out to the durable store).
+	ScenarioIDs() []string
+	// Handoff captures id's state under its mutation lock, calls send
+	// with the encoded scenario block while the lock is held, and — only
+	// if send succeeds — marks the scenario handed off to newOwner so
+	// subsequent requests forward there. It returns the block size, or
+	// (0, nil) when the scenario is already handed off or gone.
+	Handoff(ctx context.Context, id, newOwner string, send func(block []byte) error) (int, error)
+	// DropHanded drops every handed-off scenario (journaled through the
+	// durable store) after the epoch committed.
+	DropHanded()
+	// AbortHandoff clears the handed-off marks after an abort; the old
+	// owner keeps serving its copies.
+	AbortHandoff()
+}
+
+// Transport carries protocol messages and transfer blocks to a peer's
+// endpoints. Implementations return an error for any non-2xx response.
+type Transport interface {
+	Call(ctx context.Context, peer, method, path, contentType string, body []byte) ([]byte, error)
+}
+
+// Config assembles a Manager.
+type Config struct {
+	Cluster   *cluster.Cluster
+	Host      Host
+	Transport Transport
+	// WindowTimeout bounds a whole transition on the coordinator
+	// (propose → all done); 0 means 2 minutes.
+	WindowTimeout time.Duration
+	// TransferTimeout bounds one scenario push; 0 means 60 seconds.
+	TransferTimeout time.Duration
+	// RPCTimeout bounds one control message (propose/done/commit/abort/
+	// view); 0 means 10 seconds.
+	RPCTimeout time.Duration
+}
+
+// Manager runs the membership protocol for one member: it opens and
+// closes transfer windows on propose/commit/abort, pushes this member's
+// moving scenarios during a window, and coordinates transitions it
+// initiated (a join it was the seed for, or its own leave).
+type Manager struct {
+	cl   *cluster.Cluster
+	host Host
+	tr   Transport
+	self string
+
+	windowTimeout   time.Duration
+	transferTimeout time.Duration
+	rpcTimeout      time.Duration
+
+	mu       sync.Mutex
+	window   *windowState
+	coord    *coordState
+	inFlight atomic.Int64
+}
+
+// windowState is one member's open transfer window.
+type windowState struct {
+	prop        cluster.View
+	coordinator string
+	ctx         context.Context
+	cancel      context.CancelFunc
+	finished    chan struct{}
+}
+
+// coordState tracks a transition this member coordinates.
+type coordState struct {
+	epoch    uint64
+	pending  map[string]bool
+	err      error
+	signaled bool
+	allDone  chan struct{}
+}
+
+// New builds the manager. The cluster's current epoch is published to the
+// cluster_epoch gauge immediately.
+func New(cfg Config) *Manager {
+	m := &Manager{
+		cl:              cfg.Cluster,
+		host:            cfg.Host,
+		tr:              cfg.Transport,
+		self:            cfg.Cluster.Self(),
+		windowTimeout:   cfg.WindowTimeout,
+		transferTimeout: cfg.TransferTimeout,
+		rpcTimeout:      cfg.RPCTimeout,
+	}
+	if m.windowTimeout <= 0 {
+		m.windowTimeout = 2 * time.Minute
+	}
+	if m.transferTimeout <= 0 {
+		m.transferTimeout = 60 * time.Second
+	}
+	if m.rpcTimeout <= 0 {
+		m.rpcTimeout = 10 * time.Second
+	}
+	metrics.ClusterEpoch.Set(int64(m.cl.Epoch()))
+	return m
+}
+
+// InFlight returns the number of scenario handoffs currently executing on
+// this member.
+func (m *Manager) InFlight() int { return int(m.inFlight.Load()) }
+
+// Join runs the joiner's side of the handshake: ask seed for admission
+// and block until the transition commits (the propose/commit broadcasts
+// arrive through this member's handlers while the call is in flight).
+func (m *Manager) Join(ctx context.Context, seed string) error {
+	seedURL, err := cluster.NormalizeURL(seed)
+	if err != nil {
+		return fmt.Errorf("membership: join seed: %w", err)
+	}
+	body, err := json.Marshal(JoinRequest{Self: m.self})
+	if err != nil {
+		return err
+	}
+	cctx, cancel := context.WithTimeout(ctx, m.windowTimeout+m.rpcTimeout)
+	defer cancel()
+	respBody, err := m.tr.Call(cctx, seedURL, "POST", PathJoin, "application/json", body)
+	if err != nil {
+		return fmt.Errorf("membership: join via %s: %w", seedURL, err)
+	}
+	var v cluster.View
+	if err := json.Unmarshal(respBody, &v); err != nil {
+		return fmt.Errorf("membership: join response: %w", err)
+	}
+	if err := m.HandleCommit(CommitRequest{Epoch: v.Epoch, Members: v.Members}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Leave coordinates this member's own departure: propose the view without
+// self, hand off everything owned, and commit. With no other member to
+// hand off to (single-node cluster) it returns nil without a transition.
+func (m *Manager) Leave(ctx context.Context) error {
+	cur := m.cl.Current()
+	inCluster := false
+	for _, mem := range cur.Members {
+		if mem == m.self {
+			inCluster = true
+			break
+		}
+	}
+	if !inCluster {
+		return nil
+	}
+	rest := make([]string, 0, len(cur.Members)-1)
+	for _, mem := range cur.Members {
+		if mem != m.self {
+			rest = append(rest, mem)
+		}
+	}
+	if len(rest) == 0 {
+		return nil
+	}
+	prop := cluster.View{Epoch: cur.Epoch + 1, Members: rest}
+	return m.coordinate(ctx, cur, prop, cur.Members)
+}
+
+// HandleJoin is the coordinator's side of PathJoin: admit joiner into the
+// ring via a full propose/transfer/commit transition and return the
+// committed view. Idempotent for a joiner that is already a member.
+func (m *Manager) HandleJoin(ctx context.Context, req JoinRequest) (cluster.View, error) {
+	joiner, err := cluster.NormalizeURL(req.Self)
+	if err != nil {
+		return cluster.View{}, err
+	}
+	cur := m.cl.Current()
+	isMember := func(u string) bool {
+		for _, mem := range cur.Members {
+			if mem == u {
+				return true
+			}
+		}
+		return false
+	}
+	if !isMember(m.self) {
+		return cluster.View{}, fmt.Errorf("membership: %s is not a data node and cannot admit members", m.self)
+	}
+	if isMember(joiner) {
+		return cur, nil
+	}
+	prop := cluster.View{Epoch: cur.Epoch + 1, Members: append(append([]string(nil), cur.Members...), joiner)}
+	if err := m.coordinate(ctx, cur, prop, prop.Members); err != nil {
+		return cluster.View{}, err
+	}
+	metrics.MembershipJoins.Inc()
+	return m.cl.Current(), nil
+}
+
+// coordinate runs one transition as its coordinator: broadcast the
+// proposal to union (every member involved, this one included), wait for
+// every done report, then broadcast the commit — or the abort on any
+// failure or timeout.
+func (m *Manager) coordinate(ctx context.Context, cur, prop cluster.View, union []string) error {
+	m.mu.Lock()
+	if m.coord != nil || m.window != nil {
+		m.mu.Unlock()
+		return ErrBusy
+	}
+	cs := &coordState{epoch: prop.Epoch, pending: make(map[string]bool, len(union)), allDone: make(chan struct{})}
+	for _, mem := range union {
+		cs.pending[mem] = true
+	}
+	m.coord = cs
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		m.coord = nil
+		m.mu.Unlock()
+	}()
+
+	pbody, err := json.Marshal(ProposeRequest{Current: cur, Proposed: prop, Coordinator: m.self})
+	if err != nil {
+		return err
+	}
+	for _, mem := range union {
+		if err := m.rpc(ctx, mem, PathPropose, pbody); err != nil {
+			m.broadcastAbort(union, prop.Epoch)
+			return fmt.Errorf("membership: propose epoch %d to %s: %w", prop.Epoch, mem, err)
+		}
+	}
+
+	select {
+	case <-cs.allDone:
+		m.mu.Lock()
+		err = cs.err
+		m.mu.Unlock()
+	case <-time.After(m.windowTimeout):
+		err = fmt.Errorf("membership: transition to epoch %d timed out after %s", prop.Epoch, m.windowTimeout)
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	if err != nil {
+		m.broadcastAbort(union, prop.Epoch)
+		return err
+	}
+
+	cbody, merr := json.Marshal(CommitRequest{Epoch: prop.Epoch, Members: prop.Members})
+	if merr != nil {
+		return merr
+	}
+	for _, mem := range union {
+		// A member that misses the commit converges later through epoch
+		// catch-up, so commit delivery is best-effort with retries.
+		for attempt := 0; attempt < 3; attempt++ {
+			if m.rpc(ctx, mem, PathCommit, cbody) == nil {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// broadcastAbort tells every involved member to discard the proposal.
+func (m *Manager) broadcastAbort(union []string, epoch uint64) {
+	body, err := json.Marshal(AbortRequest{Epoch: epoch})
+	if err != nil {
+		return
+	}
+	for _, mem := range union {
+		_ = m.rpc(context.Background(), mem, PathAbort, body)
+	}
+}
+
+// rpc delivers one control message, dispatching to the local handler when
+// the peer is this member itself.
+func (m *Manager) rpc(ctx context.Context, peer, path string, body []byte) error {
+	if peer == m.self {
+		return m.dispatchLocal(ctx, path, body)
+	}
+	cctx, cancel := context.WithTimeout(ctx, m.rpcTimeout)
+	defer cancel()
+	_, err := m.tr.Call(cctx, peer, "POST", path, "application/json", body)
+	return err
+}
+
+func (m *Manager) dispatchLocal(ctx context.Context, path string, body []byte) error {
+	switch path {
+	case PathPropose:
+		var req ProposeRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return err
+		}
+		return m.HandlePropose(ctx, req)
+	case PathDone:
+		var req DoneRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return err
+		}
+		return m.HandleDone(req)
+	case PathCommit:
+		var req CommitRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return err
+		}
+		return m.HandleCommit(req)
+	case PathAbort:
+		var req AbortRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return err
+		}
+		m.HandleAbort(req)
+		return nil
+	}
+	return fmt.Errorf("membership: unknown local path %s", path)
+}
+
+// HandlePropose opens the transfer window on this member and starts
+// pushing its moving scenarios in the background. Re-proposing the same
+// epoch is a no-op; a different concurrent proposal is refused.
+func (m *Manager) HandlePropose(_ context.Context, req ProposeRequest) error {
+	m.mu.Lock()
+	if ws := m.window; ws != nil {
+		same := ws.prop.Epoch == req.Proposed.Epoch
+		m.mu.Unlock()
+		if same {
+			return nil
+		}
+		return ErrBusy
+	}
+	if err := m.cl.Propose(req.Current, req.Proposed); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	wctx, cancel := context.WithCancel(context.Background())
+	ws := &windowState{
+		prop:        req.Proposed,
+		coordinator: req.Coordinator,
+		ctx:         wctx,
+		cancel:      cancel,
+		finished:    make(chan struct{}),
+	}
+	m.window = ws
+	m.mu.Unlock()
+	go m.runTransfers(ws)
+	return nil
+}
+
+// runTransfers sweeps this member's scenarios and pushes every owned
+// moving one to its new owner, then reports done to the coordinator. It
+// re-sweeps until a pass hands off nothing, so scenarios that page in or
+// arrive mid-sweep are not missed.
+func (m *Manager) runTransfers(ws *windowState) {
+	defer close(ws.finished)
+	var failure error
+sweeps:
+	for {
+		moved := 0
+		for _, id := range m.host.ScenarioIDs() {
+			if ws.ctx.Err() != nil {
+				return // aborted or committed under us; nothing to report
+			}
+			rt := m.cl.RouteKey(id)
+			if !rt.Moving || rt.Owner != m.self {
+				continue
+			}
+			start := time.Now()
+			m.inFlight.Add(1)
+			n, err := m.host.Handoff(ws.ctx, id, rt.New, func(block []byte) error {
+				cctx, cancel := context.WithTimeout(ws.ctx, m.transferTimeout)
+				defer cancel()
+				_, cerr := m.tr.Call(cctx, rt.New, "POST", PathTransfer, "application/octet-stream", block)
+				return cerr
+			})
+			m.inFlight.Add(-1)
+			if err != nil {
+				failure = fmt.Errorf("handoff of %s to %s: %w", id, rt.New, err)
+				break sweeps
+			}
+			if n > 0 {
+				moved++
+				metrics.MembershipTransfers.Inc()
+				metrics.MembershipTransferBytes.Add(int64(n))
+				metrics.MembershipHandoffMillis.Add(time.Since(start).Milliseconds())
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+	if ws.ctx.Err() != nil {
+		return
+	}
+	req := DoneRequest{Epoch: ws.prop.Epoch, Member: m.self}
+	if failure != nil {
+		req.Err = failure.Error()
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		if m.rpc(ws.ctx, ws.coordinator, PathDone, body) == nil {
+			return
+		}
+		select {
+		case <-ws.ctx.Done():
+			return
+		case <-time.After(200 * time.Millisecond << attempt):
+		}
+	}
+}
+
+// HandleDone records a member's done report on the coordinator.
+func (m *Manager) HandleDone(req DoneRequest) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cs := m.coord
+	if cs == nil || cs.epoch != req.Epoch {
+		return nil
+	}
+	if req.Err != "" && cs.err == nil {
+		cs.err = fmt.Errorf("membership: %s: %s", req.Member, req.Err)
+	}
+	delete(cs.pending, req.Member)
+	if (len(cs.pending) == 0 || cs.err != nil) && !cs.signaled {
+		cs.signaled = true
+		close(cs.allDone)
+	}
+	return nil
+}
+
+// HandleCommit promotes the committed view. A member holding the matching
+// window closes it and drops its handed-off scenarios; a member that
+// missed the propose adopts the view outright.
+func (m *Manager) HandleCommit(req CommitRequest) error {
+	m.mu.Lock()
+	ws := m.window
+	if ws != nil && ws.prop.Epoch == req.Epoch {
+		m.window = nil
+	} else {
+		ws = nil
+	}
+	err := m.cl.Commit(req.Epoch, req.Members)
+	m.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if ws != nil {
+		ws.cancel()
+		m.host.DropHanded()
+	}
+	metrics.ClusterEpoch.Set(int64(m.cl.Epoch()))
+	return nil
+}
+
+// HandleAbort discards the proposed view; handed-off marks are cleared so
+// the old owner keeps serving its copies.
+func (m *Manager) HandleAbort(req AbortRequest) {
+	m.mu.Lock()
+	ws := m.window
+	if ws != nil && ws.prop.Epoch == req.Epoch {
+		m.window = nil
+	} else {
+		ws = nil
+	}
+	m.cl.Abort(req.Epoch)
+	m.mu.Unlock()
+	if ws != nil {
+		ws.cancel()
+		m.host.AbortHandoff()
+	}
+}
+
+// CatchUp fetches peer's view and adopts whatever is newer than ours —
+// the epoch-comparison replacement for RingVersion drift detection. Best
+// effort: errors leave the current view in place (the forwarding hop
+// bound keeps stale routing safe).
+func (m *Manager) CatchUp(ctx context.Context, peer string) {
+	cctx, cancel := context.WithTimeout(ctx, m.rpcTimeout)
+	defer cancel()
+	body, err := m.tr.Call(cctx, peer, "GET", PathView, "", nil)
+	if err != nil {
+		return
+	}
+	var v ViewResponse
+	if err := json.Unmarshal(body, &v); err != nil {
+		return
+	}
+	if v.Proposed != nil {
+		_ = m.HandlePropose(ctx, ProposeRequest{
+			Current:     cluster.View{Epoch: v.Epoch, Members: v.Members},
+			Proposed:    *v.Proposed,
+			Coordinator: v.Coordinator,
+		})
+		return
+	}
+	if v.Epoch > m.cl.Epoch() {
+		_ = m.HandleCommit(CommitRequest{Epoch: v.Epoch, Members: v.Members})
+	}
+}
+
+// ViewInfo reports this member's view for PathView and /healthz.
+func (m *Manager) ViewInfo() ViewResponse {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := m.cl.Current()
+	resp := ViewResponse{Epoch: cur.Epoch, Members: cur.Members, Transition: "stable"}
+	if ws := m.window; ws != nil {
+		p := ws.prop
+		resp.Transition = "proposed"
+		resp.Proposed = &cluster.View{Epoch: p.Epoch, Members: append([]string(nil), p.Members...)}
+		resp.Coordinator = ws.coordinator
+	}
+	return resp
+}

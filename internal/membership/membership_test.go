@@ -1,0 +1,402 @@
+package membership_test
+
+// Protocol-level tests: several Managers wired through an in-memory
+// transport fabric, with map-backed hosts standing in for the server's
+// scenario registry. The properties under test are the protocol's
+// promises — a join moves exactly the keys whose owner changed and
+// nothing else, a leave empties the leaver, and a failed transfer aborts
+// the whole transition leaving every member on the old view.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/membership"
+)
+
+// fakeHost is a map-backed membership.Host: scenario ids with handed-off
+// marks, no real state behind them (the "block" is the id itself).
+type fakeHost struct {
+	mu     sync.Mutex
+	ids    map[string]bool
+	handed map[string]bool
+}
+
+func newFakeHost(ids ...string) *fakeHost {
+	h := &fakeHost{ids: make(map[string]bool), handed: make(map[string]bool)}
+	for _, id := range ids {
+		h.ids[id] = true
+	}
+	return h
+}
+
+func (h *fakeHost) ScenarioIDs() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.ids))
+	for id := range h.ids {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (h *fakeHost) Handoff(_ context.Context, id, newOwner string, send func([]byte) error) (int, error) {
+	h.mu.Lock()
+	if !h.ids[id] || h.handed[id] {
+		h.mu.Unlock()
+		return 0, nil
+	}
+	h.mu.Unlock()
+	if err := send([]byte(id)); err != nil {
+		return 0, err
+	}
+	h.mu.Lock()
+	h.handed[id] = true
+	h.mu.Unlock()
+	return len(id), nil
+}
+
+func (h *fakeHost) DropHanded() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for id := range h.handed {
+		delete(h.ids, id)
+	}
+	h.handed = make(map[string]bool)
+}
+
+func (h *fakeHost) AbortHandoff() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.handed = make(map[string]bool)
+}
+
+func (h *fakeHost) install(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ids[id] = true
+}
+
+func (h *fakeHost) snapshot() []string { return h.ScenarioIDs() }
+
+// fabric is the in-memory transport: Call dispatches straight into the
+// target member's handlers, exactly as the server's HTTP endpoints would.
+type fabric struct {
+	mu       sync.Mutex
+	managers map[string]*membership.Manager
+	hosts    map[string]*fakeHost
+	down     map[string]bool
+	// failInstall makes a member's transfer endpoint fail, simulating a
+	// receiver that cannot install (disk full, say) — the transition must
+	// abort.
+	failInstall map[string]bool
+}
+
+func newFabric() *fabric {
+	return &fabric{
+		managers:    make(map[string]*membership.Manager),
+		hosts:       make(map[string]*fakeHost),
+		down:        make(map[string]bool),
+		failInstall: make(map[string]bool),
+	}
+}
+
+type fabricTransport struct {
+	f    *fabric
+	self string
+}
+
+func (t fabricTransport) Call(_ context.Context, peer, method, path, _ string, body []byte) ([]byte, error) {
+	t.f.mu.Lock()
+	m, host := t.f.managers[peer], t.f.hosts[peer]
+	isDown, failInstall := t.f.down[peer], t.f.failInstall[peer]
+	t.f.mu.Unlock()
+	if isDown {
+		return nil, fmt.Errorf("%s unreachable", peer)
+	}
+	if m == nil {
+		return nil, fmt.Errorf("no such member %s", peer)
+	}
+	switch path {
+	case membership.PathJoin:
+		var req membership.JoinRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		v, err := m.HandleJoin(context.Background(), req)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(v)
+	case membership.PathPropose:
+		var req membership.ProposeRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return []byte("{}"), m.HandlePropose(context.Background(), req)
+	case membership.PathTransfer:
+		if failInstall {
+			return nil, fmt.Errorf("%s cannot install", peer)
+		}
+		host.install(string(body))
+		return []byte("{}"), nil
+	case membership.PathDone:
+		var req membership.DoneRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return []byte("{}"), m.HandleDone(req)
+	case membership.PathCommit:
+		var req membership.CommitRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return []byte("{}"), m.HandleCommit(req)
+	case membership.PathAbort:
+		var req membership.AbortRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		m.HandleAbort(req)
+		return []byte("{}"), nil
+	case membership.PathView:
+		return json.Marshal(m.ViewInfo())
+	}
+	return nil, fmt.Errorf("unknown path %s", path)
+}
+
+// addStatic boots a statically-configured member into the fabric.
+func (f *fabric) addStatic(t *testing.T, self string, peers []string) *membership.Manager {
+	t.Helper()
+	cl, err := cluster.New(cluster.Config{Self: self, Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.add(t, self, cl)
+}
+
+func (f *fabric) add(t *testing.T, self string, cl *cluster.Cluster) *membership.Manager {
+	t.Helper()
+	host := newFakeHost()
+	m := membership.New(membership.Config{
+		Cluster:         cl,
+		Host:            host,
+		Transport:       fabricTransport{f: f, self: self},
+		WindowTimeout:   5 * time.Second,
+		TransferTimeout: time.Second,
+		RPCTimeout:      time.Second,
+	})
+	f.mu.Lock()
+	f.managers[self] = m
+	f.hosts[self] = host
+	f.mu.Unlock()
+	return m
+}
+
+// seed scatters n scenarios across the static members by committed-ring
+// ownership and returns every id.
+func (f *fabric) seed(t *testing.T, peers []string, n int) []string {
+	t.Helper()
+	ring := cluster.NewRing(peers, 0)
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("scenario-%02d", i)
+		ids = append(ids, id)
+		f.hosts[ring.Owner(id)].install(id)
+	}
+	return ids
+}
+
+// placement maps every member to its sorted scenario list.
+func (f *fabric) placement(peers []string) map[string][]string {
+	out := make(map[string][]string, len(peers))
+	for _, p := range peers {
+		out[p] = f.hosts[p].snapshot()
+	}
+	return out
+}
+
+func expectPlacement(t *testing.T, f *fabric, members []string, ids []string) {
+	t.Helper()
+	ring := cluster.NewRing(members, 0)
+	want := make(map[string][]string, len(members))
+	for _, id := range ids {
+		o := ring.Owner(id)
+		want[o] = append(want[o], id)
+	}
+	for _, m := range members {
+		sort.Strings(want[m])
+		got := f.hosts[m].snapshot()
+		if len(got) != len(want[m]) {
+			t.Fatalf("%s holds %v, want %v", m, got, want[m])
+		}
+		for i := range got {
+			if got[i] != want[m][i] {
+				t.Fatalf("%s holds %v, want %v", m, got, want[m])
+			}
+		}
+	}
+}
+
+var peers3 = []string{"http://n1:1", "http://n2:1", "http://n3:1"}
+
+// TestJoinMovesOnlyTheMovingScenarios runs a full join transition and
+// checks every member lands on epoch 2 with placement matching the new
+// ring — and that exactly the scenarios whose owner changed moved.
+func TestJoinMovesOnlyTheMovingScenarios(t *testing.T) {
+	f := newFabric()
+	var managers []*membership.Manager
+	for _, p := range peers3 {
+		managers = append(managers, f.addStatic(t, p, peers3))
+	}
+	ids := f.seed(t, peers3, 30)
+	before := f.placement(peers3)
+
+	joiner := "http://n4:1"
+	jc, err := cluster.NewJoining(joiner, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jm := f.add(t, joiner, jc)
+	if err := jm.Join(context.Background(), peers3[0]); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+
+	all := append(append([]string(nil), peers3...), joiner)
+	for i, m := range append(managers, jm) {
+		if got := m.ViewInfo(); got.Epoch != 2 || got.Transition != "stable" {
+			t.Fatalf("member %d: epoch=%d transition=%s after join", i, got.Epoch, got.Transition)
+		}
+	}
+	expectPlacement(t, f, all, ids)
+
+	// Only the scenarios the new ring took away from their old owner may
+	// have left it: everything an old owner still owns it must still hold
+	// (it was never encoded, sent, or dropped).
+	newRing := cluster.NewRing(all, 0)
+	for _, p := range peers3 {
+		held := make(map[string]bool)
+		for _, id := range f.hosts[p].snapshot() {
+			held[id] = true
+		}
+		for _, id := range before[p] {
+			if newRing.Owner(id) == p && !held[id] {
+				t.Fatalf("%s lost %s although its owner did not change", p, id)
+			}
+		}
+	}
+}
+
+// TestJoinIsIdempotent re-joins an existing member and expects the current
+// view back with no new transition.
+func TestJoinIsIdempotent(t *testing.T) {
+	f := newFabric()
+	for _, p := range peers3 {
+		f.addStatic(t, p, peers3)
+	}
+	m := f.managers[peers3[1]]
+	if err := m.Join(context.Background(), peers3[0]); err != nil {
+		t.Fatalf("re-join of an existing member: %v", err)
+	}
+	if got := m.ViewInfo(); got.Epoch != 1 {
+		t.Fatalf("epoch moved to %d on an idempotent join", got.Epoch)
+	}
+}
+
+// TestLeaveHandsOffEverything drain-leaves one member and checks it holds
+// nothing afterwards while the survivors own everything per the shrunken
+// ring.
+func TestLeaveHandsOffEverything(t *testing.T) {
+	f := newFabric()
+	for _, p := range peers3 {
+		f.addStatic(t, p, peers3)
+	}
+	ids := f.seed(t, peers3, 24)
+
+	leaver := peers3[2]
+	if err := f.managers[leaver].Leave(context.Background()); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	if got := f.hosts[leaver].snapshot(); len(got) != 0 {
+		t.Fatalf("leaver still holds %v", got)
+	}
+	rest := peers3[:2]
+	expectPlacement(t, f, rest, ids)
+	for _, p := range rest {
+		if got := f.managers[p].ViewInfo(); got.Epoch != 2 || len(got.Members) != 2 {
+			t.Fatalf("%s: epoch=%d members=%v after leave", p, got.Epoch, got.Members)
+		}
+	}
+}
+
+// TestFailedTransferAbortsTheTransition makes the joiner unable to install
+// transferred scenarios: the join must fail, every member must stay on
+// epoch 1 with no open window, and no scenario may have been dropped.
+func TestFailedTransferAbortsTheTransition(t *testing.T) {
+	f := newFabric()
+	for _, p := range peers3 {
+		f.addStatic(t, p, peers3)
+	}
+	ids := f.seed(t, peers3, 24)
+
+	joiner := "http://n4:1"
+	jc, err := cluster.NewJoining(joiner, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jm := f.add(t, joiner, jc)
+	f.mu.Lock()
+	f.failInstall[joiner] = true
+	f.mu.Unlock()
+
+	if err := jm.Join(context.Background(), peers3[0]); err == nil {
+		t.Fatal("join succeeded although every transfer failed")
+	}
+	for _, p := range peers3 {
+		got := f.managers[p].ViewInfo()
+		if got.Epoch != 1 || got.Transition != "stable" {
+			t.Fatalf("%s: epoch=%d transition=%s after aborted join", p, got.Epoch, got.Transition)
+		}
+	}
+	expectPlacement(t, f, peers3, ids)
+
+	// The cluster must accept a later transition: retry with the install
+	// failure cleared.
+	f.mu.Lock()
+	f.failInstall[joiner] = false
+	f.mu.Unlock()
+	if err := jm.Join(context.Background(), peers3[0]); err != nil {
+		t.Fatalf("join after cleared failure: %v", err)
+	}
+	expectPlacement(t, f, append(append([]string(nil), peers3...), joiner), ids)
+}
+
+// TestBusyClusterRefusesSecondTransition opens a window by hand and checks
+// a concurrent join is refused with ErrBusy rather than interleaving.
+func TestBusyClusterRefusesSecondTransition(t *testing.T) {
+	f := newFabric()
+	for _, p := range peers3 {
+		f.addStatic(t, p, peers3)
+	}
+	seedMgr := f.managers[peers3[0]]
+	cur := cluster.View{Epoch: 1, Members: peers3}
+	prop := cluster.View{Epoch: 2, Members: append(append([]string(nil), peers3...), "http://n9:1")}
+	if err := seedMgr.HandlePropose(context.Background(), membership.ProposeRequest{
+		Current: cur, Proposed: prop, Coordinator: peers3[1],
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := seedMgr.HandleJoin(context.Background(), membership.JoinRequest{Self: "http://n5:1"})
+	if !errors.Is(err, membership.ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	seedMgr.HandleAbort(membership.AbortRequest{Epoch: 2})
+}

@@ -137,6 +137,20 @@ var (
 	// replicated result cache after the owner revalidated the ETag (304).
 	ClusterCacheHits = register("cluster_cache_hits")
 
+	// MembershipJoins counts membership transitions this member coordinated
+	// to completion (a node admitted or drained out of the ring).
+	MembershipJoins = register("membership_joins")
+	// MembershipTransfers counts scenarios this member handed off to their
+	// new owner during transfer windows. Across a cluster the sum is the
+	// total number of moved scenarios — the ~1/(n+1) rebalance cost.
+	MembershipTransfers = register("membership_transfers")
+	// MembershipTransferBytes counts encoded scenario-block bytes pushed
+	// owner-to-owner during transfer windows.
+	MembershipTransferBytes = register("membership_transfer_bytes")
+	// MembershipHandoffMillis accumulates wall-clock milliseconds spent in
+	// per-scenario handoffs (capture + push, mutation lock held).
+	MembershipHandoffMillis = register("membership_handoff_ms")
+
 	// StoreSnapshots counts snapshot files successfully written (periodic
 	// and drain-time).
 	StoreSnapshots = register("store_snapshots")
@@ -152,7 +166,36 @@ var (
 	StorePageOuts = register("store_page_outs")
 )
 
-var registry []*Counter
+// Gauge is a concurrency-safe instantaneous value (it can go down, unlike
+// a Counter). Gauges share the counters' registry surface: Snapshot,
+// WriteText and Reset include them.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set stores the gauge's current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by n (n may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string { return g.name }
+
+var (
+	// ClusterEpoch is the committed membership epoch of this member's ring
+	// view (0 = not clustered or not yet joined).
+	ClusterEpoch = registerGauge("cluster_epoch")
+)
+
+var (
+	registry []*Counter
+	gauges   []*Gauge
+)
 
 func register(name string) *Counter {
 	c := &Counter{name: name}
@@ -160,14 +203,23 @@ func register(name string) *Counter {
 	return c
 }
 
+func registerGauge(name string) *Gauge {
+	g := &Gauge{name: name}
+	gauges = append(gauges, g)
+	return g
+}
+
 // Snapshot is a point-in-time copy of every registered counter.
 type Snapshot map[string]int64
 
-// Read captures the current value of every counter.
+// Read captures the current value of every counter and gauge.
 func Read() Snapshot {
-	s := make(Snapshot, len(registry))
+	s := make(Snapshot, len(registry)+len(gauges))
 	for _, c := range registry {
 		s[c.name] = c.Load()
+	}
+	for _, g := range gauges {
+		s[g.name] = g.Load()
 	}
 	return s
 }
@@ -221,5 +273,8 @@ func WriteText(w io.Writer) error {
 func Reset() {
 	for _, c := range registry {
 		c.v.Store(0)
+	}
+	for _, g := range gauges {
+		g.v.Store(0)
 	}
 }

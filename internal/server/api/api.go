@@ -213,6 +213,16 @@ type ClusterHealth struct {
 	// identical peer lists report identical versions, so a diff across
 	// nodes exposes configuration drift.
 	RingVersion string `json:"ring_version"`
+	// Epoch is the committed membership epoch of this member's ring view.
+	// Members converge on equal epochs; a lagging one catches up from the
+	// first forward it sees.
+	Epoch uint64 `json:"epoch"`
+	// Transition is "stable" outside a membership transfer window and
+	// "proposed" while one is open on this member.
+	Transition string `json:"transition,omitempty"`
+	// TransfersInFlight counts scenario handoffs this member is currently
+	// pushing to new owners.
+	TransfersInFlight int `json:"transfers_in_flight,omitempty"`
 	// Peers reports each ring member's reachability, probed at request
 	// time. Probe sub-requests skip this section, so health checks do not
 	// cascade.

@@ -126,11 +126,25 @@ func (c *Client) Forward(ctx context.Context, method, path string, header http.H
 	var lastErr error
 	for attempt := 0; attempt < forwardAttempts; attempt++ {
 		if attempt > 0 {
-			select {
-			case <-ctx.Done():
+			sleep := forwardBackoff << (attempt - 1)
+			if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= sleep {
+				// The caller's remaining deadline is smaller than the
+				// backoff: sleeping would convert a retryable transport
+				// error into a guaranteed deadline expiry. Retry
+				// immediately instead — the attempt is cheap and might
+				// still land inside the budget.
+				sleep = 0
+			}
+			if sleep > 0 {
+				select {
+				case <-ctx.Done():
+					cancel()
+					return nil, fmt.Errorf("client: forward %s %s: %w", method, path, ctx.Err())
+				case <-time.After(sleep):
+				}
+			} else if ctxErr := ctx.Err(); ctxErr != nil {
 				cancel()
-				return nil, fmt.Errorf("client: forward %s %s: %w", method, path, ctx.Err())
-			case <-time.After(forwardBackoff << (attempt - 1)):
+				return nil, fmt.Errorf("client: forward %s %s: %w", method, path, ctxErr)
 			}
 		}
 		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, bytes.NewReader(body))

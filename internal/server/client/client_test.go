@@ -98,6 +98,40 @@ func startServerAt(t *testing.T, addr string, h http.Handler) *httptest.Server {
 	return nil
 }
 
+// TestForwardBackoffRespectsDeadline checks the retry loop does not sleep
+// past the caller's deadline: with a deadline smaller than the scheduled
+// backoff the retries run immediately, so every attempt is tried and the
+// call returns around the deadline — not after backoff-sum milliseconds
+// of guaranteed-futile sleeping.
+func TestForwardBackoffRespectsDeadline(t *testing.T) {
+	// A refused port: every attempt fails at the transport layer.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	c := New("http://" + addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Forward(ctx, http.MethodGet, "/healthz", nil, nil)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("forward to a dead port succeeded")
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline expired before the attempts ran (%v after %v): backoff slept past the deadline", err, elapsed)
+	}
+	// All three attempts against a refused connection fail in microseconds;
+	// the full backoff schedule would sleep 25ms+50ms. Anything well under
+	// the first backoff step proves the sleeps were skipped.
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("forward took %v, want immediate retries under a 40ms deadline", elapsed)
+	}
+}
+
 // TestForwardCanceledDoesNotLeak cancels a forward stuck on a slow backend
 // and checks the error surfaces as context.Canceled and that no goroutines
 // are left behind once the backend unblocks.

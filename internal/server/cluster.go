@@ -54,6 +54,21 @@ import (
 // ring's hop bound refuses it as a loop.
 const hopHeader = "X-Dx-Hops"
 
+// epochHeader carries the sender's committed membership epoch on every
+// forwarded request and every cluster-mode response; fromHeader carries
+// the forwarding member's base URL. A member that sees a higher epoch
+// than its own fetches the newer view from the sender (membership
+// catch-up) — the epoch-comparison replacement for RingVersion drift
+// detection.
+const (
+	epochHeader = "X-Dx-Epoch"
+	fromHeader  = "X-Dx-From"
+)
+
+// partialHeader lists the unreachable members a GET /v1/scenarios
+// aggregation could not include, comma-separated.
+const partialHeader = "X-Dx-Partial"
+
 // peerProbeTimeout bounds the /healthz reachability probes.
 const peerProbeTimeout = 2 * time.Second
 
@@ -71,6 +86,14 @@ var errForwardLoop = status.WithKind(
 // true when it fully handled the request (forwarded it, aggregated it, or
 // rejected it); false hands the request to the local mux.
 func (s *Server) clusterRoute(w http.ResponseWriter, r *http.Request) bool {
+	if strings.HasPrefix(r.URL.Path, "/v1/cluster/") {
+		// Membership control plane: always local, and deliberately outside
+		// the epoch machinery — a propose must not trigger a catch-up that
+		// recursively fetches the view being proposed.
+		return false
+	}
+	s.syncEpoch(r)
+	w.Header().Set(epochHeader, strconv.FormatUint(s.cluster.Epoch(), 10))
 	hops, err := strconv.Atoi(r.Header.Get(hopHeader))
 	if err != nil {
 		hops = 0
@@ -97,15 +120,92 @@ func (s *Server) clusterRoute(w http.ResponseWriter, r *http.Request) bool {
 	if body != nil {
 		r.Body = io.NopCloser(bytes.NewReader(body))
 	}
-	if s.cluster.Owns(key) {
+	target, local := s.routeTarget(key, hops)
+	if local {
 		return false
 	}
 	if s.Draining() {
 		writeError(w, fmt.Errorf("%w: draining", errOverloaded))
 		return true
 	}
-	s.forward(w, r, s.cluster.Owner(key), body, cacheKey, hops)
+	s.forward(w, r, target, body, cacheKey, hops)
 	return true
+}
+
+// routeTarget decides where key is served. Outside a transfer window this
+// is the committed ring. During a window a moving key stays with its old
+// owner until its individual handoff lands:
+//
+//   - the old owner serves it while present, forwards to the new owner
+//     once handed off (or never present — a registration that happened
+//     after the window opened landed at the new owner);
+//   - the new owner serves it once installed; before that, an entry
+//     request there chases the old owner, while a forwarded request that
+//     still finds nothing answers its local miss (404) instead of
+//     bouncing until the hop bound;
+//   - everyone else forwards to the old owner.
+//
+// Reads therefore always observe the single authoritative copy — the old
+// owner's until the handoff's acknowledgment, the new owner's after — so
+// read-your-writes and the base_version contract hold through the window.
+func (s *Server) routeTarget(key string, hops int) (target string, local bool) {
+	rt := s.cluster.RouteKey(key)
+	self := s.cluster.Self()
+	isNode := s.cluster.Role() == cluster.RoleNode
+	if rt.Owner == "" {
+		// A joiner's pre-join ring is empty. Mid-window its committed ring
+		// still is: the proposed ring is all there is.
+		if !rt.Moving {
+			return "", true // unclustered-in-practice: serve locally
+		}
+		if isNode && rt.New == self {
+			return "", true
+		}
+		return rt.New, false
+	}
+	if !rt.Moving {
+		if isNode && rt.Owner == self {
+			return "", true
+		}
+		return rt.Owner, false
+	}
+	switch {
+	case isNode && rt.Owner == self:
+		if s.handed.get(key) != "" {
+			return rt.New, false
+		}
+		if s.reg.present(key) {
+			return "", true
+		}
+		return rt.New, false
+	case isNode && rt.New == self:
+		if s.reg.present(key) {
+			return "", true
+		}
+		if hops == 0 {
+			return rt.Owner, false
+		}
+		return "", true
+	default:
+		return rt.Owner, false
+	}
+}
+
+// syncEpoch adopts a newer view advertised by a forwarding peer before
+// routing the request it sent. The catch-up is synchronous: after it this
+// member routes with the same ring as the sender, so the hop budget is
+// spent converging, not bouncing.
+func (s *Server) syncEpoch(r *http.Request) {
+	if s.member == nil {
+		return
+	}
+	e, err := strconv.ParseUint(r.Header.Get(epochHeader), 10, 64)
+	if err != nil || e <= s.cluster.Epoch() {
+		return
+	}
+	if from := r.Header.Get(fromHeader); from != "" {
+		s.member.CatchUp(r.Context(), from)
+	}
 }
 
 // pinnedBody is a memoized routingKey rewrite for POST /v1/scenarios: the
@@ -219,6 +319,8 @@ func (s *Server) forward(w http.ResponseWriter, r *http.Request, owner string, b
 		hdr.Set("Content-Type", ct)
 	}
 	hdr.Set(hopHeader, strconv.Itoa(hops+1))
+	hdr.Set(epochHeader, strconv.FormatUint(s.cluster.Epoch(), 10))
+	hdr.Set(fromHeader, s.cluster.Self())
 	var replica *fwdEntry
 	if cacheKey != "" {
 		if v, ok := s.reg.results.get(cacheKey); ok {
@@ -238,6 +340,15 @@ func (s *Server) forward(w http.ResponseWriter, r *http.Request, owner string, b
 		return
 	}
 	defer resp.Body.Close()
+
+	if s.member != nil {
+		// The owner's response advertises its committed epoch; adopt a
+		// newer view in the background (this request was already answered
+		// by a member that routes correctly under it).
+		if e, perr := strconv.ParseUint(resp.Header.Get(epochHeader), 10, 64); perr == nil && e > s.cluster.Epoch() {
+			go s.member.CatchUp(context.Background(), owner)
+		}
+	}
 
 	if resp.StatusCode == http.StatusNotModified && replica != nil {
 		metrics.ClusterCacheHits.Inc()
@@ -295,6 +406,23 @@ func (s *Server) forward(w http.ResponseWriter, r *http.Request, owner string, b
 	}
 }
 
+// forwardMoved relays a request that raced a handoff — routing said local,
+// but by the time the handler held the mutation lock the scenario had been
+// pushed to owner. The new owner installed it before the mark was set, so
+// the forward lands on live state.
+func (s *Server) forwardMoved(w http.ResponseWriter, r *http.Request, owner string, body []byte) {
+	hops, err := strconv.Atoi(r.Header.Get(hopHeader))
+	if err != nil {
+		hops = 0
+	}
+	if hops >= s.cluster.MaxHops() {
+		metrics.ClusterForwardErrors.Inc()
+		writeError(w, errForwardLoop)
+		return
+	}
+	s.forward(w, r, owner, body, "", hops)
+}
+
 func relayHeaders(w http.ResponseWriter, resp *http.Response) {
 	for _, h := range []string{"Content-Type", "ETag", "X-Cache"} {
 		if v := resp.Header.Get(h); v != "" {
@@ -330,15 +458,19 @@ func resultETag(key string) string {
 }
 
 // aggregateScenarios serves GET /v1/scenarios cluster-wide: the union of
-// every node's local list (the hop header marks the sub-requests so peers
-// answer locally instead of re-aggregating). Unreachable peers are skipped
-// — the listing is an operator convenience, not a consistency point.
+// every member's local list (the hop header marks the sub-requests so
+// peers answer locally instead of re-aggregating). During a transfer
+// window the fan-out covers committed and proposed members alike, so
+// already-transferred scenarios are not missed. Unreachable members
+// degrade the listing instead of failing it: the merged rest is served
+// with the X-Dx-Partial header naming the members that did not answer.
 func (s *Server) aggregateScenarios(w http.ResponseWriter, r *http.Request) {
 	hdr := make(http.Header)
 	hdr.Set(hopHeader, "1")
 	var (
 		mu   sync.Mutex
 		all  []api.ScenarioInfo
+		down []string
 		seen = make(map[string]bool)
 		wg   sync.WaitGroup
 	)
@@ -352,7 +484,7 @@ func (s *Server) aggregateScenarios(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	for _, peer := range s.cluster.Peers() {
+	for _, peer := range s.cluster.AllMembers() {
 		if peer == s.cluster.Self() {
 			continue
 		}
@@ -360,17 +492,19 @@ func (s *Server) aggregateScenarios(w http.ResponseWriter, r *http.Request) {
 		go func(peer string) {
 			defer wg.Done()
 			resp, err := s.peerClient(peer).Forward(r.Context(), http.MethodGet, "/v1/scenarios", hdr, nil)
-			if err != nil {
-				return
+			if err == nil {
+				defer resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					var list api.ScenarioList
+					if json.NewDecoder(resp.Body).Decode(&list) == nil {
+						add(list.Scenarios)
+						return
+					}
+				}
 			}
-			defer resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				return
-			}
-			var list api.ScenarioList
-			if json.NewDecoder(resp.Body).Decode(&list) == nil {
-				add(list.Scenarios)
-			}
+			mu.Lock()
+			down = append(down, peer)
+			mu.Unlock()
 		}(peer)
 	}
 	if s.cluster.Role() == cluster.RoleNode {
@@ -385,6 +519,10 @@ func (s *Server) aggregateScenarios(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	if len(down) > 0 {
+		sort.Strings(down)
+		w.Header().Set(partialHeader, strings.Join(down, ","))
+	}
 	writeJSON(w, http.StatusOK, api.ScenarioList{Scenarios: all})
 }
 
@@ -396,13 +534,19 @@ func (s *Server) clusterHealth(r *http.Request) *api.ClusterHealth {
 		Role:        s.cluster.Role().String(),
 		Self:        s.cluster.Self(),
 		RingVersion: s.cluster.RingVersion(),
+		Epoch:       s.cluster.Epoch(),
+	}
+	if s.member != nil {
+		vi := s.member.ViewInfo()
+		ch.Transition = vi.Transition
+		ch.TransfersInFlight = s.member.InFlight()
 	}
 	if h := r.Header.Get(hopHeader); h != "" && h != "0" {
 		return ch
 	}
 	hdr := make(http.Header)
 	hdr.Set(hopHeader, "1")
-	peers := s.cluster.Peers()
+	peers := s.cluster.AllMembers()
 	ch.Peers = make([]api.PeerStatus, len(peers))
 	var wg sync.WaitGroup
 	for i, peer := range peers {

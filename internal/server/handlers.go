@@ -228,7 +228,19 @@ func (s *Server) handleGetScenario(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteScenario(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if !s.reg.drop(id) {
+	dropped, err := s.reg.drop(id, false)
+	if err != nil {
+		// The scenario was handed off to a new owner while this request
+		// was in flight; the delete belongs there now.
+		var mv *errMoved
+		if errors.As(err, &mv) && s.cluster != nil {
+			s.forwardMoved(w, r, mv.newOwner, nil)
+			return
+		}
+		writeError(w, err)
+		return
+	}
+	if !dropped {
 		writeError(w, fmt.Errorf("%w: %q", errUnknownScenario, id))
 		return
 	}
@@ -282,6 +294,17 @@ func (s *Server) handleMutate(insert bool) http.HandlerFunc {
 		}
 		res, err := s.reg.mutate(sc, muts, req.BaseVersion, opt)
 		if err != nil {
+			// A handoff won the mutation lock first: the scenario now lives
+			// at its new owner, which installed it (with the version
+			// counter) before the mark was set — forward the batch there
+			// and the base_version contract carries over.
+			var mv *errMoved
+			if errors.As(err, &mv) && s.cluster != nil {
+				if body, merr := json.Marshal(req); merr == nil {
+					s.forwardMoved(w, r, mv.newOwner, body)
+					return
+				}
+			}
 			writeError(w, err)
 			return
 		}

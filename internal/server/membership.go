@@ -1,0 +1,342 @@
+package server
+
+// Membership glue: the server side of the dynamic join/leave protocol
+// (internal/membership). This file adapts the registry to the protocol's
+// Host interface — enumerating local scenarios, the per-scenario handoff
+// critical section, commit/abort cleanup — carries protocol messages over
+// the ordinary peer client, and mounts the /v1/cluster/* endpoints.
+//
+// The handoff critical section is the heart of the zero-lost-writes
+// guarantee: the old owner captures the scenario's state and POSTs it to
+// the new owner while holding the scenario's mutation lock (mutMu), and
+// marks the scenario handed off — under that same lock — only after the
+// new owner acknowledged the install. A mutation serialized behind the
+// lock therefore resumes to find the moved mark and is forwarded to the
+// new owner, which by then is guaranteed to have installed the scenario;
+// no acknowledged write can land on a copy that is about to be dropped.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/chase"
+	"repro/internal/membership"
+	"repro/internal/server/api"
+	"repro/internal/status"
+	"repro/internal/store"
+)
+
+// maxTransferBlock bounds an accepted scenario-transfer block.
+const maxTransferBlock = 1 << 30
+
+// errMoved reports that a scenario was handed off to a new owner during a
+// membership transition; the handler forwards the request there.
+type errMoved struct {
+	id       string
+	newOwner string
+}
+
+func (e *errMoved) Error() string {
+	return fmt.Sprintf("scenario %q handed off to %s", e.id, e.newOwner)
+}
+
+// handedSet tracks the scenarios this member handed off during the open
+// transfer window, mapping each to its new owner. Routing consults it so
+// post-handoff requests forward; commit drains it into drops, abort
+// drains it into un-marking.
+type handedSet struct {
+	mu sync.Mutex
+	m  map[string]string
+}
+
+func (h *handedSet) add(id, owner string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.m == nil {
+		h.m = make(map[string]string)
+	}
+	h.m[id] = owner
+}
+
+func (h *handedSet) get(id string) string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.m[id]
+}
+
+func (h *handedSet) drain() map[string]string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m := h.m
+	h.m = nil
+	return m
+}
+
+// serverHost adapts the server to membership.Host.
+type serverHost struct{ s *Server }
+
+// ScenarioIDs lists every scenario present on this member: resident ones
+// plus everything cataloged in the durable store.
+func (h serverHost) ScenarioIDs() []string {
+	ids := h.s.reg.scenarios.keysMRU()
+	if h.s.cfg.Store == nil {
+		return ids
+	}
+	seen := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		seen[id] = true
+	}
+	for _, id := range h.s.cfg.Store.IDs() {
+		if !seen[id] {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Handoff pushes one scenario to its new owner under the scenario's
+// mutation lock; see the file comment for why the lock spans the send.
+func (h serverHost) Handoff(_ context.Context, id, newOwner string, send func(block []byte) error) (int, error) {
+	sc, err := h.s.reg.lookup(id)
+	if err != nil {
+		return 0, nil // dropped (or never completed) concurrently: nothing to move
+	}
+	sc.mutMu.Lock()
+	defer sc.mutMu.Unlock()
+	if sc.movedTo != "" {
+		return 0, nil
+	}
+	block := store.EncodeState(sc.persistState())
+	if err := send(block); err != nil {
+		return 0, err
+	}
+	sc.movedTo = newOwner
+	h.s.handed.add(id, newOwner)
+	return len(block), nil
+}
+
+// DropHanded drops every handed-off scenario after the commit (journaled
+// via store.Drop on durable members). Routing already points at the new
+// owner — the committed ring does not contain this member for these keys
+// — so the drop only reclaims local state.
+func (h serverHost) DropHanded() {
+	for id := range h.s.handed.drain() {
+		h.s.reg.drop(id, true)
+	}
+}
+
+// AbortHandoff clears the moved marks after an abort; this member keeps
+// serving its copies under the old ring.
+func (h serverHost) AbortHandoff() {
+	for id := range h.s.handed.drain() {
+		if v, ok := h.s.reg.scenarios.get(id); ok {
+			sc := v.(*scenario)
+			sc.mutMu.Lock()
+			sc.movedTo = ""
+			sc.mutMu.Unlock()
+		}
+	}
+}
+
+// memberTransport carries protocol messages over the peer client.
+type memberTransport struct{ s *Server }
+
+func (t memberTransport) Call(ctx context.Context, peer, method, path, contentType string, body []byte) ([]byte, error) {
+	hdr := make(http.Header)
+	if contentType != "" {
+		hdr.Set("Content-Type", contentType)
+	}
+	resp, err := t.s.peerClient(peer).Forward(ctx, method, path, hdr, body)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxTransferBlock))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e api.Error
+		if json.Unmarshal(b, &e) == nil && e.Err.Message != "" {
+			return nil, fmt.Errorf("%s %s: %s (%s)", method, path, e.Err.Message, e.Err.Code)
+		}
+		return nil, fmt.Errorf("%s %s: status %d", method, path, resp.StatusCode)
+	}
+	return b, nil
+}
+
+// JoinCluster runs the joiner's side of the membership handshake against
+// seed (any live member). Call after the HTTP listener is serving: the
+// propose/commit broadcasts and scenario transfers arrive over HTTP while
+// the join call is in flight.
+func (s *Server) JoinCluster(ctx context.Context, seed string) error {
+	if s.member == nil {
+		return fmt.Errorf("server: not a cluster member")
+	}
+	return s.member.Join(ctx, seed)
+}
+
+// LeaveCluster hands off every scenario this member owns and removes it
+// from the ring (drain-leave). Call before BeginDrain so the member still
+// serves and forwards during its own transfer window. No-op on
+// non-cluster servers and members that already left.
+func (s *Server) LeaveCluster(ctx context.Context) error {
+	if s.member == nil {
+		return nil
+	}
+	return s.member.Leave(ctx)
+}
+
+// clusterRoutes mounts the membership endpoints (cluster mode only; the
+// requireMember guard is belt and braces).
+func (s *Server) clusterRoutes() {
+	s.mux.HandleFunc("POST "+membership.PathJoin, s.handleClusterJoin)
+	s.mux.HandleFunc("POST "+membership.PathPropose, s.handleClusterPropose)
+	s.mux.HandleFunc("POST "+membership.PathTransfer, s.handleClusterTransfer)
+	s.mux.HandleFunc("POST "+membership.PathDone, s.handleClusterDone)
+	s.mux.HandleFunc("POST "+membership.PathCommit, s.handleClusterCommit)
+	s.mux.HandleFunc("POST "+membership.PathAbort, s.handleClusterAbort)
+	s.mux.HandleFunc("GET "+membership.PathView, s.handleClusterView)
+}
+
+// requireMember guards the membership endpoints on non-cluster servers.
+func (s *Server) requireMember(w http.ResponseWriter) bool {
+	if s.member == nil {
+		writeError(w, status.WithKind(fmt.Errorf("not a cluster member"), status.Usage))
+		return false
+	}
+	return true
+}
+
+// writeMembershipError maps protocol errors: a busy cluster (one
+// transition at a time) is a 409 conflict, everything else classifies
+// through the usual table.
+func writeMembershipError(w http.ResponseWriter, err error) {
+	if errors.Is(err, membership.ErrBusy) {
+		err = status.WithKind(err, status.Conflict)
+	}
+	writeError(w, err)
+}
+
+func (s *Server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMember(w) {
+		return
+	}
+	var req membership.JoinRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	view, err := s.member.HandleJoin(r.Context(), req)
+	if err != nil {
+		writeMembershipError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleClusterPropose(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMember(w) {
+		return
+	}
+	var req membership.ProposeRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.member.HandlePropose(r.Context(), req); err != nil {
+		writeMembershipError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleClusterTransfer installs one transferred scenario block: decode,
+// rebuild the scenario (resuming the incremental engine around the
+// persisted fixpoint — no re-chase), journal it into the durable store
+// before it becomes visible, and register it.
+func (s *Server) handleClusterTransfer(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMember(w) {
+		return
+	}
+	block, err := io.ReadAll(io.LimitReader(r.Body, maxTransferBlock))
+	if err != nil {
+		writeError(w, status.WithKind(fmt.Errorf("reading transfer block: %w", err), status.Usage))
+		return
+	}
+	st, err := store.DecodeState(block)
+	if err != nil {
+		writeError(w, status.WithKind(fmt.Errorf("decoding transfer block: %w", err), status.Usage))
+		return
+	}
+	sc, err := scenarioFromState(st, chase.Options{})
+	if err != nil {
+		writeError(w, status.WithKind(err, status.Internal))
+		return
+	}
+	if s.reg.store != nil {
+		if err := s.reg.store.Register(st); err != nil {
+			writeError(w, status.WithKind(fmt.Errorf("journaling transfer: %w", err), status.Internal))
+			return
+		}
+	}
+	s.reg.install(sc)
+	writeJSON(w, http.StatusOK, map[string]string{"id": st.ID})
+}
+
+func (s *Server) handleClusterDone(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMember(w) {
+		return
+	}
+	var req membership.DoneRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.member.HandleDone(req); err != nil {
+		writeMembershipError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleClusterCommit(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMember(w) {
+		return
+	}
+	var req membership.CommitRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.member.HandleCommit(req); err != nil {
+		writeMembershipError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleClusterAbort(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMember(w) {
+		return
+	}
+	var req membership.AbortRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.member.HandleAbort(req)
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleClusterView(w http.ResponseWriter, r *http.Request) {
+	if !s.requireMember(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.member.ViewInfo())
+}

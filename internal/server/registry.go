@@ -63,8 +63,15 @@ type scenario struct {
 	initVersion uint64
 
 	// mutMu serializes mutation batches (version check through cache
-	// purge), single-flighting concurrent mutators.
+	// purge), single-flighting concurrent mutators. During a membership
+	// transfer window it additionally serializes the handoff capture+push
+	// against mutations, and guards movedTo.
 	mutMu sync.Mutex
+	// movedTo, when non-empty, names the member this scenario was handed
+	// off to during the open transfer window. Guarded by mutMu; set only
+	// after the new owner acknowledged the install, so a mutation that
+	// observes it can safely forward there.
+	movedTo string
 
 	mu sync.Mutex // guards source and the memos below
 	// source is the current source instance. The pointer is swapped (never
@@ -388,20 +395,34 @@ func (r *registry) lookup(id string) (*scenario, error) {
 // drop removes the named scenario and its cached results. The eviction hook
 // handles the content-dedup entry and the mutated-namespace results; an
 // explicit DELETE additionally clears the content-keyed results, which
-// capacity evictions keep.
-func (r *registry) drop(id string) bool {
+// capacity evictions keep. Unless force is set, a scenario handed off
+// during an open transfer window refuses the drop with errMoved (the
+// caller forwards the DELETE to the new owner); the check and the removal
+// run under the scenario's mutation lock so a concurrent handoff cannot
+// slip between them and resurrect the copy at the new owner. force is the
+// post-commit cleanup path (DropHanded), where the handoff already
+// happened by design.
+func (r *registry) drop(id string, force bool) (bool, error) {
 	v, resident := r.scenarios.get(id)
 	var contentID string
 	if resident {
-		contentID = v.(*scenario).contentID
+		sc := v.(*scenario)
+		contentID = sc.contentID
+		if !force {
+			sc.mutMu.Lock()
+			defer sc.mutMu.Unlock()
+			if sc.movedTo != "" {
+				return false, &errMoved{id: id, newOwner: sc.movedTo}
+			}
+		}
 	} else if r.store != nil {
 		meta, stored := r.store.GetMeta(id)
 		if !stored {
-			return false
+			return false, nil
 		}
 		contentID = meta.ContentID
 	} else {
-		return false
+		return false, nil
 	}
 	// Journal the drop first: onEvict then sees the scenario is no longer
 	// cataloged and runs the full-cleanup path rather than paging it out.
@@ -427,7 +448,34 @@ func (r *registry) drop(id string) bool {
 	r.results.removeIf(func(key string) bool {
 		return strings.HasPrefix(key, contentPrefix)
 	})
-	return true
+	return true, nil
+}
+
+// present reports whether the scenario exists on this member, resident or
+// cataloged in the durable store. Cluster routing uses it to decide
+// between serving locally and forwarding during a transfer window.
+func (r *registry) present(id string) bool {
+	if _, ok := r.scenarios.get(id); ok {
+		return true
+	}
+	return r.store != nil && r.store.Has(id)
+}
+
+// install registers an already-built scenario received from another member
+// (a membership transfer). The content-dedup entry is only claimed for
+// pristine scenarios — a mutated one no longer matches its contentID —
+// and nextID advances past generated names so later anonymous
+// registrations cannot collide with a transferred "sN".
+func (r *registry) install(sc *scenario) {
+	r.mu.Lock()
+	if !sc.mutated() {
+		r.byContent[sc.contentID] = sc.id
+	}
+	if n, ok := generatedID(sc.id); ok && n > r.nextID {
+		r.nextID = n
+	}
+	r.mu.Unlock()
+	r.scenarios.put(sc.id, sc)
 }
 
 // mutate applies a mutation batch to the scenario: version precondition,
@@ -439,6 +487,13 @@ func (r *registry) drop(id string) bool {
 func (r *registry) mutate(sc *scenario, muts []instance.Mutation, baseVersion uint64, opt chase.Options) (incr.ApplyResult, error) {
 	sc.mutMu.Lock()
 	defer sc.mutMu.Unlock()
+
+	// The lock may have been held by an in-progress handoff; re-check after
+	// acquiring it. The new owner installed this scenario before movedTo was
+	// set, so forwarding there (the caller's job) preserves the write.
+	if sc.movedTo != "" {
+		return incr.ApplyResult{}, &errMoved{id: sc.id, newOwner: sc.movedTo}
+	}
 
 	cur := sc.version()
 	if baseVersion != 0 && baseVersion != cur {

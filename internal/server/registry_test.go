@@ -34,8 +34,8 @@ func TestDropPurgesResultCache(t *testing.T) {
 	r.results.put(mutKey, []byte("stale"))
 	r.results.put(otherKey, []byte("keep"))
 
-	if !r.drop("s") {
-		t.Fatal("drop reported the scenario missing")
+	if ok, err := r.drop("s", false); err != nil || !ok {
+		t.Fatalf("drop: ok=%v err=%v", ok, err)
 	}
 	if _, err := r.lookup("s"); err == nil {
 		t.Fatal("scenario still resident after drop")

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/membership"
 	"repro/internal/server/client"
 	"repro/internal/store"
 )
@@ -118,6 +119,13 @@ type Server struct {
 	mux     *http.ServeMux
 	cluster *cluster.Cluster
 
+	// member runs the dynamic-membership protocol (join/leave transitions
+	// with live scenario handoff); nil outside cluster mode. handed tracks
+	// the scenarios this member pushed to new owners during the open
+	// transfer window.
+	member *membership.Manager
+	handed handedSet
+
 	peerMu sync.Mutex
 	peers  map[string]*client.Client
 
@@ -150,6 +158,19 @@ func New(cfg Config) *Server {
 	s.gate = newGate(s.cfg.MaxConcurrent, s.cfg.QueueDepth)
 	s.mux = http.NewServeMux()
 	s.routes()
+	if s.cluster != nil {
+		// Every cluster member runs the membership protocol, statically
+		// booted ones included: a fleet started with -cluster accepts
+		// joiners and drain-leaves without reconfiguration. If no
+		// transition ever happens, the committed view stays at epoch 1
+		// with the configured peer list — identical routing to before.
+		s.clusterRoutes()
+		s.member = membership.New(membership.Config{
+			Cluster:   s.cluster,
+			Host:      serverHost{s},
+			Transport: memberTransport{s},
+		})
+	}
 	if s.cfg.Store != nil {
 		// Background warm-up: rehydrate up to a residency's worth of
 		// recovered scenarios so the first requests after a restart do not

@@ -243,6 +243,31 @@ func decodeBlock(data []byte) (*State, []MutBatch, error) {
 	return st, pending, nil
 }
 
+// EncodeState returns the standalone DXB1 scenario-block encoding of st
+// with no pending mutation batches — the owner-to-owner wire format of
+// cluster membership transfers. The block is self-contained: ID, content
+// hash, version counter, setting text, source instance and (when present)
+// the chase fixpoint, so the receiving owner resumes without re-chasing
+// and the base_version contract survives the move.
+func EncodeState(st *State) []byte {
+	return encodeBlock(nil, st, nil)
+}
+
+// DecodeState decodes a standalone DXB1 scenario block produced by
+// EncodeState. Blocks carrying pending mutation batches are rejected:
+// transfer sources fold every acknowledged mutation into the state before
+// encoding.
+func DecodeState(data []byte) (*State, error) {
+	st, pending, err := decodeBlock(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(pending) > 0 {
+		return nil, fmt.Errorf("store: transfer block of %q carries %d pending batches", st.ID, len(pending))
+	}
+	return st, nil
+}
+
 // splicePending returns a copy of block with its pending section replaced.
 // The instance bytes are carried over verbatim — this is how a snapshot
 // re-emits a cold scenario's block without decoding its instances.

@@ -24,7 +24,16 @@
 //     broadcasts the commit; members promote epoch N+1 and old owners
 //     drop their handed-off scenarios (journaled through the durable
 //     store). On any failure or timeout the coordinator broadcasts an
-//     abort instead and the old ring keeps serving.
+//     abort instead and the old ring keeps serving. Abort reconciles
+//     rather than forgets: receivers push every scenario installed for
+//     the dead epoch back to its committed owner (writes acknowledged at
+//     the receiver ride back in the block), and old owners keep
+//     forwarding handed-off keys until the push-back replaces their
+//     stale copy — no acknowledged write is lost to an abort while both
+//     sides are reachable. A member whose coordinator vanishes
+//     mid-window does not wait forever: a per-window watchdog probes the
+//     coordinator's view past the window deadline and self-commits or
+//     self-aborts from what it finds.
 //
 // Members that miss a broadcast converge by epoch comparison: every
 // forwarded request and response carries the sender's committed epoch,
@@ -121,12 +130,21 @@ type Host interface {
 	// subsequent requests forward there. It returns the block size, or
 	// (0, nil) when the scenario is already handed off or gone.
 	Handoff(ctx context.Context, id, newOwner string, send func(block []byte) error) (int, error)
-	// DropHanded drops every handed-off scenario (journaled through the
-	// durable store) after the epoch committed.
-	DropHanded()
-	// AbortHandoff clears the handed-off marks after an abort; the old
-	// owner keeps serving its copies.
-	AbortHandoff()
+	// CommitWindow runs after the epoch committed: drop every handed-off
+	// scenario (journaled through the durable store) and adopt the
+	// scenarios received during the window as owned.
+	CommitWindow()
+	// AbortWindow runs after epoch's proposal aborted. It reconciles
+	// instead of forgetting: scenarios received for the aborted epoch are
+	// pushed back to their committed owners (so writes acknowledged here
+	// survive the abort), and handed-off scenarios keep forwarding until
+	// the push-back from their receiver lands. May return before the
+	// reconciliation finishes (it runs in the background).
+	AbortWindow(epoch uint64)
+	// Reconciling reports whether handoff state from an aborted window is
+	// still being reconciled; no new transition may start before it
+	// finishes (the marks it would need are still owned by the old one).
+	Reconciling() bool
 }
 
 // Transport carries protocol messages and transfer blocks to a peer's
@@ -168,6 +186,9 @@ type Manager struct {
 	window   *windowState
 	coord    *coordState
 	inFlight atomic.Int64
+
+	// catching single-flights the inline (data-request-path) catch-up.
+	catching atomic.Bool
 }
 
 // windowState is one member's open transfer window.
@@ -435,6 +456,13 @@ func (m *Manager) HandlePropose(_ context.Context, req ProposeRequest) error {
 		}
 		return ErrBusy
 	}
+	if m.host.Reconciling() {
+		// The previous window aborted and its handoff state is still being
+		// pushed back into place; a new window would route against marks
+		// the reconciliation is about to clear.
+		m.mu.Unlock()
+		return ErrBusy
+	}
 	if err := m.cl.Propose(req.Current, req.Proposed); err != nil {
 		m.mu.Unlock()
 		return err
@@ -450,7 +478,59 @@ func (m *Manager) HandlePropose(_ context.Context, req ProposeRequest) error {
 	m.window = ws
 	m.mu.Unlock()
 	go m.runTransfers(ws)
+	go m.watchWindow(ws)
 	return nil
+}
+
+// watchWindow bounds a member's open transfer window against a vanished
+// coordinator: commit and abort both cancel the window context, so if
+// neither arrived well past the coordinator's own deadline the watchdog
+// asks the coordinator how the transition ended — adopting its commit,
+// re-arming while the proposal is genuinely still open, and self-aborting
+// when the coordinator is unreachable or has dropped the proposal.
+// Without it a coordinator crash after propose would leave the window
+// open forever: every later transition 409s and moving keys dual-route
+// until an operator aborts by hand.
+func (m *Manager) watchWindow(ws *windowState) {
+	if ws.coordinator == m.self {
+		// The local coordinate() call commits or aborts within its own
+		// windowTimeout; no probe needed.
+		return
+	}
+	wait := m.windowTimeout + m.windowTimeout/2 + m.rpcTimeout
+	for {
+		select {
+		case <-ws.ctx.Done():
+			return
+		case <-time.After(wait):
+		}
+		cctx, cancel := context.WithTimeout(context.Background(), m.rpcTimeout)
+		body, err := m.tr.Call(cctx, ws.coordinator, "GET", PathView, "", nil)
+		cancel()
+		if err == nil {
+			var v ViewResponse
+			if json.Unmarshal(body, &v) == nil {
+				if v.Epoch >= ws.prop.Epoch {
+					// The transition committed and we missed the broadcast.
+					_ = m.HandleCommit(CommitRequest{Epoch: v.Epoch, Members: v.Members})
+					return
+				}
+				if v.Proposed != nil && v.Proposed.Epoch == ws.prop.Epoch {
+					// Still open on a live coordinator (a slow transfer
+					// elsewhere); give it more time.
+					wait = m.windowTimeout / 2
+					if wait <= 0 {
+						wait = time.Second
+					}
+					continue
+				}
+			}
+		}
+		// Coordinator unreachable, or it gave up on the proposal without
+		// its abort reaching us: close the window ourselves.
+		m.HandleAbort(AbortRequest{Epoch: ws.prop.Epoch})
+		return
+	}
 }
 
 // runTransfers sweeps this member's scenarios and pushes every owned
@@ -476,7 +556,10 @@ sweeps:
 			n, err := m.host.Handoff(ws.ctx, id, rt.New, func(block []byte) error {
 				cctx, cancel := context.WithTimeout(ws.ctx, m.transferTimeout)
 				defer cancel()
-				_, cerr := m.tr.Call(cctx, rt.New, "POST", PathTransfer, "application/octet-stream", block)
+				// The epoch tag lets the receiver remember which proposal
+				// the install belongs to, so an abort can push it back.
+				path := fmt.Sprintf("%s?epoch=%d", PathTransfer, ws.prop.Epoch)
+				_, cerr := m.tr.Call(cctx, rt.New, "POST", path, "application/octet-stream", block)
 				return cerr
 			})
 			m.inFlight.Add(-1)
@@ -537,13 +620,14 @@ func (m *Manager) HandleDone(req DoneRequest) error {
 	return nil
 }
 
-// HandleCommit promotes the committed view. A member holding the matching
-// window closes it and drops its handed-off scenarios; a member that
-// missed the propose adopts the view outright.
+// HandleCommit promotes the committed view. A member holding a window at
+// or below the committed epoch closes it (a commit past our proposal
+// supersedes it) and runs the commit cleanup; a member that missed the
+// propose adopts the view outright.
 func (m *Manager) HandleCommit(req CommitRequest) error {
 	m.mu.Lock()
 	ws := m.window
-	if ws != nil && ws.prop.Epoch == req.Epoch {
+	if ws != nil && req.Epoch >= ws.prop.Epoch {
 		m.window = nil
 	} else {
 		ws = nil
@@ -555,14 +639,15 @@ func (m *Manager) HandleCommit(req CommitRequest) error {
 	}
 	if ws != nil {
 		ws.cancel()
-		m.host.DropHanded()
+		m.host.CommitWindow()
 	}
 	metrics.ClusterEpoch.Set(int64(m.cl.Epoch()))
 	return nil
 }
 
-// HandleAbort discards the proposed view; handed-off marks are cleared so
-// the old owner keeps serving its copies.
+// HandleAbort discards the proposed view and starts the host's
+// reconciliation: received scenarios are pushed back to their committed
+// owners, and handed-off ones keep forwarding until that push-back lands.
 func (m *Manager) HandleAbort(req AbortRequest) {
 	m.mu.Lock()
 	ws := m.window
@@ -575,9 +660,13 @@ func (m *Manager) HandleAbort(req AbortRequest) {
 	m.mu.Unlock()
 	if ws != nil {
 		ws.cancel()
-		m.host.AbortHandoff()
+		m.host.AbortWindow(req.Epoch)
 	}
 }
+
+// inlineCatchUpTimeout caps a catch-up fetch that a data request is
+// waiting on; the full rpcTimeout is reserved for control-plane traffic.
+const inlineCatchUpTimeout = time.Second
 
 // CatchUp fetches peer's view and adopts whatever is newer than ours —
 // the epoch-comparison replacement for RingVersion drift detection. Best
@@ -586,7 +675,30 @@ func (m *Manager) HandleAbort(req AbortRequest) {
 func (m *Manager) CatchUp(ctx context.Context, peer string) {
 	cctx, cancel := context.WithTimeout(ctx, m.rpcTimeout)
 	defer cancel()
-	body, err := m.tr.Call(cctx, peer, "GET", PathView, "", nil)
+	m.catchUp(cctx, peer)
+}
+
+// CatchUpInline is CatchUp for the data-request path: single-flighted and
+// bounded by a much shorter timeout, so one slow or hung peer advertising
+// a newer epoch cannot stall every incoming forwarded request for a full
+// rpcTimeout. Losers of the flight (and timed-out fetches) proceed on the
+// old view — the hop bound keeps that safe until the view converges.
+func (m *Manager) CatchUpInline(ctx context.Context, peer string) {
+	if !m.catching.CompareAndSwap(false, true) {
+		return
+	}
+	defer m.catching.Store(false)
+	t := inlineCatchUpTimeout
+	if m.rpcTimeout < t {
+		t = m.rpcTimeout
+	}
+	cctx, cancel := context.WithTimeout(ctx, t)
+	defer cancel()
+	m.catchUp(cctx, peer)
+}
+
+func (m *Manager) catchUp(ctx context.Context, peer string) {
+	body, err := m.tr.Call(ctx, peer, "GET", PathView, "", nil)
 	if err != nil {
 		return
 	}

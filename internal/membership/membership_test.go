@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -64,7 +65,7 @@ func (h *fakeHost) Handoff(_ context.Context, id, newOwner string, send func([]b
 	return len(id), nil
 }
 
-func (h *fakeHost) DropHanded() {
+func (h *fakeHost) CommitWindow() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for id := range h.handed {
@@ -73,11 +74,13 @@ func (h *fakeHost) DropHanded() {
 	h.handed = make(map[string]bool)
 }
 
-func (h *fakeHost) AbortHandoff() {
+func (h *fakeHost) AbortWindow(uint64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.handed = make(map[string]bool)
 }
+
+func (h *fakeHost) Reconciling() bool { return false }
 
 func (h *fakeHost) install(id string) {
 	h.mu.Lock()
@@ -124,6 +127,10 @@ func (t fabricTransport) Call(_ context.Context, peer, method, path, _ string, b
 	}
 	if m == nil {
 		return nil, fmt.Errorf("no such member %s", peer)
+	}
+	// Transfer paths carry the proposal epoch as a query string.
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
 	}
 	switch path {
 	case membership.PathJoin:
@@ -185,14 +192,19 @@ func (f *fabric) addStatic(t *testing.T, self string, peers []string) *membershi
 
 func (f *fabric) add(t *testing.T, self string, cl *cluster.Cluster) *membership.Manager {
 	t.Helper()
+	return f.addTuned(t, self, cl, 5*time.Second, time.Second)
+}
+
+func (f *fabric) addTuned(t *testing.T, self string, cl *cluster.Cluster, window, rpc time.Duration) *membership.Manager {
+	t.Helper()
 	host := newFakeHost()
 	m := membership.New(membership.Config{
 		Cluster:         cl,
 		Host:            host,
 		Transport:       fabricTransport{f: f, self: self},
-		WindowTimeout:   5 * time.Second,
-		TransferTimeout: time.Second,
-		RPCTimeout:      time.Second,
+		WindowTimeout:   window,
+		TransferTimeout: rpc,
+		RPCTimeout:      rpc,
 	})
 	f.mu.Lock()
 	f.managers[self] = m
@@ -399,4 +411,88 @@ func TestBusyClusterRefusesSecondTransition(t *testing.T) {
 		t.Fatalf("err = %v, want ErrBusy", err)
 	}
 	seedMgr.HandleAbort(membership.AbortRequest{Epoch: 2})
+}
+
+// waitStable polls until the member reports a closed window (or fails the
+// test after two seconds).
+func waitStable(t *testing.T, m *membership.Manager) membership.ViewResponse {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if got := m.ViewInfo(); got.Transition == "stable" {
+			return got
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	got := m.ViewInfo()
+	t.Fatalf("window never closed: epoch=%d transition=%s", got.Epoch, got.Transition)
+	return got
+}
+
+// TestWatchdogAbortsOrphanedWindow kills the coordinator right after its
+// propose landed: the member's window watchdog must notice and self-abort
+// instead of returning 409 to every future transition forever.
+func TestWatchdogAbortsOrphanedWindow(t *testing.T) {
+	f := newFabric()
+	for _, p := range peers3 {
+		cl, err := cluster.New(cluster.Config{Self: p, Peers: peers3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.addTuned(t, p, cl, 50*time.Millisecond, 50*time.Millisecond)
+	}
+	m, coordinator := f.managers[peers3[0]], peers3[1]
+	cur := cluster.View{Epoch: 1, Members: peers3}
+	prop := cluster.View{Epoch: 2, Members: append(append([]string(nil), peers3...), "http://n9:1")}
+	if err := m.HandlePropose(context.Background(), membership.ProposeRequest{
+		Current: cur, Proposed: prop, Coordinator: coordinator,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.mu.Lock()
+	f.down[coordinator] = true
+	f.mu.Unlock()
+
+	got := waitStable(t, m)
+	if got.Epoch != 1 {
+		t.Fatalf("epoch = %d after watchdog abort, want 1", got.Epoch)
+	}
+	// The member must accept transitions again.
+	if _, err := m.HandleJoin(context.Background(), membership.JoinRequest{Self: "http://n5:1"}); errors.Is(err, membership.ErrBusy) {
+		t.Fatal("member still busy after watchdog abort")
+	}
+}
+
+// TestWatchdogAdoptsCommittedEpoch makes a member miss the commit
+// broadcast: the watchdog's coordinator probe sees the advanced epoch and
+// closes the window by adopting the committed view.
+func TestWatchdogAdoptsCommittedEpoch(t *testing.T) {
+	f := newFabric()
+	for _, p := range peers3 {
+		cl, err := cluster.New(cluster.Config{Self: p, Peers: peers3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.addTuned(t, p, cl, 50*time.Millisecond, 50*time.Millisecond)
+	}
+	m, coord := f.managers[peers3[0]], f.managers[peers3[1]]
+	cur := cluster.View{Epoch: 1, Members: peers3}
+	members := append(append([]string(nil), peers3...), "http://n9:1")
+	prop := cluster.View{Epoch: 2, Members: members}
+	req := membership.ProposeRequest{Current: cur, Proposed: prop, Coordinator: peers3[1]}
+	if err := m.HandlePropose(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.HandlePropose(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	// The coordinator commits; the broadcast to m is "lost".
+	if err := coord.HandleCommit(membership.CommitRequest{Epoch: 2, Members: members}); err != nil {
+		t.Fatal(err)
+	}
+
+	got := waitStable(t, m)
+	if got.Epoch != 2 {
+		t.Fatalf("epoch = %d after watchdog catch-up, want 2", got.Epoch)
+	}
 }

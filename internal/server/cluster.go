@@ -148,6 +148,14 @@ func (s *Server) clusterRoute(w http.ResponseWriter, r *http.Request) bool {
 // Reads therefore always observe the single authoritative copy — the old
 // owner's until the handoff's acknowledgment, the new owner's after — so
 // read-your-writes and the base_version contract hold through the window.
+//
+// After an abort the same marks keep the live copy routable while the
+// reconciliation runs: the committed owner still carries its handed-off
+// mark and forwards to the receiver, and the receiver — no longer the
+// ring target — serves its received copies until the push-back returns
+// them. A present-but-unmarked copy at a window's new owner (an orphan a
+// past abort parked, or a mid-window registration) is never served on
+// entry: the request chases the committed owner first.
 func (s *Server) routeTarget(key string, hops int) (target string, local bool) {
 	rt := s.cluster.RouteKey(key)
 	self := s.cluster.Self()
@@ -165,6 +173,16 @@ func (s *Server) routeTarget(key string, hops int) (target string, local bool) {
 	}
 	if !rt.Moving {
 		if isNode && rt.Owner == self {
+			// Post-abort: handed off during the aborted window, push-back
+			// still pending — the receiver has the live copy.
+			if to := s.handed.get(key); to != "" {
+				return to, false
+			}
+			return "", true
+		}
+		if isNode && s.received.has(key) && s.reg.present(key) {
+			// Post-abort receiver: the copy installed during the aborted
+			// window is the live one until the push-back lands.
 			return "", true
 		}
 		return rt.Owner, false
@@ -179,7 +197,7 @@ func (s *Server) routeTarget(key string, hops int) (target string, local bool) {
 		}
 		return rt.New, false
 	case isNode && rt.New == self:
-		if s.reg.present(key) {
+		if s.received.has(key) && s.reg.present(key) {
 			return "", true
 		}
 		if hops == 0 {
@@ -192,9 +210,11 @@ func (s *Server) routeTarget(key string, hops int) (target string, local bool) {
 }
 
 // syncEpoch adopts a newer view advertised by a forwarding peer before
-// routing the request it sent. The catch-up is synchronous: after it this
-// member routes with the same ring as the sender, so the hop budget is
-// spent converging, not bouncing.
+// routing the request it sent. The catch-up is inline but bounded: one
+// flight at a time with a ~1s cap, so a slow or hung peer cannot stall
+// the data path for the full RPC timeout. The winning request routes with
+// the sender's ring after it; concurrent and timed-out requests proceed
+// on the old view, where the hop bound keeps them from circulating.
 func (s *Server) syncEpoch(r *http.Request) {
 	if s.member == nil {
 		return
@@ -204,7 +224,7 @@ func (s *Server) syncEpoch(r *http.Request) {
 		return
 	}
 	if from := r.Header.Get(fromHeader); from != "" {
-		s.member.CatchUp(r.Context(), from)
+		s.member.CatchUpInline(r.Context(), from)
 	}
 }
 

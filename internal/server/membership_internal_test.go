@@ -1,0 +1,145 @@
+package server
+
+// Unit regressions for the membership glue: the version-guarded transfer
+// install (a retried transfer whose 2xx was lost must not roll back
+// mutations acknowledged in between) and the moved-mark check on the
+// registry's non-resident drop path (a handed-off scenario that was
+// LRU-evicted mid-window must still refuse a local DELETE).
+
+import (
+	"bytes"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/cluster"
+	"repro/internal/instance"
+	"repro/internal/store"
+)
+
+func newClusterServer(t *testing.T) *Server {
+	t.Helper()
+	cl, err := cluster.New(cluster.Config{
+		Self:  "http://127.0.0.1:1",
+		Peers: []string{"http://127.0.0.1:1", "http://127.0.0.1:2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(Config{Cluster: cl})
+}
+
+func TestTransferInstallVersionGuard(t *testing.T) {
+	s := newClusterServer(t)
+	sc, _, err := s.reg.register("g1", tinySetting, `S(a).`, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := store.EncodeState(sc.persistState())
+
+	muts := []instance.Mutation{{Insert: true, Atom: instance.NewAtom("S", instance.Const("b"))}}
+	if _, err := s.reg.mutate(sc, muts, 0, chase.Options{}); err != nil {
+		t.Fatalf("mutate: %v", err)
+	}
+	v1 := sc.version()
+
+	// The retried (stale) transfer must be acknowledged without installing.
+	req := httptest.NewRequest("POST", "/v1/cluster/transfer?epoch=3", bytes.NewReader(stale))
+	w := httptest.NewRecorder()
+	s.handleClusterTransfer(w, req)
+	if w.Code != 200 {
+		t.Fatalf("stale transfer: status %d: %s", w.Code, w.Body)
+	}
+	got, err := s.reg.lookup("g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sc {
+		t.Fatal("stale transfer replaced the live scenario object")
+	}
+	if got.version() != v1 {
+		t.Fatalf("stale transfer rolled the version back: %d, want %d", got.version(), v1)
+	}
+	if !s.received.has("g1") {
+		t.Fatal("guarded ack dropped the received mark for the window")
+	}
+	if w.Body.String() == "" || !bytes.Contains(w.Body.Bytes(), []byte("g1")) {
+		t.Fatalf("guarded ack body %q does not name the scenario", w.Body)
+	}
+}
+
+func TestTransferInstallNewerVersionReplaces(t *testing.T) {
+	src := newClusterServer(t)
+	sc, _, err := src.reg.register("g2", tinySetting, `S(a).`, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts := []instance.Mutation{{Insert: true, Atom: instance.NewAtom("S", instance.Const("b"))}}
+	if _, err := src.reg.mutate(sc, muts, 0, chase.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	newer := store.EncodeState(sc.persistState())
+
+	// A second member holds the pristine (older) copy; the newer block
+	// must install over it.
+	dst := newClusterServer(t)
+	if _, _, err := dst.reg.register("g2", tinySetting, `S(a).`, chase.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/v1/cluster/transfer?epoch=3", bytes.NewReader(newer))
+	w := httptest.NewRecorder()
+	dst.handleClusterTransfer(w, req)
+	if w.Code != 200 {
+		t.Fatalf("newer transfer: status %d: %s", w.Code, w.Body)
+	}
+	got, err := dst.reg.lookup("g2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.version() != sc.version() {
+		t.Fatalf("newer transfer did not install: version %d, want %d", got.version(), sc.version())
+	}
+}
+
+func TestDropNonResidentHandedForwards(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{Fsync: store.SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	r := newRegistry(4, 16, st)
+	handedTo := ""
+	r.moved = func(id string) string { return handedTo }
+
+	if _, _, err := r.register("h1", tinySetting, `S(a).`, chase.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Page the scenario out, as an LRU eviction mid-window would.
+	r.scenarios.remove("h1")
+	if _, ok := r.scenarios.get("h1"); ok {
+		t.Fatal("scenario still resident after eviction")
+	}
+	if !st.Has("h1") {
+		t.Fatal("eviction did not page the scenario out")
+	}
+
+	handedTo = "http://127.0.0.1:2"
+	_, err = r.drop("h1", false)
+	var moved *errMoved
+	if !errors.As(err, &moved) || moved.newOwner != handedTo {
+		t.Fatalf("non-resident drop of a handed-off scenario returned %v, want errMoved to %s", err, handedTo)
+	}
+	if !st.Has("h1") {
+		t.Fatal("refused drop still removed the catalog entry")
+	}
+
+	// The forced (post-commit) drop and the ordinary un-handed drop work.
+	handedTo = ""
+	if ok, err := r.drop("h1", false); err != nil || !ok {
+		t.Fatalf("drop after window closed: ok=%v err=%v", ok, err)
+	}
+	if st.Has("h1") {
+		t.Fatal("drop left the catalog entry behind")
+	}
+}

@@ -469,6 +469,108 @@ func TestClusterPartialListing(t *testing.T) {
 	}
 }
 
+// TestMembershipAbortPreservesAcknowledgedWrites opens a join window by
+// hand, lets the handoffs land, writes to a moved scenario (the write is
+// forwarded to and acknowledged by the would-be new owner), then aborts
+// the transition. The write must survive: the receiver pushes its live
+// copy back to the committed owner instead of orphaning it, and the old
+// owner must not resume serving its stale pre-handoff copy.
+func TestMembershipAbortPreservesAcknowledgedWrites(t *testing.T) {
+	nodes, _ := startCluster(t, 2, false, server.Config{})
+	ids := registerN(t, nodes, 24)
+	peers := []string{nodes[0].url, nodes[1].url}
+
+	// Boot the joiner's process but drive the protocol by hand, so the
+	// window stays open while the test writes into it.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jURL := "http://" + l.Addr().String()
+	jc, err := cluster.NewJoining(jURL, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joiner := member{url: jURL, srv: server.New(server.Config{Cluster: jc}), cli: client.New(jURL)}
+	hs := &http.Server{Handler: joiner.srv}
+	go hs.Serve(l)
+	t.Cleanup(func() { hs.Close() })
+
+	newPeers := append(append([]string(nil), peers...), jURL)
+	moving := movedBetween(ids, peers, newPeers)
+	if len(moving) == 0 {
+		t.Fatal("no scenario moves to the joiner under the proposed ring")
+	}
+	target := moving[0]
+	all := []string{nodes[0].url, nodes[1].url, jURL}
+
+	before := metrics.Read()
+	propose := fmt.Sprintf(
+		`{"current":{"epoch":1,"members":[%q,%q]},"proposed":{"epoch":2,"members":[%q,%q,%q]},"coordinator":%q}`,
+		peers[0], peers[1], peers[0], peers[1], jURL, nodes[0].url)
+	for _, u := range all {
+		if code, _, body := rawDo(t, http.MethodPost, u+"/v1/cluster/propose", propose); code != http.StatusOK {
+			t.Fatalf("propose to %s: status %d: %s", u, code, body)
+		}
+	}
+	// Wait until every moving scenario's handoff landed at the joiner.
+	deadline := time.Now().Add(10 * time.Second)
+	for metrics.Read().Diff(before)["membership_transfers"] < int64(len(moving)) {
+		if time.Now().After(deadline) {
+			t.Fatalf("handoffs never finished: %d of %d",
+				metrics.Read().Diff(before)["membership_transfers"], len(moving))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The mid-window write: the old owner forwards it to the joiner, which
+	// acknowledges it on the transferred copy.
+	res, err := nodes[0].cli.Insert(context.Background(), target, api.MutateRequest{Tuples: "M(wa,wb)."})
+	if err != nil {
+		t.Fatalf("mid-window write: %v", err)
+	}
+
+	// Abort everywhere. The joiner now holds the only copy carrying the
+	// acknowledged write; reconciliation must return it.
+	for _, u := range all {
+		if code, _, body := rawDo(t, http.MethodPost, u+"/v1/cluster/abort", `{"epoch":2}`); code != http.StatusOK {
+			t.Fatalf("abort to %s: status %d: %s", u, code, body)
+		}
+	}
+
+	// Until the push-back lands the old owner keeps forwarding; afterwards
+	// it serves the returned copy. Either way the write stays readable.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		got, err := nodes[1].cli.Scenario(context.Background(), target)
+		if err == nil && got.Version >= res.Version {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("acknowledged write lost to the abort: err=%v version=%d, want >= %d",
+				err, got.Version, res.Version)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for i, m := range nodes {
+		got, err := m.cli.Scenario(context.Background(), target)
+		if err != nil {
+			t.Fatalf("post-abort read via %d: %v", i, err)
+		}
+		if got.Version < res.Version {
+			t.Fatalf("entry %d reads version %d after abort, want >= %d", i, got.Version, res.Version)
+		}
+	}
+	// Everything else still answers on the old ring through both members.
+	for _, id := range ids {
+		for i, m := range nodes {
+			if _, err := m.cli.Scenario(context.Background(), id); err != nil {
+				t.Fatalf("post-abort read of %s via %d: %v", id, i, err)
+			}
+		}
+	}
+}
+
 func waitReachable(t *testing.T, c *client.Client) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)

@@ -193,6 +193,14 @@ type registry struct {
 	// rehydrate from the catalog (persist.go).
 	store *store.Store
 
+	// moved, when non-nil, reports the member a scenario was handed off to
+	// during an open transfer window ("" = not handed off). drop consults
+	// it on the non-resident path, where no scenario carries a movedTo
+	// mark: a handed-off copy that was LRU-evicted mid-window must still
+	// refuse a local DELETE. Cluster mode wires it to the server's handed
+	// map.
+	moved func(id string) string
+
 	mu        sync.Mutex
 	byContent map[string]string // contentID -> scenario ID
 	loads     map[string]*load  // in-flight rehydrations, single-flighted
@@ -400,8 +408,8 @@ func (r *registry) lookup(id string) (*scenario, error) {
 // caller forwards the DELETE to the new owner); the check and the removal
 // run under the scenario's mutation lock so a concurrent handoff cannot
 // slip between them and resurrect the copy at the new owner. force is the
-// post-commit cleanup path (DropHanded), where the handoff already
-// happened by design.
+// post-commit cleanup path (CommitWindow) and the post-push-back drop,
+// where the handoff already happened by design.
 func (r *registry) drop(id string, force bool) (bool, error) {
 	v, resident := r.scenarios.get(id)
 	var contentID string
@@ -419,6 +427,13 @@ func (r *registry) drop(id string, force bool) (bool, error) {
 		meta, stored := r.store.GetMeta(id)
 		if !stored {
 			return false, nil
+		}
+		// A handed-off scenario that was paged out mid-window has no
+		// resident movedTo mark; the handed map still knows its new owner.
+		if !force && r.moved != nil {
+			if owner := r.moved(id); owner != "" {
+				return false, &errMoved{id: id, newOwner: owner}
+			}
 		}
 		contentID = meta.ContentID
 	} else {

@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -122,9 +123,14 @@ type Server struct {
 	// member runs the dynamic-membership protocol (join/leave transitions
 	// with live scenario handoff); nil outside cluster mode. handed tracks
 	// the scenarios this member pushed to new owners during the open
-	// transfer window.
-	member *membership.Manager
-	handed handedSet
+	// transfer window; received tracks the ones installed from transfer
+	// blocks, per proposal epoch, so an abort can push them back.
+	member   *membership.Manager
+	handed   handedSet
+	received receivedSet
+	// reconciling counts in-flight post-abort reconciliations (normally 0
+	// or 1); new proposals are refused while it is non-zero.
+	reconciling atomic.Int32
 
 	peerMu sync.Mutex
 	peers  map[string]*client.Client
@@ -165,6 +171,10 @@ func New(cfg Config) *Server {
 		// transition ever happens, the committed view stays at epoch 1
 		// with the configured peer list — identical routing to before.
 		s.clusterRoutes()
+		// Handed-off scenarios refuse local drops even when not resident
+		// (LRU-evicted mid-window): the catalog branch of drop consults the
+		// handed map and forwards instead.
+		s.reg.moved = s.handed.get
 		s.member = membership.New(membership.Config{
 			Cluster:   s.cluster,
 			Host:      serverHost{s},
